@@ -1,0 +1,43 @@
+//! Real-time throughput of the Figure 5 cache/TLB model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_cache::fig5::{point, Fig5Config};
+use sim_cache::{Cache, CacheConfig, Insertion, Tlb, TlbConfig};
+use std::hint::black_box;
+
+fn bench_cache_access(c: &mut Criterion) {
+    c.bench_function("l2_access", |b| {
+        let mut l2 = Cache::new(CacheConfig::pentium_ii_l2());
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(4096 + 32);
+            black_box(l2.access(a % (1 << 24), Insertion::Mru))
+        })
+    });
+}
+
+fn bench_tlb_access(c: &mut Criterion) {
+    c.bench_function("tlb_access", |b| {
+        let mut tlb = Tlb::new(TlbConfig::pentium_ii_data());
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 7;
+            black_box(tlb.access(v % 4096))
+        })
+    });
+}
+
+fn bench_fig5_point(c: &mut Criterion) {
+    let cfg = Fig5Config::default();
+    c.bench_function("fig5_point_1MB_64views", |b| {
+        b.iter(|| black_box(point(&cfg, 1 << 20, 64).slowdown))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache_access,
+    bench_tlb_access,
+    bench_fig5_point
+);
+criterion_main!(benches);

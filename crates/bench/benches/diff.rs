@@ -1,0 +1,57 @@
+//! Real-time cost of run-length diffs (the §4.2 comparison point: the
+//! machinery Millipage's thin protocol avoids needing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use millipage::diff::{Diff, Twin};
+use std::hint::black_box;
+
+fn page_with_changes(len: usize, changes: usize) -> (Vec<u8>, Vec<u8>) {
+    let twin: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+    let mut cur = twin.clone();
+    for k in 0..changes {
+        let at = (k * 97) % len;
+        cur[at] = cur[at].wrapping_add(1);
+    }
+    (twin, cur)
+}
+
+fn bench_diff_create(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff_create");
+    for len in [512usize, 1024, 4096] {
+        let (twin, cur) = page_with_changes(len, len / 64);
+        g.bench_function(format!("{len}B"), |b| {
+            b.iter(|| black_box(Diff::compute(&twin, &cur).runs()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_diff_apply(c: &mut Criterion) {
+    let (twin, cur) = page_with_changes(4096, 64);
+    let d = Diff::compute(&twin, &cur);
+    c.bench_function("diff_apply_4KB", |b| {
+        b.iter_batched(
+            || twin.clone(),
+            |mut t| {
+                d.apply(&mut t);
+                black_box(t[0])
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_twin_capture(c: &mut Criterion) {
+    let page = vec![7u8; 4096];
+    c.bench_function("twin_capture_4KB", |b| {
+        b.iter(|| black_box(Twin::capture(&page).len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_diff_create,
+    bench_diff_apply,
+    bench_twin_capture
+);
+criterion_main!(benches);

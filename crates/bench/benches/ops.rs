@@ -1,0 +1,89 @@
+//! Real-time microbenchmarks of the primitives backing Table 1: MPT
+//! lookup, protection changes, allocation, message passing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use millipage::CostModel;
+use multiview::{AllocMode, Allocator};
+use sim_core::HostId;
+use sim_mem::{Access, AddressSpace, Geometry, Prot};
+use sim_net::Network;
+use std::hint::black_box;
+
+fn bench_mpt_lookup(c: &mut Criterion) {
+    let geo = Geometry::new(2048, 32);
+    let mut alloc = Allocator::new(geo.clone(), AllocMode::FINE);
+    let addrs: Vec<_> = (0..4096).map(|_| alloc.alloc(148).unwrap()).collect();
+    let mpt = alloc.mpt();
+    c.bench_function("mpt_translate", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = addrs[i % addrs.len()];
+            i += 1;
+            black_box(mpt.translate(&geo, a).unwrap().len)
+        })
+    });
+}
+
+fn bench_protection(c: &mut Criterion) {
+    let geo = Geometry::new(512, 8);
+    let space = AddressSpace::new(geo.clone());
+    c.bench_function("set_protection", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let vp = i % 512;
+            i += 1;
+            space
+                .set_prot(
+                    vp,
+                    if i.is_multiple_of(2) {
+                        Prot::ReadOnly
+                    } else {
+                        Prot::ReadWrite
+                    },
+                )
+                .unwrap();
+        })
+    });
+    c.bench_function("check_access", |b| {
+        let a = geo.addr_of(0, 3, 64);
+        space
+            .set_prot(geo.vpage_index(0, 3), Prot::ReadOnly)
+            .unwrap();
+        b.iter(|| black_box(space.check(a, 128, Access::Read).is_ok()))
+    });
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    c.bench_function("alloc_fine_148B", |b| {
+        b.iter_batched(
+            || Allocator::new(Geometry::new(4096, 32), AllocMode::FINE),
+            |mut a| {
+                for _ in 0..1000 {
+                    black_box(a.alloc(148).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_messaging(c: &mut Criterion) {
+    c.bench_function("net_send_recv_header", |b| {
+        let (_net, eps) = Network::<u64>::new(2, CostModel::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            eps[0].send(HostId(1), 42, 0, t);
+            t += 1;
+            black_box(eps[1].recv().unwrap().arrival_vt)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mpt_lookup,
+    bench_protection,
+    bench_alloc,
+    bench_messaging
+);
+criterion_main!(benches);

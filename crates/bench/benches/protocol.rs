@@ -1,0 +1,63 @@
+//! Real-time cost of whole protocol interactions (one fault round trip,
+//! one barrier) — the simulator's own efficiency, relevant for large runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use millipage::{run, AllocMode, ClusterConfig, CostModel, HostId};
+use std::hint::black_box;
+
+fn cfg(hosts: usize) -> ClusterConfig {
+    ClusterConfig {
+        hosts,
+        views: 8,
+        pages: 64,
+        cost: CostModel::default(),
+        alloc_mode: AllocMode::FINE,
+        seed: 3,
+        ..ClusterConfig::default()
+    }
+}
+
+fn bench_read_fault_roundtrip(c: &mut Criterion) {
+    c.bench_function("cluster_read_fault_roundtrip", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let r = run(
+                    cfg(2),
+                    |s| s.alloc_vec_init::<u32>(&[1, 2, 3, 4]),
+                    |ctx, sv| {
+                        if ctx.host() == HostId(1) {
+                            black_box(ctx.get(sv, 0));
+                        }
+                    },
+                );
+                black_box(r.virtual_time)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn bench_barrier_storm(c: &mut Criterion) {
+    c.bench_function("cluster_100_barriers_4_hosts", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let r = run(
+                    cfg(4),
+                    |_| (),
+                    |ctx, ()| {
+                        for _ in 0..100 {
+                            ctx.barrier();
+                        }
+                    },
+                );
+                black_box(r.barriers)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group!(benches, bench_read_fault_roundtrip, bench_barrier_storm);
+criterion_main!(benches);

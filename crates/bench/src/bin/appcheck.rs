@@ -1,0 +1,54 @@
+//! Scratch scale-check binary: paper-scale single-app speedup probes.
+use millipage::ClusterConfig;
+use millipage_apps::{tsp, water};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "tsp".into());
+    match which.as_str() {
+        "tsp" => {
+            let p = tsp::TspParams::paper();
+            let mut t1 = 0;
+            for hosts in [1usize, 4, 8] {
+                let t0 = std::time::Instant::now();
+                let r = tsp::run_tsp(
+                    ClusterConfig {
+                        hosts,
+                        ..Default::default()
+                    },
+                    p,
+                );
+                if hosts == 1 {
+                    t1 = r.timed_ns;
+                }
+                println!(
+                    "tsp hosts={hosts}: timed={:.1}ms speedup={:.2} locks={} pushes={} opt={} real={:?}",
+                    r.timed_ns as f64 / 1e6, r.speedup(t1),
+                    r.report.lock_acquires, r.report.pushes, r.checksum, t0.elapsed()
+                );
+            }
+        }
+        "water" => {
+            let p = water::WaterParams::paper();
+            let mut t1 = 0;
+            for hosts in [1usize, 4, 8] {
+                let r = water::run_water(
+                    ClusterConfig {
+                        hosts,
+                        ..Default::default()
+                    },
+                    p,
+                );
+                if hosts == 1 {
+                    t1 = r.timed_ns;
+                }
+                println!(
+                    "water hosts={hosts}: timed={:.1}ms speedup={:.2} faults={} competing={} locks={}",
+                    r.timed_ns as f64 / 1e6, r.speedup(t1),
+                    r.report.read_faults + r.report.write_faults,
+                    r.report.competing_requests, r.report.lock_acquires
+                );
+            }
+        }
+        _ => eprintln!("tsp|water"),
+    }
+}

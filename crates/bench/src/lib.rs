@@ -1,0 +1,76 @@
+//! Measurement scenarios and table formatting for the reproduction
+//! harnesses.
+//!
+//! The `repro` binary (and several tests/benches) measure *virtual* times
+//! of protocol operations by running tiny purpose-built cluster scenarios
+//! and reading the per-category breakdowns — the same way the paper
+//! measured its Table 1 / §4.2 numbers on the real system.
+
+pub mod scenarios;
+
+use std::fmt::Write as _;
+
+/// Formats nanoseconds as microseconds with one decimal.
+pub fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1000.0)
+}
+
+/// Renders a fixed-width text table (first row = header).
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut width = vec![0usize; cols];
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, r) in rows.iter().enumerate() {
+        for (i, cell) in r.iter().enumerate() {
+            let pad = width[i] - cell.len();
+            if i > 0 {
+                out.push_str("  ");
+            }
+            // Right-align numeric-looking cells, left-align labels.
+            let numeric = cell
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit() || c == '-');
+            if numeric && i > 0 {
+                let _ = write!(out, "{}{}", " ".repeat(pad), cell);
+            } else {
+                let _ = write!(out, "{}{}", cell, " ".repeat(pad));
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_formats_microseconds() {
+        assert_eq!(us(12_000), "12.0");
+        assert_eq!(us(204_500), "204.5");
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(&[
+            vec!["op".into(), "us".into()],
+            vec!["fault".into(), "26.0".into()],
+            vec!["set prot".into(), "12.0".into()],
+        ]);
+        assert!(t.contains("op"));
+        assert!(t.contains("-----"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+}

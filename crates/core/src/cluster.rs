@@ -1,0 +1,305 @@
+//! Cluster assembly: spawn servers and application threads, run, report.
+//!
+//! §3.4: "only a single instance of the application should be executed on
+//! each host". [`run`] plays the role of starting that executable
+//! concurrently on every host of the testbed: it spawns one DSM server
+//! thread and one application thread per simulated host, runs the
+//! `setup` closure once (the manager initializing shared structures before
+//! the computation starts), hands every application thread the same shared
+//! handle bundle, and assembles a [`RunReport`] when everything joins.
+
+use crate::hlrc::Consistency;
+use crate::host::{HostCtx, HostState};
+use crate::manager::Manager;
+use crate::msg::{MsgKind, Pmsg};
+use crate::server::{server_loop, ServerOutcome};
+use crate::shared::{encode_slice, Pod, SharedCell, SharedVec};
+use crate::stats::{check_coherence, check_rc_consistency, HostReport, RunReport};
+use multiview::{AllocMode, Allocator};
+use sim_core::clock::Clock;
+use sim_core::{CostModel, HostId, SplitMix64, TimeBreakdown};
+use sim_mem::{AddressSpace, Geometry, VAddr};
+use sim_net::{Network, ServerTimeline};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Configuration of a simulated Millipage cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of hosts (the paper's testbed: 1–8).
+    pub hosts: usize,
+    /// Application views ("the initial setting of the maximal number of
+    /// views", §3.2).
+    pub views: usize,
+    /// Memory-object size in 4 KB pages.
+    pub pages: usize,
+    /// Platform cost model.
+    pub cost: CostModel,
+    /// Allocation policy (fine grain, chunked, or the page-grain baseline).
+    pub alloc_mode: AllocMode,
+    /// Application threads per host (§3.4: "only a single instance of
+    /// the application should be executed on each host, even if this host
+    /// is a multi-processor (SMP) machine" — the instance itself may be
+    /// multithreaded).
+    pub threads_per_host: usize,
+    /// Coherence protocol: the paper's SW/MR sequential consistency or
+    /// the §5 home-based eager release-consistency extension.
+    pub consistency: Consistency,
+    /// Seed for every stochastic model component.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            hosts: 8,
+            views: 32,
+            pages: 4096, // 16 MB shared.
+            cost: CostModel::default(),
+            alloc_mode: AllocMode::FINE,
+            threads_per_host: 1,
+            consistency: Consistency::SequentialSwMr,
+            seed: 0x4D69_6C6C_6950_6167, // "MilliPag"
+        }
+    }
+}
+
+/// Pre-run allocation context handed to the `setup` closure.
+///
+/// Setup runs logically on the manager at virtual time zero, before the
+/// application threads start; its writes are free (they model the program
+/// initializing data before the timed region).
+pub struct SetupCtx<'a> {
+    mgr: &'a mut Manager,
+}
+
+impl SetupCtx<'_> {
+    /// Allocates `bytes` of shared memory.
+    pub fn alloc_bytes(&mut self, bytes: usize) -> VAddr {
+        self.mgr.do_alloc(bytes)
+    }
+
+    /// Allocates a shared vector of `len` elements.
+    pub fn alloc_vec<T: Pod>(&mut self, len: usize) -> SharedVec<T> {
+        SharedVec::from_raw(self.alloc_bytes(len * T::SIZE), len)
+    }
+
+    /// Allocates and initializes a shared vector.
+    pub fn alloc_vec_init<T: Pod>(&mut self, vals: &[T]) -> SharedVec<T> {
+        let sv = self.alloc_vec(vals.len());
+        self.write_vec(&sv, 0, vals);
+        sv
+    }
+
+    /// Allocates a single shared cell.
+    pub fn alloc_cell<T: Pod>(&mut self) -> SharedCell<T> {
+        SharedCell::from_raw(self.alloc_bytes(T::SIZE))
+    }
+
+    /// Allocates and initializes a shared cell.
+    pub fn alloc_cell_init<T: Pod>(&mut self, v: T) -> SharedCell<T> {
+        let c = self.alloc_cell();
+        self.write_cell(&c, v);
+        c
+    }
+
+    /// Ends the current allocation chunk (§4.4): the next allocation opens
+    /// a fresh minipage even if its size matches.
+    pub fn finish_chunk(&mut self) {
+        self.mgr.finish_chunk();
+    }
+
+    /// Starts the next allocation on a fresh physical page (separating
+    /// logically distinct structures, like distinct `malloc` arenas).
+    pub fn new_page(&mut self) {
+        self.mgr.retire_page();
+    }
+
+    /// Initializes `vals` at element `start` (free, pre-run).
+    pub fn write_vec<T: Pod>(&mut self, sv: &SharedVec<T>, start: usize, vals: &[T]) {
+        if vals.is_empty() {
+            return;
+        }
+        let (addr, _) = sv.range_bytes(start, start + vals.len());
+        let bytes = encode_slice(vals);
+        self.mgr
+            .home_space()
+            .priv_write(addr, &bytes)
+            .expect("in range");
+    }
+
+    /// Initializes the cell (free, pre-run).
+    pub fn write_cell<T: Pod>(&mut self, c: &SharedCell<T>, v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.to_bytes(&mut buf);
+        self.mgr
+            .home_space()
+            .priv_write(c.addr(), &buf)
+            .expect("in range");
+    }
+}
+
+/// Runs a parallel application on a simulated Millipage cluster.
+///
+/// `setup` allocates and initializes shared structures (once, pre-run) and
+/// returns the handle bundle every host receives; `app` is the per-host
+/// program. Returns the assembled [`RunReport`].
+///
+/// # Panics
+///
+/// Panics if the configuration is out of range or an application thread
+/// panics.
+pub fn run<T, F>(cfg: ClusterConfig, setup: impl FnOnce(&mut SetupCtx) -> T, app: F) -> RunReport
+where
+    T: Send + Sync,
+    F: Fn(&mut HostCtx, &T) + Send + Sync,
+{
+    assert!(
+        cfg.hosts >= 1 && cfg.hosts <= HostId::MAX_HOSTS,
+        "host count {} out of range",
+        cfg.hosts
+    );
+    assert!(
+        cfg.threads_per_host >= 1,
+        "need at least one application thread"
+    );
+    let geo = Geometry::new(cfg.pages, cfg.views);
+    let states: Vec<Arc<HostState>> = (0..cfg.hosts)
+        .map(|h| HostState::new(HostId(h as u16), AddressSpace::new(geo.clone())))
+        .collect();
+    let (net, endpoints) = Network::<Pmsg>::new(cfg.hosts, cfg.cost.clone());
+    let manager_id = HostId(0);
+    let mut manager = Manager::new(
+        manager_id,
+        cfg.hosts,
+        cfg.hosts * cfg.threads_per_host,
+        cfg.cost.clone(),
+        cfg.consistency,
+        Allocator::new(geo.clone(), cfg.alloc_mode),
+        Arc::clone(&states[0]),
+    );
+    let shared = {
+        let mut sctx = SetupCtx { mgr: &mut manager };
+        setup(&mut sctx)
+    };
+
+    let mut rng = SplitMix64::new(cfg.seed);
+    let events = Arc::new(AtomicU64::new(1));
+    let mut manager_slot = Some(manager);
+    let shared_ref = &shared;
+    let app_ref = &app;
+
+    let (host_reports, outcomes) = std::thread::scope(|scope| {
+        let mut server_handles = Vec::with_capacity(cfg.hosts);
+        for (h, ep) in endpoints.into_iter().enumerate() {
+            let state = Arc::clone(&states[h]);
+            let cost = cfg.cost.clone();
+            let timeline = ServerTimeline::new(cfg.cost.clone(), rng.fork(h as u64));
+            let mgr = if h == 0 { manager_slot.take() } else { None };
+            let consistency = cfg.consistency;
+            server_handles.push(
+                scope.spawn(move || server_loop(ep, state, cost, consistency, timeline, mgr)),
+            );
+        }
+        let mut app_handles = Vec::with_capacity(cfg.hosts * cfg.threads_per_host);
+        for h in 0..cfg.hosts {
+            for t in 0..cfg.threads_per_host {
+                let mut ctx = HostCtx {
+                    host: HostId(h as u16),
+                    hosts: cfg.hosts,
+                    thread: t,
+                    manager: manager_id,
+                    state: Arc::clone(&states[h]),
+                    net: net.clone(),
+                    cost: cfg.cost.clone(),
+                    clock: Clock::new(),
+                    breakdown: TimeBreakdown::new(),
+                    events: Arc::clone(&events),
+                    pending_acks: Vec::new(),
+                    consistency: cfg.consistency,
+                    timed_from: 0,
+                    breakdown_mark: TimeBreakdown::new(),
+                };
+                app_handles.push(scope.spawn(move || {
+                    app_ref(&mut ctx, shared_ref);
+                    HostReport {
+                        host: ctx.host,
+                        thread: t,
+                        end_vt: ctx.now(),
+                        breakdown: *ctx.breakdown(),
+                        read_faults: 0, // Filled from host counters below.
+                        write_faults: 0,
+                    }
+                }));
+            }
+        }
+        let host_reports: Vec<HostReport> = app_handles
+            .into_iter()
+            .map(|h| h.join().expect("application thread panicked"))
+            .collect();
+        // All application work is done; stop the servers. FIFO per sender
+        // guarantees the Shutdown trails every earlier application message.
+        for h in 0..cfg.hosts {
+            net.send(
+                manager_id,
+                HostId(h as u16),
+                Pmsg::new(MsgKind::Shutdown, manager_id, 0),
+                0,
+                0,
+            );
+        }
+        let outcomes: Vec<ServerOutcome> = server_handles
+            .into_iter()
+            .map(|h| h.join().expect("server thread panicked"))
+            .collect();
+        (host_reports, outcomes)
+    });
+
+    let manager = outcomes
+        .into_iter()
+        .find_map(|o| o.manager)
+        .expect("host 0 returns the manager");
+
+    let mut per_host = host_reports;
+    let mut breakdown = TimeBreakdown::new();
+    let mut read_faults = 0;
+    let mut write_faults = 0;
+    let mut prefetches = 0;
+    let mut invalidations = 0;
+    for st in &states {
+        read_faults += st.counters.read_faults.get();
+        write_faults += st.counters.write_faults.get();
+        prefetches += st.counters.prefetch_requests.get();
+        invalidations += st.counters.invalidations_received.get();
+    }
+    for rep in per_host.iter_mut() {
+        // Fault counters are per host (threads share the fault path).
+        let st = &states[rep.host.index()];
+        rep.read_faults = st.counters.read_faults.get();
+        rep.write_faults = st.counters.write_faults.get();
+        breakdown.merge(&rep.breakdown);
+    }
+    let mstats = manager.stats();
+    RunReport {
+        hosts: cfg.hosts,
+        virtual_time: per_host.iter().map(|r| r.end_vt).max().unwrap_or(0),
+        breakdown,
+        read_faults,
+        write_faults,
+        prefetches,
+        invalidations,
+        competing_requests: manager.competing_requests(),
+        barriers: mstats.barriers,
+        lock_acquires: mstats.lock_acquires,
+        pushes: mstats.pushes,
+        messages: net.stats().messages.get(),
+        payload_bytes: net.stats().payload_bytes.get(),
+        alloc: manager.alloc_stats(),
+        rc_diffs: mstats.rc_diffs,
+        coherence_violations: match cfg.consistency {
+            Consistency::SequentialSwMr => check_coherence(manager.mpt(), &geo, &states),
+            Consistency::HomeEagerRc => check_rc_consistency(manager.mpt(), &geo, &states),
+        },
+        per_host,
+    }
+}

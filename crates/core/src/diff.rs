@@ -1,0 +1,268 @@
+//! Twins and run-length diffs (§4.2's comparison point, §5's extension).
+//!
+//! Millipage deliberately needs **no** diffs — that is the thin-layer
+//! thesis. The paper still measures them to argue the point: "a run-length
+//! diff operation (as described in Munin) for 4 KB page takes 250 µs and
+//! decreases linearly with the size of the page. Obviously, this time is
+//! not negligible, and would have dominated the overhead if it were
+//! required in the DSM protocol." This module provides the twin/diff
+//! machinery so the reproduction can (a) measure that cost and (b) build
+//! the §5 reduced-consistency extension ([`crate::hlrc`]).
+
+/// A run-length diff: a list of `(offset, bytes)` runs that changed
+/// between a twin and the current page contents.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Diff {
+    runs: Vec<(u32, Vec<u8>)>,
+    source_len: usize,
+}
+
+impl Diff {
+    /// Computes the run-length diff turning `twin` into `current`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers differ in length.
+    pub fn compute(twin: &[u8], current: &[u8]) -> Self {
+        assert_eq!(twin.len(), current.len(), "twin/current size mismatch");
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < twin.len() {
+            if twin[i] == current[i] {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < twin.len() && twin[i] != current[i] {
+                i += 1;
+            }
+            runs.push((start as u32, current[start..i].to_vec()));
+        }
+        Self {
+            runs,
+            source_len: twin.len(),
+        }
+    }
+
+    /// Applies the diff to `target` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is shorter than the diffed buffer.
+    pub fn apply(&self, target: &mut [u8]) {
+        assert!(
+            target.len() >= self.source_len,
+            "target shorter than the diffed page"
+        );
+        for (off, bytes) in &self.runs {
+            let off = *off as usize;
+            target[off..off + bytes.len()].copy_from_slice(bytes);
+        }
+    }
+
+    /// Iterates `(offset, bytes)` runs (used to apply a diff in place
+    /// without a whole-page read-modify-write).
+    pub fn iter_runs(&self) -> impl Iterator<Item = (usize, &[u8])> {
+        self.runs.iter().map(|(o, b)| (*o as usize, b.as_slice()))
+    }
+
+    /// Number of changed runs.
+    pub fn runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total changed bytes.
+    pub fn changed_bytes(&self) -> usize {
+        self.runs.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Wire size: 8 bytes of run header per run plus the changed bytes
+    /// (the encoding Munin-style systems ship at release time).
+    pub fn wire_bytes(&self) -> usize {
+        self.runs.len() * 8 + self.changed_bytes()
+    }
+
+    /// Serializes the diff for the wire: `[source_len u32][n u32]` then
+    /// `n` runs of `[offset u32][len u32][bytes]`, little-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.wire_bytes());
+        out.extend_from_slice(&(self.source_len as u32).to_le_bytes());
+        out.extend_from_slice(&(self.runs.len() as u32).to_le_bytes());
+        for (off, bytes) in &self.runs {
+            out.extend_from_slice(&off.to_le_bytes());
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        out
+    }
+
+    /// Parses a diff serialized by [`encode`](Diff::encode). Returns
+    /// `None` on malformed input.
+    pub fn decode(mut b: &[u8]) -> Option<Diff> {
+        fn take_u32(b: &mut &[u8]) -> Option<u32> {
+            let (head, rest) = b.split_first_chunk::<4>()?;
+            *b = rest;
+            Some(u32::from_le_bytes(*head))
+        }
+        let source_len = take_u32(&mut b)? as usize;
+        let n = take_u32(&mut b)? as usize;
+        let mut runs = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let off = take_u32(&mut b)?;
+            let len = take_u32(&mut b)? as usize;
+            if b.len() < len || (off as usize + len) > source_len {
+                return None;
+            }
+            runs.push((off, b[..len].to_vec()));
+            b = &b[len..];
+        }
+        if !b.is_empty() {
+            return None;
+        }
+        Some(Diff { runs, source_len })
+    }
+}
+
+/// A twin: the pristine copy made on the first write to a page, later
+/// diffed against the current contents.
+#[derive(Clone, Debug)]
+pub struct Twin {
+    original: Vec<u8>,
+}
+
+impl Twin {
+    /// Snapshots `page`.
+    pub fn capture(page: &[u8]) -> Self {
+        Self {
+            original: page.to_vec(),
+        }
+    }
+
+    /// Length of the twinned region.
+    pub fn len(&self) -> usize {
+        self.original.len()
+    }
+
+    /// Whether the twin is empty.
+    pub fn is_empty(&self) -> bool {
+        self.original.is_empty()
+    }
+
+    /// Diffs the twin against the page's current contents.
+    pub fn diff(&self, current: &[u8]) -> Diff {
+        Diff::compute(&self.original, current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_buffers_produce_empty_diff() {
+        let a = vec![7u8; 256];
+        let d = Diff::compute(&a, &a);
+        assert!(d.is_empty());
+        assert_eq!(d.runs(), 0);
+        assert_eq!(d.changed_bytes(), 0);
+    }
+
+    #[test]
+    fn diff_apply_roundtrip() {
+        let twin = (0..200u8).collect::<Vec<_>>();
+        let mut cur = twin.clone();
+        cur[3] = 99;
+        cur[4] = 98;
+        cur[150] = 1;
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.runs(), 2);
+        assert_eq!(d.changed_bytes(), 3);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        assert_eq!(rebuilt, cur);
+    }
+
+    #[test]
+    fn adjacent_changes_merge_into_one_run() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        for b in cur[10..20].iter_mut() {
+            *b = 5;
+        }
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.runs(), 1);
+        assert_eq!(d.changed_bytes(), 10);
+        assert_eq!(d.wire_bytes(), 8 + 10);
+    }
+
+    #[test]
+    fn twin_captures_and_diffs() {
+        let mut page = vec![1u8; 128];
+        let twin = Twin::capture(&page);
+        assert_eq!(twin.len(), 128);
+        page[0] = 2;
+        let d = twin.diff(&page);
+        assert_eq!(d.changed_bytes(), 1);
+    }
+
+    #[test]
+    fn diffs_from_disjoint_writers_compose() {
+        // The Munin insight: two hosts writing disjoint parts of a page
+        // can both diff against the twin and both diffs apply cleanly.
+        let twin = vec![0u8; 100];
+        let mut a = twin.clone();
+        let mut b = twin.clone();
+        a[5] = 1;
+        b[60] = 2;
+        let da = Diff::compute(&twin, &a);
+        let db = Diff::compute(&twin, &b);
+        let mut merged = twin.clone();
+        da.apply(&mut merged);
+        db.apply(&mut merged);
+        assert_eq!(merged[5], 1);
+        assert_eq!(merged[60], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn size_mismatch_panics() {
+        let _ = Diff::compute(&[0u8; 4], &[0u8; 5]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let twin = vec![0u8; 300];
+        let mut cur = twin.clone();
+        cur[3] = 1;
+        cur[200] = 2;
+        cur[201] = 3;
+        let d = Diff::compute(&twin, &cur);
+        let bytes = d.encode();
+        let d2 = Diff::decode(&bytes).expect("valid encoding");
+        assert_eq!(d, d2);
+        let mut rebuilt = twin.clone();
+        d2.apply(&mut rebuilt);
+        assert_eq!(rebuilt, cur);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Diff::decode(&[1, 2, 3]).is_none());
+        // Truncated run payload.
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[10] = 9;
+        let mut bytes = Diff::compute(&twin, &cur).encode();
+        bytes.truncate(bytes.len() - 1);
+        assert!(Diff::decode(&bytes).is_none());
+        // Trailing junk.
+        let mut bytes2 = Diff::compute(&twin, &cur).encode();
+        bytes2.push(0);
+        assert!(Diff::decode(&bytes2).is_none());
+    }
+}

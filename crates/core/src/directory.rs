@@ -1,0 +1,220 @@
+//! The manager's directory: per-minipage copysets and service windows.
+//!
+//! §3.3: the manager "is in charge of maintaining the directory information
+//! of minipage and minipage copy locations ... Requests which arrive while
+//! an earlier request to the same minipage is still in process are queued
+//! in the manager."
+
+use crate::msg::Pmsg;
+use sim_core::HostId;
+use std::collections::VecDeque;
+
+/// Directory state of one minipage.
+#[derive(Debug, Clone, Default)]
+pub struct DirectoryEntry {
+    /// Bitmask of hosts holding a copy (readers, or the single writer).
+    pub copyset: u64,
+    /// The host holding the writable copy, if any.
+    pub owner: Option<HostId>,
+    /// A request for this minipage is being serviced; newcomers queue.
+    pub in_service: bool,
+    /// Requests queued behind the service window ("competing requests",
+    /// the Figure 7 metric).
+    pub queue: VecDeque<Pmsg>,
+    /// Outstanding invalidation acknowledgements for a pending write.
+    pub inv_pending: u32,
+    /// The write request waiting for the invalidations to complete.
+    pub pending_write: Option<Pmsg>,
+}
+
+impl DirectoryEntry {
+    /// Entry for a freshly allocated minipage whose data sits at `home`
+    /// with a writable copy.
+    pub fn fresh(home: HostId) -> Self {
+        Self {
+            copyset: 1u64 << home.index(),
+            owner: Some(home),
+            ..Self::default()
+        }
+    }
+
+    /// Hosts in the copyset.
+    pub fn holders(&self) -> impl Iterator<Item = HostId> + '_ {
+        let mask = self.copyset;
+        (0..64u16).filter_map(move |i| (mask >> i & 1 == 1).then_some(HostId(i)))
+    }
+
+    /// Number of copies.
+    pub fn copies(&self) -> u32 {
+        self.copyset.count_ones()
+    }
+
+    /// Whether `h` holds a copy.
+    pub fn holds(&self, h: HostId) -> bool {
+        self.copyset >> h.index() & 1 == 1
+    }
+
+    /// Adds `h` to the copyset.
+    pub fn add(&mut self, h: HostId) {
+        self.copyset |= 1 << h.index();
+    }
+
+    /// Removes `h` from the copyset.
+    pub fn remove(&mut self, h: HostId) {
+        self.copyset &= !(1 << h.index());
+    }
+
+    /// Figure 3's `find_replica`: the preferred source for a transfer —
+    /// the writer if one exists, otherwise the lowest-numbered reader.
+    pub fn find_replica(&self) -> Option<HostId> {
+        if let Some(o) = self.owner {
+            return Some(o);
+        }
+        (self.copyset != 0).then(|| HostId(self.copyset.trailing_zeros() as u16))
+    }
+}
+
+/// The whole directory, indexed by dense minipage id.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: Vec<DirectoryEntry>,
+    competing: u64,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers minipages up to and including `id`, owned by `home`.
+    pub fn ensure(&mut self, id: usize, home: HostId) {
+        while self.entries.len() <= id {
+            self.entries.push(DirectoryEntry::fresh(home));
+        }
+    }
+
+    /// Entry accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never registered.
+    pub fn entry(&mut self, id: usize) -> &mut DirectoryEntry {
+        &mut self.entries[id]
+    }
+
+    /// Read-only entry accessor.
+    pub fn entry_ref(&self, id: usize) -> &DirectoryEntry {
+        &self.entries[id]
+    }
+
+    /// Number of registered minipages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Opens the service window for `id`; if one is already open, queues
+    /// the request, bumps the competing-request counter (Figure 7), and
+    /// returns `false`.
+    pub fn begin_service(&mut self, id: usize, pending: Pmsg) -> bool {
+        let e = &mut self.entries[id];
+        if e.in_service {
+            e.queue.push_back(pending);
+            self.competing += 1;
+            false
+        } else {
+            e.in_service = true;
+            true
+        }
+    }
+
+    /// Closes the service window for `id` and pops the next queued request
+    /// (which the manager must then process).
+    pub fn end_service(&mut self, id: usize) -> Option<Pmsg> {
+        let e = &mut self.entries[id];
+        e.in_service = false;
+        e.queue.pop_front()
+    }
+
+    /// Total competing requests observed (Figure 7's metric).
+    pub fn competing_requests(&self) -> u64 {
+        self.competing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::MsgKind;
+
+    fn req(from: u16) -> Pmsg {
+        Pmsg::new(MsgKind::ReadRequest, HostId(from), from as u64)
+    }
+
+    #[test]
+    fn fresh_entry_has_home_as_writer() {
+        let e = DirectoryEntry::fresh(HostId(0));
+        assert_eq!(e.copies(), 1);
+        assert!(e.holds(HostId(0)));
+        assert_eq!(e.owner, Some(HostId(0)));
+        assert_eq!(e.find_replica(), Some(HostId(0)));
+    }
+
+    #[test]
+    fn copyset_add_remove_holders() {
+        let mut e = DirectoryEntry::fresh(HostId(2));
+        e.add(HostId(5));
+        e.add(HostId(7));
+        assert_eq!(e.copies(), 3);
+        let hs: Vec<_> = e.holders().collect();
+        assert_eq!(hs, vec![HostId(2), HostId(5), HostId(7)]);
+        e.remove(HostId(5));
+        assert!(!e.holds(HostId(5)));
+        assert_eq!(e.copies(), 2);
+    }
+
+    #[test]
+    fn find_replica_prefers_owner() {
+        let mut e = DirectoryEntry::fresh(HostId(3));
+        e.add(HostId(0));
+        e.owner = Some(HostId(3));
+        assert_eq!(e.find_replica(), Some(HostId(3)));
+        e.owner = None;
+        assert_eq!(e.find_replica(), Some(HostId(0)));
+        e.copyset = 0;
+        assert_eq!(e.find_replica(), None);
+    }
+
+    #[test]
+    fn service_window_queues_and_counts_competing() {
+        let mut d = Directory::new();
+        d.ensure(0, HostId(0));
+        assert!(d.begin_service(0, req(1)));
+        assert!(!d.begin_service(0, req(2)));
+        assert!(!d.begin_service(0, req(3)));
+        assert_eq!(d.competing_requests(), 2);
+        let next = d.end_service(0).unwrap();
+        assert_eq!(next.from, HostId(2));
+        // end_service closed the window; the manager reopens it when it
+        // processes `next`.
+        assert!(d.begin_service(0, req(4)));
+        let next2 = d.end_service(0).unwrap();
+        assert_eq!(next2.from, HostId(3));
+        assert!(d.end_service(0).is_none());
+    }
+
+    #[test]
+    fn ensure_is_idempotent_and_dense() {
+        let mut d = Directory::new();
+        d.ensure(3, HostId(1));
+        assert_eq!(d.len(), 4);
+        d.ensure(1, HostId(0));
+        assert_eq!(d.len(), 4);
+        assert!(d.entry_ref(2).holds(HostId(1)));
+    }
+}

@@ -1,0 +1,703 @@
+//! Host-side state and the application-facing [`HostCtx`].
+//!
+//! Application threads "invoke a wrapper routine that installs the
+//! millipage exception handler and calls the original main thread routine"
+//! (§3.5.1). In the simulation the exception handler is the fault-retry
+//! loop inside [`HostCtx`]: every shared access is protection-checked, a
+//! failing check raises the Figure 3 fault path (request to the manager,
+//! block, retry, ack), and every virtual nanosecond is attributed to a
+//! Figure 6 category.
+
+use crate::diff::Twin;
+use crate::hlrc::{Consistency, MpInfo, RcDirty, RcState};
+use crate::msg::{Completion, MsgKind, Pmsg};
+use crate::shared::{decode_slice, encode_slice, Pod, SharedCell, SharedVec};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use sim_core::clock::{BusyWindow, Clock, Ns};
+use sim_core::{Category, CostModel, Counter, HostId, TimeBreakdown};
+use sim_mem::{Access, AccessError, AccessFault, AddressSpace, VAddr};
+use sim_net::Network;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A one-shot rendezvous between a blocked application thread and the DSM
+/// server thread that completes its request.
+#[derive(Default)]
+pub(crate) struct Waiter {
+    slot: Mutex<Option<Completion>>,
+    cv: Condvar,
+}
+
+impl Waiter {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Server side: publishes the completion and wakes the waiter.
+    pub(crate) fn fulfill(&self, c: Completion) {
+        let mut slot = self.slot.lock();
+        *slot = Some(c);
+        self.cv.notify_all();
+    }
+
+    /// Application side: blocks until fulfilled.
+    pub(crate) fn wait(&self) -> Completion {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(c) = *slot {
+                return c;
+            }
+            self.cv.wait(&mut slot);
+        }
+    }
+}
+
+/// Event counters one host accumulates (shared by its threads).
+#[derive(Clone, Default, Debug)]
+pub(crate) struct HostCounters {
+    pub read_faults: Counter,
+    pub write_faults: Counter,
+    pub prefetch_requests: Counter,
+    pub invalidations_received: Counter,
+    pub pushes_received: Counter,
+}
+
+/// State shared between one host's application threads and its DSM server
+/// thread.
+pub(crate) struct HostState {
+    pub host: HostId,
+    pub space: AddressSpace,
+    /// The application's most recent compute burst (the server's "was
+    /// the host busy computing at this virtual time?" test, §3.5.1).
+    pub busy: BusyWindow,
+    /// Blocked requests by event id.
+    pub waiters: Mutex<HashMap<u64, Arc<Waiter>>>,
+    /// Outstanding prefetches by covered global vpage.
+    pub prefetch_waiters: Mutex<HashMap<usize, Arc<Waiter>>>,
+    /// Release-consistency state (boundary cache + twins; unused under
+    /// the sequential-consistency protocol apart from boundary learning).
+    pub rc: Mutex<RcState>,
+    pub counters: HostCounters,
+}
+
+impl HostState {
+    pub(crate) fn new(host: HostId, space: AddressSpace) -> Arc<Self> {
+        Arc::new(Self {
+            host,
+            space,
+            busy: BusyWindow::new(),
+            waiters: Mutex::new(HashMap::new()),
+            prefetch_waiters: Mutex::new(HashMap::new()),
+            rc: Mutex::new(RcState::default()),
+            counters: HostCounters::default(),
+        })
+    }
+
+    /// Registers a waiter under a fresh event id drawn from `events`.
+    pub(crate) fn register_waiter(&self, events: &AtomicU64) -> (u64, Arc<Waiter>) {
+        let ev = events.fetch_add(1, Ordering::Relaxed);
+        let w = Waiter::new();
+        self.waiters.lock().insert(ev, Arc::clone(&w));
+        (ev, w)
+    }
+}
+
+/// The application's view of the DSM on one simulated host.
+///
+/// All shared-memory access, synchronization and timing flows through this
+/// handle. One `HostCtx` belongs to one application thread.
+pub struct HostCtx {
+    pub(crate) host: HostId,
+    pub(crate) hosts: usize,
+    pub(crate) thread: usize,
+    pub(crate) manager: HostId,
+    pub(crate) state: Arc<HostState>,
+    pub(crate) net: Network<Pmsg>,
+    pub(crate) cost: CostModel,
+    pub(crate) clock: Clock,
+    pub(crate) breakdown: TimeBreakdown,
+    pub(crate) events: Arc<AtomicU64>,
+    pub(crate) pending_acks: Vec<VAddr>,
+    pub(crate) consistency: Consistency,
+    pub(crate) timed_from: Ns,
+    pub(crate) breakdown_mark: TimeBreakdown,
+}
+
+impl HostCtx {
+    /// This host's id.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Number of hosts in the cluster.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// This application thread's index within its host (0 when the host
+    /// runs a single application thread).
+    pub fn thread(&self) -> usize {
+        self.thread
+    }
+
+    /// Current virtual time of this application thread.
+    pub fn now(&self) -> Ns {
+        self.clock.now()
+    }
+
+    /// The per-category time breakdown so far.
+    pub fn breakdown(&self) -> &TimeBreakdown {
+        &self.breakdown
+    }
+
+    /// Starts (or restarts) this thread's timed region. The paper's
+    /// benchmarks initialize their data in parallel and measure only the
+    /// computation that follows; applications call this right after their
+    /// initialization barrier.
+    pub fn timer_reset(&mut self) {
+        self.timed_from = self.clock.now();
+        self.breakdown_mark = self.breakdown;
+    }
+
+    /// Virtual time elapsed in the timed region.
+    pub fn timed(&self) -> Ns {
+        self.clock.now() - self.timed_from
+    }
+
+    /// The breakdown of the timed region only.
+    pub fn timed_breakdown(&self) -> TimeBreakdown {
+        self.breakdown.since(&self.breakdown_mark)
+    }
+
+    /// Charges `ns` of application computation (Figure 6 "Comp").
+    pub fn compute(&mut self, ns: Ns) {
+        let t0 = self.clock.now();
+        self.clock.advance(ns);
+        self.breakdown.charge(Category::Comp, ns);
+        self.state.busy.record(t0, self.clock.now());
+    }
+
+    /// Advances the clock by `ns` of local CPU work and records it in the
+    /// busy window (protocol-side work on the application thread).
+    fn charge_busy(&mut self, ns: Ns) {
+        let t0 = self.clock.now();
+        self.clock.advance(ns);
+        self.state.busy.record(t0, self.clock.now());
+    }
+
+    /// Blocks on `w` until the DSM server fulfills the event. The host's
+    /// published clock stays at the block-entry time, so the server's
+    /// busy test reads the host as idle from that virtual moment on.
+    fn blocking_wait(&self, w: &Waiter) -> Completion {
+        w.wait()
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation (§3.2's malloc-like API, via manager RPC).
+    // ------------------------------------------------------------------
+
+    /// Allocates `bytes` of shared memory; returns its address.
+    pub fn alloc_bytes(&mut self, bytes: usize) -> VAddr {
+        let t0 = self.clock.now();
+        let (ev, w) = self.state.register_waiter(&self.events);
+        let msg = Pmsg::new(MsgKind::AllocRequest, self.host, ev).with_aux(bytes as u64);
+        self.net
+            .send(self.host, self.manager, msg, 0, self.clock.now());
+        let c = self.blocking_wait(&w);
+        self.clock.merge(c.resume_vt);
+        self.breakdown.charge(Category::Comp, self.clock.now() - t0);
+        c.addr
+    }
+
+    /// Allocates a shared vector of `len` elements.
+    pub fn alloc_vec<T: Pod>(&mut self, len: usize) -> SharedVec<T> {
+        SharedVec::from_raw(self.alloc_bytes(len * T::SIZE), len)
+    }
+
+    /// Allocates a single shared cell.
+    pub fn alloc_cell<T: Pod>(&mut self) -> SharedCell<T> {
+        SharedCell::from_raw(self.alloc_bytes(T::SIZE))
+    }
+
+    // ------------------------------------------------------------------
+    // Typed access.
+    // ------------------------------------------------------------------
+
+    /// Reads element `i`.
+    pub fn get<T: Pod>(&mut self, sv: &SharedVec<T>, i: usize) -> T {
+        let mut buf = vec![0u8; T::SIZE];
+        self.read_bytes_at(sv.addr_of(i), &mut buf);
+        T::from_bytes(&buf)
+    }
+
+    /// Writes element `i`.
+    pub fn set<T: Pod>(&mut self, sv: &SharedVec<T>, i: usize, v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.to_bytes(&mut buf);
+        self.write_bytes_at(sv.addr_of(i), &buf);
+    }
+
+    /// Reads elements `range` into a fresh vector.
+    pub fn read_range<T: Pod>(&mut self, sv: &SharedVec<T>, range: Range<usize>) -> Vec<T> {
+        let (addr, bytes) = sv.range_bytes(range.start, range.end);
+        if bytes == 0 {
+            return Vec::new();
+        }
+        let mut buf = vec![0u8; bytes];
+        self.read_bytes_at(addr, &mut buf);
+        decode_slice(&buf)
+    }
+
+    /// Writes `vals` starting at element `start`.
+    pub fn write_range<T: Pod>(&mut self, sv: &SharedVec<T>, start: usize, vals: &[T]) {
+        if vals.is_empty() {
+            return;
+        }
+        let (addr, bytes) = sv.range_bytes(start, start + vals.len());
+        let buf = encode_slice(vals);
+        debug_assert_eq!(buf.len(), bytes);
+        self.write_bytes_at(addr, &buf);
+    }
+
+    /// Reads the cell.
+    pub fn cell_get<T: Pod>(&mut self, c: &SharedCell<T>) -> T {
+        let mut buf = vec![0u8; T::SIZE];
+        self.read_bytes_at(c.addr(), &mut buf);
+        T::from_bytes(&buf)
+    }
+
+    /// Writes the cell.
+    pub fn cell_set<T: Pod>(&mut self, c: &SharedCell<T>, v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.to_bytes(&mut buf);
+        self.write_bytes_at(c.addr(), &buf);
+    }
+
+    /// Segmented read: commits page by page, like a hardware memcpy whose
+    /// loads fault and resume per instruction. An access never needs two
+    /// minipages resident *simultaneously*, which keeps heavily contended
+    /// multi-minipage ranges live (per-page atomicity, as on real
+    /// hardware).
+    fn read_bytes_at(&mut self, addr: VAddr, buf: &mut [u8]) {
+        let page = self.state.space.geometry().page_size();
+        let mut off = 0usize;
+        while off < buf.len() {
+            let seg_addr = addr.add(off);
+            let into_page = (seg_addr.0 % page as u64) as usize;
+            let take = (page - into_page).min(buf.len() - off);
+            let dst = &mut buf[off..off + take];
+            self.checked(seg_addr, take, Access::Read, |space| {
+                space.read(seg_addr, dst)
+            });
+            off += take;
+        }
+    }
+
+    /// Segmented write; see [`read_bytes_at`](Self::read_bytes_at).
+    fn write_bytes_at(&mut self, addr: VAddr, data: &[u8]) {
+        let page = self.state.space.geometry().page_size();
+        let mut off = 0usize;
+        while off < data.len() {
+            let seg_addr = addr.add(off);
+            let into_page = (seg_addr.0 % page as u64) as usize;
+            let take = (page - into_page).min(data.len() - off);
+            let src = &data[off..off + take];
+            self.checked(seg_addr, take, Access::Write, |space| {
+                space.write(seg_addr, src)
+            });
+            off += take;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization (§3.4: "common synchronization calls such as
+    // barriers and locks").
+    // ------------------------------------------------------------------
+
+    /// Global barrier across all hosts. Under release consistency a
+    /// barrier is a release + acquire: dirty minipages flush first.
+    pub fn barrier(&mut self) {
+        self.rc_flush();
+        let t0 = self.clock.now();
+        let (ev, w) = self.state.register_waiter(&self.events);
+        let msg = Pmsg::new(MsgKind::BarrierEnter, self.host, ev);
+        self.net
+            .send(self.host, self.manager, msg, 0, self.clock.now());
+        let c = self.blocking_wait(&w);
+        self.clock.merge(c.resume_vt);
+        self.breakdown
+            .charge(Category::Synch, self.clock.now() - t0);
+    }
+
+    /// Acquires the queue lock `id` (blocking).
+    pub fn lock(&mut self, id: u64) {
+        let t0 = self.clock.now();
+        let (ev, w) = self.state.register_waiter(&self.events);
+        let msg = Pmsg::new(MsgKind::LockAcquire, self.host, ev).with_aux(id);
+        self.net
+            .send(self.host, self.manager, msg, 0, self.clock.now());
+        let c = self.blocking_wait(&w);
+        self.clock.merge(c.resume_vt);
+        self.breakdown
+            .charge(Category::Synch, self.clock.now() - t0);
+    }
+
+    /// Releases the queue lock `id` (fire-and-forget). Under release
+    /// consistency the release flushes dirty minipages first, so the next
+    /// acquirer observes them.
+    pub fn unlock(&mut self, id: u64) {
+        self.rc_flush();
+        let msg = Pmsg::new(MsgKind::LockRelease, self.host, 0).with_aux(id);
+        self.net
+            .send(self.host, self.manager, msg, 0, self.clock.now());
+    }
+
+    // ------------------------------------------------------------------
+    // Prefetch (§4.3.1: LU's two prefetch calls) and push (§4.3: TSP's
+    // best-bound broadcast).
+    // ------------------------------------------------------------------
+
+    /// Issues a non-blocking read prefetch for one allocation's bytes.
+    /// A later access that arrives before the data blocks in the
+    /// "Prefetch" category instead of taking a full read fault.
+    pub fn prefetch_bytes(&mut self, addr: VAddr, len: usize) {
+        let geo = self.state.space.geometry();
+        let Some((_, vpages)) = geo.vpages_covering(addr, len) else {
+            panic!("prefetch outside the shared region: {addr}+{len}");
+        };
+        // Skip when data is already present or a prefetch is in flight.
+        let mut pf = self.state.prefetch_waiters.lock();
+        let first = vpages.start;
+        if self.state.space.prot(first) != sim_mem::Prot::NoAccess || pf.contains_key(&first) {
+            return;
+        }
+        let w = Waiter::new();
+        for vp in vpages {
+            pf.entry(vp).or_insert_with(|| Arc::clone(&w));
+        }
+        drop(pf);
+        self.state.counters.prefetch_requests.bump();
+        let ev = self.events.fetch_add(1, Ordering::Relaxed);
+        let mut msg = Pmsg::new(MsgKind::ReadRequest, self.host, ev).with_addr(addr);
+        msg.prefetch = true;
+        self.net
+            .send(self.host, self.manager, msg, 0, self.clock.now());
+    }
+
+    /// Prefetches a whole shared vector.
+    pub fn prefetch_vec<T: Pod>(&mut self, sv: &SharedVec<T>) {
+        if !sv.is_empty() {
+            self.prefetch_bytes(sv.base(), sv.byte_len());
+        }
+    }
+
+    /// Fetches a group of shared vectors as one coarse-grain unit (§5's
+    /// composed views): read prefetches for every absent member go out
+    /// back to back, then the thread waits for the stragglers, so the
+    /// fetch latencies overlap instead of serializing fault by fault.
+    ///
+    /// WATER's read phase is the paper's own example: "the read phase in
+    /// WATER could benefit from a coarse grain operation mode, whereas
+    /// the later write phase would accelerate in a fine grain mode".
+    pub fn fetch_group<T: Pod>(&mut self, members: &[SharedVec<T>]) {
+        // Pipeline the requests.
+        for sv in members {
+            self.prefetch_vec(sv);
+        }
+        // Collect the outstanding waiters and drain them.
+        let t0 = self.clock.now();
+        let mut pending: Vec<Arc<Waiter>> = Vec::new();
+        {
+            let pf = self.state.prefetch_waiters.lock();
+            for sv in members {
+                if sv.is_empty() {
+                    continue;
+                }
+                let Some(vp) = self.state.space.geometry().vpage_of(sv.base()) else {
+                    continue;
+                };
+                if let Some(w) = pf.get(&vp) {
+                    if !pending.iter().any(|p| Arc::ptr_eq(p, w)) {
+                        pending.push(Arc::clone(w));
+                    }
+                }
+            }
+        }
+        for w in pending {
+            let c = self.blocking_wait(&w);
+            self.clock.merge(c.resume_vt);
+        }
+        if self.clock.now() > t0 {
+            self.breakdown
+                .charge(Category::Prefetch, self.clock.now() - t0);
+        }
+    }
+
+    /// Pushes read copies of the cell's minipage to every host (§4.3:
+    /// "pushes readable copies of the new value to all hosts").
+    ///
+    /// The caller must hold the writable copy (i.e. have just written it);
+    /// the method downgrades the local copy to read-only and ships the
+    /// data through the manager.
+    pub fn push_cell<T: Pod>(&mut self, c: &SharedCell<T>) {
+        self.push_bytes(c.addr(), T::SIZE);
+    }
+
+    /// Pushes read copies of the minipage containing `[addr, addr+len)`.
+    pub fn push_bytes(&mut self, addr: VAddr, len: usize) {
+        assert_eq!(
+            self.consistency,
+            Consistency::SequentialSwMr,
+            "push requires the SW/MR protocol's exclusive ownership"
+        );
+        // Ensure we really hold the writable copy (fault it in if not).
+        self.checked(addr, len, Access::Write, |space| {
+            space.check(addr, len, Access::Write)
+        });
+        let geo = self.state.space.geometry();
+        let (_, vpages) = geo
+            .vpages_covering(addr, len)
+            .expect("validated by the check above");
+        let data = self
+            .state
+            .space
+            .priv_read(geo.to_priv(addr).expect("shared address"), len)
+            .expect("validated range");
+        // Downgrade our own copy before publishing, preserving SW/MR.
+        for vp in vpages {
+            self.state
+                .space
+                .set_prot(vp, sim_mem::Prot::ReadOnly)
+                .expect("application vpage");
+            self.charge_busy(self.cost.set_protection);
+            self.breakdown
+                .charge(Category::Comp, self.cost.set_protection);
+        }
+        let mut msg = Pmsg::new(MsgKind::PushRequest, self.host, 0).with_addr(addr);
+        msg.data = Bytes::from(data);
+        let payload = msg.payload_bytes();
+        self.net
+            .send(self.host, self.manager, msg, payload, self.clock.now());
+    }
+
+    // ------------------------------------------------------------------
+    // The fault-retry loop (the millipage exception handler).
+    // ------------------------------------------------------------------
+
+    /// Runs `attempt` against the address space, resolving faults through
+    /// the DSM protocol until it succeeds; then flushes pending acks and
+    /// charges the local access cost.
+    fn checked<R>(
+        &mut self,
+        addr: VAddr,
+        len: usize,
+        access: Access,
+        mut attempt: impl FnMut(&AddressSpace) -> Result<R, AccessError>,
+    ) -> R {
+        let mut spins = 0u32;
+        loop {
+            match attempt(&self.state.space) {
+                Ok(r) => {
+                    let cost = self.cost.copy_time(len);
+                    let t0 = self.clock.now();
+                    self.clock.advance(cost);
+                    self.breakdown.charge(Category::Comp, cost);
+                    self.state.busy.record(t0, self.clock.now());
+                    self.flush_acks();
+                    return r;
+                }
+                Err(AccessError::Fault(f)) => {
+                    debug_assert_eq!(f.access, access);
+                    self.service_fault(f);
+                    spins += 1;
+                    assert!(spins < 10_000, "livelock: fault at {addr} never resolves");
+                }
+                Err(AccessError::Mem(e)) => {
+                    panic!("shared-memory access bug at {addr}+{len}: {e}")
+                }
+            }
+        }
+    }
+
+    /// Figure 3 "On Read or Write Fault".
+    fn service_fault(&mut self, f: AccessFault) {
+        // Close any service window we still hold before requesting the
+        // next minipage. A multi-minipage operation (possible under the
+        // page-grain baseline) would otherwise hold minipage A's window
+        // while blocking on minipage B — and a peer doing the reverse
+        // deadlocks with us. The real system cannot express this state:
+        // each hardware fault is a single instruction, acked before the
+        // next fault can occur.
+        self.flush_acks();
+        if self.consistency == Consistency::HomeEagerRc && f.access == Access::Write {
+            self.rc_write_fault(f);
+            return;
+        }
+        let t0 = self.clock.now();
+        // If a prefetch for this vpage is in flight, wait for it instead
+        // of issuing a second (competing) request.
+        let pf = self.state.prefetch_waiters.lock().get(&f.vpage).cloned();
+        if let Some(w) = pf {
+            let c = self.blocking_wait(&w);
+            self.clock.merge(c.resume_vt);
+            self.breakdown
+                .charge(Category::Prefetch, self.clock.now() - t0);
+            return;
+        }
+        let (kind, cat) = match f.access {
+            Access::Read => {
+                self.state.counters.read_faults.bump();
+                (MsgKind::ReadRequest, Category::ReadFault)
+            }
+            Access::Write => {
+                self.state.counters.write_faults.bump();
+                (MsgKind::WriteRequest, Category::WriteFault)
+            }
+        };
+        // The kernel delivers the access fault to the handler...
+        self.charge_busy(self.cost.access_fault);
+        // ...which sends the request and waits on its event.
+        let (ev, w) = self.state.register_waiter(&self.events);
+        let msg = Pmsg::new(kind, self.host, ev).with_addr(f.addr);
+        self.net
+            .send(self.host, self.manager, msg, 0, self.clock.now());
+        let c = self.blocking_wait(&w);
+        self.clock.merge(c.resume_vt);
+        self.breakdown.charge(cat, self.clock.now() - t0);
+        // The ack goes out only after the retried access completes, so the
+        // service window at the manager covers the access (§3.3). The
+        // release-consistency protocol opens no service windows.
+        if self.consistency == Consistency::SequentialSwMr {
+            self.pending_acks.push(f.addr);
+        }
+    }
+
+    /// Write miss under release consistency: ensure a readable copy, twin
+    /// it, and upgrade the protection locally — no ownership transfer.
+    fn rc_write_fault(&mut self, f: AccessFault) {
+        let t0 = self.clock.now();
+        self.state.counters.write_faults.bump();
+        self.charge_busy(self.cost.access_fault);
+        // Wait for an in-flight prefetch, or fetch a read copy from home.
+        let pf = self.state.prefetch_waiters.lock().get(&f.vpage).cloned();
+        if let Some(w) = pf {
+            let c = self.blocking_wait(&w);
+            self.clock.merge(c.resume_vt);
+        } else if self.state.space.prot(f.vpage) == sim_mem::Prot::NoAccess {
+            let (ev, w) = self.state.register_waiter(&self.events);
+            let msg = Pmsg::new(MsgKind::ReadRequest, self.host, ev).with_addr(f.addr);
+            self.net
+                .send(self.host, self.manager, msg, 0, self.clock.now());
+            let c = self.blocking_wait(&w);
+            self.clock.merge(c.resume_vt);
+        }
+        // The reply taught us the minipage boundaries (home-allocated
+        // minipages are pre-learned at the manager host).
+        let info: MpInfo = {
+            let rc = self.state.rc.lock();
+            *rc.boundaries
+                .get(&f.vpage)
+                .expect("boundaries cached by the fetch or at allocation")
+        };
+        let fresh_twin = {
+            let mut rc = self.state.rc.lock();
+            if let std::collections::hash_map::Entry::Vacant(e) = rc.dirty.entry(info.id.0) {
+                let data = self
+                    .state
+                    .space
+                    .priv_read(info.priv_base, info.len)
+                    .expect("translated minipage in range");
+                e.insert(RcDirty {
+                    info,
+                    twin: Twin::capture(&data),
+                });
+                true
+            } else {
+                false
+            }
+        };
+        if fresh_twin {
+            self.charge_busy(self.cost.copy_time(info.len));
+        }
+        // Local upgrade: the MMU-level act MultiView makes cheap.
+        let vpages = self
+            .state
+            .space
+            .geometry()
+            .vpages_covering(info.base, info.len)
+            .expect("translated minipage in range")
+            .1;
+        for vp in vpages {
+            self.state
+                .space
+                .set_prot(vp, sim_mem::Prot::ReadWrite)
+                .expect("application vpage");
+            self.charge_busy(self.cost.set_protection);
+        }
+        self.breakdown
+            .charge(Category::WriteFault, self.clock.now() - t0);
+    }
+
+    /// Release-point flush (release consistency only): diff every dirty
+    /// minipage against its twin, downgrade the local copy, and ship the
+    /// diffs to the home. Ordering piggybacks on FIFO channels; no
+    /// acknowledgements are needed (see the `hlrc` module docs).
+    fn rc_flush(&mut self) {
+        if self.consistency != Consistency::HomeEagerRc {
+            return;
+        }
+        let dirty: Vec<RcDirty> = {
+            let mut rc = self.state.rc.lock();
+            if rc.dirty.is_empty() {
+                return;
+            }
+            rc.dirty.drain().map(|(_, d)| d).collect()
+        };
+        let t0 = self.clock.now();
+        for d in dirty {
+            // Snapshot + invalidate atomically per page, then diff. The
+            // local copy is dropped (not downgraded): a concurrent
+            // invalidation from another flusher could otherwise race this
+            // downgrade and leave a stale read-only survivor. TreadMarks
+            // invalidates at synchronization points the same way.
+            let data = self
+                .state
+                .space
+                .snapshot_and_protect(d.info.base, d.info.len, sim_mem::Prot::NoAccess)
+                .expect("translated minipage in range");
+            let diff = d.twin.diff(&data);
+            self.charge_busy(self.cost.diff_time(d.info.len));
+            self.charge_busy(self.cost.set_protection);
+            if diff.is_empty() {
+                continue;
+            }
+            let mut msg = Pmsg::new(MsgKind::RcDiff, self.host, 0).with_addr(d.info.base);
+            msg.minipage = d.info.id;
+            msg.base = d.info.base;
+            msg.len = d.info.len;
+            msg.priv_base = d.info.priv_base;
+            msg.data = Bytes::from(diff.encode());
+            let payload = msg.payload_bytes();
+            self.net
+                .send(self.host, self.manager, msg, payload, self.clock.now());
+        }
+        self.breakdown
+            .charge(Category::Synch, self.clock.now() - t0);
+    }
+
+    /// Sends the post-access acks of §3.3.
+    fn flush_acks(&mut self) {
+        if self.pending_acks.is_empty() {
+            return;
+        }
+        let acks = std::mem::take(&mut self.pending_acks);
+        for addr in acks {
+            let msg = Pmsg::new(MsgKind::Ack, self.host, 0).with_addr(addr);
+            self.net
+                .send(self.host, self.manager, msg, 0, self.clock.now());
+        }
+    }
+}

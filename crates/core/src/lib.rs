@@ -1,0 +1,49 @@
+//! Millipage — a thin-layer fine-grain page-based DSM (§3 of the paper).
+//!
+//! Millipage implements **Sequential Consistency** through the
+//! Single-Writer/Multiple-Readers protocol of Figure 3: at any point in
+//! time, for any minipage, there are either read copies or a single
+//! writable copy. The DSM layer is deliberately *thin*: no page twinning,
+//! no diffs, no code instrumentation, no queuing at non-manager hosts —
+//! just a simple protocol handling access faults, made possible by
+//! MultiView's per-minipage protection.
+//!
+//! The crate runs a whole simulated cluster inside one process:
+//!
+//! * [`ClusterConfig`] + [`run`] spawn one DSM server thread and one
+//!   application thread per simulated host;
+//! * application code receives a [`HostCtx`] and uses the malloc-like
+//!   allocation API, typed [`SharedVec`]/[`SharedCell`] accessors,
+//!   [`HostCtx::barrier`], [`HostCtx::lock`]/[`HostCtx::unlock`],
+//!   [`HostCtx::prefetch_vec`] and [`HostCtx::push_cell`];
+//! * every virtual nanosecond is attributed to a Figure 6 category, and a
+//!   [`RunReport`] collects the counters every experiment needs.
+//!
+//! Extensions from §5 of the paper: run-length diffs ([`diff`]) and a
+//! home-based eager release-consistency mode ([`hlrc`]) used for the
+//! SC-vs-relaxed ablation.
+
+mod cluster;
+pub mod diff;
+mod directory;
+pub mod hlrc;
+mod host;
+mod manager;
+mod msg;
+mod server;
+mod shared;
+mod stats;
+
+pub use cluster::{run, ClusterConfig, SetupCtx};
+pub use directory::{Directory, DirectoryEntry};
+pub use hlrc::Consistency;
+pub use host::HostCtx;
+pub use manager::Manager;
+pub use msg::{MsgKind, Pmsg};
+pub use shared::{Pod, SharedCell, SharedVec};
+pub use stats::{HostReport, RunReport};
+
+// Re-exports the applications and harnesses keep reaching for.
+pub use multiview::{AllocMode, AllocStats};
+pub use sim_core::{Category, CostModel, HostId, Ns, TimeBreakdown};
+pub use sim_mem::VAddr;

@@ -1,0 +1,482 @@
+//! The manager (§3.3).
+//!
+//! One Millipage process is elected manager. It keeps the MPT and the
+//! directory, translates faulting addresses, forwards requests to copy
+//! holders, fans out invalidations, queues competing requests, and hosts
+//! the synchronization services (barriers, queue locks) and the shared
+//! allocator. "The manager's role is essentially to mark and forward
+//! requests to hosts, and to maintain the MPT."
+
+use crate::diff::Diff;
+use crate::directory::Directory;
+use crate::hlrc::{Consistency, MpInfo};
+use crate::host::HostState;
+use crate::msg::{MsgKind, Pmsg};
+use multiview::{AllocStats, Allocator, MinipageId, Mpt};
+use sim_core::{CostModel, HostId};
+use sim_mem::{Geometry, Prot, VAddr};
+use sim_net::{Endpoint, ServerTimeline};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct LockState {
+    held_by: Option<HostId>,
+    queue: VecDeque<Pmsg>,
+}
+
+/// Aggregated manager-side statistics for a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ManagerStats {
+    /// Barriers completed.
+    pub barriers: u64,
+    /// Lock acquisitions granted.
+    pub lock_acquires: u64,
+    /// Invalidation requests fanned out.
+    pub invalidations_sent: u64,
+    /// Push broadcasts performed.
+    pub pushes: u64,
+    /// Pushes dropped because ownership moved before processing.
+    pub stale_pushes: u64,
+    /// Release-consistency diffs applied at the home.
+    pub rc_diffs: u64,
+}
+
+/// The manager: runs inside the DSM server thread of the manager host.
+pub struct Manager {
+    me: HostId,
+    hosts: usize,
+    /// Total application threads (barrier quorum; ≥ hosts under §3.4
+    /// multithreading).
+    barrier_quorum: usize,
+    cost: CostModel,
+    consistency: Consistency,
+    allocator: Allocator,
+    dir: Directory,
+    locks: HashMap<u64, LockState>,
+    barrier_waiters: Vec<Pmsg>,
+    stats: ManagerStats,
+    /// The manager host's own memory: freshly allocated minipages start
+    /// here with a writable copy.
+    home_state: Arc<HostState>,
+}
+
+impl Manager {
+    /// Creates the manager for a cluster of `hosts` hosts.
+    pub(crate) fn new(
+        me: HostId,
+        hosts: usize,
+        barrier_quorum: usize,
+        cost: CostModel,
+        consistency: Consistency,
+        allocator: Allocator,
+        home_state: Arc<HostState>,
+    ) -> Self {
+        Self {
+            me,
+            hosts,
+            barrier_quorum,
+            cost,
+            consistency,
+            allocator,
+            dir: Directory::new(),
+            locks: HashMap::new(),
+            barrier_waiters: Vec::new(),
+            stats: ManagerStats::default(),
+            home_state,
+        }
+    }
+
+    /// The minipage table (for post-run validation and Table 2).
+    pub fn mpt(&self) -> &Mpt {
+        self.allocator.mpt()
+    }
+
+    /// The shared geometry.
+    pub fn geometry(&self) -> &Geometry {
+        self.allocator.geometry()
+    }
+
+    /// Allocator statistics (Table 2's shared-memory size, views,
+    /// granularity).
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.allocator.stats()
+    }
+
+    /// Manager statistics.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// Competing requests observed (Figure 7).
+    pub fn competing_requests(&self) -> u64 {
+        self.dir.competing_requests()
+    }
+
+    /// Read-only directory access (tests, validation).
+    pub fn directory(&self) -> &Directory {
+        &self.dir
+    }
+
+    /// Allocates shared memory and initializes its directory state: the
+    /// new minipages live at the manager host with a writable copy.
+    pub(crate) fn do_alloc(&mut self, size: usize) -> VAddr {
+        let before = self.allocator.mpt().len();
+        let addr = self
+            .allocator
+            .alloc(size)
+            .unwrap_or_else(|e| panic!("shared allocation failed: {e}"));
+        let geo = self.allocator.geometry().clone();
+        // Fresh minipages live at the manager host. Under SW/MR the home
+        // copy starts writable; under release consistency it starts
+        // read-only so the manager host's own writes twin and flush like
+        // everyone else's.
+        let home_prot = match self.consistency {
+            Consistency::SequentialSwMr => Prot::ReadWrite,
+            Consistency::HomeEagerRc => Prot::ReadOnly,
+        };
+        for idx in before..self.allocator.mpt().len() {
+            let mp = *self.allocator.mpt().get(MinipageId(idx as u32));
+            self.dir.ensure(idx, self.me);
+            for vp in mp.vpages(&geo) {
+                self.home_state
+                    .space
+                    .set_prot(vp, home_prot)
+                    .expect("application vpage");
+            }
+            if self.consistency == Consistency::HomeEagerRc {
+                self.home_state.rc.lock().learn(
+                    mp.vpages(&geo),
+                    MpInfo {
+                        id: mp.id,
+                        base: mp.base,
+                        len: mp.len,
+                        priv_base: mp.priv_base(&geo),
+                    },
+                );
+            }
+        }
+        addr
+    }
+
+    /// Closes the current chunk (see
+    /// [`Allocator::finish_chunk`](multiview::Allocator::finish_chunk)).
+    pub(crate) fn finish_chunk(&mut self) {
+        self.allocator.finish_chunk();
+    }
+
+    /// See [`Allocator::retire_page`](multiview::Allocator::retire_page).
+    pub(crate) fn retire_page(&mut self) {
+        self.allocator.retire_page();
+    }
+
+    /// The manager host's address space (pre-run initialization writes).
+    pub(crate) fn home_space(&self) -> &sim_mem::AddressSpace {
+        &self.home_state.space
+    }
+
+    /// Handles one manager-addressed message. `timeline` is the manager
+    /// host's server timeline (service-start already charged by the server
+    /// loop); `ep` is its endpoint.
+    pub(crate) fn handle(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+        match m.kind {
+            MsgKind::ReadRequest => self.handle_read_request(m, tl, ep),
+            MsgKind::WriteRequest => self.handle_write_request(m, tl, ep),
+            MsgKind::InvalidateReply => self.handle_invalidate_reply(m, tl, ep),
+            MsgKind::Ack => self.handle_ack(m, tl, ep),
+            MsgKind::AllocRequest => self.handle_alloc(m, tl, ep),
+            MsgKind::BarrierEnter => self.handle_barrier_enter(m, tl, ep),
+            MsgKind::LockAcquire => self.handle_lock_acquire(m, tl, ep),
+            MsgKind::LockRelease => self.handle_lock_release(m, tl, ep),
+            MsgKind::PushRequest => self.handle_push(m, tl, ep),
+            MsgKind::RcDiff => self.handle_rc_diff(m, tl, ep),
+            other => panic!("non-manager message {other:?} routed to manager"),
+        }
+    }
+
+    /// Figure 3 `Translate`: fills the translation fields from the MPT.
+    fn translate(&mut self, m: &mut Pmsg, tl: &mut ServerTimeline) -> MinipageId {
+        tl.charge(self.cost.mpt_lookup);
+        let geo = self.allocator.geometry();
+        let mp = self
+            .allocator
+            .mpt()
+            .translate(geo, m.addr)
+            .unwrap_or_else(|| panic!("fault at {} hits no minipage", m.addr));
+        m.base = mp.base;
+        m.len = mp.len;
+        m.priv_base = mp.priv_base(geo);
+        m.minipage = mp.id;
+        mp.id
+    }
+
+    fn handle_read_request(&mut self, mut m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+        let id = self.translate(&mut m, tl);
+        if self.consistency == Consistency::HomeEagerRc {
+            // The home copy is always current at synchronization points:
+            // serve directly, one hop, no service window.
+            tl.charge(self.cost.dsm_overhead);
+            let e = self.dir.entry(id.index());
+            e.add(m.from);
+            let data = self
+                .home_state
+                .space
+                .priv_read(m.priv_base, m.len)
+                .expect("translated minipage in range");
+            let mut reply = m;
+            reply.kind = MsgKind::ReadReply;
+            reply.data = bytes::Bytes::from(data);
+            let to = reply.from;
+            let payload = reply.payload_bytes();
+            ep.send(to, reply, payload, tl.now());
+            return;
+        }
+        if !self.dir.begin_service(id.index(), m.clone()) {
+            return; // Queued as a competing request.
+        }
+        let e = self.dir.entry(id.index());
+        let src = e
+            .find_replica()
+            .expect("every allocated minipage has at least one copy");
+        // Serving a read downgrades any writable copy (Figure 3's "Handle
+        // Read Request"); the directory forgets the writer now.
+        e.owner = None;
+        e.add(m.from);
+        m.kind = MsgKind::ServeRead;
+        ep.send(src, m, 0, tl.now());
+    }
+
+    fn handle_write_request(&mut self, mut m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+        assert_eq!(
+            self.consistency,
+            Consistency::SequentialSwMr,
+            "write requests do not exist under release consistency"
+        );
+        let id = self.translate(&mut m, tl);
+        if !self.dir.begin_service(id.index(), m.clone()) {
+            return;
+        }
+        let e = self.dir.entry(id.index());
+        // Prefer upgrading in place when the requester already holds a
+        // read copy; otherwise Figure 3's find_replica.
+        let src = if e.holds(m.from) {
+            m.from
+        } else {
+            e.find_replica()
+                .expect("every allocated minipage has at least one copy")
+        };
+        let targets: Vec<HostId> = e.holders().filter(|&h| h != src).collect();
+        if targets.is_empty() {
+            Self::forward_write(e, src, m, tl, ep);
+        } else {
+            e.inv_pending = targets.len() as u32;
+            e.pending_write = Some(m.clone());
+            self.stats.invalidations_sent += targets.len() as u64;
+            for t in targets {
+                let mut inv = m.clone();
+                inv.kind = MsgKind::InvalidateRequest;
+                inv.data = bytes::Bytes::new();
+                ep.send(t, inv, 0, tl.now());
+            }
+        }
+    }
+
+    fn handle_invalidate_reply(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+        let id = m.minipage;
+        let e = self.dir.entry(id.index());
+        e.remove(m.from);
+        debug_assert!(e.inv_pending > 0, "unexpected invalidate reply");
+        e.inv_pending -= 1;
+        // Figure 3: "if got less than (#replicas - 1) replies then return".
+        if e.inv_pending == 0 {
+            let w = e
+                .pending_write
+                .take()
+                .expect("a write was pending on these invalidations");
+            let src = e
+                .find_replica()
+                .expect("the serving replica was never invalidated");
+            Self::forward_write(e, src, w, tl, ep);
+        }
+    }
+
+    fn forward_write(
+        e: &mut crate::directory::DirectoryEntry,
+        src: HostId,
+        mut m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) {
+        e.copyset = 1u64 << m.from.index();
+        e.owner = Some(m.from);
+        m.kind = MsgKind::ServeWrite;
+        ep.send(src, m, 0, tl.now());
+    }
+
+    fn handle_ack(&mut self, mut m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+        let id = self.translate(&mut m, tl);
+        if let Some(next) = self.dir.end_service(id.index()) {
+            // The queued competing request is serviced now.
+            self.dispatch_queued(next, tl, ep);
+        }
+    }
+
+    fn dispatch_queued(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+        match m.kind {
+            MsgKind::ReadRequest => self.handle_read_request(m, tl, ep),
+            MsgKind::WriteRequest => self.handle_write_request(m, tl, ep),
+            MsgKind::PushRequest => self.handle_push(m, tl, ep),
+            other => panic!("unexpected queued message {other:?}"),
+        }
+    }
+
+    fn handle_alloc(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+        tl.charge(self.cost.mpt_lookup);
+        let addr = self.do_alloc(m.aux as usize);
+        let mut reply = Pmsg::new(MsgKind::AllocReply, self.me, m.event);
+        reply.addr = addr;
+        ep.send(m.from, reply, 0, tl.now());
+    }
+
+    fn handle_barrier_enter(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+        self.barrier_waiters.push(m);
+        if self.barrier_waiters.len() == self.barrier_quorum {
+            tl.charge(self.cost.barrier_base);
+            let waiters = std::mem::take(&mut self.barrier_waiters);
+            for w in waiters {
+                tl.charge(self.cost.barrier_per_host);
+                let mut rel = Pmsg::new(MsgKind::BarrierRelease, self.me, w.event);
+                rel.addr = w.addr;
+                ep.send(w.from, rel, 0, tl.now());
+            }
+            self.stats.barriers += 1;
+        }
+    }
+
+    fn handle_lock_acquire(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+        let st = self.locks.entry(m.aux).or_default();
+        if st.held_by.is_none() {
+            st.held_by = Some(m.from);
+            self.stats.lock_acquires += 1;
+            tl.charge(self.cost.lock_service);
+            let grant = Pmsg::new(MsgKind::LockGrant, self.me, m.event).with_aux(m.aux);
+            ep.send(m.from, grant, 0, tl.now());
+        } else {
+            st.queue.push_back(m);
+        }
+    }
+
+    fn handle_lock_release(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+        tl.charge(self.cost.lock_service);
+        let st = self
+            .locks
+            .get_mut(&m.aux)
+            .unwrap_or_else(|| panic!("release of unknown lock {}", m.aux));
+        assert_eq!(
+            st.held_by,
+            Some(m.from),
+            "lock {} released by a non-holder",
+            m.aux
+        );
+        st.held_by = None;
+        if let Some(next) = st.queue.pop_front() {
+            st.held_by = Some(next.from);
+            self.stats.lock_acquires += 1;
+            let grant = Pmsg::new(MsgKind::LockGrant, self.me, next.event).with_aux(next.aux);
+            ep.send(next.from, grant, 0, tl.now());
+        }
+    }
+
+    fn handle_push(&mut self, mut m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+        let id = self.translate(&mut m, tl);
+        if !self.dir.begin_service(id.index(), m.clone()) {
+            return; // Queued behind an in-flight transfer.
+        }
+        {
+            let hosts = self.hosts;
+            let e = self.dir.entry(id.index());
+            if e.owner == Some(m.from) {
+                // Publish read copies everywhere (§4.3, the TSP bound).
+                e.owner = None;
+                e.copyset = all_hosts_mask(hosts);
+                self.stats.pushes += 1;
+                for h in 0..hosts {
+                    let h = HostId(h as u16);
+                    if h == m.from {
+                        continue;
+                    }
+                    let mut push = m.clone();
+                    push.kind = MsgKind::PushData;
+                    let payload = push.payload_bytes();
+                    ep.send(h, push, payload, tl.now());
+                }
+            } else {
+                // Ownership moved since the push was issued: stale, drop.
+                self.stats.stale_pushes += 1;
+            }
+        }
+        // Pushes hold no service window (no ack follows).
+        if let Some(next) = self.dir.end_service(id.index()) {
+            self.dispatch_queued(next, tl, ep);
+        }
+    }
+}
+
+impl Manager {
+    /// Applies a release-point diff to the home copy and invalidates the
+    /// other copies (fire-and-forget: FIFO ordering to each host makes
+    /// the invalidations land before any later barrier release or lock
+    /// grant — see the `hlrc` module docs).
+    fn handle_rc_diff(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+        assert_eq!(
+            self.consistency,
+            Consistency::HomeEagerRc,
+            "RcDiff under the SW/MR protocol"
+        );
+        let diff = Diff::decode(&m.data).expect("well-formed diff on the wire");
+        // Patch run by run: only changed bytes are written, so a racing
+        // local write to *other* bytes of the page is never clobbered.
+        for (off, bytes) in diff.iter_runs() {
+            self.home_state
+                .space
+                .priv_write(m.priv_base.add(off), bytes)
+                .expect("translated minipage in range");
+        }
+        tl.charge((self.cost.patch_per_byte_ns * m.len as f64) as sim_core::Ns);
+        self.stats.rc_diffs += 1;
+        let me = self.me;
+        let e = self.dir.entry(m.minipage.index());
+        let targets: Vec<HostId> = e.holders().filter(|&h| h != me).collect();
+        self.stats.invalidations_sent += targets.len() as u64;
+        for t in &targets {
+            let mut inv = m.clone();
+            inv.kind = MsgKind::InvalidateRequest;
+            inv.data = bytes::Bytes::new();
+            ep.send(*t, inv, 0, tl.now());
+        }
+        e.copyset = 1u64 << me.index();
+        e.owner = None;
+    }
+}
+
+fn all_hosts_mask(hosts: usize) -> u64 {
+    debug_assert!((1..=64).contains(&hosts));
+    if hosts == 64 {
+        u64::MAX
+    } else {
+        (1u64 << hosts) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_hosts_mask_covers_exactly_n_hosts() {
+        assert_eq!(all_hosts_mask(1), 0b1);
+        assert_eq!(all_hosts_mask(8), 0xFF);
+        assert_eq!(all_hosts_mask(64), u64::MAX);
+    }
+}

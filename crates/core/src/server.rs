@@ -1,0 +1,345 @@
+//! The per-host DSM server thread (§3.5.1).
+//!
+//! Each host runs one server loop standing in for the paper's poller +
+//! sweeper + timer trio: it receives protocol messages, models the polling
+//! delay through [`ServerTimeline`], serves data requests through the
+//! privileged view, installs replies (zero-copy receive straight into the
+//! privileged view), and wakes blocked application threads.
+
+use crate::hlrc::{Consistency, MpInfo};
+use crate::host::{HostState, Waiter};
+use crate::manager::Manager;
+use crate::msg::{Completion, MsgKind, Pmsg};
+use bytes::Bytes;
+use sim_core::{CostModel, HostId};
+use sim_mem::Prot;
+use sim_net::{Endpoint, RecvError, ServerTimeline};
+use std::sync::Arc;
+
+/// What a server thread hands back when it stops.
+pub(crate) struct ServerOutcome {
+    /// The manager, for the manager host.
+    pub manager: Option<Manager>,
+    /// The endpoint is kept alive until every server has stopped so that
+    /// late messages from still-draining peers never hit a closed channel.
+    #[expect(dead_code)]
+    pub endpoint: Endpoint<Pmsg>,
+}
+
+/// Runs one host's DSM server until shutdown.
+pub(crate) fn server_loop(
+    ep: Endpoint<Pmsg>,
+    state: Arc<HostState>,
+    cost: CostModel,
+    consistency: Consistency,
+    mut timeline: ServerTimeline,
+    mut manager: Option<Manager>,
+) -> ServerOutcome {
+    loop {
+        let pkt = match ep.recv() {
+            Ok(p) => p,
+            Err(RecvError::Disconnected) => break,
+            Err(RecvError::Empty) => unreachable!("blocking recv"),
+        };
+        if matches!(pkt.msg.kind, MsgKind::Shutdown) {
+            break;
+        }
+        // §3.5.1: if the application threads were computing at the
+        // message's (virtual) arrival, only the (jittery) sweeper sees
+        // it. Hosts parked in barriers/locks/faults record no busy burst
+        // and read as idle; self-addressed messages (the manager
+        // forwarding to its own server) find the server already running.
+        let busy = pkt.from != ep.host() && state.busy.busy_at(pkt.arrival_vt);
+        if trace_enabled() {
+            eprintln!(
+                "[trace h{} <- {}] {:?} ev={} mp={} addr={} len={}",
+                ep.host().index(),
+                pkt.from,
+                pkt.msg.kind,
+                pkt.msg.event,
+                pkt.msg.minipage,
+                pkt.msg.addr,
+                pkt.msg.len,
+            );
+        }
+        timeline.begin_service(pkt.arrival_vt, busy);
+        dispatch(
+            pkt.msg,
+            &state,
+            &cost,
+            consistency,
+            &mut timeline,
+            manager.as_mut(),
+            &ep,
+        );
+    }
+    ServerOutcome {
+        manager,
+        endpoint: ep,
+    }
+}
+
+fn dispatch(
+    m: Pmsg,
+    state: &Arc<HostState>,
+    cost: &CostModel,
+    consistency: Consistency,
+    tl: &mut ServerTimeline,
+    manager: Option<&mut Manager>,
+    ep: &Endpoint<Pmsg>,
+) {
+    use MsgKind::*;
+    match m.kind {
+        ReadRequest | WriteRequest | InvalidateReply | Ack | AllocRequest | BarrierEnter
+        | LockAcquire | LockRelease | PushRequest | RcDiff => manager
+            .expect("manager-addressed message on a non-manager host")
+            .handle(m, tl, ep),
+        ServeRead => serve_read(m, state, cost, tl, ep),
+        ServeWrite => serve_write(m, state, cost, tl, ep),
+        InvalidateRequest => handle_invalidate(m, state, cost, consistency, tl, ep),
+        ReadReply | WriteReply => handle_data_reply(m, state, cost, tl, ep),
+        AllocReply | BarrierRelease | LockGrant => fulfill_simple(m, state, cost, tl),
+        PushData => handle_push_data(m, state, cost, tl),
+        Shutdown => unreachable!("handled by the loop"),
+    }
+}
+
+/// Whether `MILLIPAGE_TRACE` protocol tracing is on (debugging aid).
+fn trace_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("MILLIPAGE_TRACE").is_some())
+}
+
+/// The global vpages covered by the minipage named in a translated message.
+fn vpages_of(m: &Pmsg, state: &HostState) -> std::ops::Range<usize> {
+    state
+        .space
+        .geometry()
+        .vpages_covering(m.base, m.len)
+        .expect("manager-translated minipages are in range")
+        .1
+}
+
+/// Figure 3 "Handle Read Request": downgrade a writable copy to read-only
+/// and send the minipage straight out of the privileged view.
+fn serve_read(
+    m: Pmsg,
+    state: &Arc<HostState>,
+    cost: &CostModel,
+    tl: &mut ServerTimeline,
+    ep: &Endpoint<Pmsg>,
+) {
+    tl.charge(cost.dsm_overhead);
+    tl.charge(cost.get_protection);
+    for vp in vpages_of(&m, state) {
+        if state.space.prot(vp) == Prot::ReadWrite {
+            state
+                .space
+                .set_prot(vp, Prot::ReadOnly)
+                .expect("application vpage");
+            tl.charge(cost.set_protection);
+        }
+    }
+    let data = state
+        .space
+        .priv_read(m.priv_base, m.len)
+        .expect("translated minipage in range");
+    let mut reply = m;
+    reply.kind = MsgKind::ReadReply;
+    reply.data = Bytes::from(data);
+    let to = reply.from;
+    let payload = reply.payload_bytes();
+    ep.send(to, reply, payload, tl.now());
+}
+
+/// Figure 3 "Handle Write Request": invalidate the local copy, then send
+/// the minipage to the writer.
+fn serve_write(
+    m: Pmsg,
+    state: &Arc<HostState>,
+    cost: &CostModel,
+    tl: &mut ServerTimeline,
+    ep: &Endpoint<Pmsg>,
+) {
+    tl.charge(cost.dsm_overhead);
+    // NoAccess first: once the bytes leave, local threads must fault.
+    for vp in vpages_of(&m, state) {
+        state
+            .space
+            .set_prot(vp, Prot::NoAccess)
+            .expect("application vpage");
+        tl.charge(cost.set_protection);
+    }
+    let data = state
+        .space
+        .priv_read(m.priv_base, m.len)
+        .expect("translated minipage in range");
+    let mut reply = m;
+    reply.kind = MsgKind::WriteReply;
+    reply.data = Bytes::from(data);
+    let to = reply.from;
+    let payload = reply.payload_bytes();
+    ep.send(to, reply, payload, tl.now());
+}
+
+/// Figure 3 "Handle Invalidate Request".
+///
+/// Under release consistency there is a twist: if the invalidated
+/// minipage is locally dirty (twinned, mid-phase), its writes-so-far are
+/// diffed out and shipped home *before* the copy dies, so no update is
+/// lost; and no reply is sent (HLRC invalidations are fire-and-forget).
+fn handle_invalidate(
+    m: Pmsg,
+    state: &Arc<HostState>,
+    cost: &CostModel,
+    consistency: Consistency,
+    tl: &mut ServerTimeline,
+    ep: &Endpoint<Pmsg>,
+) {
+    if consistency == Consistency::HomeEagerRc {
+        let dirty = state.rc.lock().dirty.remove(&m.minipage.0);
+        if let Some(d) = dirty {
+            let data = state
+                .space
+                .snapshot_and_protect(d.info.base, d.info.len, Prot::NoAccess)
+                .expect("translated minipage in range");
+            let diff = d.twin.diff(&data);
+            tl.charge(cost.diff_time(d.info.len));
+            tl.charge(cost.set_protection);
+            if !diff.is_empty() {
+                let mut out = Pmsg::new(MsgKind::RcDiff, ep.host(), 0).with_addr(d.info.base);
+                out.minipage = d.info.id;
+                out.base = d.info.base;
+                out.len = d.info.len;
+                out.priv_base = d.info.priv_base;
+                out.data = Bytes::from(diff.encode());
+                let payload = out.payload_bytes();
+                ep.send(HostId(0), out, payload, tl.now());
+            }
+        } else {
+            for vp in vpages_of(&m, state) {
+                state
+                    .space
+                    .set_prot(vp, Prot::NoAccess)
+                    .expect("application vpage");
+                tl.charge(cost.set_protection);
+            }
+        }
+        state.counters.invalidations_received.bump();
+        return;
+    }
+    for vp in vpages_of(&m, state) {
+        state
+            .space
+            .set_prot(vp, Prot::NoAccess)
+            .expect("application vpage");
+        tl.charge(cost.set_protection);
+    }
+    state.counters.invalidations_received.bump();
+    let mut reply = Pmsg::new(MsgKind::InvalidateReply, ep.host(), m.event);
+    reply.minipage = m.minipage;
+    reply.addr = m.addr;
+    // Replies go to the manager (host 0 by construction).
+    ep.send(HostId(0), reply, 0, tl.now());
+}
+
+/// Figure 3 "Handle Read or Write Reply": receive the minipage contents
+/// directly into the privileged view (no buffer copy), open the
+/// protection, and wake the faulting thread.
+fn handle_data_reply(
+    m: Pmsg,
+    state: &Arc<HostState>,
+    cost: &CostModel,
+    tl: &mut ServerTimeline,
+    ep: &Endpoint<Pmsg>,
+) {
+    tl.charge(cost.dsm_overhead);
+    state
+        .space
+        .priv_write(m.priv_base, &m.data)
+        .expect("translated minipage in range");
+    // Cache the manager's translation: the host-side minipage boundary
+    // knowledge that the release-consistency write path relies on.
+    state.rc.lock().learn(
+        vpages_of(&m, state),
+        MpInfo {
+            id: m.minipage,
+            base: m.base,
+            len: m.len,
+            priv_base: m.priv_base,
+        },
+    );
+    let prot = if m.kind == MsgKind::ReadReply {
+        Prot::ReadOnly
+    } else {
+        Prot::ReadWrite
+    };
+    for vp in vpages_of(&m, state) {
+        state.space.set_prot(vp, prot).expect("application vpage");
+        tl.charge(cost.set_protection);
+    }
+    tl.charge(cost.event_signal);
+    if m.prefetch {
+        // Nobody blocks on a prefetch; wake opportunistic sleepers and
+        // close the service window ourselves.
+        let mut sleepers: Vec<Arc<Waiter>> = Vec::new();
+        {
+            let mut pf = state.prefetch_waiters.lock();
+            for vp in vpages_of(&m, state) {
+                if let Some(w) = pf.remove(&vp) {
+                    if !sleepers.iter().any(|s| Arc::ptr_eq(s, &w)) {
+                        sleepers.push(w);
+                    }
+                }
+            }
+        }
+        for w in sleepers {
+            w.fulfill(Completion {
+                resume_vt: tl.now(),
+                addr: m.addr,
+            });
+        }
+        let ack = Pmsg::new(MsgKind::Ack, ep.host(), 0).with_addr(m.addr);
+        ep.send(HostId(0), ack, 0, tl.now());
+    } else {
+        let w = state
+            .waiters
+            .lock()
+            .remove(&m.event)
+            .expect("a waiter registered before the request went out");
+        w.fulfill(Completion {
+            resume_vt: tl.now(),
+            addr: m.addr,
+        });
+    }
+}
+
+/// Wakes the thread blocked on an allocation, barrier, or lock event.
+fn fulfill_simple(m: Pmsg, state: &Arc<HostState>, cost: &CostModel, tl: &mut ServerTimeline) {
+    tl.charge(cost.event_signal);
+    let w = state
+        .waiters
+        .lock()
+        .remove(&m.event)
+        .expect("a waiter registered before the request went out");
+    w.fulfill(Completion {
+        resume_vt: tl.now(),
+        addr: m.addr,
+    });
+}
+
+/// Installs a pushed read copy (§4.3).
+fn handle_push_data(m: Pmsg, state: &Arc<HostState>, cost: &CostModel, tl: &mut ServerTimeline) {
+    state
+        .space
+        .priv_write(m.priv_base, &m.data)
+        .expect("translated minipage in range");
+    for vp in vpages_of(&m, state) {
+        state
+            .space
+            .set_prot(vp, Prot::ReadOnly)
+            .expect("application vpage");
+        tl.charge(cost.set_protection);
+    }
+    state.counters.pushes_received.bump();
+}

@@ -1,0 +1,217 @@
+//! Typed handles onto shared memory.
+//!
+//! §3.2: "Allocating from the shared memory is performed via a malloc-like
+//! API. The returned pointer ... can then be used in the usual way." The
+//! simulation cannot hand out raw pointers (access must be checked the way
+//! the MMU would check it), so applications hold [`SharedVec`] /
+//! [`SharedCell`] handles — plain `Copy` values wrapping a shared virtual
+//! address — and access them through [`HostCtx`](crate::HostCtx) methods.
+
+use sim_mem::VAddr;
+use std::marker::PhantomData;
+
+/// Element types storable in shared memory.
+///
+/// Values are serialized little-endian into the shared byte store, so the
+/// trait is safe to implement: no transmutation occurs. Implementations
+/// exist for the primitive integer and floating-point types.
+pub trait Pod: Copy + Send + Sync + 'static {
+    /// Serialized size in bytes.
+    const SIZE: usize;
+
+    /// Decodes a value from exactly [`SIZE`](Pod::SIZE) bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != SIZE`.
+    fn from_bytes(b: &[u8]) -> Self;
+
+    /// Encodes the value into exactly [`SIZE`](Pod::SIZE) bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != SIZE`.
+    fn to_bytes(self, out: &mut [u8]);
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),* $(,)?) => {$(
+        impl Pod for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            fn from_bytes(b: &[u8]) -> Self {
+                <$t>::from_le_bytes(b.try_into().expect("exact size"))
+            }
+
+            fn to_bytes(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+        }
+    )*};
+}
+
+impl_pod!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Decodes a packed little-endian array.
+pub(crate) fn decode_slice<T: Pod>(bytes: &[u8]) -> Vec<T> {
+    assert_eq!(bytes.len() % T::SIZE, 0, "partial element");
+    bytes.chunks_exact(T::SIZE).map(T::from_bytes).collect()
+}
+
+/// Encodes a value slice into packed little-endian bytes.
+pub(crate) fn encode_slice<T: Pod>(vals: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; vals.len() * T::SIZE];
+    for (v, chunk) in vals.iter().zip(out.chunks_exact_mut(T::SIZE)) {
+        v.to_bytes(chunk);
+    }
+    out
+}
+
+/// A shared array of `n` elements of `T`, allocated with one `malloc` call
+/// (and therefore living in one minipage unless it exceeds a page).
+#[derive(Debug)]
+pub struct SharedVec<T> {
+    base: VAddr,
+    len: usize,
+    _elem: PhantomData<fn() -> T>,
+}
+
+// Manual impls: handles are plain addresses, independent of `T`'s traits.
+impl<T> Clone for SharedVec<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedVec<T> {}
+
+impl<T: Pod> SharedVec<T> {
+    /// Wraps a base address returned by the allocator.
+    pub(crate) fn from_raw(base: VAddr, len: usize) -> Self {
+        Self {
+            base,
+            len,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base address (for [`HostCtx::prefetch_vec`](crate::HostCtx::prefetch_vec)).
+    pub fn base(&self) -> VAddr {
+        self.base
+    }
+
+    /// Total bytes covered.
+    pub fn byte_len(&self) -> usize {
+        self.len * T::SIZE
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn addr_of(&self, i: usize) -> VAddr {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.base.add(i * T::SIZE)
+    }
+
+    /// Address and byte length of the subrange `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn range_bytes(&self, start: usize, end: usize) -> (VAddr, usize) {
+        assert!(start <= end && end <= self.len, "range {start}..{end} bad");
+        (self.base.add(start * T::SIZE), (end - start) * T::SIZE)
+    }
+}
+
+/// A single shared value of `T` (a one-element [`SharedVec`]).
+#[derive(Debug)]
+pub struct SharedCell<T> {
+    addr: VAddr,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for SharedCell<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedCell<T> {}
+
+impl<T: Pod> SharedCell<T> {
+    /// Wraps an allocator-provided address.
+    pub(crate) fn from_raw(addr: VAddr) -> Self {
+        Self {
+            addr,
+            _elem: PhantomData,
+        }
+    }
+
+    /// The cell's address.
+    pub fn addr(&self) -> VAddr {
+        self.addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut buf = [0u8; 8];
+        42.5f64.to_bytes(&mut buf);
+        assert_eq!(f64::from_bytes(&buf), 42.5);
+        let mut b4 = [0u8; 4];
+        (-7i32).to_bytes(&mut b4);
+        assert_eq!(i32::from_bytes(&b4), -7);
+    }
+
+    #[test]
+    fn slice_encode_decode_roundtrip() {
+        let xs = [1.5f32, -2.25, 1e10, 0.0];
+        let bytes = encode_slice(&xs);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(decode_slice::<f32>(&bytes), xs);
+    }
+
+    #[test]
+    fn shared_vec_addressing() {
+        let sv = SharedVec::<f64>::from_raw(VAddr(0x1000), 10);
+        assert_eq!(sv.len(), 10);
+        assert_eq!(sv.byte_len(), 80);
+        assert_eq!(sv.addr_of(0), VAddr(0x1000));
+        assert_eq!(sv.addr_of(3), VAddr(0x1018));
+        let (a, l) = sv.range_bytes(2, 5);
+        assert_eq!(a, VAddr(0x1010));
+        assert_eq!(l, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shared_vec_bounds_checked() {
+        let sv = SharedVec::<u32>::from_raw(VAddr(0x1000), 4);
+        let _ = sv.addr_of(4);
+    }
+
+    #[test]
+    fn handles_are_copy() {
+        let sv = SharedVec::<u8>::from_raw(VAddr(0x10), 1);
+        let sv2 = sv;
+        assert_eq!(sv.base(), sv2.base());
+        let c = SharedCell::<i64>::from_raw(VAddr(0x20));
+        let c2 = c;
+        assert_eq!(c.addr(), c2.addr());
+    }
+}

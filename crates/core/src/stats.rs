@@ -1,0 +1,149 @@
+//! Run reports: everything the paper's tables and figures need.
+
+use crate::host::HostState;
+use multiview::{AllocStats, Mpt};
+use sim_core::{HostId, Ns, TimeBreakdown};
+use sim_mem::{Geometry, Prot};
+use std::sync::Arc;
+
+/// Per-application-thread outcome.
+#[derive(Clone, Debug)]
+pub struct HostReport {
+    /// The host this thread ran on.
+    pub host: HostId,
+    /// The application thread index within the host.
+    pub thread: usize,
+    /// The thread's final virtual time.
+    pub end_vt: Ns,
+    /// Where its virtual time went (Figure 6 right).
+    pub breakdown: TimeBreakdown,
+    /// Read faults taken by this host.
+    pub read_faults: u64,
+    /// Write faults taken by this host.
+    pub write_faults: u64,
+}
+
+/// The outcome of one cluster run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Parallel virtual completion time: max over application threads.
+    pub virtual_time: Ns,
+    /// Per-host reports.
+    pub per_host: Vec<HostReport>,
+    /// Merged breakdown over all hosts.
+    pub breakdown: TimeBreakdown,
+    /// Total read faults.
+    pub read_faults: u64,
+    /// Total write faults.
+    pub write_faults: u64,
+    /// Prefetch requests issued.
+    pub prefetches: u64,
+    /// Invalidations received across hosts.
+    pub invalidations: u64,
+    /// Competing requests queued at the manager (Figure 7).
+    pub competing_requests: u64,
+    /// Barriers completed (Table 2).
+    pub barriers: u64,
+    /// Lock acquisitions (Table 2).
+    pub lock_acquires: u64,
+    /// Push broadcasts performed.
+    pub pushes: u64,
+    /// Messages on the wire.
+    pub messages: u64,
+    /// Payload bytes on the wire (communication volume).
+    pub payload_bytes: u64,
+    /// Allocator statistics (Table 2's memory size / views / granularity).
+    pub alloc: AllocStats,
+    /// Release-consistency diffs applied at the home (0 under SW/MR).
+    pub rc_diffs: u64,
+    /// Coherence violations found post-run (must be empty).
+    pub coherence_violations: Vec<String>,
+}
+
+impl RunReport {
+    /// Speedup relative to a single-host run time.
+    pub fn speedup(&self, t1: Ns) -> f64 {
+        t1 as f64 / self.virtual_time.max(1) as f64
+    }
+
+    /// Parallel efficiency relative to a single-host run time.
+    pub fn efficiency(&self, t1: Ns) -> f64 {
+        self.speedup(t1) / self.hosts as f64
+    }
+}
+
+/// Post-run validation for the release-consistency mode: after the final
+/// synchronization every present copy must byte-for-byte match the home
+/// copy (all dirty data flushed, all stale copies invalidated or
+/// refetched).
+pub(crate) fn check_rc_consistency(
+    mpt: &Mpt,
+    geo: &Geometry,
+    states: &[Arc<HostState>],
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let home = &states[0];
+    for mp in mpt.iter() {
+        let priv_base = mp.priv_base(geo);
+        let home_bytes = home
+            .space
+            .priv_read(priv_base, mp.len)
+            .expect("home copy in range");
+        for st in &states[1..] {
+            let present = mp.vpages(geo).all(|vp| st.space.prot(vp) != Prot::NoAccess);
+            if !present {
+                continue;
+            }
+            let local = st
+                .space
+                .priv_read(priv_base, mp.len)
+                .expect("local copy in range");
+            if local != home_bytes {
+                violations.push(format!(
+                    "{}: copy on {} diverges from the home copy",
+                    mp.id, st.host
+                ));
+            }
+        }
+    }
+    violations
+}
+
+/// Post-run validation of the Single-Writer/Multiple-Readers invariant:
+/// for every minipage, across all hosts, there is at most one writable
+/// copy, and never both a writable copy and read copies.
+pub(crate) fn check_coherence(mpt: &Mpt, geo: &Geometry, states: &[Arc<HostState>]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for mp in mpt.iter() {
+        let mut writers = Vec::new();
+        let mut readers = Vec::new();
+        for st in states {
+            // A minipage's vpages move together; mixed protection within
+            // one minipage on one host is itself a violation.
+            let prots: Vec<Prot> = mp.vpages(geo).map(|vp| st.space.prot(vp)).collect();
+            if prots.windows(2).any(|w| w[0] != w[1]) {
+                violations.push(format!(
+                    "{}: mixed vpage protections {:?} on {}",
+                    mp.id, prots, st.host
+                ));
+            }
+            match prots[0] {
+                Prot::ReadWrite => writers.push(st.host),
+                Prot::ReadOnly => readers.push(st.host),
+                Prot::NoAccess => {}
+            }
+        }
+        if writers.len() > 1 {
+            violations.push(format!("{}: multiple writers {:?}", mp.id, writers));
+        }
+        if writers.len() == 1 && !readers.is_empty() {
+            violations.push(format!(
+                "{}: writer {} coexists with readers {:?}",
+                mp.id, writers[0], readers
+            ));
+        }
+    }
+    violations
+}

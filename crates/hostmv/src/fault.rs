@@ -1,0 +1,158 @@
+//! The SIGSEGV-driven access-fault path.
+//!
+//! The paper's application threads "invoke a wrapper routine that installs
+//! the millipage exception handler" (§3.5.1). Here the handler implements
+//! the local half of that design: when an access faults inside a
+//! registered [`MultiViewRegion`], it decides between read and write
+//! intent from the page-fault error code, upgrades the vpage protection
+//! (`NoAccess → ReadOnly`, anything → `ReadWrite` on a write), bumps the
+//! fault counters, and returns so the instruction retries — exactly the
+//! protection-ladder a DSM uses to detect first-read and first-write.
+//!
+//! Everything in the handler is async-signal-safe: atomics, address
+//! arithmetic, and the `mprotect` syscall.
+
+use crate::region::{HostProt, MultiViewRegion};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+
+/// Fixed registry capacity: how many regions can be fault-managed at once.
+const MAX_REGIONS: usize = 16;
+
+struct Registered {
+    region: Arc<MultiViewRegion>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+static SLOTS: [AtomicPtr<Registered>; MAX_REGIONS] =
+    [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_REGIONS];
+static INSTALL: Once = Once::new();
+
+/// Fault counters of a registered region.
+#[derive(Clone)]
+pub struct FaultCounters {
+    inner: *const Registered,
+}
+
+// SAFETY: the pointee is leaked for the process lifetime and only holds
+// atomics (plus an Arc<MultiViewRegion> that is itself Sync).
+unsafe impl Send for FaultCounters {}
+// SAFETY: as above — all access is through atomics.
+unsafe impl Sync for FaultCounters {}
+
+impl FaultCounters {
+    /// Read faults taken (NoAccess → ReadOnly upgrades).
+    pub fn read_faults(&self) -> u64 {
+        // SAFETY: `inner` points to a leaked, never-freed Registered.
+        unsafe { (*self.inner).reads.load(Ordering::Relaxed) }
+    }
+
+    /// Write faults taken (→ ReadWrite upgrades).
+    pub fn write_faults(&self) -> u64 {
+        // SAFETY: as above.
+        unsafe { (*self.inner).writes.load(Ordering::Relaxed) }
+    }
+}
+
+/// Installs the process-wide SIGSEGV handler (once) and registers
+/// `region` with it. Returns the region's fault counters.
+///
+/// The registration is permanent: the region stays alive (and its slot
+/// occupied) for the rest of the process — fault handling and `Drop`
+/// cannot race that way. Suitable for tests and long-lived DSM processes;
+/// a production system would add epoch-based reclamation.
+///
+/// # Panics
+///
+/// Panics when the registry is full.
+pub fn install_handler(region: Arc<MultiViewRegion>) -> FaultCounters {
+    INSTALL.call_once(|| {
+        // SAFETY: installing a SA_SIGINFO handler with an otherwise
+        // zeroed sigaction; the handler only uses async-signal-safe
+        // operations.
+        unsafe {
+            let mut sa: libc::sigaction = std::mem::zeroed();
+            let f: extern "C" fn(libc::c_int, *mut libc::siginfo_t, *mut libc::c_void) = handler;
+            sa.sa_sigaction = f as usize;
+            sa.sa_flags = libc::SA_SIGINFO;
+            libc::sigemptyset(&mut sa.sa_mask);
+            assert_eq!(
+                libc::sigaction(libc::SIGSEGV, &sa, std::ptr::null_mut()),
+                0,
+                "sigaction(SIGSEGV) failed"
+            );
+        }
+    });
+    let entry = Box::leak(Box::new(Registered {
+        region,
+        reads: AtomicU64::new(0),
+        writes: AtomicU64::new(0),
+    }));
+    for slot in &SLOTS {
+        if slot
+            .compare_exchange(
+                std::ptr::null_mut(),
+                entry,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            return FaultCounters { inner: entry };
+        }
+    }
+    panic!("fault-handler registry full ({MAX_REGIONS} regions)");
+}
+
+/// x86-64 page-fault error-code bit 1: set for writes.
+#[cfg(target_arch = "x86_64")]
+fn is_write_fault(ctx: *mut libc::c_void) -> bool {
+    // SAFETY: the kernel hands SA_SIGINFO handlers a valid ucontext_t.
+    let uc = unsafe { &*(ctx as *const libc::ucontext_t) };
+    let err = uc.uc_mcontext.gregs[libc::REG_ERR as usize];
+    err & 0x2 != 0
+}
+
+/// Fallback for other architectures: assume write (the stronger upgrade).
+#[cfg(not(target_arch = "x86_64"))]
+fn is_write_fault(_ctx: *mut libc::c_void) -> bool {
+    true
+}
+
+extern "C" fn handler(_sig: libc::c_int, info: *mut libc::siginfo_t, ctx: *mut libc::c_void) {
+    // SAFETY: the kernel provides a valid siginfo for SIGSEGV.
+    let addr = unsafe { (*info).si_addr() } as usize;
+    for slot in &SLOTS {
+        let p = slot.load(Ordering::Acquire);
+        if p.is_null() {
+            continue;
+        }
+        // SAFETY: non-null slots point to leaked Registered entries.
+        let reg = unsafe { &*p };
+        let Some((view, page, _off)) = reg.region.decode(addr) else {
+            continue;
+        };
+        if view == reg.region.priv_view() {
+            break; // Privileged view never faults legitimately: crash.
+        }
+        let write = is_write_fault(ctx);
+        let new = if write {
+            reg.writes.fetch_add(1, Ordering::Relaxed);
+            HostProt::ReadWrite
+        } else {
+            reg.reads.fetch_add(1, Ordering::Relaxed);
+            HostProt::ReadOnly
+        };
+        if reg.region.protect_raw(view, page, new).is_ok() {
+            return; // Retry the faulting instruction.
+        }
+        break;
+    }
+    // Not one of ours (or upgrade failed): restore the default action and
+    // let the fault kill the process with a proper core.
+    // SAFETY: resetting a signal disposition is async-signal-safe.
+    unsafe {
+        libc::signal(libc::SIGSEGV, libc::SIG_DFL);
+    }
+}

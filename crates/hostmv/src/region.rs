@@ -1,0 +1,315 @@
+//! The multi-view mapping: one memfd, many views, per-vpage protection.
+
+use std::io;
+use std::ptr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Protection of one vpage, mirroring the paper's three states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum HostProt {
+    /// `PROT_NONE`.
+    NoAccess = 0,
+    /// `PROT_READ`.
+    ReadOnly = 1,
+    /// `PROT_READ | PROT_WRITE`.
+    ReadWrite = 2,
+}
+
+impl HostProt {
+    fn to_prot_flags(self) -> libc::c_int {
+        match self {
+            HostProt::NoAccess => libc::PROT_NONE,
+            HostProt::ReadOnly => libc::PROT_READ,
+            HostProt::ReadWrite => libc::PROT_READ | libc::PROT_WRITE,
+        }
+    }
+}
+
+/// One memory object mapped through `views + 1` views (§2.4): application
+/// views 0..views with mutable per-vpage protection, plus a privileged
+/// view fixed at read-write.
+///
+/// Dropping the region unmaps every view and closes the memfd. Regions
+/// registered with the fault handler must live as long as the handler can
+/// see them (the registry holds them alive via `Arc`).
+pub struct MultiViewRegion {
+    fd: libc::c_int,
+    page_size: usize,
+    pages: usize,
+    views: usize,
+    /// Base pointer of each view (len = views + 1).
+    bases: Vec<usize>,
+    /// Shadow protections, vpage-indexed (`view * pages + page`), kept for
+    /// the fault handler's upgrade decision. Only meaningful for
+    /// application views.
+    prots: Vec<AtomicU8>,
+}
+
+// SAFETY: the raw base addresses are plain integers; all mutation of the
+// mapping goes through the kernel (`mprotect`) or atomics. Cross-thread
+// data access through the mapping carries the same aliasing obligations as
+// any shared memory and is mediated by volatile accessors.
+unsafe impl Send for MultiViewRegion {}
+// SAFETY: see above — interior mutability is via atomics and syscalls.
+unsafe impl Sync for MultiViewRegion {}
+
+impl MultiViewRegion {
+    /// Creates a memory object of `pages` pages mapped through `views`
+    /// application views plus the privileged view.
+    ///
+    /// Application views start `NoAccess`; the privileged view is
+    /// read-write forever.
+    pub fn new(pages: usize, views: usize) -> io::Result<MultiViewRegion> {
+        assert!(pages > 0 && views > 0, "degenerate region");
+        // SAFETY: sysconf is always safe to call.
+        let page_size = unsafe { libc::sysconf(libc::_SC_PAGESIZE) } as usize;
+        let bytes = pages * page_size;
+        // SAFETY: memfd_create with a static name; the fd is owned below.
+        let fd = unsafe {
+            libc::syscall(
+                libc::SYS_memfd_create,
+                c"multiview".as_ptr(),
+                libc::MFD_CLOEXEC as libc::c_ulong,
+            )
+        } as libc::c_int;
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: freshly created fd, sized before any mapping exists.
+        if unsafe { libc::ftruncate(fd, bytes as libc::off_t) } != 0 {
+            let e = io::Error::last_os_error();
+            // SAFETY: fd was created above and is not yet shared.
+            unsafe { libc::close(fd) };
+            return Err(e);
+        }
+        let mut bases = Vec::with_capacity(views + 1);
+        for view in 0..=views {
+            let prot = if view == views {
+                libc::PROT_READ | libc::PROT_WRITE
+            } else {
+                libc::PROT_NONE
+            };
+            // SAFETY: mapping a valid fd with kernel-chosen placement;
+            // len > 0; offset 0. MAP_SHARED makes every view window the
+            // same physical pages — the MultiView property.
+            let p = unsafe { libc::mmap(ptr::null_mut(), bytes, prot, libc::MAP_SHARED, fd, 0) };
+            if p == libc::MAP_FAILED {
+                let e = io::Error::last_os_error();
+                for &b in &bases {
+                    // SAFETY: unmapping regions this constructor mapped.
+                    unsafe { libc::munmap(b as *mut libc::c_void, bytes) };
+                }
+                // SAFETY: fd owned by this constructor.
+                unsafe { libc::close(fd) };
+                return Err(e);
+            }
+            bases.push(p as usize);
+        }
+        let prots = (0..(views + 1) * pages)
+            .map(|i| {
+                let v = if i / pages == views {
+                    HostProt::ReadWrite
+                } else {
+                    HostProt::NoAccess
+                };
+                AtomicU8::new(v as u8)
+            })
+            .collect();
+        Ok(MultiViewRegion {
+            fd,
+            page_size,
+            pages,
+            views,
+            bases,
+            prots,
+        })
+    }
+
+    /// System page size.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pages in the memory object.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Application view count.
+    pub fn views(&self) -> usize {
+        self.views
+    }
+
+    /// Index of the privileged view.
+    pub fn priv_view(&self) -> usize {
+        self.views
+    }
+
+    /// Address of `(view, page, offset)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn addr(&self, view: usize, page: usize, offset: usize) -> usize {
+        assert!(view <= self.views && page < self.pages && offset < self.page_size);
+        self.bases[view] + page * self.page_size + offset
+    }
+
+    /// Decodes an address within the region to `(view, page, offset)`.
+    pub fn decode(&self, addr: usize) -> Option<(usize, usize, usize)> {
+        let bytes = self.pages * self.page_size;
+        for (view, &base) in self.bases.iter().enumerate() {
+            if addr >= base && addr < base + bytes {
+                let off = addr - base;
+                return Some((view, off / self.page_size, off % self.page_size));
+            }
+        }
+        None
+    }
+
+    /// Shadow protection of a vpage.
+    pub fn prot(&self, view: usize, page: usize) -> HostProt {
+        match self.prots[view * self.pages + page].load(Ordering::Acquire) {
+            0 => HostProt::NoAccess,
+            1 => HostProt::ReadOnly,
+            _ => HostProt::ReadWrite,
+        }
+    }
+
+    /// Sets the real protection of one vpage of one application view.
+    ///
+    /// # Panics
+    ///
+    /// Panics when targeting the privileged view or out of range.
+    pub fn protect(&self, view: usize, page: usize, prot: HostProt) -> io::Result<()> {
+        assert!(view < self.views, "privileged view protection is fixed");
+        assert!(page < self.pages);
+        self.protect_raw(view, page, prot)
+    }
+
+    /// `mprotect` + shadow update; used by both [`protect`] and the
+    /// SIGSEGV handler (async-signal-safe: one syscall + one atomic).
+    ///
+    /// [`protect`]: MultiViewRegion::protect
+    pub(crate) fn protect_raw(&self, view: usize, page: usize, prot: HostProt) -> io::Result<()> {
+        let addr = self.bases[view] + page * self.page_size;
+        // SAFETY: addr/page_size describe one page of a mapping this
+        // region owns; changing its protection cannot create memory
+        // unsafety by itself (accesses are checked by the MMU).
+        let rc = unsafe {
+            libc::mprotect(
+                addr as *mut libc::c_void,
+                self.page_size,
+                prot.to_prot_flags(),
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        self.prots[view * self.pages + page].store(prot as u8, Ordering::Release);
+        Ok(())
+    }
+
+    /// Volatile read of one byte through a view. May raise SIGSEGV when
+    /// the vpage protection forbids reads — which is the mechanism under
+    /// test; install the fault handler first.
+    pub fn read_u8(&self, view: usize, page: usize, offset: usize) -> u8 {
+        let a = self.addr(view, page, offset) as *const u8;
+        // SAFETY: `a` lies inside a live mapping of this region; volatile
+        // keeps the access an actual load (the MMU check is the point).
+        unsafe { ptr::read_volatile(a) }
+    }
+
+    /// Volatile write of one byte through a view (may raise SIGSEGV, as
+    /// above).
+    pub fn write_u8(&self, view: usize, page: usize, offset: usize, v: u8) {
+        let a = self.addr(view, page, offset) as *mut u8;
+        // SAFETY: in-bounds address of a live MAP_SHARED mapping; races
+        // on the shared bytes are defused by volatile byte-sized accesses.
+        unsafe { ptr::write_volatile(a, v) }
+    }
+
+    /// Copies `data` into the region through the privileged view — the
+    /// paper's zero-copy receive path (works regardless of application
+    /// view protections).
+    pub fn priv_write(&self, page: usize, offset: usize, data: &[u8]) {
+        assert!(offset + data.len() <= (self.pages - page) * self.page_size);
+        let a = self.addr(self.priv_view(), page, offset) as *mut u8;
+        // SAFETY: bounds asserted above; the privileged view is always
+        // PROT_READ|PROT_WRITE.
+        unsafe { ptr::copy_nonoverlapping(data.as_ptr(), a, data.len()) }
+    }
+
+    /// Reads `len` bytes through the privileged view.
+    pub fn priv_read(&self, page: usize, offset: usize, len: usize) -> Vec<u8> {
+        assert!(offset + len <= (self.pages - page) * self.page_size);
+        let a = self.addr(self.priv_view(), page, offset) as *const u8;
+        let mut out = vec![0u8; len];
+        // SAFETY: bounds asserted; privileged view always readable.
+        unsafe { ptr::copy_nonoverlapping(a, out.as_mut_ptr(), len) }
+        out
+    }
+
+    /// Whether `addr` falls inside any view of this region.
+    pub fn contains(&self, addr: usize) -> bool {
+        self.decode(addr).is_some()
+    }
+}
+
+impl Drop for MultiViewRegion {
+    fn drop(&mut self) {
+        let bytes = self.pages * self.page_size;
+        for &b in &self.bases {
+            // SAFETY: unmapping mappings this region created and owns.
+            unsafe { libc::munmap(b as *mut libc::c_void, bytes) };
+        }
+        // SAFETY: closing the fd this region created and owns.
+        unsafe { libc::close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_share_physical_storage() {
+        let r = MultiViewRegion::new(2, 3).unwrap();
+        r.priv_write(0, 10, b"shared!");
+        // Open view 1 for reading and observe the privileged write.
+        r.protect(1, 0, HostProt::ReadOnly).unwrap();
+        assert_eq!(r.read_u8(1, 0, 10), b's');
+        assert_eq!(r.read_u8(1, 0, 16), b'!');
+        // Write through view 2 after opening it; visible in view 1.
+        r.protect(2, 0, HostProt::ReadWrite).unwrap();
+        r.write_u8(2, 0, 10, b'S');
+        assert_eq!(r.read_u8(1, 0, 10), b'S');
+        assert_eq!(r.priv_read(0, 10, 7), b"Shared!");
+    }
+
+    #[test]
+    fn per_view_protection_is_independent() {
+        let r = MultiViewRegion::new(1, 2).unwrap();
+        r.protect(0, 0, HostProt::ReadWrite).unwrap();
+        assert_eq!(r.prot(0, 0), HostProt::ReadWrite);
+        assert_eq!(r.prot(1, 0), HostProt::NoAccess);
+        assert_eq!(r.prot(r.priv_view(), 0), HostProt::ReadWrite);
+    }
+
+    #[test]
+    fn decode_roundtrips() {
+        let r = MultiViewRegion::new(4, 2).unwrap();
+        let a = r.addr(1, 3, 17);
+        assert_eq!(r.decode(a), Some((1, 3, 17)));
+        assert!(r.contains(a));
+        assert!(!r.contains(0x10));
+    }
+
+    #[test]
+    #[should_panic(expected = "privileged view")]
+    fn privileged_protection_panics() {
+        let r = MultiViewRegion::new(1, 1).unwrap();
+        let _ = r.protect(1, 0, HostProt::NoAccess);
+    }
+}

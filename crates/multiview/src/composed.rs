@@ -1,0 +1,135 @@
+//! Composed views (§5, "Composed-Views" future work).
+//!
+//! "Complex data structures (such as multi-dimensional arrays) may be
+//! stored in groups of minipages. It might be helpful for an application to
+//! access these structures using different views at different stages.
+//! Higher level views may be associated with groups of lower level views,
+//! or groups of minipages. Obviously, the access permissions to such a
+//! composed-view should be set to the least of the access permissions of
+//! its components."
+//!
+//! A [`ComposedView`] is a named group of minipages. The DSM layer (the
+//! `millipage` crate) exposes bulk acquire operations over composed views;
+//! this module provides the grouping and the meet-of-protections rule.
+
+use crate::minipage::MinipageId;
+use crate::mpt::Mpt;
+use sim_mem::{AddressSpace, Prot};
+
+/// A group of minipages treated as one coarse-grain unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComposedView {
+    name: String,
+    members: Vec<MinipageId>,
+}
+
+impl ComposedView {
+    /// Creates a composed view from its member minipages.
+    ///
+    /// Duplicate members are removed; order is preserved otherwise.
+    pub fn new(name: impl Into<String>, members: impl IntoIterator<Item = MinipageId>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let members = members
+            .into_iter()
+            .filter(|m| seen.insert(*m))
+            .collect::<Vec<_>>();
+        Self {
+            name: name.into(),
+            members,
+        }
+    }
+
+    /// The group's name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The member minipages.
+    pub fn members(&self) -> &[MinipageId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The composed view's effective protection on a host: the meet
+    /// (minimum) of the protections of all member minipages' vpages.
+    ///
+    /// An empty composed view reports `ReadWrite` (the neutral element of
+    /// the meet).
+    pub fn effective_prot(&self, mpt: &Mpt, space: &AddressSpace) -> Prot {
+        let geo = space.geometry();
+        let mut acc = Prot::ReadWrite;
+        for &id in &self.members {
+            let mp = mpt.get(id);
+            for vp in mp.vpages(geo) {
+                acc = acc.meet(space.prot(vp));
+                if acc == Prot::NoAccess {
+                    return acc;
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{AllocMode, Allocator};
+    use sim_mem::Geometry;
+
+    fn setup() -> (Allocator, AddressSpace) {
+        let geo = Geometry::new(16, 8);
+        let alloc = Allocator::new(geo.clone(), AllocMode::FINE);
+        let space = AddressSpace::new(geo);
+        (alloc, space)
+    }
+
+    #[test]
+    fn effective_prot_is_the_meet_of_members() {
+        let (mut alloc, space) = setup();
+        let (_, a) = alloc.alloc_traced(128).unwrap();
+        let (_, b) = alloc.alloc_traced(128).unwrap();
+        let geo = space.geometry().clone();
+        let mpa = *alloc.mpt().get(a);
+        let mpb = *alloc.mpt().get(b);
+        for vp in mpa.vpages(&geo) {
+            space.set_prot(vp, Prot::ReadWrite).unwrap();
+        }
+        for vp in mpb.vpages(&geo) {
+            space.set_prot(vp, Prot::ReadOnly).unwrap();
+        }
+        let cv = ComposedView::new("pair", [a, b]);
+        assert_eq!(cv.effective_prot(alloc.mpt(), &space), Prot::ReadOnly);
+        // Downgrade one member to NoAccess: the composite collapses.
+        for vp in mpb.vpages(&geo) {
+            space.set_prot(vp, Prot::NoAccess).unwrap();
+        }
+        assert_eq!(cv.effective_prot(alloc.mpt(), &space), Prot::NoAccess);
+    }
+
+    #[test]
+    fn empty_composed_view_is_readwrite() {
+        let (alloc, space) = setup();
+        let cv = ComposedView::new("empty", []);
+        assert!(cv.is_empty());
+        assert_eq!(cv.effective_prot(alloc.mpt(), &space), Prot::ReadWrite);
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let (mut alloc, _) = setup();
+        let (_, a) = alloc.alloc_traced(64).unwrap();
+        let cv = ComposedView::new("dup", [a, a, a]);
+        assert_eq!(cv.len(), 1);
+        assert_eq!(cv.name(), "dup");
+    }
+}

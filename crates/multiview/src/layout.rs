@@ -1,0 +1,111 @@
+//! Static minipage layouts (§2.3).
+//!
+//! "Static layout may divide each memory page into k minipages of equal
+//! size. This way, it is easy to calculate the minipage borders when a
+//! fault occurs. Static layout may therefore be appropriate for general
+//! purpose caching and global memory systems, in order to reduce the page
+//! size by a fixed factor."
+
+use crate::minipage::Minipage;
+use crate::mpt::Mpt;
+use sim_mem::Geometry;
+
+/// Builds a static layout: every page of the memory object is divided into
+/// `k` equal minipages, piece `i` of each page associated with view `i`.
+///
+/// Returns a fully populated [`Mpt`]. The page size must be divisible by
+/// `k` and `k` must not exceed the number of application views.
+///
+/// # Panics
+///
+/// Panics if `k` is zero, does not divide the page size, or exceeds the
+/// view count.
+pub fn static_layout(geo: &Geometry, k: usize) -> Mpt {
+    assert!(k >= 1, "k must be positive");
+    assert_eq!(
+        geo.page_size() % k,
+        0,
+        "page size must be divisible by the number of minipages per page"
+    );
+    assert!(
+        k <= geo.views(),
+        "static layout of {k} minipages per page needs {k} views"
+    );
+    let piece = geo.page_size() / k;
+    let mut mpt = Mpt::new();
+    for page in 0..geo.pages() {
+        for i in 0..k {
+            let mp = Minipage {
+                id: mpt.next_id(),
+                base: geo.addr_of(i, page, i * piece),
+                len: piece,
+                view: i,
+                first_page: page,
+                offset: i * piece,
+            };
+            mpt.insert(geo, mp);
+        }
+    }
+    mpt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::VAddr;
+
+    #[test]
+    fn static_layout_covers_every_byte_exactly_once() {
+        let g = Geometry::new(4, 8);
+        let mpt = static_layout(&g, 8);
+        assert_eq!(mpt.len(), 4 * 8);
+        // Every byte of the object belongs to exactly one minipage when
+        // addressed through that minipage's own view.
+        for page in 0..g.pages() {
+            for off in (0..g.page_size()).step_by(64) {
+                let view = off / (g.page_size() / 8);
+                let addr = g.addr_of(view, page, off);
+                let mp = mpt.translate(&g, addr).unwrap();
+                assert!(mp.contains(&g, addr));
+            }
+        }
+    }
+
+    #[test]
+    fn minipage_borders_are_computable_from_the_address() {
+        // The paper's point: with the static layout, borders need no table.
+        let g = Geometry::new(2, 4);
+        let mpt = static_layout(&g, 4);
+        let piece = g.page_size() / 4;
+        let addr = g.addr_of(2, 1, 2 * piece + 17);
+        let mp = mpt.translate(&g, addr).unwrap();
+        assert_eq!(mp.offset, 2 * piece);
+        assert_eq!(mp.len, piece);
+        let _ = VAddr(0); // Keep the import honest in doc builds.
+    }
+
+    #[test]
+    fn k_equal_one_degenerates_to_whole_pages() {
+        let g = Geometry::new(3, 2);
+        let mpt = static_layout(&g, 1);
+        assert_eq!(mpt.len(), 3);
+        for mp in mpt.iter() {
+            assert_eq!(mp.len, g.page_size());
+            assert_eq!(mp.view, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn non_dividing_k_panics() {
+        let g = Geometry::new(1, 8);
+        let _ = static_layout(&g, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn k_beyond_view_budget_panics() {
+        let g = Geometry::new(1, 2);
+        let _ = static_layout(&g, 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Minipage descriptors.
+
+use sim_mem::{Geometry, VAddr};
+
+/// Dense identifier of a minipage (index into the [`Mpt`](crate::Mpt)).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MinipageId(pub u32);
+
+impl MinipageId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for MinipageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mp{}", self.0)
+    }
+}
+
+/// A minipage: a variable-size unit of sharing (§2.2).
+///
+/// "A minipage is identified by the associated vpage number and a pair
+/// `<offset, length>` which indicates the region inside the vpage where the
+/// minipage resides." Large minipages may span several consecutive vpages
+/// of the same view (§2.4: "If mapping to M spans several vpages ... the
+/// above is generalized in a straightforward way").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Minipage {
+    /// This minipage's id.
+    pub id: MinipageId,
+    /// Base virtual address, in the minipage's associated view.
+    pub base: VAddr,
+    /// Length in bytes (1 ..= pages-spanned × page size).
+    pub len: usize,
+    /// The view this minipage is associated with.
+    pub view: usize,
+    /// First physical page of the memory object the minipage occupies.
+    pub first_page: usize,
+    /// Byte offset of `base` within `first_page`.
+    pub offset: usize,
+}
+
+impl Minipage {
+    /// Number of vpages the minipage spans.
+    pub fn vpage_count(&self, page_size: usize) -> usize {
+        (self.offset + self.len).div_ceil(page_size)
+    }
+
+    /// Global vpage indices the minipage spans.
+    pub fn vpages(&self, geo: &Geometry) -> std::ops::Range<usize> {
+        let first = geo.vpage_index(self.view, self.first_page);
+        first..first + self.vpage_count(geo.page_size())
+    }
+
+    /// The minipage's base address translated to the privileged view
+    /// (Figure 3's `privbase`).
+    pub fn priv_base(&self, geo: &Geometry) -> VAddr {
+        geo.addr_of(geo.priv_view(), self.first_page, self.offset)
+    }
+
+    /// Whether `addr` lies inside the minipage (in the minipage's view).
+    pub fn contains(&self, geo: &Geometry, addr: VAddr) -> bool {
+        match geo.decode(addr) {
+            Some(loc) if loc.view == self.view => {
+                let byte = loc.page * geo.page_size() + loc.offset;
+                let start = self.first_page * geo.page_size() + self.offset;
+                byte >= start && byte < start + self.len
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> Geometry {
+        Geometry::new(16, 4)
+    }
+
+    fn mp(geo: &Geometry) -> Minipage {
+        Minipage {
+            id: MinipageId(3),
+            base: geo.addr_of(2, 5, 128),
+            len: 672,
+            view: 2,
+            first_page: 5,
+            offset: 128,
+        }
+    }
+
+    #[test]
+    fn vpage_count_for_small_and_spanning() {
+        let g = geo();
+        let m = mp(&g);
+        assert_eq!(m.vpage_count(4096), 1);
+        let big = Minipage {
+            len: 4096 * 2,
+            offset: 0,
+            ..m
+        };
+        assert_eq!(big.vpage_count(4096), 2);
+        let spanning = Minipage {
+            len: 4096,
+            offset: 1,
+            ..m
+        };
+        assert_eq!(spanning.vpage_count(4096), 2);
+    }
+
+    #[test]
+    fn vpages_are_in_the_right_view() {
+        let g = geo();
+        let m = mp(&g);
+        let vps = m.vpages(&g);
+        assert_eq!(vps, g.vpage_index(2, 5)..g.vpage_index(2, 5) + 1);
+    }
+
+    #[test]
+    fn priv_base_is_same_page_and_offset() {
+        let g = geo();
+        let m = mp(&g);
+        let p = m.priv_base(&g);
+        let loc = g.decode(p).unwrap();
+        assert_eq!(loc.view, g.priv_view());
+        assert_eq!(loc.page, 5);
+        assert_eq!(loc.offset, 128);
+    }
+
+    #[test]
+    fn contains_respects_bounds_and_view() {
+        let g = geo();
+        let m = mp(&g);
+        assert!(m.contains(&g, m.base));
+        assert!(m.contains(&g, m.base.add(671)));
+        assert!(!m.contains(&g, m.base.add(672)));
+        // Same page/offset through a different view is not "inside".
+        let other_view = g.rebase(m.base, 1).unwrap();
+        assert!(!m.contains(&g, other_view));
+    }
+}

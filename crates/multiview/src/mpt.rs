@@ -1,0 +1,187 @@
+//! The minipage table (MPT).
+//!
+//! §2.3: "The system should therefore store and maintain a minipage-table
+//! (MPT) with the appropriate `<offset, length>` pair specified for each
+//! minipage." §3.3: the MPT lives at the manager; a faulting host sends
+//! only the faulting address, and the manager's `Translate` step looks up
+//! the minipage base, size, and privileged-view address.
+
+use crate::minipage::{Minipage, MinipageId};
+use sim_mem::{Geometry, VAddr};
+use std::collections::HashMap;
+
+/// The minipage table: id → descriptor, plus a vpage index for fault
+/// translation.
+///
+/// In the dynamic layout every vpage is associated with at most one
+/// minipage (that is the invariant MultiView exists to establish), so the
+/// fault-address lookup is a single vpage-keyed map probe — the 7 µs
+/// "minipage translation" of Table 1.
+#[derive(Debug, Default)]
+pub struct Mpt {
+    entries: Vec<Minipage>,
+    by_vpage: HashMap<usize, MinipageId>,
+}
+
+impl Mpt {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of minipages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers a minipage built by the allocator. Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the minipage's id is not the next dense id, or if one of
+    /// its vpages is already associated with another minipage (the
+    /// MultiView invariant would be violated).
+    pub fn insert(&mut self, geo: &Geometry, mp: Minipage) -> MinipageId {
+        assert_eq!(
+            mp.id.index(),
+            self.entries.len(),
+            "minipage ids are dense insertion indices"
+        );
+        for vp in mp.vpages(geo) {
+            let prev = self.by_vpage.insert(vp, mp.id);
+            assert!(
+                prev.is_none(),
+                "vpage {vp} already carries {:?}",
+                prev.unwrap()
+            );
+        }
+        self.entries.push(mp);
+        mp.id
+    }
+
+    /// Descriptor for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never inserted.
+    pub fn get(&self, id: MinipageId) -> &Minipage {
+        &self.entries[id.index()]
+    }
+
+    /// Figure 3 `Translate`: resolves a faulting address to its minipage.
+    ///
+    /// Returns `None` for addresses outside the shared region or on vpages
+    /// that carry no minipage.
+    pub fn translate(&self, geo: &Geometry, fault_addr: VAddr) -> Option<&Minipage> {
+        let vp = geo.vpage_of(fault_addr)?;
+        let id = *self.by_vpage.get(&vp)?;
+        Some(self.get(id))
+    }
+
+    /// Iterates over all minipages.
+    pub fn iter(&self) -> impl Iterator<Item = &Minipage> {
+        self.entries.iter()
+    }
+
+    /// Next dense id an allocator should use.
+    pub fn next_id(&self) -> MinipageId {
+        MinipageId(self.entries.len() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> Geometry {
+        Geometry::new(8, 3)
+    }
+
+    fn mk(
+        id: u32,
+        view: usize,
+        page: usize,
+        offset: usize,
+        len: usize,
+        geo: &Geometry,
+    ) -> Minipage {
+        Minipage {
+            id: MinipageId(id),
+            base: geo.addr_of(view, page, offset),
+            len,
+            view,
+            first_page: page,
+            offset,
+        }
+    }
+
+    #[test]
+    fn translate_finds_minipage_from_any_offset() {
+        let g = geo();
+        let mut mpt = Mpt::new();
+        let m = mk(0, 1, 2, 256, 672, &g);
+        mpt.insert(&g, m);
+        // Any address on the vpage translates to the minipage — the fault
+        // address may point anywhere inside it.
+        let probe = g.addr_of(1, 2, 300);
+        let hit = mpt.translate(&g, probe).unwrap();
+        assert_eq!(hit.id, MinipageId(0));
+        assert_eq!(hit.base, m.base);
+        assert_eq!(hit.len, 672);
+    }
+
+    #[test]
+    fn translate_misses_on_foreign_view_and_outside() {
+        let g = geo();
+        let mut mpt = Mpt::new();
+        mpt.insert(&g, mk(0, 1, 2, 0, 128, &g));
+        // Same physical page, different view: separate vpage, no minipage.
+        assert!(mpt.translate(&g, g.addr_of(0, 2, 0)).is_none());
+        assert!(mpt.translate(&g, VAddr(0x1)).is_none());
+    }
+
+    #[test]
+    fn spanning_minipage_translates_from_every_vpage() {
+        let g = geo();
+        let mut mpt = Mpt::new();
+        let m = Minipage {
+            id: MinipageId(0),
+            base: g.addr_of(0, 4, 0),
+            len: 4096 * 3,
+            view: 0,
+            first_page: 4,
+            offset: 0,
+        };
+        mpt.insert(&g, m);
+        for page in 4..7 {
+            let hit = mpt.translate(&g, g.addr_of(0, page, 17)).unwrap();
+            assert_eq!(hit.id, MinipageId(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already carries")]
+    fn double_association_panics() {
+        let g = geo();
+        let mut mpt = Mpt::new();
+        mpt.insert(&g, mk(0, 1, 2, 0, 128, &g));
+        mpt.insert(&g, mk(1, 1, 2, 128, 128, &g));
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let g = geo();
+        let mut mpt = Mpt::new();
+        assert_eq!(mpt.next_id(), MinipageId(0));
+        mpt.insert(&g, mk(0, 0, 0, 0, 64, &g));
+        assert_eq!(mpt.next_id(), MinipageId(1));
+        mpt.insert(&g, mk(1, 1, 0, 64, 64, &g));
+        assert_eq!(mpt.len(), 2);
+        assert_eq!(mpt.iter().count(), 2);
+    }
+}

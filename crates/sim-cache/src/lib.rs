@@ -1,0 +1,25 @@
+//! Cache and TLB simulation for the MultiView overhead study (§4.1).
+//!
+//! The paper's Figure 5 measures a standalone test application that
+//! traverses an `N`-byte array through `n` views (minipages of `4096/n`
+//! bytes) and finds:
+//!
+//! 1. overhead under 4% while the active page-table footprint fits the
+//!    second-level cache,
+//! 2. sharp *breaking points* where `n · N ≈ 512` (N in MB) — exactly
+//!    where the PTE working set (`n · N / 1024` bytes at 4 bytes per PTE)
+//!    exceeds the Pentium II's 512 KB L2,
+//! 3. linear growth beyond the break with a slope independent of `N`.
+//!
+//! This crate provides the pieces to reproduce that mechanism: a
+//! set-associative [`Cache`] with per-access insertion policy (reused PTE
+//! lines insert at MRU; the streaming data lines insert near LRU, modeling
+//! their single-use behaviour), a [`Tlb`], and the [`fig5`] model that
+//! replays the test application's reference stream.
+
+mod cache;
+pub mod fig5;
+mod tlb;
+
+pub use cache::{Cache, CacheConfig, Insertion};
+pub use tlb::{Tlb, TlbConfig};

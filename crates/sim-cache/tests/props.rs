@@ -1,0 +1,87 @@
+//! Property-based tests of the cache/TLB simulators and the Figure 5
+//! model.
+
+use proptest::prelude::*;
+use sim_cache::fig5::{point, Fig5Config};
+use sim_cache::{Cache, CacheConfig, Insertion, Tlb, TlbConfig};
+
+proptest! {
+    /// Counters are conserved: hits + misses == accesses; replaying the
+    /// same trace on a fresh cache is deterministic.
+    #[test]
+    fn counters_conserved_and_deterministic(
+        trace in proptest::collection::vec((any::<u32>(), any::<bool>()), 1..500),
+    ) {
+        let cfg = CacheConfig { capacity: 4096, ways: 4, line: 32 };
+        let run = || {
+            let mut c = Cache::new(cfg);
+            let hits: Vec<bool> = trace
+                .iter()
+                .map(|&(a, mru)| {
+                    c.access(a as u64, if mru { Insertion::Mru } else { Insertion::Lru })
+                })
+                .collect();
+            (hits, c.hits(), c.misses())
+        };
+        let (h1, hits, misses) = run();
+        let (h2, _, _) = run();
+        prop_assert_eq!(&h1, &h2, "replay must be deterministic");
+        prop_assert_eq!(hits + misses, trace.len() as u64);
+        prop_assert_eq!(hits, h1.iter().filter(|&&x| x).count() as u64);
+    }
+
+    /// Inclusion: a fully-associative LRU cache with more ways never has
+    /// fewer hits on the same MRU-insert trace (stack property).
+    #[test]
+    fn lru_stack_property(trace in proptest::collection::vec(any::<u16>(), 1..400)) {
+        let mut prev = 0u64;
+        for ways in [2usize, 4, 8, 16] {
+            let mut c = Cache::new(CacheConfig { capacity: 32 * ways, ways, line: 32 });
+            for &a in &trace {
+                c.access(a as u64 * 32, Insertion::Mru);
+            }
+            prop_assert!(c.hits() >= prev, "ways={ways}: {} < {prev}", c.hits());
+            prev = c.hits();
+        }
+    }
+
+    /// TLB determinism and conservation.
+    #[test]
+    fn tlb_counters(trace in proptest::collection::vec(any::<u16>(), 1..400)) {
+        let mut t = Tlb::new(TlbConfig::pentium_ii_data());
+        for &v in &trace {
+            t.access(v as u64);
+        }
+        prop_assert_eq!(t.hits() + t.misses(), trace.len() as u64);
+        // Distinct pages ≤ misses (each distinct page misses at least once).
+        let mut distinct: Vec<u16> = trace.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(t.misses() >= distinct.len() as u64);
+    }
+
+    /// Figure 5 sanity over arbitrary power-of-two view counts: slowdown
+    /// is ≥ ~1 and finite, and grows monotonically past the break.
+    #[test]
+    fn fig5_slowdown_sane(view_pow in 0u32..9, size_pow in 19u32..24) {
+        let cfg = Fig5Config::default();
+        let views = 1usize << view_pow;
+        let n = 1usize << size_pow;
+        let p = point(&cfg, n, views);
+        prop_assert!(p.slowdown >= 0.99, "slowdown {}", p.slowdown);
+        prop_assert!(p.slowdown < 100.0, "slowdown {}", p.slowdown);
+        prop_assert_eq!(p.pte_footprint, n / 4096 * views * 4);
+    }
+}
+
+#[test]
+fn fig5_monotone_in_views_beyond_break() {
+    let cfg = Fig5Config::default();
+    let n = 8 << 20;
+    let mut prev = 0.0;
+    for views in [64usize, 128, 256, 512] {
+        let s = point(&cfg, n, views).slowdown;
+        assert!(s >= prev, "slowdown must grow with views: {s} < {prev}");
+        prev = s;
+    }
+}

@@ -1,0 +1,279 @@
+//! The calibrated cost model.
+//!
+//! Every constant here is taken from the paper: Table 1 ("Cost of basic
+//! operations in millipage"), §3.5 (FastMessages latencies, the NT timer
+//! anomaly), §4.2 (barrier/lock/diff costs). The reproduction charges these
+//! virtual costs at the same points in the protocol where the real system
+//! spends them, so latency-derived results keep the paper's shape.
+
+use crate::clock::Ns;
+use crate::rng::SplitMix64;
+
+/// Costs of the basic operations of the simulated platform.
+///
+/// Defaults reproduce the paper's testbed: 300 MHz Pentium II, Windows NT
+/// 4.0, Illinois FastMessages on switched Myrinet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// Delivering an access fault to the user-level handler (Table 1: 26 µs).
+    pub access_fault: Ns,
+    /// Querying a vpage protection (Table 1: 7 µs).
+    pub get_protection: Ns,
+    /// Changing a vpage protection (Table 1: 12 µs).
+    pub set_protection: Ns,
+    /// Fixed per-message cost: send + receive of a 32-byte header
+    /// (Table 1: 12 µs). Used as the latency-model intercept.
+    pub msg_base: Ns,
+    /// Self-delivery cost: the manager host forwarding to itself is a
+    /// local handler call, not a wire round trip.
+    pub self_msg: Ns,
+    /// Per-byte wire cost beyond the header, fitted to Table 1's
+    /// 0.5 KB → 22 µs, 1 KB → 34 µs, 4 KB → 90 µs (≈ 19 ns/byte).
+    pub msg_per_byte_ns: f64,
+    /// Minipage translation: MPT lookup at the manager (Table 1: 7 µs).
+    pub mpt_lookup: Ns,
+    /// Waking a blocked thread (`SetEvent` + context switch).
+    pub event_signal: Ns,
+    /// Fixed DSM software overhead per data-carrying protocol step
+    /// (handler dispatch, request bookkeeping); calibrated so a one-hop
+    /// 128-byte read fault lands at the paper's measured 204 µs, which
+    /// exceeds the sum of its Table 1 components.
+    pub dsm_overhead: Ns,
+    /// Fixed part of a barrier (§4.2: barriers take 59–153 µs linearly in
+    /// the number of hosts; fit: 46 µs + 13.4 µs/host).
+    pub barrier_base: Ns,
+    /// Per-host part of a barrier.
+    pub barrier_per_host: Ns,
+    /// Manager-side handling of a lock acquire/release request
+    /// (calibrated so an uncontended lock+unlock lands in the paper's
+    /// 67–80 µs window).
+    pub lock_service: Ns,
+    /// Run-length diff creation cost per byte (§4.2: 250 µs per 4 KB page,
+    /// linear in page size ⇒ ≈ 61 ns/byte). Only charged by the HLRC
+    /// extension and the diff benchmarks — the Millipage protocol itself
+    /// never diffs, which is the point of the paper.
+    pub diff_per_byte_ns: f64,
+    /// Applying (patching) a diff, per byte.
+    pub patch_per_byte_ns: f64,
+    /// Local memory copy per byte (used when the privileged view copies a
+    /// minipage into / out of the application views' backing page).
+    pub copy_per_byte_ns: f64,
+    /// How receive-side polling delays are modeled (§3.5.1).
+    pub service_delay: ServiceDelayModel,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            access_fault: 26_000,
+            get_protection: 7_000,
+            set_protection: 12_000,
+            msg_base: 12_000,
+            self_msg: 1_000,
+            msg_per_byte_ns: 19.0,
+            mpt_lookup: 7_000,
+            event_signal: 5_000,
+            dsm_overhead: 45_000,
+            barrier_base: 20_000,
+            barrier_per_host: 13_400,
+            lock_service: 25_000,
+            diff_per_byte_ns: 61.0,
+            patch_per_byte_ns: 20.0,
+            copy_per_byte_ns: 3.0,
+            service_delay: ServiceDelayModel::default(),
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model with instantaneous polling, as if the FM polling
+    /// problem and the NT timer resolution problem of §3.5 were solved.
+    ///
+    /// The paper predicts (§4.3.1) that total fault-service time "will
+    /// further decrease once the polling and timer resolution problems are
+    /// solved"; the `repro` harness offers this model for that what-if.
+    pub fn fast_polling() -> Self {
+        Self {
+            service_delay: ServiceDelayModel {
+                poller_delay: 2_000,
+                sweeper_period: 0,
+                late_tick_prob: 0.0,
+                late_tick_extra: 0,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// End-to-end wire + software time for a message of `bytes` payload
+    /// bytes (header included in `msg_base`).
+    ///
+    /// Matches Table 1: 32 B header → 12 µs, 0.5 KB → ≈22 µs, 1 KB →
+    /// ≈31 µs, 4 KB → ≈90 µs.
+    #[inline]
+    pub fn msg_time(&self, bytes: usize) -> Ns {
+        self.msg_base + (self.msg_per_byte_ns * bytes as f64) as Ns
+    }
+
+    /// Cost of a barrier among `hosts` hosts (§4.2).
+    #[inline]
+    pub fn barrier_time(&self, hosts: usize) -> Ns {
+        self.barrier_base + self.barrier_per_host * hosts as Ns
+    }
+
+    /// Cost of creating a run-length diff over `bytes` bytes (§4.2).
+    #[inline]
+    pub fn diff_time(&self, bytes: usize) -> Ns {
+        (self.diff_per_byte_ns * bytes as f64) as Ns
+    }
+
+    /// Cost of a local privileged-view copy of `bytes` bytes.
+    #[inline]
+    pub fn copy_time(&self, bytes: usize) -> Ns {
+        (self.copy_per_byte_ns * bytes as f64) as Ns
+    }
+}
+
+/// Receive-side service-delay model (§3.5.1 of the paper).
+///
+/// Millipage receives messages by polling. When the host is otherwise idle,
+/// the low-priority *poller* thread picks messages up almost immediately.
+/// When the host's application threads are computing, the poller is starved
+/// and the *sweeper* — woken by a 1 ms multimedia timer with the extreme
+/// jitter reported by Jones & Regehr — picks the message up at the next
+/// tick. The paper measured an average extra delay above 500 µs from this
+/// effect, dominating its 750 µs average minipage request service time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceDelayModel {
+    /// Delay when the host is idle and the poller is running (≈ one poll
+    /// loop iteration).
+    pub poller_delay: Ns,
+    /// Sweeper wake-up period (NT multimedia timer: 1 ms). A message that
+    /// arrives while the host computes waits uniformly within one period.
+    pub sweeper_period: Ns,
+    /// Probability that a timer tick is late (the NT anomaly: "most ticks
+    /// appear either within several tens of microseconds ... or take
+    /// several milliseconds").
+    pub late_tick_prob: f64,
+    /// Extra delay bound for a late tick (uniform in `0..late_tick_extra`).
+    pub late_tick_extra: Ns,
+}
+
+impl Default for ServiceDelayModel {
+    fn default() -> Self {
+        Self {
+            poller_delay: 5_000,
+            sweeper_period: 1_000_000,
+            late_tick_prob: 0.1,
+            late_tick_extra: 3_000_000,
+        }
+    }
+}
+
+impl ServiceDelayModel {
+    /// Samples the delay between a message's arrival and the moment a DSM
+    /// server thread starts handling it.
+    ///
+    /// `busy` says whether the host's application threads were computing at
+    /// the arrival time (server threads then rely on the sweeper).
+    pub fn sample(&self, busy: bool, rng: &mut SplitMix64) -> Ns {
+        if !busy || self.sweeper_period == 0 {
+            return self.poller_delay;
+        }
+        let within_period = rng.next_range(self.sweeper_period.max(1));
+        let late = if self.late_tick_prob > 0.0 && rng.next_f64() < self.late_tick_prob {
+            rng.next_range(self.late_tick_extra.max(1))
+        } else {
+            0
+        };
+        within_period + late
+    }
+
+    /// Mean of the sampled delay for a busy host (used by tests and docs).
+    pub fn busy_mean(&self) -> f64 {
+        self.sweeper_period as f64 / 2.0 + self.late_tick_prob * self.late_tick_extra as f64 / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_time_matches_table_1() {
+        let c = CostModel::default();
+        // Header-only messages cost 12 µs.
+        assert_eq!(c.msg_time(0), 12_000);
+        // Table 1 data points, within ±15%.
+        let close = |got: Ns, want: Ns| {
+            let (g, w) = (got as f64, want as f64);
+            assert!((g - w).abs() / w < 0.15, "got {got}, want ~{want}");
+        };
+        close(c.msg_time(512), 22_000);
+        close(c.msg_time(1024), 34_000);
+        close(c.msg_time(4096), 90_000);
+    }
+
+    #[test]
+    fn barrier_time_is_linear_and_paper_scaled() {
+        let c = CostModel::default();
+        // The manager-side charge; end-to-end (§4.2's 59–153 µs window)
+        // adds the enter/release messages and is measured by the bench
+        // scenarios. Here: linearity and the right order of magnitude.
+        let b1 = c.barrier_time(1);
+        let b8 = c.barrier_time(8);
+        assert!((25_000..=80_000).contains(&b1), "b1 = {b1}");
+        assert!((100_000..=160_000).contains(&b8), "b8 = {b8}");
+        assert_eq!(c.barrier_time(5) - c.barrier_time(4), c.barrier_per_host);
+    }
+
+    #[test]
+    fn diff_time_matches_section_4_2() {
+        let c = CostModel::default();
+        let d = c.diff_time(4096);
+        assert!((230_000..=270_000).contains(&d), "4 KB diff = {d} ns");
+        // Linear in the page size.
+        assert_eq!(c.diff_time(2048) * 2, c.diff_time(4096));
+    }
+
+    #[test]
+    fn idle_host_service_delay_is_poller_delay() {
+        let m = ServiceDelayModel::default();
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(m.sample(false, &mut rng), m.poller_delay);
+    }
+
+    #[test]
+    fn busy_host_service_delay_has_paper_scale_mean() {
+        let m = ServiceDelayModel::default();
+        let mut rng = SplitMix64::new(42);
+        let n = 20_000;
+        let total: u128 = (0..n).map(|_| m.sample(true, &mut rng) as u128).sum();
+        let mean = (total / n as u128) as f64;
+        // Paper §4.3.1: "an average of more than 500 µs" extra delay.
+        assert!(
+            (500_000.0..900_000.0).contains(&mean),
+            "mean busy delay = {mean} ns"
+        );
+    }
+
+    #[test]
+    fn fast_polling_removes_sweeper_delay() {
+        let m = CostModel::fast_polling();
+        let mut rng = SplitMix64::new(7);
+        assert_eq!(m.service_delay.sample(true, &mut rng), 2_000);
+    }
+
+    #[test]
+    fn busy_mean_formula_matches_samples() {
+        let m = ServiceDelayModel::default();
+        let mut rng = SplitMix64::new(3);
+        let n = 50_000;
+        let total: u128 = (0..n).map(|_| m.sample(true, &mut rng) as u128).sum();
+        let empirical = (total / n as u128) as f64;
+        let analytic = m.busy_mean();
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.05,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+}

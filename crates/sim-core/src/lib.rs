@@ -1,0 +1,65 @@
+//! Virtual-time kernel for the Millipage reproduction.
+//!
+//! The reproduction runs the Millipage protocol for real (real threads, real
+//! blocking, real data movement between simulated hosts) but accounts *time*
+//! virtually: every simulated thread owns a nanosecond [`Clock`], application
+//! work and protocol steps charge costs from a [`CostModel`], and messages
+//! carry virtual send timestamps so that latency-derived results (speedups,
+//! breakdowns) reproduce the shape of the paper's measurements.
+//!
+//! This crate holds the pieces shared by every other crate in the workspace:
+//!
+//! * [`clock`] — virtual clocks and time algebra,
+//! * [`cost`] — the calibrated cost model (Table 1 and §3.5 of the paper),
+//! * [`rng`] — a small deterministic PRNG (SplitMix64),
+//! * [`account`] — per-category time accounting (the Figure 6 breakdown),
+//! * [`stats`] — counters, summaries, and histograms used by the harnesses.
+
+pub mod account;
+pub mod clock;
+pub mod cost;
+pub mod rng;
+pub mod stats;
+
+pub use account::{Category, TimeBreakdown};
+pub use clock::{BusyWindow, Clock, Ns, SharedClock};
+pub use cost::{CostModel, ServiceDelayModel};
+pub use rng::SplitMix64;
+pub use stats::{Counter, Histogram, Summary};
+
+/// Identifier of a simulated host (0-based, dense).
+///
+/// The paper's testbed has eight hosts; the reproduction supports up to 64
+/// (copysets are stored as `u64` bitmasks).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u16);
+
+impl HostId {
+    /// Maximum number of hosts supported by the copyset bitmask encoding.
+    pub const MAX_HOSTS: usize = 64;
+
+    /// Returns the host id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_id_roundtrip_and_display() {
+        let h = HostId(7);
+        assert_eq!(h.index(), 7);
+        assert_eq!(h.to_string(), "h7");
+        assert!(HostId(3) < HostId(4));
+    }
+}

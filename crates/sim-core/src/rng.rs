@@ -1,0 +1,141 @@
+//! A small deterministic PRNG.
+//!
+//! The simulation must be reproducible run-to-run for a fixed seed, so all
+//! stochastic model components (timer jitter, workload generators) draw from
+//! this SplitMix64 generator rather than from a global or entropy-seeded
+//! source. SplitMix64 passes BigCrush, is trivially seedable, and every
+//! stream is independent when seeded from distinct values.
+
+/// SplitMix64 pseudo-random number generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Distinct seeds yield independent
+    /// streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derives an independent child generator (useful for giving each host
+    /// its own stream from one run seed).
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::new(s)
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn next_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_range bound must be positive");
+        // Multiply-shift bounded sampling (Lemire). The slight modulo bias
+        // of the simple approach would be irrelevant for simulation, but
+        // this is just as cheap.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `0..bound`.
+    #[inline]
+    pub fn next_usize(&mut self, bound: usize) -> usize {
+        self.next_range(bound as u64) as usize
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_usize(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_range_stays_in_bounds() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            assert!(r.next_range(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_range_zero_bound_panics() {
+        SplitMix64::new(1).next_range(0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = SplitMix64::new(77);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = SplitMix64::new(5);
+        let mut child = parent.fork(1);
+        let a = parent.next_u64();
+        let b = child.next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(11);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

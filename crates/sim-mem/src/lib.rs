@@ -1,0 +1,33 @@
+//! Simulated virtual memory with MultiView semantics.
+//!
+//! This crate models exactly the part of Windows NT that the paper's
+//! MultiView technique relies on (§2.4):
+//!
+//! * a **memory object** — a region of physical pages backed by the paging
+//!   file (`CreateFileMapping`),
+//! * several **views** of that object mapped at distinct virtual address
+//!   ranges (`MapViewOfFile`), all windows onto the *same* physical pages,
+//! * independent per-**vpage** protection (`VirtualProtect`): the same
+//!   physical page can be `ReadWrite` through one view and `NoAccess`
+//!   through another,
+//! * **access faults** raised when an application touches a vpage whose
+//!   protection does not permit the access, and
+//! * a **privileged view** whose protection is permanently `ReadWrite`,
+//!   used by DSM server threads for atomic updates and zero-copy receive.
+//!
+//! One [`AddressSpace`] instance represents one simulated host's mapping of
+//! the shared memory object. All hosts share one [`Geometry`], so a virtual
+//! address means the same thing everywhere and no translation is needed
+//! between hosts — the property §2.4 obtains by "carefully configuring the
+//! DSM addresses".
+//!
+//! The real-OS counterpart of this crate (actual `mmap`/`mprotect`/SIGSEGV)
+//! lives in the `hostmv` crate.
+
+mod addr;
+mod fault;
+mod space;
+
+pub use addr::{Geometry, Loc, VAddr, DEFAULT_BASE, DEFAULT_PAGE_SIZE};
+pub use fault::{Access, AccessFault, MemError, Prot};
+pub use space::{AccessError, AddressSpace};

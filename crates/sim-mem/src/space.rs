@@ -1,0 +1,565 @@
+//! Per-host address space: protections + page storage + checked access.
+
+use crate::addr::{Geometry, VAddr};
+use crate::fault::{Access, AccessFault, MemError, Prot};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Why a checked access did not complete.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessError {
+    /// Hard error: address outside the shared region (a program bug).
+    Mem(MemError),
+    /// An access fault to be resolved by the DSM protocol.
+    Fault(AccessFault),
+}
+
+impl From<MemError> for AccessError {
+    fn from(e: MemError) -> Self {
+        AccessError::Mem(e)
+    }
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessError::Mem(e) => write!(f, "{e}"),
+            AccessError::Fault(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// One simulated host's mapping of the shared memory object.
+///
+/// Holds the host's local copy of every physical page plus the protection
+/// of every vpage of every view. Application access goes through
+/// [`read`](AddressSpace::read) / [`write`](AddressSpace::write), which
+/// enforce protections like the MMU would; DSM server threads use the
+/// `priv_*` methods, which model the privileged view (§2.3.1) and ignore
+/// application protections.
+///
+/// # Concurrency
+///
+/// Application copies hold the underlying physical page lock while they
+/// re-check the vpage protection and move bytes, and protection *changes*
+/// ([`set_prot`](AddressSpace::set_prot)) take the same lock exclusively.
+/// An invalidation therefore cannot interleave with an in-flight
+/// application access: either the access completes first (and serializes
+/// before the remote write, which is legal under sequential consistency
+/// because the writer is still blocked waiting for the invalidation ack) or
+/// the protection change lands first and the access faults.
+pub struct AddressSpace {
+    geo: Geometry,
+    prots: Vec<AtomicU8>,
+    pages: Vec<RwLock<Box<[u8]>>>,
+}
+
+impl AddressSpace {
+    /// Creates an address space: all application vpages `NoAccess`, the
+    /// privileged view `ReadWrite`, all pages zeroed.
+    pub fn new(geo: Geometry) -> Self {
+        let total = geo.total_vpages();
+        let mut prots = Vec::with_capacity(total);
+        for view in 0..geo.total_views() {
+            let p = if view == geo.priv_view() {
+                Prot::ReadWrite
+            } else {
+                Prot::NoAccess
+            };
+            for _ in 0..geo.pages() {
+                prots.push(AtomicU8::new(p as u8));
+            }
+        }
+        let pages = (0..geo.pages())
+            .map(|_| RwLock::new(vec![0u8; geo.page_size()].into_boxed_slice()))
+            .collect();
+        Self { geo, prots, pages }
+    }
+
+    /// The shared geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// Current protection of a global vpage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpage` is out of range.
+    pub fn prot(&self, vpage: usize) -> Prot {
+        let raw = self.prots[vpage].load(Ordering::Acquire);
+        Prot::from_u8(raw).expect("protection bytes are only written from Prot values")
+    }
+
+    /// Sets the protection of a global vpage, serializing against in-flight
+    /// application copies of the same physical page.
+    ///
+    /// Returns [`MemError::PrivilegedViewProtection`] for privileged vpages,
+    /// whose protection is fixed (§2.3.1).
+    pub fn set_prot(&self, vpage: usize, prot: Prot) -> Result<(), MemError> {
+        if vpage >= self.prots.len() {
+            return Err(MemError::OutOfRange {
+                addr: VAddr(0),
+                len: 0,
+            });
+        }
+        if vpage / self.geo.pages() == self.geo.priv_view() {
+            return Err(MemError::PrivilegedViewProtection { vpage });
+        }
+        let page = vpage % self.geo.pages();
+        // Exclusive page lock: no application copy of this physical page is
+        // in flight while the protection changes.
+        let _guard = self.pages[page].write();
+        self.prots[vpage].store(prot as u8, Ordering::Release);
+        Ok(())
+    }
+
+    /// Checks whether `[addr, addr+len)` is accessible for `access`
+    /// through the view `addr` belongs to, without touching data.
+    ///
+    /// The privileged view always passes.
+    pub fn check(&self, addr: VAddr, len: usize, access: Access) -> Result<(), AccessError> {
+        let (loc, vpages) = self
+            .geo
+            .vpages_covering(addr, len)
+            .ok_or(MemError::OutOfRange { addr, len })?;
+        if loc.view == self.geo.priv_view() {
+            return Ok(());
+        }
+        for vp in vpages {
+            if !self.prot(vp).allows(access) {
+                return Err(AccessError::Fault(AccessFault {
+                    addr: self.fault_addr(addr, loc.view, vp),
+                    access,
+                    vpage: vp,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Application read: copies `buf.len()` bytes starting at `addr` into
+    /// `buf`, enforcing protections.
+    pub fn read(&self, addr: VAddr, buf: &mut [u8]) -> Result<(), AccessError> {
+        let (loc, vpages) =
+            self.geo
+                .vpages_covering(addr, buf.len())
+                .ok_or(MemError::OutOfRange {
+                    addr,
+                    len: buf.len(),
+                })?;
+        let privileged = loc.view == self.geo.priv_view();
+        let mut page = loc.page;
+        let mut off = loc.offset;
+        let mut dst = &mut buf[..];
+        let mut vp_iter = vpages;
+        while !dst.is_empty() {
+            let take = dst.len().min(self.geo.page_size() - off);
+            let guard = self.pages[page].read();
+            if !privileged {
+                let vp = vp_iter.next().expect("vpages cover the whole range");
+                if !self.prot(vp).allows(Access::Read) {
+                    return Err(AccessError::Fault(AccessFault {
+                        addr: self.fault_addr(addr, loc.view, vp),
+                        access: Access::Read,
+                        vpage: vp,
+                    }));
+                }
+            }
+            dst[..take].copy_from_slice(&guard[off..off + take]);
+            dst = &mut dst[take..];
+            off = 0;
+            page += 1;
+        }
+        Ok(())
+    }
+
+    /// Application write: copies `data` to `addr`, enforcing protections.
+    pub fn write(&self, addr: VAddr, data: &[u8]) -> Result<(), AccessError> {
+        let (loc, vpages) =
+            self.geo
+                .vpages_covering(addr, data.len())
+                .ok_or(MemError::OutOfRange {
+                    addr,
+                    len: data.len(),
+                })?;
+        let privileged = loc.view == self.geo.priv_view();
+        let mut page = loc.page;
+        let mut off = loc.offset;
+        let mut src = data;
+        let mut vp_iter = vpages;
+        while !src.is_empty() {
+            let take = src.len().min(self.geo.page_size() - off);
+            let guard = self.pages[page].write();
+            if !privileged {
+                let vp = vp_iter.next().expect("vpages cover the whole range");
+                if !self.prot(vp).allows(Access::Write) {
+                    return Err(AccessError::Fault(AccessFault {
+                        addr: self.fault_addr(addr, loc.view, vp),
+                        access: Access::Write,
+                        vpage: vp,
+                    }));
+                }
+            }
+            let mut pg = guard;
+            pg[off..off + take].copy_from_slice(&src[..take]);
+            src = &src[take..];
+            off = 0;
+            page += 1;
+        }
+        Ok(())
+    }
+
+    /// Application read that hands the caller a borrowed slice, avoiding a
+    /// copy. The range must lie within a single page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a page boundary (use
+    /// [`read`](AddressSpace::read) for multi-page ranges).
+    pub fn with_read<R>(
+        &self,
+        addr: VAddr,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, AccessError> {
+        let (loc, vpages) = self
+            .geo
+            .vpages_covering(addr, len)
+            .ok_or(MemError::OutOfRange { addr, len })?;
+        assert!(
+            vpages.len() == 1,
+            "with_read range must not cross a page boundary"
+        );
+        let guard = self.pages[loc.page].read();
+        if loc.view != self.geo.priv_view() {
+            let vp = vpages.start;
+            if !self.prot(vp).allows(Access::Read) {
+                return Err(AccessError::Fault(AccessFault {
+                    addr,
+                    access: Access::Read,
+                    vpage: vp,
+                }));
+            }
+        }
+        Ok(f(&guard[loc.offset..loc.offset + len]))
+    }
+
+    /// Application in-place update of a single-page range: the closure gets
+    /// a mutable slice. Checked like a write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a page boundary.
+    pub fn with_write<R>(
+        &self,
+        addr: VAddr,
+        len: usize,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, AccessError> {
+        let (loc, vpages) = self
+            .geo
+            .vpages_covering(addr, len)
+            .ok_or(MemError::OutOfRange { addr, len })?;
+        assert!(
+            vpages.len() == 1,
+            "with_write range must not cross a page boundary"
+        );
+        let mut guard = self.pages[loc.page].write();
+        if loc.view != self.geo.priv_view() {
+            let vp = vpages.start;
+            if !self.prot(vp).allows(Access::Write) {
+                return Err(AccessError::Fault(AccessFault {
+                    addr,
+                    access: Access::Write,
+                    vpage: vp,
+                }));
+            }
+        }
+        Ok(f(&mut guard[loc.offset..loc.offset + len]))
+    }
+
+    /// Privileged read (server threads, §2.3.1): ignores application
+    /// protections. `addr` may be expressed through any view.
+    pub fn priv_read(&self, addr: VAddr, len: usize) -> Result<Vec<u8>, MemError> {
+        let mut out = vec![0u8; len];
+        let mut filled = 0usize;
+        self.for_each_segment(addr, len, |page, off, take| {
+            let guard = self.pages[page].read();
+            out[filled..filled + take].copy_from_slice(&guard[off..off + take]);
+            filled += take;
+        })?;
+        Ok(out)
+    }
+
+    /// Privileged write (zero-copy receive path of §3.5): ignores
+    /// application protections.
+    pub fn priv_write(&self, addr: VAddr, data: &[u8]) -> Result<(), MemError> {
+        let mut used = 0usize;
+        self.for_each_segment(addr, data.len(), |page, off, take| {
+            let mut guard = self.pages[page].write();
+            guard[off..off + take].copy_from_slice(&data[used..used + take]);
+            used += take;
+        })?;
+        Ok(())
+    }
+
+    /// Atomically (per page) snapshots `[addr, addr+len)` and sets the
+    /// covered vpages to `prot`: each page's copy and protection change
+    /// happen under one exclusive page lock, so an application write to a
+    /// page either completes before the snapshot (and is captured) or
+    /// faults after the protection change. Used by the release-consistency
+    /// extension's invalidation path, which must capture a dirty copy's
+    /// final contents.
+    pub fn snapshot_and_protect(
+        &self,
+        addr: VAddr,
+        len: usize,
+        prot: Prot,
+    ) -> Result<Vec<u8>, MemError> {
+        let (loc, vpages) = self
+            .geo
+            .vpages_covering(addr, len)
+            .ok_or(MemError::OutOfRange { addr, len })?;
+        if loc.view == self.geo.priv_view() {
+            return Err(MemError::PrivilegedViewProtection {
+                vpage: vpages.start,
+            });
+        }
+        let mut out = vec![0u8; len];
+        let mut filled = 0usize;
+        let mut page = loc.page;
+        let mut off = loc.offset;
+        let mut vp_iter = vpages;
+        while filled < len {
+            let take = (len - filled).min(self.geo.page_size() - off);
+            let guard = self.pages[page].write();
+            out[filled..filled + take].copy_from_slice(&guard[off..off + take]);
+            let vp = vp_iter.next().expect("vpages cover the range");
+            self.prots[vp].store(prot as u8, Ordering::Release);
+            drop(guard);
+            filled += take;
+            off = 0;
+            page += 1;
+        }
+        Ok(out)
+    }
+
+    fn for_each_segment(
+        &self,
+        addr: VAddr,
+        len: usize,
+        mut f: impl FnMut(usize, usize, usize),
+    ) -> Result<(), MemError> {
+        let (loc, _) = self
+            .geo
+            .vpages_covering(addr, len)
+            .ok_or(MemError::OutOfRange { addr, len })?;
+        let mut page = loc.page;
+        let mut off = loc.offset;
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(self.geo.page_size() - off);
+            f(page, off, take);
+            remaining -= take;
+            off = 0;
+            page += 1;
+        }
+        Ok(())
+    }
+
+    /// The address to report in an [`AccessFault`] for vpage `vp`: the
+    /// original address if it lies on that vpage, otherwise the vpage base.
+    fn fault_addr(&self, addr: VAddr, view: usize, vp: usize) -> VAddr {
+        let page = vp % self.geo.pages();
+        match self.geo.decode(addr) {
+            Some(l) if l.page == page && l.view == view => addr,
+            _ => self.geo.addr_of(view, page, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(Geometry::with_layout(0x1000, 4096, 4, 2))
+    }
+
+    #[test]
+    fn fresh_space_has_noaccess_app_views_and_rw_priv() {
+        let s = space();
+        let g = s.geometry().clone();
+        for view in 0..g.views() {
+            for page in 0..g.pages() {
+                assert_eq!(s.prot(g.vpage_index(view, page)), Prot::NoAccess);
+            }
+        }
+        for page in 0..g.pages() {
+            assert_eq!(s.prot(g.vpage_index(g.priv_view(), page)), Prot::ReadWrite);
+        }
+    }
+
+    #[test]
+    fn app_access_faults_on_noaccess() {
+        let s = space();
+        let a = s.geometry().addr_of(0, 0, 16);
+        let mut buf = [0u8; 4];
+        match s.read(a, &mut buf) {
+            Err(AccessError::Fault(f)) => {
+                assert_eq!(f.access, Access::Read);
+                assert_eq!(f.addr, a);
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+        match s.write(a, &buf) {
+            Err(AccessError::Fault(f)) => assert_eq!(f.access, Access::Write),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn readonly_allows_read_but_not_write() {
+        let s = space();
+        let g = s.geometry().clone();
+        let vp = g.vpage_index(0, 1);
+        s.set_prot(vp, Prot::ReadOnly).unwrap();
+        let a = g.addr_of(0, 1, 0);
+        let mut buf = [0u8; 8];
+        s.read(a, &mut buf).unwrap();
+        assert!(matches!(
+            s.write(a, &buf),
+            Err(AccessError::Fault(AccessFault {
+                access: Access::Write,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn data_is_shared_across_views_but_protection_is_not() {
+        let s = space();
+        let g = s.geometry().clone();
+        // View 0 page 2 writable; view 1 page 2 stays NoAccess.
+        s.set_prot(g.vpage_index(0, 2), Prot::ReadWrite).unwrap();
+        let a0 = g.addr_of(0, 2, 100);
+        s.write(a0, b"multiview").unwrap();
+        // Same physical bytes visible through view 1... but protected.
+        let a1 = g.addr_of(1, 2, 100);
+        let mut buf = [0u8; 9];
+        assert!(matches!(s.read(a1, &mut buf), Err(AccessError::Fault(_))));
+        // ...and readable once view 1 is opened: the storage is shared.
+        s.set_prot(g.vpage_index(1, 2), Prot::ReadOnly).unwrap();
+        s.read(a1, &mut buf).unwrap();
+        assert_eq!(&buf, b"multiview");
+    }
+
+    #[test]
+    fn privileged_view_bypasses_protection() {
+        let s = space();
+        let g = s.geometry().clone();
+        let ap = g.addr_of(g.priv_view(), 0, 0);
+        s.priv_write(ap, b"server").unwrap();
+        let got = s.priv_read(ap, 6).unwrap();
+        assert_eq!(got, b"server");
+        // Even read/write through the privileged view addresses succeed.
+        let mut buf = [0u8; 6];
+        s.read(ap, &mut buf).unwrap();
+        assert_eq!(&buf, b"server");
+    }
+
+    #[test]
+    fn privileged_protection_cannot_change() {
+        let s = space();
+        let g = s.geometry().clone();
+        let vp = g.vpage_index(g.priv_view(), 0);
+        assert!(matches!(
+            s.set_prot(vp, Prot::NoAccess),
+            Err(MemError::PrivilegedViewProtection { .. })
+        ));
+    }
+
+    #[test]
+    fn priv_write_then_app_read_after_grant() {
+        let s = space();
+        let g = s.geometry().clone();
+        // Server receives a minipage into the privileged view, then grants.
+        let app_addr = g.addr_of(1, 3, 200);
+        let priv_addr = g.to_priv(app_addr).unwrap();
+        s.priv_write(priv_addr, &[7u8; 64]).unwrap();
+        s.set_prot(g.vpage_index(1, 3), Prot::ReadOnly).unwrap();
+        let mut buf = [0u8; 64];
+        s.read(app_addr, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 64]);
+    }
+
+    #[test]
+    fn multi_page_priv_roundtrip() {
+        let s = space();
+        let g = s.geometry().clone();
+        let a = g.addr_of(0, 0, 4000);
+        let data: Vec<u8> = (0..600).map(|i| (i % 251) as u8).collect();
+        s.priv_write(a, &data).unwrap();
+        assert_eq!(s.priv_read(a, 600).unwrap(), data);
+    }
+
+    #[test]
+    fn multi_page_app_write_requires_all_vpages() {
+        let s = space();
+        let g = s.geometry().clone();
+        s.set_prot(g.vpage_index(0, 0), Prot::ReadWrite).unwrap();
+        // Page 1 in view 0 stays NoAccess; a write crossing into it faults.
+        let a = g.addr_of(0, 0, 4090);
+        let err = s.write(a, &[1u8; 20]).unwrap_err();
+        match err {
+            AccessError::Fault(f) => assert_eq!(f.vpage, g.vpage_index(0, 1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Open page 1 and it goes through.
+        s.set_prot(g.vpage_index(0, 1), Prot::ReadWrite).unwrap();
+        s.write(a, &[1u8; 20]).unwrap();
+        assert_eq!(s.priv_read(a, 20).unwrap(), vec![1u8; 20]);
+    }
+
+    #[test]
+    fn with_read_and_with_write_in_place() {
+        let s = space();
+        let g = s.geometry().clone();
+        s.set_prot(g.vpage_index(0, 1), Prot::ReadWrite).unwrap();
+        let a = g.addr_of(0, 1, 8);
+        s.with_write(a, 4, |sl| sl.copy_from_slice(&[1, 2, 3, 4]))
+            .unwrap();
+        let sum = s.with_read(a, 4, |sl| sl.iter().map(|&b| b as u32).sum::<u32>());
+        assert_eq!(sum.unwrap(), 10);
+    }
+
+    #[test]
+    fn snapshot_and_protect_is_atomic_per_page() {
+        let s = space();
+        let g = s.geometry().clone();
+        s.set_prot(g.vpage_index(0, 1), Prot::ReadWrite).unwrap();
+        let a = g.addr_of(0, 1, 100);
+        s.write(a, b"dirty-bytes").unwrap();
+        let snap = s.snapshot_and_protect(a, 11, Prot::NoAccess).unwrap();
+        assert_eq!(snap, b"dirty-bytes");
+        assert_eq!(s.prot(g.vpage_index(0, 1)), Prot::NoAccess);
+        let mut buf = [0u8; 1];
+        assert!(matches!(s.read(a, &mut buf), Err(AccessError::Fault(_))));
+        // Privileged-view targets are rejected.
+        let p = g.to_priv(a).unwrap();
+        assert!(s.snapshot_and_protect(p, 4, Prot::NoAccess).is_err());
+    }
+
+    #[test]
+    fn out_of_range_is_mem_error() {
+        let s = space();
+        let mut buf = [0u8; 1];
+        assert!(matches!(
+            s.read(VAddr(0x10), &mut buf),
+            Err(AccessError::Mem(MemError::OutOfRange { .. }))
+        ));
+    }
+}

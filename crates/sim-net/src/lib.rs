@@ -1,0 +1,27 @@
+//! Simulated FastMessages (§3.5 of the paper).
+//!
+//! Millipage uses the Illinois FastMessages (FM) package on Myrinet: a
+//! reliable, FIFO-ordered, user-level messaging layer with no kernel
+//! transitions and no buffer copying on the send side. This crate models
+//! the properties the DSM depends on:
+//!
+//! * **reliable FIFO delivery** between each pair of hosts ([`Network`],
+//!   [`Endpoint`]),
+//! * the **latency model** fitted to the paper's measurements (25 µs
+//!   round-trip for small messages, 180 µs for 4 KB — see
+//!   [`sim_core::CostModel::msg_time`]),
+//! * **virtual-time arrival stamps**: a message sent at virtual time `t`
+//!   with `b` payload bytes arrives at `t + msg_time(b)`,
+//! * the **polling service-delay model** ([`ServerTimeline`]): FM receives
+//!   by polling, so a request that reaches a busy host waits for the
+//!   sweeper thread's next (jittery) 1 ms timer tick — the effect §3.5.1
+//!   blames for most of Millipage's 750 µs average fault service time.
+//!
+//! Data messages carry their payload as [`bytes::Bytes`]; the zero-copy
+//! receive into the privileged view (§2.3.1) is performed by the DSM layer.
+
+mod net;
+mod timeline;
+
+pub use net::{Endpoint, NetStats, Network, Packet, RecvError};
+pub use timeline::ServerTimeline;

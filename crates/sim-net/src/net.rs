@@ -1,0 +1,274 @@
+//! The message fabric: per-host endpoints over reliable FIFO channels.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use sim_core::clock::Ns;
+use sim_core::{CostModel, Counter, HostId};
+use std::sync::Arc;
+
+/// A message in flight.
+#[derive(Clone, Debug)]
+pub struct Packet<M> {
+    /// Sending host.
+    pub from: HostId,
+    /// Destination host.
+    pub to: HostId,
+    /// The payload-bearing message.
+    pub msg: M,
+    /// Virtual time at which the sender issued the message.
+    pub send_vt: Ns,
+    /// Virtual time at which the message is available at the destination
+    /// network adapter (`send_vt + msg_time(payload)`).
+    pub arrival_vt: Ns,
+    /// Payload bytes beyond the 32-byte header.
+    pub payload_bytes: usize,
+}
+
+/// Receive-side failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecvError {
+    /// All senders are gone; no message can ever arrive.
+    Disconnected,
+    /// No message currently queued (only from `try_recv`).
+    Empty,
+}
+
+/// Aggregate traffic statistics for one network.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Messages sent.
+    pub messages: Counter,
+    /// Total payload bytes sent (headers excluded).
+    pub payload_bytes: Counter,
+}
+
+struct Fabric<M> {
+    inboxes: Vec<Sender<Packet<M>>>,
+    cost: CostModel,
+    stats: NetStats,
+}
+
+/// A handle to the simulated interconnect.
+///
+/// Cloneable; all clones send into the same fabric. Delivery is reliable
+/// and FIFO per sender (FM provides "a reliable and FIFO ordered messaging
+/// service").
+pub struct Network<M> {
+    fabric: Arc<Fabric<M>>,
+}
+
+impl<M> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Self {
+            fabric: Arc::clone(&self.fabric),
+        }
+    }
+}
+
+impl<M: Send> Network<M> {
+    /// Creates a fabric connecting `hosts` hosts, returning one
+    /// [`Endpoint`] per host (in host order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero or exceeds [`HostId::MAX_HOSTS`].
+    pub fn new(hosts: usize, cost: CostModel) -> (Network<M>, Vec<Endpoint<M>>) {
+        assert!(
+            (1..=HostId::MAX_HOSTS).contains(&hosts),
+            "host count {hosts} out of range"
+        );
+        let mut inboxes = Vec::with_capacity(hosts);
+        let mut receivers = Vec::with_capacity(hosts);
+        for _ in 0..hosts {
+            let (tx, rx) = unbounded();
+            inboxes.push(tx);
+            receivers.push(rx);
+        }
+        let net = Network {
+            fabric: Arc::new(Fabric {
+                inboxes,
+                cost,
+                stats: NetStats::default(),
+            }),
+        };
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| Endpoint {
+                host: HostId(i as u16),
+                net: net.clone(),
+                inbox: rx,
+            })
+            .collect();
+        (net, endpoints)
+    }
+
+    /// Number of hosts on the fabric.
+    pub fn hosts(&self) -> usize {
+        self.fabric.inboxes.len()
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.fabric.stats
+    }
+
+    /// The cost model the fabric stamps arrivals with.
+    pub fn cost(&self) -> &CostModel {
+        &self.fabric.cost
+    }
+
+    /// Sends `msg` from `from` to `to` at virtual time `now`, with
+    /// `payload_bytes` of data beyond the 32-byte header. Returns the
+    /// arrival virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a host on this fabric.
+    pub fn send(&self, from: HostId, to: HostId, msg: M, payload_bytes: usize, now: Ns) -> Ns {
+        // Self-delivery (the manager forwarding to its own server) is a
+        // local handler call, not a wire round trip.
+        let arrival = if from == to {
+            now + self.fabric.cost.self_msg
+        } else {
+            now + self.fabric.cost.msg_time(payload_bytes)
+        };
+        let pkt = Packet {
+            from,
+            to,
+            msg,
+            send_vt: now,
+            arrival_vt: arrival,
+            payload_bytes,
+        };
+        self.fabric.stats.messages.bump();
+        self.fabric.stats.payload_bytes.add(payload_bytes as u64);
+        self.fabric.inboxes[to.index()]
+            .send(pkt)
+            .expect("endpoint receivers live as long as the network");
+        arrival
+    }
+}
+
+/// One host's attachment to the fabric: its inbox plus a send handle.
+pub struct Endpoint<M> {
+    host: HostId,
+    net: Network<M>,
+    inbox: Receiver<Packet<M>>,
+}
+
+impl<M: Send> Endpoint<M> {
+    /// This endpoint's host id.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The underlying network handle.
+    pub fn network(&self) -> &Network<M> {
+        &self.net
+    }
+
+    /// Sends to `to` at virtual time `now`; returns the arrival time.
+    pub fn send(&self, to: HostId, msg: M, payload_bytes: usize, now: Ns) -> Ns {
+        self.net.send(self.host, to, msg, payload_bytes, now)
+    }
+
+    /// Blocking receive (models the FM handler loop; the *virtual* waiting
+    /// time is derived from packet timestamps, not from real time).
+    pub fn recv(&self) -> Result<Packet<M>, RecvError> {
+        self.inbox.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Packet<M>, RecvError> {
+        self.inbox.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => RecvError::Empty,
+            TryRecvError::Disconnected => RecvError::Disconnected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_stamp_uses_latency_model() {
+        let (net, eps) = Network::<&'static str>::new(2, CostModel::default());
+        let arrival = eps[0].send(HostId(1), "hdr", 0, 1_000);
+        assert_eq!(arrival, 1_000 + net.cost().msg_time(0));
+        let pkt = eps[1].recv().unwrap();
+        assert_eq!(pkt.msg, "hdr");
+        assert_eq!(pkt.send_vt, 1_000);
+        assert_eq!(pkt.arrival_vt, arrival);
+        assert_eq!(pkt.from, HostId(0));
+    }
+
+    #[test]
+    fn per_sender_fifo_order_is_preserved() {
+        let (_net, mut eps) = Network::<u32>::new(2, CostModel::default());
+        let rx = eps.remove(1);
+        let tx = eps.remove(0);
+        for i in 0..100 {
+            tx.send(HostId(1), i, 0, i as Ns);
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap().msg, i);
+        }
+    }
+
+    #[test]
+    fn cross_thread_delivery_works() {
+        let (_net, mut eps) = Network::<u64>::new(3, CostModel::default());
+        let e2 = eps.remove(2);
+        let e1 = eps.remove(1);
+        let e0 = eps.remove(0);
+        let t1 = std::thread::spawn(move || {
+            for i in 0..50 {
+                e0.send(HostId(2), i, 64, i);
+            }
+        });
+        let t2 = std::thread::spawn(move || {
+            for i in 50..100 {
+                e1.send(HostId(2), i, 64, i);
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(e2.recv().unwrap().msg);
+        }
+        t1.join().unwrap();
+        t2.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let (net, eps) = Network::<()>::new(2, CostModel::default());
+        eps[0].send(HostId(1), (), 128, 0);
+        eps[0].send(HostId(1), (), 0, 0);
+        assert_eq!(net.stats().messages.get(), 2);
+        assert_eq!(net.stats().payload_bytes.get(), 128);
+    }
+
+    #[test]
+    fn try_recv_reports_empty() {
+        let (_net, eps) = Network::<()>::new(1, CostModel::default());
+        assert_eq!(eps[0].try_recv().unwrap_err(), RecvError::Empty);
+    }
+
+    #[test]
+    fn self_send_is_allowed() {
+        // The manager host's own application threads fault too; their
+        // requests go through the same path.
+        let (_net, eps) = Network::<u8>::new(1, CostModel::default());
+        eps[0].send(HostId(0), 7, 0, 0);
+        assert_eq!(eps[0].recv().unwrap().msg, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_hosts_panics() {
+        let _ = Network::<()>::new(0, CostModel::default());
+    }
+}

@@ -1,0 +1,54 @@
+//! SOR scaling study: the red/black solver of §4.3 across 1–8 hosts.
+//!
+//! Run with `cargo run --release --example sor_scaling [-- rows cols iters]`.
+//!
+//! Rows are separate allocations (256-byte minipages at the paper's 64
+//! columns), so only band-boundary rows travel between hosts and the
+//! speedup stays near linear — the headline fine-grain result.
+
+use millipage::ClusterConfig;
+use millipage_apps::sor::{run_sor, SorParams};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let p = SorParams {
+        rows: args.first().copied().unwrap_or(2048),
+        cols: args.get(1).copied().unwrap_or(64),
+        iters: args.get(2).copied().unwrap_or(10),
+    };
+    println!(
+        "SOR {}x{} ({} KB shared, {} iterations), row = {} B minipage\n",
+        p.rows,
+        p.cols,
+        p.shared_bytes() / 1024,
+        p.iters,
+        p.cols * 4
+    );
+    // The fault column covers the whole run, including host 0 reading the
+    // full matrix back for verification after the timed region.
+    println!("hosts  time(ms)  speedup  eff  faults(run)  barriers");
+    let mut t1 = 0;
+    for hosts in [1usize, 2, 4, 8] {
+        let cfg = ClusterConfig {
+            hosts,
+            ..ClusterConfig::default()
+        };
+        let r = run_sor(cfg, p);
+        assert!(r.report.coherence_violations.is_empty());
+        if hosts == 1 {
+            t1 = r.timed_ns;
+        }
+        println!(
+            "{:>5}  {:>8.2}  {:>7.2}  {:>4.2}  {:>11}  {:>8}",
+            hosts,
+            r.timed_ns as f64 / 1e6,
+            r.speedup(t1),
+            r.speedup(t1) / hosts as f64,
+            r.report.read_faults,
+            r.report.barriers,
+        );
+    }
+}

@@ -1,0 +1,2 @@
+//! Umbrella package for the Millipage reproduction: examples and
+//! cross-crate integration tests live here.

@@ -1,0 +1,124 @@
+//! Cross-crate validation: every benchmark application computes the same
+//! result on an 8-host Millipage cluster as its sequential reference, and
+//! its protocol footprint matches the Table 2 shape.
+
+use millipage::{AllocMode, ClusterConfig};
+use millipage_apps::{close, is, lu, sor, tsp, water};
+
+fn cfg(hosts: usize) -> ClusterConfig {
+    ClusterConfig {
+        hosts,
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn sor_eight_hosts_matches_reference() {
+    let p = sor::SorParams {
+        rows: 128,
+        cols: 16,
+        iters: 4,
+    };
+    let r = sor::run_sor(cfg(8), p);
+    assert!(r.report.coherence_violations.is_empty());
+    assert!(close(r.checksum, sor::reference(p), 1e-6));
+    assert_eq!(r.report.barriers, 2 * p.iters as u64 + 2);
+    assert_eq!(r.report.lock_acquires, 0, "SOR uses no locks (Table 2)");
+}
+
+#[test]
+fn is_eight_hosts_matches_reference() {
+    let p = is::IsParams::small();
+    let r = is::run_is(cfg(8), p);
+    assert!(r.report.coherence_violations.is_empty());
+    assert!(close(r.checksum, is::reference(p, 8), 1e-9));
+    assert_eq!(r.report.lock_acquires, 0, "IS uses no locks (Table 2)");
+    // The rotated merge makes every region-update a remote write fault
+    // after the first iteration: communication exists but is bounded.
+    assert!(r.report.write_faults > 0);
+}
+
+#[test]
+fn water_eight_hosts_matches_reference() {
+    let p = water::WaterParams::small();
+    let r = water::run_water(cfg(8), p);
+    assert!(r.report.coherence_violations.is_empty());
+    assert!(
+        close(r.checksum, water::reference(p), 1e-9),
+        "{} vs {}",
+        r.checksum,
+        water::reference(p)
+    );
+    assert!(
+        r.report.lock_acquires > 0,
+        "WATER locks molecules (Table 2)"
+    );
+}
+
+#[test]
+fn lu_eight_hosts_is_bitwise_exact() {
+    let p = lu::LuParams::small();
+    let r = lu::run_lu(cfg(8), p);
+    assert!(r.report.coherence_violations.is_empty());
+    assert_eq!(r.checksum, lu::reference(p));
+    assert!(
+        r.report.prefetches > 0,
+        "LU prefetches pivot panels (S4.3.1)"
+    );
+}
+
+#[test]
+fn tsp_eight_hosts_finds_the_optimum() {
+    let p = tsp::TspParams::small();
+    let r = tsp::run_tsp(cfg(8), p);
+    assert!(r.report.coherence_violations.is_empty());
+    assert_eq!(r.checksum, tsp::reference(p));
+    assert!(r.report.barriers <= 4, "TSP uses few barriers (Table 2)");
+}
+
+#[test]
+fn water_is_correct_under_every_allocation_mode() {
+    // The sharing layout must never change results, only performance.
+    let p = water::WaterParams::small();
+    let want = water::reference(p);
+    for (name, mode) in [
+        ("fine", AllocMode::FINE),
+        ("chunk3", AllocMode::FineGrain { chunking: 3 }),
+        ("chunk6", AllocMode::FineGrain { chunking: 6 }),
+        ("page", AllocMode::PageGrain),
+    ] {
+        let r = water::run_water(
+            ClusterConfig {
+                alloc_mode: mode,
+                ..cfg(8)
+            },
+            p,
+        );
+        assert!(
+            r.report.coherence_violations.is_empty(),
+            "{name}: {:?}",
+            r.report.coherence_violations
+        );
+        assert!(
+            close(r.checksum, want, 1e-9),
+            "{name}: {} vs {want}",
+            r.checksum
+        );
+    }
+}
+
+#[test]
+fn odd_host_counts_work() {
+    // The paper sweeps 1..8; make sure non-power-of-two host counts are
+    // exercised too.
+    for hosts in [3usize, 5, 7] {
+        let p = sor::SorParams {
+            rows: 64,
+            cols: 16,
+            iters: 2,
+        };
+        let r = sor::run_sor(cfg(hosts), p);
+        assert!(r.report.coherence_violations.is_empty());
+        assert!(close(r.checksum, sor::reference(p), 1e-6), "hosts={hosts}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Data-race-free applications under the §5 release-consistency
+//! extension: identical results, different protocol economics.
+
+use millipage::{AllocMode, ClusterConfig, Consistency, CostModel};
+
+fn cfg(hosts: usize) -> ClusterConfig {
+    ClusterConfig {
+        hosts,
+        views: 8,
+        pages: 64,
+        cost: CostModel::default(),
+        alloc_mode: AllocMode::FINE,
+        consistency: Consistency::HomeEagerRc,
+        seed: 9,
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn rc_apps_match_references() {
+    use millipage_apps::{close, sor, water};
+    // Data-race-free applications must compute identical results under
+    // the relaxed protocol.
+    let sp = sor::SorParams::small();
+    let r = sor::run_sor(cfg(4), sp);
+    assert!(r.report.coherence_violations.is_empty());
+    assert!(close(r.checksum, sor::reference(sp), 1e-6));
+
+    let wp = water::WaterParams::small();
+    let r = water::run_water(
+        ClusterConfig {
+            alloc_mode: AllocMode::FineGrain { chunking: 5 },
+            ..cfg(4)
+        },
+        wp,
+    );
+    assert!(r.report.coherence_violations.is_empty());
+    assert!(
+        close(r.checksum, water::reference(wp), 1e-9),
+        "{} vs {}",
+        r.checksum,
+        water::reference(wp)
+    );
+}

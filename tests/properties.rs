@@ -1,0 +1,176 @@
+//! Property-based tests over the core data structures and the cluster.
+
+use millipage::diff::Diff;
+use millipage::{run, AllocMode, ClusterConfig, CostModel, Pod};
+use multiview::{AllocMode as MvMode, Allocator};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use sim_mem::Geometry;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Diff/apply is an identity: applying the diff of (twin → current)
+    /// to the twin reproduces current, for arbitrary buffers.
+    #[test]
+    fn diff_apply_roundtrip(twin in proptest::collection::vec(any::<u8>(), 1..2048)) {
+        let mut current = twin.clone();
+        // Mutate a pseudo-random subset.
+        for (i, b) in current.iter_mut().enumerate() {
+            if i % 7 == 3 || i % 31 == 0 {
+                *b = b.wrapping_add(13);
+            }
+        }
+        let d = Diff::compute(&twin, &current);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        prop_assert_eq!(rebuilt, current.clone());
+        prop_assert!(d.changed_bytes() <= current.len());
+        prop_assert!(d.wire_bytes() >= d.changed_bytes());
+    }
+
+    /// The dynamic-layout allocator never double-books: every vpage hosts
+    /// at most one minipage (enforced), every allocation stays inside its
+    /// minipage, and the view budget is respected.
+    #[test]
+    fn allocator_geometry_invariants(
+        sizes in proptest::collection::vec(1usize..6000, 1..120),
+        views in 1usize..32,
+        chunking in 1usize..7,
+    ) {
+        let geo = Geometry::new(512, views);
+        let mut a = Allocator::new(geo.clone(), MvMode::FineGrain { chunking });
+        for &size in &sizes {
+            let Ok((addr, id)) = a.alloc_traced(size) else {
+                break; // Out of memory is a legal outcome.
+            };
+            let mp = a.mpt().get(id);
+            // The allocation's bytes sit inside the minipage.
+            prop_assert!(mp.contains(&geo, addr));
+            prop_assert!(mp.contains(&geo, addr.add(size - 1)));
+            prop_assert!(mp.view < views || mp.view == 0);
+        }
+        prop_assert!(a.stats().views_used <= views);
+        // Re-translate every minipage from its base: identity.
+        for mp in a.mpt().iter() {
+            let hit = a.mpt().translate(&geo, mp.base).expect("translates");
+            prop_assert_eq!(hit.id, mp.id);
+        }
+    }
+
+    /// Page-grain allocation covers every allocated byte with exactly one
+    /// whole-page minipage.
+    #[test]
+    fn page_grain_covers_allocations(
+        sizes in proptest::collection::vec(1usize..9000, 1..60),
+    ) {
+        let geo = Geometry::new(256, 4);
+        let mut a = Allocator::new(geo.clone(), MvMode::PageGrain);
+        for &size in &sizes {
+            let Ok(addr) = a.alloc(size) else { break };
+            for probe in [0, size / 2, size - 1] {
+                let mp = a.mpt().translate(&geo, addr.add(probe));
+                prop_assert!(mp.is_some(), "byte {probe} of {size} uncovered");
+                prop_assert_eq!(mp.expect("covered").len, geo.page_size());
+            }
+        }
+    }
+
+    /// Pod encode/decode is an identity for every primitive value.
+    #[test]
+    fn pod_roundtrip(x in any::<f64>(), y in any::<i64>(), z in any::<u32>()) {
+        let mut b8 = [0u8; 8];
+        x.to_bytes(&mut b8);
+        let x2 = f64::from_bytes(&b8);
+        prop_assert!(x2 == x || (x.is_nan() && x2.is_nan()));
+        y.to_bytes(&mut b8);
+        prop_assert_eq!(i64::from_bytes(&b8), y);
+        let mut b4 = [0u8; 4];
+        z.to_bytes(&mut b4);
+        prop_assert_eq!(u32::from_bytes(&b4), z);
+    }
+
+    /// Geometry address arithmetic: decode inverts addr_of everywhere.
+    #[test]
+    fn geometry_roundtrip(
+        pages in 1usize..64,
+        views in 1usize..16,
+        page_sel in any::<u64>(),
+        view_sel in any::<u64>(),
+        off_sel in any::<u64>(),
+    ) {
+        let geo = Geometry::new(pages, views);
+        let view = (view_sel % geo.total_views() as u64) as usize;
+        let page = (page_sel % pages as u64) as usize;
+        let off = (off_sel % geo.page_size() as u64) as usize;
+        let a = geo.addr_of(view, page, off);
+        let loc = geo.decode(a).expect("in range");
+        prop_assert_eq!((loc.view, loc.page, loc.offset), (view, page, off));
+        prop_assert_eq!(geo.vpage_of(a), Some(geo.vpage_index(view, page)));
+    }
+}
+
+proptest! {
+    // Cluster-spawning properties are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Barrier-paced random programs behave like a single shared memory:
+    /// a scripted sequence of (host, cell, value) writes with barriers
+    /// between steps reads back exactly like a flat array.
+    #[test]
+    fn barrier_paced_program_equals_flat_memory(
+        script in proptest::collection::vec(
+            (0usize..4, 0usize..6, any::<u32>()),
+            1..24,
+        ),
+        page_grain in any::<bool>(),
+    ) {
+        let mode = if page_grain { AllocMode::PageGrain } else { AllocMode::FINE };
+        let cfg = ClusterConfig {
+            hosts: 4,
+            views: 8,
+            pages: 64,
+            cost: CostModel::default(),
+            alloc_mode: mode,
+            seed: 5,
+            ..ClusterConfig::default()
+        };
+        // The reference model: a plain array receiving the same writes.
+        let mut model = [0u32; 6];
+        for &(_, cell, val) in &script {
+            model[cell] = val;
+        }
+        let script_ref = &script;
+        let mismatch = Mutex::new(None);
+        let report = run(
+            cfg,
+            |s| (0..6).map(|_| s.alloc_cell_init::<u32>(0)).collect::<Vec<_>>(),
+            |ctx, cells| {
+                for &(writer, cell, val) in script_ref {
+                    if ctx.host().index() == writer {
+                        ctx.cell_set(&cells[cell], val);
+                    }
+                    ctx.barrier();
+                }
+                // Every host verifies the whole memory.
+                for (i, c) in cells.iter().enumerate() {
+                    let got = ctx.cell_get(c);
+                    let want = {
+                        let mut m = [0u32; 6];
+                        for &(_, cl, v) in script_ref {
+                            m[cl] = v;
+                        }
+                        m[i]
+                    };
+                    if got != want {
+                        *mismatch.lock() = Some((ctx.host(), i, got, want));
+                    }
+                }
+                ctx.barrier();
+            },
+        );
+        prop_assert!(report.coherence_violations.is_empty());
+        let m = mismatch.into_inner();
+        prop_assert!(m.is_none(), "mismatch: {m:?}, model {model:?}");
+    }
+}
