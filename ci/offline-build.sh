@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Tier-1 offline build + test.
+#
+# The workspace needs NO network and NO registry cache: the committed
+# [patch.crates-io] section in Cargo.toml routes every external
+# dependency to the std-only stub crates in vendor/stubs/, and
+# .cargo/config.toml pins `[net] offline = true`. See
+# vendor/stubs/README.md for the stub inventory and how to switch back
+# to registry builds.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --release --workspace --no-fail-fast

@@ -8,6 +8,7 @@
 //! repro fig6  [--quick]   Figure 6: speedups + time breakdown
 //! repro fig7  [--quick]   Figure 7: WATER chunking sweep
 //! repro ablate [--quick]  Extensions: fast-polling what-if, baseline
+//! repro manager-sweep [--quick]  §5 extension: home-policy hot-spot sweep
 //! repro all   [--quick]   Everything above
 //! ```
 //!
@@ -15,7 +16,9 @@
 //! paper's input sets (Table 2) are used. Shapes, not absolute numbers,
 //! are the reproduction target — see EXPERIMENTS.md.
 
-use millipage::{AllocMode, Category, ClusterConfig, Consistency, CostModel, Ns};
+use millipage::{
+    run, AllocMode, Category, ClusterConfig, Consistency, CostModel, HomePolicyKind, Ns, SharedCell,
+};
 use millipage_apps::{is, lu, sor, tsp, water, AppRun};
 use millipage_bench::scenarios;
 use millipage_bench::{render_table, us};
@@ -33,6 +36,7 @@ fn main() {
         "fig6" => fig6(quick),
         "fig7" => fig7(quick),
         "ablate" => ablate(quick),
+        "manager-sweep" => manager_sweep(quick),
         "all" => {
             table1();
             costs();
@@ -41,10 +45,13 @@ fn main() {
             fig6(quick);
             fig7(quick);
             ablate(quick);
+            manager_sweep(quick);
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("usage: repro [table1|costs|fig5|table2|fig6|fig7|ablate|all] [--quick]");
+            eprintln!(
+                "usage: repro [table1|costs|fig5|table2|fig6|fig7|ablate|manager-sweep|all] [--quick]"
+            );
             std::process::exit(2);
         }
     }
@@ -584,4 +591,101 @@ fn ablate(quick: bool) {
     println!("fault service times and lowers the optimal chunking level;");
     println!("composed views pipeline the read phase without chunking's");
     println!("false-sharing cost.");
+}
+
+// ----------------------------------------------------------------------
+// §5 extension: distributed minipage management.
+// ----------------------------------------------------------------------
+
+/// The all-to-all hot-spot workload: every host allocates one hot cell at
+/// runtime (so first-touch homes it locally), publishes its address
+/// through a setup-allocated board, and then all hosts hammer all cells
+/// with unsynchronized read-modify-writes. Under the centralized manager
+/// every service window lives on host 0; the distributed policies split
+/// them, which is exactly the §5 "distribute the minipage management
+/// among several managers" fix this sweep quantifies.
+fn manager_sweep(quick: bool) {
+    header("Manager sweep — home policies vs the management hot spot (8 hosts)");
+    let hosts = 8usize;
+    let rounds: u64 = if quick { 40 } else { 200 };
+    let mut rows = vec![vec![
+        "policy".to_string(),
+        "competing total".into(),
+        "competing peak/shard".into(),
+        "dir entries/shard".into(),
+        "mean fault us".into(),
+        "virtual ms".into(),
+    ]];
+    for policy in [
+        HomePolicyKind::Centralized,
+        HomePolicyKind::Interleaved,
+        HomePolicyKind::FirstTouch,
+    ] {
+        let cfg = ClusterConfig {
+            hosts,
+            views: 16,
+            pages: 128,
+            home_policy: policy,
+            seed: 41,
+            ..ClusterConfig::default()
+        };
+        let report = run(
+            cfg,
+            |s| s.alloc_vec_init(&vec![0u64; hosts]),
+            move |ctx, board| {
+                // Runtime allocation: first-touch homes the cell here.
+                let mine = ctx.alloc_cell::<u64>();
+                let me = ctx.host().index();
+                ctx.set(board, me, mine.addr().0);
+                ctx.barrier();
+                let cells: Vec<SharedCell<u64>> = (0..ctx.hosts())
+                    .map(|h| {
+                        let raw = ctx.get(board, h);
+                        SharedCell::from_raw(millipage::VAddr(raw))
+                    })
+                    .collect();
+                ctx.barrier();
+                // The hammer: all hosts, all cells, no synchronization —
+                // the service windows serialize the racing requests and
+                // every queued one counts as competing (Figure 7's metric).
+                for round in 0..rounds {
+                    for (i, c) in cells.iter().enumerate() {
+                        let v = ctx.cell_get(c);
+                        ctx.cell_set(c, v + 1);
+                        if (round as usize + i + me).is_multiple_of(3) {
+                            ctx.compute(2_000);
+                        }
+                    }
+                }
+                ctx.barrier();
+            },
+        );
+        assert!(
+            report.coherence_violations.is_empty(),
+            "{policy:?}: {:?}",
+            report.coherence_violations
+        );
+        let faults = report.read_faults + report.write_faults;
+        let fault_ns =
+            report.breakdown.get(Category::ReadFault) + report.breakdown.get(Category::WriteFault);
+        let entries: Vec<String> = report
+            .shards
+            .iter()
+            .map(|s| s.directory_entries.to_string())
+            .collect();
+        rows.push(vec![
+            report.policy.to_string(),
+            report.competing_requests.to_string(),
+            report.peak_shard_competing().to_string(),
+            entries.join("/"),
+            format!("{:.1}", fault_ns as f64 / faults.max(1) as f64 / 1000.0),
+            format!("{:.2}", report.virtual_time as f64 / 1e6),
+        ]);
+    }
+    print!("{}", render_table(&rows));
+    println!("paper S5: \"the manager may become a bottleneck ... this problem");
+    println!("can be solved by distributing the minipage management among");
+    println!("several managers.\" Interleaved/first-touch split the directory");
+    println!("across shards, flattening the per-shard competing-request peak");
+    println!("that the centralized manager concentrates on host 0.");
 }

@@ -9,12 +9,15 @@
 //! handle bundle, and assembles a [`RunReport`] when everything joins.
 
 use crate::hlrc::Consistency;
+use crate::home::{HomePolicyKind, HomeTable};
 use crate::host::{HostCtx, HostState};
-use crate::manager::Manager;
+use crate::manager::{ManagerShard, ManagerStats};
 use crate::msg::{MsgKind, Pmsg};
 use crate::server::{server_loop, ServerOutcome};
 use crate::shared::{encode_slice, Pod, SharedCell, SharedVec};
-use crate::stats::{check_coherence, check_rc_consistency, HostReport, RunReport};
+use crate::stats::{
+    check_coherence, check_directories, check_rc_consistency, HostReport, RunReport, ShardStats,
+};
 use multiview::{AllocMode, Allocator};
 use sim_core::clock::Clock;
 use sim_core::{CostModel, HostId, SplitMix64, TimeBreakdown};
@@ -45,6 +48,14 @@ pub struct ClusterConfig {
     /// Coherence protocol: the paper's SW/MR sequential consistency or
     /// the §5 home-based eager release-consistency extension.
     pub consistency: Consistency,
+    /// How minipages are distributed over manager shards (§5: "this
+    /// problem can be solved by distributing the minipage management
+    /// among several managers"). The default reproduces the paper's
+    /// single centralized manager exactly.
+    pub home_policy: HomePolicyKind,
+    /// The host running the shared allocator and the synchronization
+    /// services (and, under the centralized policy, every minipage).
+    pub manager: usize,
     /// Seed for every stochastic model component.
     pub seed: u64,
 }
@@ -59,6 +70,8 @@ impl Default for ClusterConfig {
             alloc_mode: AllocMode::FINE,
             threads_per_host: 1,
             consistency: Consistency::SequentialSwMr,
+            home_policy: HomePolicyKind::Centralized,
+            manager: 0,
             seed: 0x4D69_6C6C_6950_6167, // "MilliPag"
         }
     }
@@ -70,13 +83,15 @@ impl Default for ClusterConfig {
 /// application threads start; its writes are free (they model the program
 /// initializing data before the timed region).
 pub struct SetupCtx<'a> {
-    mgr: &'a mut Manager,
+    mgr: &'a mut ManagerShard,
 }
 
 impl SetupCtx<'_> {
-    /// Allocates `bytes` of shared memory.
+    /// Allocates `bytes` of shared memory. Setup allocations are issued
+    /// by the manager host, so first-touch homes them there.
     pub fn alloc_bytes(&mut self, bytes: usize) -> VAddr {
-        self.mgr.do_alloc(bytes)
+        let me = self.mgr.me();
+        self.mgr.do_alloc(bytes, me)
     }
 
     /// Allocates a shared vector of `len` elements.
@@ -115,27 +130,22 @@ impl SetupCtx<'_> {
         self.mgr.retire_page();
     }
 
-    /// Initializes `vals` at element `start` (free, pre-run).
+    /// Initializes `vals` at element `start` (free, pre-run). The bytes
+    /// land in the home host's copy of every minipage the range crosses.
     pub fn write_vec<T: Pod>(&mut self, sv: &SharedVec<T>, start: usize, vals: &[T]) {
         if vals.is_empty() {
             return;
         }
         let (addr, _) = sv.range_bytes(start, start + vals.len());
         let bytes = encode_slice(vals);
-        self.mgr
-            .home_space()
-            .priv_write(addr, &bytes)
-            .expect("in range");
+        self.mgr.init_write(addr, &bytes);
     }
 
     /// Initializes the cell (free, pre-run).
     pub fn write_cell<T: Pod>(&mut self, c: &SharedCell<T>, v: T) {
         let mut buf = vec![0u8; T::SIZE];
         v.to_bytes(&mut buf);
-        self.mgr
-            .home_space()
-            .priv_write(c.addr(), &buf)
-            .expect("in range");
+        self.mgr.init_write(c.addr(), &buf);
     }
 }
 
@@ -163,29 +173,49 @@ where
         cfg.threads_per_host >= 1,
         "need at least one application thread"
     );
+    assert!(
+        cfg.manager < cfg.hosts,
+        "manager host {} out of range",
+        cfg.manager
+    );
     let geo = Geometry::new(cfg.pages, cfg.views);
     let states: Vec<Arc<HostState>> = (0..cfg.hosts)
         .map(|h| HostState::new(HostId(h as u16), AddressSpace::new(geo.clone())))
         .collect();
     let (net, endpoints) = Network::<Pmsg>::new(cfg.hosts, cfg.cost.clone());
-    let manager_id = HostId(0);
-    let mut manager = Manager::new(
-        manager_id,
+    let manager_id = HostId(cfg.manager as u16);
+    let home = Arc::new(HomeTable::new(
+        cfg.home_policy,
         cfg.hosts,
-        cfg.hosts * cfg.threads_per_host,
-        cfg.cost.clone(),
-        cfg.consistency,
-        Allocator::new(geo.clone(), cfg.alloc_mode),
-        Arc::clone(&states[0]),
-    );
+        manager_id,
+        geo.clone(),
+    ));
+    // Every host runs a manager shard; the manager host's shard also
+    // carries the shared allocator and the synchronization services.
+    let mut shards: Vec<Option<ManagerShard>> = (0..cfg.hosts)
+        .map(|h| {
+            let allocator = (h == cfg.manager).then(|| Allocator::new(geo.clone(), cfg.alloc_mode));
+            Some(ManagerShard::new(
+                HostId(h as u16),
+                cfg.hosts,
+                cfg.hosts * cfg.threads_per_host,
+                cfg.cost.clone(),
+                cfg.consistency,
+                allocator,
+                Arc::clone(&home),
+                states.clone(),
+            ))
+        })
+        .collect();
     let shared = {
-        let mut sctx = SetupCtx { mgr: &mut manager };
+        let mut sctx = SetupCtx {
+            mgr: shards[cfg.manager].as_mut().expect("shard present"),
+        };
         setup(&mut sctx)
     };
 
     let mut rng = SplitMix64::new(cfg.seed);
     let events = Arc::new(AtomicU64::new(1));
-    let mut manager_slot = Some(manager);
     let shared_ref = &shared;
     let app_ref = &app;
 
@@ -195,10 +225,10 @@ where
             let state = Arc::clone(&states[h]);
             let cost = cfg.cost.clone();
             let timeline = ServerTimeline::new(cfg.cost.clone(), rng.fork(h as u64));
-            let mgr = if h == 0 { manager_slot.take() } else { None };
+            let shard = shards[h].take().expect("shard present");
             let consistency = cfg.consistency;
             server_handles.push(
-                scope.spawn(move || server_loop(ep, state, cost, consistency, timeline, mgr)),
+                scope.spawn(move || server_loop(ep, state, cost, consistency, timeline, shard)),
             );
         }
         let mut app_handles = Vec::with_capacity(cfg.hosts * cfg.threads_per_host);
@@ -208,7 +238,7 @@ where
                     host: HostId(h as u16),
                     hosts: cfg.hosts,
                     thread: t,
-                    manager: manager_id,
+                    home: Arc::clone(&home),
                     state: Arc::clone(&states[h]),
                     net: net.clone(),
                     cost: cfg.cost.clone(),
@@ -255,10 +285,8 @@ where
         (host_reports, outcomes)
     });
 
-    let manager = outcomes
-        .into_iter()
-        .find_map(|o| o.manager)
-        .expect("host 0 returns the manager");
+    let mut shards: Vec<ManagerShard> = outcomes.into_iter().map(|o| o.shard).collect();
+    shards.sort_by_key(|s| s.me().index());
 
     let mut per_host = host_reports;
     let mut breakdown = TimeBreakdown::new();
@@ -279,7 +307,35 @@ where
         rep.write_faults = st.counters.write_faults.get();
         breakdown.merge(&rep.breakdown);
     }
-    let mstats = manager.stats();
+    // Manager-side counters accumulate wherever the minipage's home shard
+    // ran; sum them (barriers and locks only ever tick on the manager
+    // host, directory counters on every home).
+    let mut mstats = ManagerStats::default();
+    let mut competing = 0u64;
+    let mut shard_reports = Vec::with_capacity(shards.len());
+    for s in &shards {
+        let st = s.stats();
+        mstats.barriers += st.barriers;
+        mstats.lock_acquires += st.lock_acquires;
+        mstats.invalidations_sent += st.invalidations_sent;
+        mstats.pushes += st.pushes;
+        mstats.stale_pushes += st.stale_pushes;
+        mstats.rc_diffs += st.rc_diffs;
+        competing += s.competing_requests();
+        shard_reports.push(ShardStats {
+            host: s.me(),
+            competing_requests: s.competing_requests(),
+            invalidations_sent: st.invalidations_sent,
+            rc_diffs: st.rc_diffs,
+            directory_entries: s.directory().len(),
+        });
+    }
+    let minipages = home.mpt().snapshot();
+    let mut violations = match cfg.consistency {
+        Consistency::SequentialSwMr => check_coherence(&minipages, &geo, &states),
+        Consistency::HomeEagerRc => check_rc_consistency(&minipages, &geo, &states, &home),
+    };
+    violations.extend(check_directories(&shards, cfg.consistency));
     RunReport {
         hosts: cfg.hosts,
         virtual_time: per_host.iter().map(|r| r.end_vt).max().unwrap_or(0),
@@ -288,18 +344,17 @@ where
         write_faults,
         prefetches,
         invalidations,
-        competing_requests: manager.competing_requests(),
+        competing_requests: competing,
         barriers: mstats.barriers,
         lock_acquires: mstats.lock_acquires,
         pushes: mstats.pushes,
         messages: net.stats().messages.get(),
         payload_bytes: net.stats().payload_bytes.get(),
-        alloc: manager.alloc_stats(),
+        alloc: shards[cfg.manager].alloc_stats(),
         rc_diffs: mstats.rc_diffs,
-        coherence_violations: match cfg.consistency {
-            Consistency::SequentialSwMr => check_coherence(manager.mpt(), &geo, &states),
-            Consistency::HomeEagerRc => check_rc_consistency(manager.mpt(), &geo, &states),
-        },
+        policy: home.policy_name(),
+        shards: shard_reports,
+        coherence_violations: violations,
         per_host,
     }
 }

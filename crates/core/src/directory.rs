@@ -7,7 +7,7 @@
 
 use crate::msg::Pmsg;
 use sim_core::HostId;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Directory state of one minipage.
 #[derive(Debug, Clone, Default)]
@@ -74,55 +74,67 @@ impl DirectoryEntry {
     }
 }
 
-/// The whole directory, indexed by dense minipage id.
-#[derive(Debug, Default)]
+/// One manager shard's slice of the directory: only the minipages homed
+/// at this host ever get entries here.
+///
+/// Entries are sparse (the shard of host *h* never sees ids homed
+/// elsewhere) and materialize lazily on first touch as
+/// [`DirectoryEntry::fresh`]`(me)` — exactly the state every minipage has
+/// at allocation: one writable copy sitting at its home. Lazy creation
+/// keeps allocation local: the allocator host never has to reach into
+/// remote shards to pre-register entries.
+#[derive(Debug)]
 pub struct Directory {
-    entries: Vec<DirectoryEntry>,
+    me: HostId,
+    entries: HashMap<usize, DirectoryEntry>,
     competing: u64,
 }
 
 impl Directory {
-    /// An empty directory.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Registers minipages up to and including `id`, owned by `home`.
-    pub fn ensure(&mut self, id: usize, home: HostId) {
-        while self.entries.len() <= id {
-            self.entries.push(DirectoryEntry::fresh(home));
+    /// An empty directory slice for the shard running on `me`.
+    pub fn new(me: HostId) -> Self {
+        Self {
+            me,
+            entries: HashMap::new(),
+            competing: 0,
         }
     }
 
-    /// Entry accessor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` was never registered.
+    /// Entry accessor; materializes the fresh at-home entry on first
+    /// touch.
     pub fn entry(&mut self, id: usize) -> &mut DirectoryEntry {
-        &mut self.entries[id]
+        let me = self.me;
+        self.entries
+            .entry(id)
+            .or_insert_with(|| DirectoryEntry::fresh(me))
     }
 
-    /// Read-only entry accessor.
-    pub fn entry_ref(&self, id: usize) -> &DirectoryEntry {
-        &self.entries[id]
+    /// Read-only entry accessor; `None` if the minipage was never touched
+    /// (it is still in its fresh at-home state).
+    pub fn entry_ref(&self, id: usize) -> Option<&DirectoryEntry> {
+        self.entries.get(&id)
     }
 
-    /// Number of registered minipages.
+    /// Number of materialized entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the directory is empty.
+    /// Whether no entry has materialized yet.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Iterates over the materialized entries (post-run invariant checks).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &DirectoryEntry)> {
+        self.entries.iter().map(|(&id, e)| (id, e))
     }
 
     /// Opens the service window for `id`; if one is already open, queues
     /// the request, bumps the competing-request counter (Figure 7), and
     /// returns `false`.
     pub fn begin_service(&mut self, id: usize, pending: Pmsg) -> bool {
-        let e = &mut self.entries[id];
+        let e = self.entry(id);
         if e.in_service {
             e.queue.push_back(pending);
             self.competing += 1;
@@ -136,12 +148,12 @@ impl Directory {
     /// Closes the service window for `id` and pops the next queued request
     /// (which the manager must then process).
     pub fn end_service(&mut self, id: usize) -> Option<Pmsg> {
-        let e = &mut self.entries[id];
+        let e = self.entry(id);
         e.in_service = false;
         e.queue.pop_front()
     }
 
-    /// Total competing requests observed (Figure 7's metric).
+    /// Competing requests observed at this shard (Figure 7's metric).
     pub fn competing_requests(&self) -> u64 {
         self.competing
     }
@@ -192,8 +204,7 @@ mod tests {
 
     #[test]
     fn service_window_queues_and_counts_competing() {
-        let mut d = Directory::new();
-        d.ensure(0, HostId(0));
+        let mut d = Directory::new(HostId(0));
         assert!(d.begin_service(0, req(1)));
         assert!(!d.begin_service(0, req(2)));
         assert!(!d.begin_service(0, req(3)));
@@ -209,12 +220,20 @@ mod tests {
     }
 
     #[test]
-    fn ensure_is_idempotent_and_dense() {
-        let mut d = Directory::new();
-        d.ensure(3, HostId(1));
-        assert_eq!(d.len(), 4);
-        d.ensure(1, HostId(0));
-        assert_eq!(d.len(), 4);
-        assert!(d.entry_ref(2).holds(HostId(1)));
+    fn entries_materialize_lazily_at_home() {
+        let mut d = Directory::new(HostId(1));
+        assert!(d.is_empty());
+        assert!(d.entry_ref(3).is_none());
+        // First touch materializes the fresh at-home state.
+        assert!(d.entry(3).holds(HostId(1)));
+        assert_eq!(d.entry(3).owner, Some(HostId(1)));
+        assert_eq!(d.len(), 1);
+        assert!(d.entry_ref(3).is_some());
+        // Ids are sparse: touching 7 does not drag 4..=6 into existence.
+        d.entry(7);
+        assert_eq!(d.len(), 2);
+        let mut ids: Vec<_> = d.iter().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![3, 7]);
     }
 }

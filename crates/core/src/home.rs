@@ -1,0 +1,273 @@
+//! Distributed minipage management: home assignment and routing.
+//!
+//! The paper centralizes all minipage management in one manager host
+//! (§3.3) and already anticipates the fix for the resulting hot spot:
+//! "the manager may become a bottleneck ... this problem can be solved by
+//! distributing the minipage management among several managers" (§5).
+//! This module implements that distribution. Every minipage gets a *home*
+//! host chosen by a [`HomePolicy`] at allocation time; the home's
+//! [`ManagerShard`](crate::Manager) owns the minipage's directory entry,
+//! service window and (under release consistency) master copy. The MPT is
+//! replicated read-only to every host ([`SharedMpt`]), so translating a
+//! faulting address and finding its home stay local lookups.
+//!
+//! Synchronization services (barriers, queue locks) and the shared
+//! allocator stay on the single manager host: they are not per-minipage
+//! state and are not what Figure 7's competing-request hot spot measures.
+
+use multiview::{Minipage, MinipageId, SharedMpt};
+use parking_lot::RwLock;
+use sim_core::HostId;
+use sim_mem::{Geometry, VAddr};
+
+/// Chooses the home host of each freshly allocated minipage.
+///
+/// Policies see the allocation metadata the `multiview` allocator
+/// produces — the dense [`MinipageId`] and the host that issued the
+/// allocation — and must be pure: the same inputs always give the same
+/// home, so every host can replay the assignment deterministically.
+pub trait HomePolicy: Send + Sync {
+    /// Human-readable policy name (reports, benches).
+    fn name(&self) -> &'static str;
+
+    /// The home host for minipage `id` allocated by `allocating` in a
+    /// cluster of `hosts` hosts.
+    fn assign(&self, id: MinipageId, allocating: HostId, hosts: usize) -> HostId;
+}
+
+/// Every minipage homed at the single manager host — bit-for-bit the
+/// paper's original centralized manager (§3.3).
+pub struct Centralized {
+    /// The manager host.
+    pub manager: HostId,
+}
+
+impl HomePolicy for Centralized {
+    fn name(&self) -> &'static str {
+        "centralized"
+    }
+
+    fn assign(&self, _id: MinipageId, _allocating: HostId, _hosts: usize) -> HostId {
+        self.manager
+    }
+}
+
+/// Homes spread round-robin over the hosts by minipage id — the classic
+/// static interleaving that splits directory load evenly regardless of
+/// access pattern.
+pub struct Interleaved;
+
+impl HomePolicy for Interleaved {
+    fn name(&self) -> &'static str {
+        "interleaved"
+    }
+
+    fn assign(&self, id: MinipageId, _allocating: HostId, hosts: usize) -> HostId {
+        HostId((id.index() % hosts) as u16)
+    }
+}
+
+/// Each minipage homed at the host that allocated it, on the heuristic
+/// that the allocator is also the principal writer. Setup-phase
+/// allocations are issued by the manager and therefore stay there.
+pub struct FirstTouch;
+
+impl HomePolicy for FirstTouch {
+    fn name(&self) -> &'static str {
+        "first-touch"
+    }
+
+    fn assign(&self, _id: MinipageId, allocating: HostId, _hosts: usize) -> HostId {
+        allocating
+    }
+}
+
+/// Config-friendly selector for the built-in policies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum HomePolicyKind {
+    /// [`Centralized`]: everything on the manager host (the default, and
+    /// the paper's original protocol).
+    #[default]
+    Centralized,
+    /// [`Interleaved`]: round-robin by minipage id.
+    Interleaved,
+    /// [`FirstTouch`]: home = allocating host.
+    FirstTouch,
+}
+
+impl HomePolicyKind {
+    /// Instantiates the policy (`manager` anchors [`Centralized`]).
+    pub fn build(self, manager: HostId) -> Box<dyn HomePolicy> {
+        match self {
+            HomePolicyKind::Centralized => Box::new(Centralized { manager }),
+            HomePolicyKind::Interleaved => Box::new(Interleaved),
+            HomePolicyKind::FirstTouch => Box::new(FirstTouch),
+        }
+    }
+}
+
+/// The cluster-wide home map: policy, assignments, and the replicated
+/// MPT, shared by every host's server, shard and application context.
+///
+/// The allocator host is the single writer (it publishes each minipage
+/// and its home as it allocates); everyone else only reads. Under the
+/// [`Centralized`] policy, routing short-circuits to the manager without
+/// touching the replica at all, so the original protocol's costs and
+/// counters are reproduced exactly.
+pub struct HomeTable {
+    kind: HomePolicyKind,
+    policy: Box<dyn HomePolicy>,
+    hosts: usize,
+    manager: HostId,
+    geo: Geometry,
+    mpt: SharedMpt,
+    homes: RwLock<Vec<HostId>>,
+}
+
+impl HomeTable {
+    /// Builds the table for a cluster of `hosts` hosts managed by
+    /// `manager`.
+    pub(crate) fn new(kind: HomePolicyKind, hosts: usize, manager: HostId, geo: Geometry) -> Self {
+        Self {
+            kind,
+            policy: kind.build(manager),
+            hosts,
+            manager,
+            geo,
+            mpt: SharedMpt::new(),
+            homes: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The configured policy selector.
+    pub fn kind(&self) -> HomePolicyKind {
+        self.kind
+    }
+
+    /// The policy's human-readable name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The host running the allocator and synchronization services.
+    pub fn manager(&self) -> HostId {
+        self.manager
+    }
+
+    /// The replicated minipage table.
+    pub fn mpt(&self) -> &SharedMpt {
+        &self.mpt
+    }
+
+    /// The shared address-space geometry.
+    pub(crate) fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// Registers a freshly allocated minipage: replicates its descriptor
+    /// and assigns its home. Called by the allocator host only.
+    pub(crate) fn publish(&self, mp: Minipage, allocating: HostId) -> HostId {
+        let home = self.policy.assign(mp.id, allocating, self.hosts);
+        assert!(home.index() < self.hosts, "policy assigned an absent host");
+        let mut homes = self.homes.write();
+        assert_eq!(
+            homes.len(),
+            mp.id.index(),
+            "homes are assigned in dense id order"
+        );
+        homes.push(home);
+        self.mpt.publish(&self.geo, mp);
+        home
+    }
+
+    /// The home host of a minipage.
+    pub fn home(&self, id: MinipageId) -> HostId {
+        if self.kind == HomePolicyKind::Centralized {
+            return self.manager;
+        }
+        self.homes.read()[id.index()]
+    }
+
+    /// Routes a faulting address to its home shard. Returns the home and
+    /// whether a local MPT lookup was needed (callers charge the
+    /// `mpt_lookup` cost for it); the centralized fast path routes
+    /// straight to the manager with no lookup, exactly like the original
+    /// protocol.
+    pub fn route(&self, addr: VAddr) -> (HostId, bool) {
+        if self.kind == HomePolicyKind::Centralized {
+            return (self.manager, false);
+        }
+        let mp = self
+            .mpt
+            .translate(&self.geo, addr)
+            .unwrap_or_else(|| panic!("no minipage at {addr}"));
+        (self.home(mp.id), true)
+    }
+
+    /// Translates an address through the local MPT replica.
+    pub(crate) fn translate(&self, addr: VAddr) -> Option<Minipage> {
+        self.mpt.translate(&self.geo, addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centralized_assigns_manager_everywhere() {
+        let p = Centralized { manager: HostId(3) };
+        for id in 0..10 {
+            assert_eq!(p.assign(MinipageId(id), HostId(5), 8), HostId(3));
+        }
+    }
+
+    #[test]
+    fn interleaved_round_robins_by_id() {
+        let p = Interleaved;
+        let homes: Vec<_> = (0..6)
+            .map(|id| p.assign(MinipageId(id), HostId(0), 4).index())
+            .collect();
+        assert_eq!(homes, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn first_touch_follows_the_allocator() {
+        let p = FirstTouch;
+        assert_eq!(p.assign(MinipageId(9), HostId(6), 8), HostId(6));
+        assert_eq!(p.assign(MinipageId(9), HostId(0), 8), HostId(0));
+    }
+
+    #[test]
+    fn home_table_publishes_and_routes() {
+        let geo = Geometry::new(8, 4);
+        let table = HomeTable::new(HomePolicyKind::Interleaved, 4, HostId(0), geo.clone());
+        for id in 0..3u32 {
+            let mp = Minipage {
+                id: MinipageId(id),
+                base: geo.addr_of(id as usize, 0, id as usize * 64),
+                len: 64,
+                view: id as usize,
+                first_page: 0,
+                offset: id as usize * 64,
+            };
+            let home = table.publish(mp, HostId(0));
+            assert_eq!(home.index(), id as usize % 4);
+        }
+        assert_eq!(table.home(MinipageId(2)), HostId(2));
+        let (home, looked_up) = table.route(geo.addr_of(1, 0, 64 + 7));
+        assert_eq!(home, HostId(1));
+        assert!(looked_up);
+    }
+
+    #[test]
+    fn centralized_routing_skips_the_lookup() {
+        let geo = Geometry::new(4, 2);
+        let table = HomeTable::new(HomePolicyKind::Centralized, 4, HostId(0), geo.clone());
+        // No minipage published at this address: the fast path must not
+        // consult the replica at all.
+        let (home, looked_up) = table.route(geo.addr_of(0, 0, 0));
+        assert_eq!(home, HostId(0));
+        assert!(!looked_up);
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::diff::Twin;
 use crate::hlrc::{Consistency, MpInfo, RcDirty, RcState};
+use crate::home::{HomePolicyKind, HomeTable};
 use crate::msg::{Completion, MsgKind, Pmsg};
 use crate::shared::{decode_slice, encode_slice, Pod, SharedCell, SharedVec};
 use bytes::Bytes;
@@ -113,7 +114,10 @@ pub struct HostCtx {
     pub(crate) host: HostId,
     pub(crate) hosts: usize,
     pub(crate) thread: usize,
-    pub(crate) manager: HostId,
+    /// The cluster's home map: routes each minipage's protocol traffic to
+    /// its home shard and names the manager host for synchronization and
+    /// allocation services.
+    pub(crate) home: Arc<HomeTable>,
     pub(crate) state: Arc<HostState>,
     pub(crate) net: Network<Pmsg>,
     pub(crate) cost: CostModel,
@@ -195,6 +199,23 @@ impl HostCtx {
         w.wait()
     }
 
+    /// Routes `addr`'s protocol traffic to its home shard. Distributed
+    /// policies translate through the local MPT replica, which costs one
+    /// `mpt_lookup` on the application thread; `cat` attributes that time
+    /// when the caller's surrounding code does not already cover it with
+    /// a category charge. The centralized policy routes straight to the
+    /// manager with no lookup and no cost, like the original protocol.
+    fn route_home(&mut self, addr: VAddr, cat: Option<Category>) -> HostId {
+        let (dest, looked_up) = self.home.route(addr);
+        if looked_up {
+            self.charge_busy(self.cost.mpt_lookup);
+            if let Some(cat) = cat {
+                self.breakdown.charge(cat, self.cost.mpt_lookup);
+            }
+        }
+        dest
+    }
+
     // ------------------------------------------------------------------
     // Allocation (§3.2's malloc-like API, via manager RPC).
     // ------------------------------------------------------------------
@@ -204,8 +225,8 @@ impl HostCtx {
         let t0 = self.clock.now();
         let (ev, w) = self.state.register_waiter(&self.events);
         let msg = Pmsg::new(MsgKind::AllocRequest, self.host, ev).with_aux(bytes as u64);
-        self.net
-            .send(self.host, self.manager, msg, 0, self.clock.now());
+        let mgr = self.home.manager();
+        self.net.send(self.host, mgr, msg, 0, self.clock.now());
         let c = self.blocking_wait(&w);
         self.clock.merge(c.resume_vt);
         self.breakdown.charge(Category::Comp, self.clock.now() - t0);
@@ -324,8 +345,8 @@ impl HostCtx {
         let t0 = self.clock.now();
         let (ev, w) = self.state.register_waiter(&self.events);
         let msg = Pmsg::new(MsgKind::BarrierEnter, self.host, ev);
-        self.net
-            .send(self.host, self.manager, msg, 0, self.clock.now());
+        let mgr = self.home.manager();
+        self.net.send(self.host, mgr, msg, 0, self.clock.now());
         let c = self.blocking_wait(&w);
         self.clock.merge(c.resume_vt);
         self.breakdown
@@ -337,8 +358,8 @@ impl HostCtx {
         let t0 = self.clock.now();
         let (ev, w) = self.state.register_waiter(&self.events);
         let msg = Pmsg::new(MsgKind::LockAcquire, self.host, ev).with_aux(id);
-        self.net
-            .send(self.host, self.manager, msg, 0, self.clock.now());
+        let mgr = self.home.manager();
+        self.net.send(self.host, mgr, msg, 0, self.clock.now());
         let c = self.blocking_wait(&w);
         self.clock.merge(c.resume_vt);
         self.breakdown
@@ -351,8 +372,8 @@ impl HostCtx {
     pub fn unlock(&mut self, id: u64) {
         self.rc_flush();
         let msg = Pmsg::new(MsgKind::LockRelease, self.host, 0).with_aux(id);
-        self.net
-            .send(self.host, self.manager, msg, 0, self.clock.now());
+        let mgr = self.home.manager();
+        self.net.send(self.host, mgr, msg, 0, self.clock.now());
     }
 
     // ------------------------------------------------------------------
@@ -383,8 +404,8 @@ impl HostCtx {
         let ev = self.events.fetch_add(1, Ordering::Relaxed);
         let mut msg = Pmsg::new(MsgKind::ReadRequest, self.host, ev).with_addr(addr);
         msg.prefetch = true;
-        self.net
-            .send(self.host, self.manager, msg, 0, self.clock.now());
+        let dest = self.route_home(addr, Some(Category::Comp));
+        self.net.send(self.host, dest, msg, 0, self.clock.now());
     }
 
     /// Prefetches a whole shared vector.
@@ -479,8 +500,9 @@ impl HostCtx {
         let mut msg = Pmsg::new(MsgKind::PushRequest, self.host, 0).with_addr(addr);
         msg.data = Bytes::from(data);
         let payload = msg.payload_bytes();
+        let dest = self.route_home(addr, Some(Category::Comp));
         self.net
-            .send(self.host, self.manager, msg, payload, self.clock.now());
+            .send(self.host, dest, msg, payload, self.clock.now());
     }
 
     // ------------------------------------------------------------------
@@ -559,11 +581,12 @@ impl HostCtx {
         };
         // The kernel delivers the access fault to the handler...
         self.charge_busy(self.cost.access_fault);
-        // ...which sends the request and waits on its event.
+        // ...which routes the request to the minipage's home shard and
+        // waits on its event. The whole span lands in the fault category.
+        let dest = self.route_home(f.addr, None);
         let (ev, w) = self.state.register_waiter(&self.events);
         let msg = Pmsg::new(kind, self.host, ev).with_addr(f.addr);
-        self.net
-            .send(self.host, self.manager, msg, 0, self.clock.now());
+        self.net.send(self.host, dest, msg, 0, self.clock.now());
         let c = self.blocking_wait(&w);
         self.clock.merge(c.resume_vt);
         self.breakdown.charge(cat, self.clock.now() - t0);
@@ -587,10 +610,10 @@ impl HostCtx {
             let c = self.blocking_wait(&w);
             self.clock.merge(c.resume_vt);
         } else if self.state.space.prot(f.vpage) == sim_mem::Prot::NoAccess {
+            let dest = self.route_home(f.addr, None);
             let (ev, w) = self.state.register_waiter(&self.events);
             let msg = Pmsg::new(MsgKind::ReadRequest, self.host, ev).with_addr(f.addr);
-            self.net
-                .send(self.host, self.manager, msg, 0, self.clock.now());
+            self.net.send(self.host, dest, msg, 0, self.clock.now());
             let c = self.blocking_wait(&w);
             self.clock.merge(c.resume_vt);
         }
@@ -643,8 +666,16 @@ impl HostCtx {
 
     /// Release-point flush (release consistency only): diff every dirty
     /// minipage against its twin, downgrade the local copy, and ship the
-    /// diffs to the home. Ordering piggybacks on FIFO channels; no
-    /// acknowledgements are needed (see the `hlrc` module docs).
+    /// diffs to their homes.
+    ///
+    /// Under the centralized policy the diffs are fire-and-forget:
+    /// ordering piggybacks on the FIFO channel to the single manager (see
+    /// the `hlrc` module docs). With distributed homes the diff and the
+    /// upcoming barrier/lock message travel on *different* channels, so
+    /// each diff carries an event and the release blocks until every home
+    /// confirms with [`MsgKind::RcDiffAck`] that the diff is applied and
+    /// all stale copies are invalidated. The diffs still go out back to
+    /// back first, so their round-trips overlap.
     fn rc_flush(&mut self) {
         if self.consistency != Consistency::HomeEagerRc {
             return;
@@ -657,6 +688,8 @@ impl HostCtx {
             rc.dirty.drain().map(|(_, d)| d).collect()
         };
         let t0 = self.clock.now();
+        let distributed = self.home.kind() != HomePolicyKind::Centralized;
+        let mut pending: Vec<Arc<Waiter>> = Vec::new();
         for d in dirty {
             // Snapshot + invalidate atomically per page, then diff. The
             // local copy is dropped (not downgraded): a concurrent
@@ -674,15 +707,29 @@ impl HostCtx {
             if diff.is_empty() {
                 continue;
             }
-            let mut msg = Pmsg::new(MsgKind::RcDiff, self.host, 0).with_addr(d.info.base);
+            let ev = if distributed {
+                let (ev, w) = self.state.register_waiter(&self.events);
+                pending.push(w);
+                ev
+            } else {
+                0
+            };
+            let mut msg = Pmsg::new(MsgKind::RcDiff, self.host, ev).with_addr(d.info.base);
             msg.minipage = d.info.id;
             msg.base = d.info.base;
             msg.len = d.info.len;
             msg.priv_base = d.info.priv_base;
             msg.data = Bytes::from(diff.encode());
             let payload = msg.payload_bytes();
+            // The boundary cache already names the minipage, so the home
+            // comes from the id map — no MPT lookup to charge.
+            let dest = self.home.home(d.info.id);
             self.net
-                .send(self.host, self.manager, msg, payload, self.clock.now());
+                .send(self.host, dest, msg, payload, self.clock.now());
+        }
+        for w in pending {
+            let c = self.blocking_wait(&w);
+            self.clock.merge(c.resume_vt);
         }
         self.breakdown
             .charge(Category::Synch, self.clock.now() - t0);
@@ -696,8 +743,8 @@ impl HostCtx {
         let acks = std::mem::take(&mut self.pending_acks);
         for addr in acks {
             let msg = Pmsg::new(MsgKind::Ack, self.host, 0).with_addr(addr);
-            self.net
-                .send(self.host, self.manager, msg, 0, self.clock.now());
+            let dest = self.route_home(addr, Some(Category::Comp));
+            self.net.send(self.host, dest, msg, 0, self.clock.now());
         }
     }
 }

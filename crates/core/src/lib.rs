@@ -27,6 +27,7 @@ mod cluster;
 pub mod diff;
 mod directory;
 pub mod hlrc;
+mod home;
 mod host;
 mod manager;
 mod msg;
@@ -37,11 +38,12 @@ mod stats;
 pub use cluster::{run, ClusterConfig, SetupCtx};
 pub use directory::{Directory, DirectoryEntry};
 pub use hlrc::Consistency;
+pub use home::{Centralized, FirstTouch, HomePolicy, HomePolicyKind, HomeTable, Interleaved};
 pub use host::HostCtx;
-pub use manager::Manager;
+pub use manager::{ManagerShard, ManagerStats};
 pub use msg::{MsgKind, Pmsg};
 pub use shared::{Pod, SharedCell, SharedVec};
-pub use stats::{HostReport, RunReport};
+pub use stats::{HostReport, RunReport, ShardStats};
 
 // Re-exports the applications and harnesses keep reaching for.
 pub use multiview::{AllocMode, AllocStats};

@@ -1,20 +1,34 @@
-//! The manager (§3.3).
+//! The manager, sharded per host (§3.3 + the §5 distribution).
 //!
-//! One Millipage process is elected manager. It keeps the MPT and the
-//! directory, translates faulting addresses, forwards requests to copy
-//! holders, fans out invalidations, queues competing requests, and hosts
-//! the synchronization services (barriers, queue locks) and the shared
-//! allocator. "The manager's role is essentially to mark and forward
-//! requests to hosts, and to maintain the MPT."
+//! §3.3's manager keeps the MPT and the directory, translates faulting
+//! addresses, forwards requests to copy holders, fans out invalidations,
+//! queues competing requests, and hosts the synchronization services
+//! (barriers, queue locks) and the shared allocator. "The manager's role
+//! is essentially to mark and forward requests to hosts, and to maintain
+//! the MPT."
+//!
+//! §5 observes that this single manager "may become a bottleneck" and that
+//! "this problem can be solved by distributing the minipage management
+//! among several managers". This module is that distribution: every host
+//! runs a [`ManagerShard`], and each minipage's directory entry, service
+//! window and (under release consistency) master copy live at the shard of
+//! its *home* host, chosen by the cluster's
+//! [`HomePolicy`](crate::home::HomePolicy). The MPT is replicated
+//! read-only to all hosts through the [`HomeTable`], so every shard
+//! translates locally. The shared allocator and the synchronization
+//! services stay on the single manager host — they are not per-minipage
+//! state. Under the `Centralized` policy every minipage is homed at the
+//! manager host and the protocol is bit-for-bit the paper's original.
 
 use crate::diff::Diff;
 use crate::directory::Directory;
 use crate::hlrc::{Consistency, MpInfo};
+use crate::home::HomeTable;
 use crate::host::HostState;
 use crate::msg::{MsgKind, Pmsg};
-use multiview::{AllocStats, Allocator, MinipageId, Mpt};
+use multiview::{AllocStats, Allocator, Minipage, MinipageId};
 use sim_core::{CostModel, HostId};
-use sim_mem::{Geometry, Prot, VAddr};
+use sim_mem::{Prot, VAddr};
 use sim_net::{Endpoint, ServerTimeline};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -43,8 +57,11 @@ pub struct ManagerStats {
     pub rc_diffs: u64,
 }
 
-/// The manager: runs inside the DSM server thread of the manager host.
-pub struct Manager {
+/// One host's slice of the distributed manager: runs inside the DSM
+/// server thread and owns the directory entries of the minipages homed
+/// here. The manager host's shard additionally carries the shared
+/// allocator and the synchronization services.
+pub struct ManagerShard {
     me: HostId,
     hosts: usize,
     /// Total application threads (barrier quorum; ≥ hosts under §3.4
@@ -52,26 +69,33 @@ pub struct Manager {
     barrier_quorum: usize,
     cost: CostModel,
     consistency: Consistency,
-    allocator: Allocator,
+    home: Arc<HomeTable>,
+    /// The shared allocator; present only on the manager host.
+    allocator: Option<Allocator>,
     dir: Directory,
     locks: HashMap<u64, LockState>,
     barrier_waiters: Vec<Pmsg>,
     stats: ManagerStats,
-    /// The manager host's own memory: freshly allocated minipages start
-    /// here with a writable copy.
-    home_state: Arc<HostState>,
+    /// Every host's memory. The allocating shard initializes freshly
+    /// allocated minipages directly in their home host's space — an
+    /// alloc-time setup step, not protocol traffic: the minipage is
+    /// unreachable by applications until the allocation reply delivers
+    /// its address.
+    states: Vec<Arc<HostState>>,
 }
 
-impl Manager {
-    /// Creates the manager for a cluster of `hosts` hosts.
+impl ManagerShard {
+    /// Creates the shard for host `me` in a cluster of `hosts` hosts.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         me: HostId,
         hosts: usize,
         barrier_quorum: usize,
         cost: CostModel,
         consistency: Consistency,
-        allocator: Allocator,
-        home_state: Arc<HostState>,
+        allocator: Option<Allocator>,
+        home: Arc<HomeTable>,
+        states: Vec<Arc<HostState>>,
     ) -> Self {
         Self {
             me,
@@ -80,36 +104,40 @@ impl Manager {
             cost,
             consistency,
             allocator,
-            dir: Directory::new(),
+            dir: Directory::new(me),
             locks: HashMap::new(),
             barrier_waiters: Vec::new(),
             stats: ManagerStats::default(),
-            home_state,
+            home,
+            states,
         }
     }
 
-    /// The minipage table (for post-run validation and Table 2).
-    pub fn mpt(&self) -> &Mpt {
-        self.allocator.mpt()
+    /// The host this shard runs on.
+    pub fn me(&self) -> HostId {
+        self.me
     }
 
-    /// The shared geometry.
-    pub fn geometry(&self) -> &Geometry {
-        self.allocator.geometry()
+    /// The cluster's home table (policy, homes, replicated MPT).
+    pub(crate) fn home_table(&self) -> &Arc<HomeTable> {
+        &self.home
     }
 
     /// Allocator statistics (Table 2's shared-memory size, views,
-    /// granularity).
+    /// granularity). Only the manager host's shard has them.
     pub fn alloc_stats(&self) -> AllocStats {
-        self.allocator.stats()
+        self.allocator
+            .as_ref()
+            .expect("the allocator lives on the manager host")
+            .stats()
     }
 
-    /// Manager statistics.
+    /// Manager statistics accumulated at this shard.
     pub fn stats(&self) -> ManagerStats {
         self.stats
     }
 
-    /// Competing requests observed (Figure 7).
+    /// Competing requests observed at this shard (Figure 7).
     pub fn competing_requests(&self) -> u64 {
         self.dir.competing_requests()
     }
@@ -119,34 +147,46 @@ impl Manager {
         &self.dir
     }
 
-    /// Allocates shared memory and initializes its directory state: the
-    /// new minipages live at the manager host with a writable copy.
-    pub(crate) fn do_alloc(&mut self, size: usize) -> VAddr {
-        let before = self.allocator.mpt().len();
-        let addr = self
+    /// This shard's host memory.
+    fn my_state(&self) -> &HostState {
+        &self.states[self.me.index()]
+    }
+
+    /// Allocates shared memory and initializes its directory state: each
+    /// new minipage is published to the home table and starts at its home
+    /// host with a writable copy. Runs on the manager host only.
+    pub(crate) fn do_alloc(&mut self, size: usize, requester: HostId) -> VAddr {
+        let allocator = self
             .allocator
+            .as_mut()
+            .expect("allocations are served by the manager host");
+        let before = allocator.mpt().len();
+        let addr = allocator
             .alloc(size)
             .unwrap_or_else(|e| panic!("shared allocation failed: {e}"));
-        let geo = self.allocator.geometry().clone();
-        // Fresh minipages live at the manager host. Under SW/MR the home
+        let geo = allocator.geometry().clone();
+        let new_mps: Vec<Minipage> = (before..allocator.mpt().len())
+            .map(|idx| *allocator.mpt().get(MinipageId(idx as u32)))
+            .collect();
+        // Fresh minipages live at their home host. Under SW/MR the home
         // copy starts writable; under release consistency it starts
-        // read-only so the manager host's own writes twin and flush like
+        // read-only so the home host's own writes twin and flush like
         // everyone else's.
         let home_prot = match self.consistency {
             Consistency::SequentialSwMr => Prot::ReadWrite,
             Consistency::HomeEagerRc => Prot::ReadOnly,
         };
-        for idx in before..self.allocator.mpt().len() {
-            let mp = *self.allocator.mpt().get(MinipageId(idx as u32));
-            self.dir.ensure(idx, self.me);
+        for mp in new_mps {
+            let home = self.home.publish(mp, requester);
+            let home_state = &self.states[home.index()];
             for vp in mp.vpages(&geo) {
-                self.home_state
+                home_state
                     .space
                     .set_prot(vp, home_prot)
                     .expect("application vpage");
             }
             if self.consistency == Consistency::HomeEagerRc {
-                self.home_state.rc.lock().learn(
+                home_state.rc.lock().learn(
                     mp.vpages(&geo),
                     MpInfo {
                         id: mp.id,
@@ -163,22 +203,44 @@ impl Manager {
     /// Closes the current chunk (see
     /// [`Allocator::finish_chunk`](multiview::Allocator::finish_chunk)).
     pub(crate) fn finish_chunk(&mut self) {
-        self.allocator.finish_chunk();
+        self.allocator
+            .as_mut()
+            .expect("the allocator lives on the manager host")
+            .finish_chunk();
     }
 
     /// See [`Allocator::retire_page`](multiview::Allocator::retire_page).
     pub(crate) fn retire_page(&mut self) {
-        self.allocator.retire_page();
+        self.allocator
+            .as_mut()
+            .expect("the allocator lives on the manager host")
+            .retire_page();
     }
 
-    /// The manager host's address space (pre-run initialization writes).
-    pub(crate) fn home_space(&self) -> &sim_mem::AddressSpace {
-        &self.home_state.space
+    /// Pre-run initialization write (free): lands in the home host's
+    /// memory of every minipage the range crosses, so the fresh master
+    /// copies carry the data.
+    pub(crate) fn init_write(&self, addr: VAddr, data: &[u8]) {
+        let mut off = 0usize;
+        while off < data.len() {
+            let cur = addr.add(off);
+            let mp = self
+                .home
+                .translate(cur)
+                .unwrap_or_else(|| panic!("init write at {cur} hits no minipage"));
+            let take = ((mp.base.0 + mp.len as u64 - cur.0) as usize).min(data.len() - off);
+            let home = self.home.home(mp.id);
+            self.states[home.index()]
+                .space
+                .priv_write(cur, &data[off..off + take])
+                .expect("in range");
+            off += take;
+        }
     }
 
-    /// Handles one manager-addressed message. `timeline` is the manager
-    /// host's server timeline (service-start already charged by the server
-    /// loop); `ep` is its endpoint.
+    /// Handles one shard-addressed message. `tl` is this host's server
+    /// timeline (service-start already charged by the server loop); `ep`
+    /// is its endpoint.
     pub(crate) fn handle(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
         match m.kind {
             MsgKind::ReadRequest => self.handle_read_request(m, tl, ep),
@@ -191,23 +253,28 @@ impl Manager {
             MsgKind::LockRelease => self.handle_lock_release(m, tl, ep),
             MsgKind::PushRequest => self.handle_push(m, tl, ep),
             MsgKind::RcDiff => self.handle_rc_diff(m, tl, ep),
-            other => panic!("non-manager message {other:?} routed to manager"),
+            other => panic!("non-manager message {other:?} routed to a shard"),
         }
     }
 
-    /// Figure 3 `Translate`: fills the translation fields from the MPT.
+    /// Figure 3 `Translate`: fills the translation fields from the MPT
+    /// replica.
     fn translate(&mut self, m: &mut Pmsg, tl: &mut ServerTimeline) -> MinipageId {
         tl.charge(self.cost.mpt_lookup);
-        let geo = self.allocator.geometry();
         let mp = self
-            .allocator
-            .mpt()
-            .translate(geo, m.addr)
+            .home
+            .translate(m.addr)
             .unwrap_or_else(|| panic!("fault at {} hits no minipage", m.addr));
         m.base = mp.base;
         m.len = mp.len;
-        m.priv_base = mp.priv_base(geo);
+        m.priv_base = mp.priv_base(self.home.geometry());
         m.minipage = mp.id;
+        debug_assert_eq!(
+            self.home.home(mp.id),
+            self.me,
+            "{} routed to a shard that does not home it",
+            mp.id
+        );
         mp.id
     }
 
@@ -220,7 +287,7 @@ impl Manager {
             let e = self.dir.entry(id.index());
             e.add(m.from);
             let data = self
-                .home_state
+                .my_state()
                 .space
                 .priv_read(m.priv_base, m.len)
                 .expect("translated minipage in range");
@@ -284,16 +351,41 @@ impl Manager {
 
     fn handle_invalidate_reply(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
         let id = m.minipage;
-        let e = self.dir.entry(id.index());
-        e.remove(m.from);
-        debug_assert!(e.inv_pending > 0, "unexpected invalidate reply");
-        e.inv_pending -= 1;
-        // Figure 3: "if got less than (#replicas - 1) replies then return".
-        if e.inv_pending == 0 {
-            let w = e
-                .pending_write
-                .take()
-                .expect("a write was pending on these invalidations");
+        let pending = {
+            let e = self.dir.entry(id.index());
+            e.remove(m.from);
+            // Distributed release consistency confirms every invalidation,
+            // including untracked ones sent on the fire-and-forget eviction
+            // path; those echo event 0 and only update the copyset. Tracked
+            // invalidations echo the waiting request's (nonzero) event.
+            if self.consistency == Consistency::HomeEagerRc && m.event == 0 {
+                return;
+            }
+            debug_assert!(e.inv_pending > 0, "unexpected invalidate reply");
+            e.inv_pending -= 1;
+            // Figure 3: "if got less than (#replicas - 1) replies then
+            // return".
+            if e.inv_pending == 0 {
+                Some(
+                    e.pending_write
+                        .take()
+                        .expect("a request was pending on these invalidations"),
+                )
+            } else {
+                None
+            }
+        };
+        let Some(w) = pending else { return };
+        if self.consistency == Consistency::HomeEagerRc {
+            // The pending request is a flushed diff: every stale copy is
+            // now gone, release the flusher.
+            let ack = Pmsg::new(MsgKind::RcDiffAck, self.me, w.event).with_addr(w.addr);
+            ep.send(w.from, ack, 0, tl.now());
+            if let Some(next) = self.dir.end_service(id.index()) {
+                self.dispatch_queued(next, tl, ep);
+            }
+        } else {
+            let e = self.dir.entry(id.index());
             let src = e
                 .find_replica()
                 .expect("the serving replica was never invalidated");
@@ -327,13 +419,14 @@ impl Manager {
             MsgKind::ReadRequest => self.handle_read_request(m, tl, ep),
             MsgKind::WriteRequest => self.handle_write_request(m, tl, ep),
             MsgKind::PushRequest => self.handle_push(m, tl, ep),
+            MsgKind::RcDiff => self.handle_rc_diff(m, tl, ep),
             other => panic!("unexpected queued message {other:?}"),
         }
     }
 
     fn handle_alloc(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
         tl.charge(self.cost.mpt_lookup);
-        let addr = self.do_alloc(m.aux as usize);
+        let addr = self.do_alloc(m.aux as usize, m.from);
         let mut reply = Pmsg::new(MsgKind::AllocReply, self.me, m.event);
         reply.addr = addr;
         ep.send(m.from, reply, 0, tl.now());
@@ -423,22 +516,35 @@ impl Manager {
     }
 }
 
-impl Manager {
+impl ManagerShard {
     /// Applies a release-point diff to the home copy and invalidates the
-    /// other copies (fire-and-forget: FIFO ordering to each host makes
-    /// the invalidations land before any later barrier release or lock
-    /// grant — see the `hlrc` module docs).
+    /// other copies.
+    ///
+    /// Under the centralized policy the diff is fire-and-forget
+    /// (`event == 0`): FIFO ordering to the single manager makes the
+    /// invalidations land before any later barrier release or lock grant
+    /// (see the `hlrc` module docs). With distributed homes that ordering
+    /// argument breaks — the diff and the barrier travel on different
+    /// channels — so flushed diffs carry an event, are serialized through
+    /// the service window, and are acknowledged with [`MsgKind::RcDiffAck`]
+    /// only once every stale copy has confirmed its invalidation. The
+    /// flusher blocks on that ack before entering the barrier or
+    /// releasing the lock.
     fn handle_rc_diff(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
         assert_eq!(
             self.consistency,
             Consistency::HomeEagerRc,
             "RcDiff under the SW/MR protocol"
         );
+        let acked = m.event != 0;
+        if acked && !self.dir.begin_service(m.minipage.index(), m.clone()) {
+            return; // A concurrent flush of this minipage is mid-window.
+        }
         let diff = Diff::decode(&m.data).expect("well-formed diff on the wire");
         // Patch run by run: only changed bytes are written, so a racing
         // local write to *other* bytes of the page is never clobbered.
         for (off, bytes) in diff.iter_runs() {
-            self.home_state
+            self.my_state()
                 .space
                 .priv_write(m.priv_base.add(off), bytes)
                 .expect("translated minipage in range");
@@ -446,7 +552,8 @@ impl Manager {
         tl.charge((self.cost.patch_per_byte_ns * m.len as f64) as sim_core::Ns);
         self.stats.rc_diffs += 1;
         let me = self.me;
-        let e = self.dir.entry(m.minipage.index());
+        let id = m.minipage;
+        let e = self.dir.entry(id.index());
         let targets: Vec<HostId> = e.holders().filter(|&h| h != me).collect();
         self.stats.invalidations_sent += targets.len() as u64;
         for t in &targets {
@@ -457,6 +564,19 @@ impl Manager {
         }
         e.copyset = 1u64 << me.index();
         e.owner = None;
+        if acked {
+            if targets.is_empty() {
+                let ack = Pmsg::new(MsgKind::RcDiffAck, me, m.event).with_addr(m.addr);
+                ep.send(m.from, ack, 0, tl.now());
+                if let Some(next) = self.dir.end_service(id.index()) {
+                    self.dispatch_queued(next, tl, ep);
+                }
+            } else {
+                // Ack once the last invalidation is confirmed.
+                e.inv_pending = targets.len() as u32;
+                e.pending_write = Some(m);
+            }
+        }
     }
 }
 

@@ -55,9 +55,15 @@ pub enum MsgKind {
     PushRequest,
     /// Manager → everyone: pushed read copy data.
     PushData,
-    /// Writer → manager (home): run-length diff of a dirty minipage at a
+    /// Writer → home shard: run-length diff of a dirty minipage at a
     /// release point (the §5 release-consistency extension).
     RcDiff,
+    /// Home shard → writer: the flushed diff is applied and every stale
+    /// copy confirmed invalidated. Only used with distributed home
+    /// policies, where the flusher cannot rely on FIFO ordering through a
+    /// single manager and must block until its release is globally
+    /// visible.
+    RcDiffAck,
     /// Controller → server: stop after draining.
     Shutdown,
 }

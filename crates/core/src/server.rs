@@ -4,22 +4,26 @@
 //! sweeper + timer trio: it receives protocol messages, models the polling
 //! delay through [`ServerTimeline`], serves data requests through the
 //! privileged view, installs replies (zero-copy receive straight into the
-//! privileged view), and wakes blocked application threads.
+//! privileged view), and wakes blocked application threads. Every server
+//! also carries its host's [`ManagerShard`]: requests for minipages homed
+//! here are handled in place, and protocol replies are routed to the
+//! responsible home shard through the cluster's [`HomeTable`].
 
 use crate::hlrc::{Consistency, MpInfo};
+use crate::home::{HomePolicyKind, HomeTable};
 use crate::host::{HostState, Waiter};
-use crate::manager::Manager;
+use crate::manager::ManagerShard;
 use crate::msg::{Completion, MsgKind, Pmsg};
 use bytes::Bytes;
-use sim_core::{CostModel, HostId};
+use sim_core::CostModel;
 use sim_mem::Prot;
 use sim_net::{Endpoint, RecvError, ServerTimeline};
 use std::sync::Arc;
 
 /// What a server thread hands back when it stops.
 pub(crate) struct ServerOutcome {
-    /// The manager, for the manager host.
-    pub manager: Option<Manager>,
+    /// This host's manager shard (directory slice, counters).
+    pub shard: ManagerShard,
     /// The endpoint is kept alive until every server has stopped so that
     /// late messages from still-draining peers never hit a closed channel.
     #[expect(dead_code)]
@@ -33,8 +37,9 @@ pub(crate) fn server_loop(
     cost: CostModel,
     consistency: Consistency,
     mut timeline: ServerTimeline,
-    mut manager: Option<Manager>,
+    mut shard: ManagerShard,
 ) -> ServerOutcome {
+    let home = Arc::clone(shard.home_table());
     loop {
         let pkt = match ep.recv() {
             Ok(p) => p,
@@ -47,8 +52,8 @@ pub(crate) fn server_loop(
         // §3.5.1: if the application threads were computing at the
         // message's (virtual) arrival, only the (jittery) sweeper sees
         // it. Hosts parked in barriers/locks/faults record no busy burst
-        // and read as idle; self-addressed messages (the manager
-        // forwarding to its own server) find the server already running.
+        // and read as idle; self-addressed messages (a shard forwarding
+        // to its own server) find the server already running.
         let busy = pkt.from != ep.host() && state.busy.busy_at(pkt.arrival_vt);
         if trace_enabled() {
             eprintln!(
@@ -69,36 +74,37 @@ pub(crate) fn server_loop(
             &cost,
             consistency,
             &mut timeline,
-            manager.as_mut(),
+            &mut shard,
+            &home,
             &ep,
         );
     }
     ServerOutcome {
-        manager,
+        shard,
         endpoint: ep,
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     m: Pmsg,
     state: &Arc<HostState>,
     cost: &CostModel,
     consistency: Consistency,
     tl: &mut ServerTimeline,
-    manager: Option<&mut Manager>,
+    shard: &mut ManagerShard,
+    home: &HomeTable,
     ep: &Endpoint<Pmsg>,
 ) {
     use MsgKind::*;
     match m.kind {
         ReadRequest | WriteRequest | InvalidateReply | Ack | AllocRequest | BarrierEnter
-        | LockAcquire | LockRelease | PushRequest | RcDiff => manager
-            .expect("manager-addressed message on a non-manager host")
-            .handle(m, tl, ep),
+        | LockAcquire | LockRelease | PushRequest | RcDiff => shard.handle(m, tl, ep),
         ServeRead => serve_read(m, state, cost, tl, ep),
         ServeWrite => serve_write(m, state, cost, tl, ep),
-        InvalidateRequest => handle_invalidate(m, state, cost, consistency, tl, ep),
-        ReadReply | WriteReply => handle_data_reply(m, state, cost, tl, ep),
-        AllocReply | BarrierRelease | LockGrant => fulfill_simple(m, state, cost, tl),
+        InvalidateRequest => handle_invalidate(m, state, cost, consistency, tl, home, ep),
+        ReadReply | WriteReply => handle_data_reply(m, state, cost, tl, home, ep),
+        AllocReply | BarrierRelease | LockGrant | RcDiffAck => fulfill_simple(m, state, cost, tl),
         PushData => handle_push_data(m, state, cost, tl),
         Shutdown => unreachable!("handled by the loop"),
     }
@@ -186,14 +192,18 @@ fn serve_write(
 ///
 /// Under release consistency there is a twist: if the invalidated
 /// minipage is locally dirty (twinned, mid-phase), its writes-so-far are
-/// diffed out and shipped home *before* the copy dies, so no update is
-/// lost; and no reply is sent (HLRC invalidations are fire-and-forget).
+/// diffed out and shipped to the minipage's home *before* the copy dies,
+/// so no update is lost. Under the centralized policy no reply is sent
+/// (HLRC invalidations ride FIFO ordering to the single manager); with
+/// distributed homes the home shard counts replies before acknowledging
+/// the flusher, so one is sent either way.
 fn handle_invalidate(
     m: Pmsg,
     state: &Arc<HostState>,
     cost: &CostModel,
     consistency: Consistency,
     tl: &mut ServerTimeline,
+    home: &HomeTable,
     ep: &Endpoint<Pmsg>,
 ) {
     if consistency == Consistency::HomeEagerRc {
@@ -214,7 +224,7 @@ fn handle_invalidate(
                 out.priv_base = d.info.priv_base;
                 out.data = Bytes::from(diff.encode());
                 let payload = out.payload_bytes();
-                ep.send(HostId(0), out, payload, tl.now());
+                ep.send(home.home(d.info.id), out, payload, tl.now());
             }
         } else {
             for vp in vpages_of(&m, state) {
@@ -226,6 +236,15 @@ fn handle_invalidate(
             }
         }
         state.counters.invalidations_received.bump();
+        if home.kind() != HomePolicyKind::Centralized {
+            // The home shard is counting confirmations before it releases
+            // the flusher; FIFO on this channel puts the confirmation
+            // behind any eviction diff sent above.
+            let mut reply = Pmsg::new(MsgKind::InvalidateReply, ep.host(), m.event);
+            reply.minipage = m.minipage;
+            reply.addr = m.addr;
+            ep.send(home.home(m.minipage), reply, 0, tl.now());
+        }
         return;
     }
     for vp in vpages_of(&m, state) {
@@ -239,8 +258,9 @@ fn handle_invalidate(
     let mut reply = Pmsg::new(MsgKind::InvalidateReply, ep.host(), m.event);
     reply.minipage = m.minipage;
     reply.addr = m.addr;
-    // Replies go to the manager (host 0 by construction).
-    ep.send(HostId(0), reply, 0, tl.now());
+    // The reply goes to the shard homing the minipage — the one that sent
+    // the invalidation.
+    ep.send(home.home(m.minipage), reply, 0, tl.now());
 }
 
 /// Figure 3 "Handle Read or Write Reply": receive the minipage contents
@@ -251,6 +271,7 @@ fn handle_data_reply(
     state: &Arc<HostState>,
     cost: &CostModel,
     tl: &mut ServerTimeline,
+    home: &HomeTable,
     ep: &Endpoint<Pmsg>,
 ) {
     tl.charge(cost.dsm_overhead);
@@ -300,7 +321,7 @@ fn handle_data_reply(
             });
         }
         let ack = Pmsg::new(MsgKind::Ack, ep.host(), 0).with_addr(m.addr);
-        ep.send(HostId(0), ack, 0, tl.now());
+        ep.send(home.home(m.minipage), ack, 0, tl.now());
     } else {
         let w = state
             .waiters
@@ -314,7 +335,8 @@ fn handle_data_reply(
     }
 }
 
-/// Wakes the thread blocked on an allocation, barrier, or lock event.
+/// Wakes the thread blocked on an allocation, barrier, lock, or
+/// diff-flush event.
 fn fulfill_simple(m: Pmsg, state: &Arc<HostState>, cost: &CostModel, tl: &mut ServerTimeline) {
     tl.charge(cost.event_signal);
     let w = state

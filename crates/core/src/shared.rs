@@ -85,8 +85,11 @@ impl<T> Clone for SharedVec<T> {
 impl<T> Copy for SharedVec<T> {}
 
 impl<T: Pod> SharedVec<T> {
-    /// Wraps a base address returned by the allocator.
-    pub(crate) fn from_raw(base: VAddr, len: usize) -> Self {
+    /// Wraps a base address returned by the allocator. Public so hosts
+    /// can exchange handles through shared memory as plain addresses
+    /// (the DSM equivalent of passing a pointer) and rebuild them on the
+    /// receiving side.
+    pub fn from_raw(base: VAddr, len: usize) -> Self {
         Self {
             base,
             len,
@@ -150,8 +153,9 @@ impl<T> Clone for SharedCell<T> {
 impl<T> Copy for SharedCell<T> {}
 
 impl<T: Pod> SharedCell<T> {
-    /// Wraps an allocator-provided address.
-    pub(crate) fn from_raw(addr: VAddr) -> Self {
+    /// Wraps an allocator-provided address. Public for the same
+    /// handle-exchange reason as [`SharedVec::from_raw`].
+    pub fn from_raw(addr: VAddr) -> Self {
         Self {
             addr,
             _elem: PhantomData,

@@ -1,7 +1,10 @@
 //! Run reports: everything the paper's tables and figures need.
 
+use crate::hlrc::Consistency;
+use crate::home::HomeTable;
 use crate::host::HostState;
-use multiview::{AllocStats, Mpt};
+use crate::manager::ManagerShard;
+use multiview::{AllocStats, Minipage};
 use sim_core::{HostId, Ns, TimeBreakdown};
 use sim_mem::{Geometry, Prot};
 use std::sync::Arc;
@@ -23,6 +26,27 @@ pub struct HostReport {
     pub write_faults: u64,
 }
 
+/// Per-shard manager-side counters: where the management load landed.
+///
+/// Under the centralized policy only the manager host's shard shows
+/// activity; the distributed policies spread it, and the spread (in
+/// particular the peak `competing_requests`) is the Figure 7 hot-spot
+/// measurement per shard.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// The host this shard ran on.
+    pub host: HostId,
+    /// Competing requests queued at this shard.
+    pub competing_requests: u64,
+    /// Invalidation requests this shard fanned out.
+    pub invalidations_sent: u64,
+    /// Release-consistency diffs applied at this shard.
+    pub rc_diffs: u64,
+    /// Directory entries that materialized here (minipages homed here
+    /// that saw any remote traffic).
+    pub directory_entries: usize,
+}
+
 /// The outcome of one cluster run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -42,7 +66,7 @@ pub struct RunReport {
     pub prefetches: u64,
     /// Invalidations received across hosts.
     pub invalidations: u64,
-    /// Competing requests queued at the manager (Figure 7).
+    /// Competing requests queued across all manager shards (Figure 7).
     pub competing_requests: u64,
     /// Barriers completed (Table 2).
     pub barriers: u64,
@@ -56,8 +80,12 @@ pub struct RunReport {
     pub payload_bytes: u64,
     /// Allocator statistics (Table 2's memory size / views / granularity).
     pub alloc: AllocStats,
-    /// Release-consistency diffs applied at the home (0 under SW/MR).
+    /// Release-consistency diffs applied at the homes (0 under SW/MR).
     pub rc_diffs: u64,
+    /// The home policy the run used (e.g. `"centralized"`).
+    pub policy: &'static str,
+    /// Per-shard manager-side counters, indexed by host.
+    pub shards: Vec<ShardStats>,
     /// Coherence violations found post-run (must be empty).
     pub coherence_violations: Vec<String>,
 }
@@ -72,26 +100,40 @@ impl RunReport {
     pub fn efficiency(&self, t1: Ns) -> f64 {
         self.speedup(t1) / self.hosts as f64
     }
+
+    /// The largest per-shard competing-request count: the hot-spot metric
+    /// the distributed policies exist to flatten.
+    pub fn peak_shard_competing(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.competing_requests)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Post-run validation for the release-consistency mode: after the final
-/// synchronization every present copy must byte-for-byte match the home
-/// copy (all dirty data flushed, all stale copies invalidated or
-/// refetched).
+/// synchronization every present copy must byte-for-byte match its
+/// minipage's home copy (all dirty data flushed, all stale copies
+/// invalidated or refetched).
 pub(crate) fn check_rc_consistency(
-    mpt: &Mpt,
+    minipages: &[Minipage],
     geo: &Geometry,
     states: &[Arc<HostState>],
+    home: &HomeTable,
 ) -> Vec<String> {
     let mut violations = Vec::new();
-    let home = &states[0];
-    for mp in mpt.iter() {
+    for mp in minipages {
+        let home_host = home.home(mp.id);
         let priv_base = mp.priv_base(geo);
-        let home_bytes = home
+        let home_bytes = states[home_host.index()]
             .space
             .priv_read(priv_base, mp.len)
             .expect("home copy in range");
-        for st in &states[1..] {
+        for st in states {
+            if st.host == home_host {
+                continue;
+            }
             let present = mp.vpages(geo).all(|vp| st.space.prot(vp) != Prot::NoAccess);
             if !present {
                 continue;
@@ -102,8 +144,8 @@ pub(crate) fn check_rc_consistency(
                 .expect("local copy in range");
             if local != home_bytes {
                 violations.push(format!(
-                    "{}: copy on {} diverges from the home copy",
-                    mp.id, st.host
+                    "{}: copy on {} diverges from the home copy on {}",
+                    mp.id, st.host, home_host
                 ));
             }
         }
@@ -114,9 +156,13 @@ pub(crate) fn check_rc_consistency(
 /// Post-run validation of the Single-Writer/Multiple-Readers invariant:
 /// for every minipage, across all hosts, there is at most one writable
 /// copy, and never both a writable copy and read copies.
-pub(crate) fn check_coherence(mpt: &Mpt, geo: &Geometry, states: &[Arc<HostState>]) -> Vec<String> {
+pub(crate) fn check_coherence(
+    minipages: &[Minipage],
+    geo: &Geometry,
+    states: &[Arc<HostState>],
+) -> Vec<String> {
     let mut violations = Vec::new();
-    for mp in mpt.iter() {
+    for mp in minipages {
         let mut writers = Vec::new();
         let mut readers = Vec::new();
         for st in states {
@@ -143,6 +189,46 @@ pub(crate) fn check_coherence(mpt: &Mpt, geo: &Geometry, states: &[Arc<HostState
                 "{}: writer {} coexists with readers {:?}",
                 mp.id, writers[0], readers
             ));
+        }
+    }
+    violations
+}
+
+/// Post-run validation of the directory shards: every service window must
+/// have closed, every queued request drained, every invalidation round
+/// completed. Under SW/MR an exclusive owner must also be the sole
+/// copyset member (HLRC keeps `owner = Some(home)` on fresh entries while
+/// readers join the copyset, so that check is mode-specific).
+pub(crate) fn check_directories(shards: &[ManagerShard], consistency: Consistency) -> Vec<String> {
+    let mut violations = Vec::new();
+    for shard in shards {
+        for (id, e) in shard.directory().iter() {
+            let tag = format!("mp{} @ shard {}", id, shard.me());
+            if e.in_service {
+                violations.push(format!("{tag}: service window still open"));
+            }
+            if !e.queue.is_empty() {
+                violations.push(format!("{tag}: {} requests still queued", e.queue.len()));
+            }
+            if e.inv_pending != 0 {
+                violations.push(format!(
+                    "{tag}: {} invalidation replies outstanding",
+                    e.inv_pending
+                ));
+            }
+            if e.pending_write.is_some() {
+                violations.push(format!("{tag}: a write is still parked"));
+            }
+            if consistency == Consistency::SequentialSwMr {
+                if let Some(owner) = e.owner {
+                    if e.copyset != 1u64 << owner.index() {
+                        violations.push(format!(
+                            "{tag}: owner {} but copyset {:#b}",
+                            owner, e.copyset
+                        ));
+                    }
+                }
+            }
         }
     }
     violations

@@ -190,10 +190,9 @@ fn crossing_writes_do_not_deadlock() {
                 ctx.write_range(sv, 0, &[me.wrapping_add(round); 200]);
                 let back = ctx.read_range(sv, 0..200);
                 // Coherent per page: every byte equals SOME host's write.
-                assert!(back.iter().all(|&b| b
-                    .wrapping_sub(back[0])
-                    .min(back[0].wrapping_sub(b))
-                    < 64));
+                assert!(back
+                    .iter()
+                    .all(|&b| b.wrapping_sub(back[0]).min(back[0].wrapping_sub(b)) < 64));
             }
             ctx.barrier();
         },

@@ -30,4 +30,4 @@ pub use alloc::{AllocError, AllocMode, AllocStats, Allocator};
 pub use composed::ComposedView;
 pub use layout::static_layout;
 pub use minipage::{Minipage, MinipageId};
-pub use mpt::Mpt;
+pub use mpt::{Mpt, SharedMpt};

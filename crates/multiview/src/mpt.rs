@@ -7,8 +7,10 @@
 //! the minipage base, size, and privileged-view address.
 
 use crate::minipage::{Minipage, MinipageId};
+use parking_lot::RwLock;
 use sim_mem::{Geometry, VAddr};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The minipage table: id → descriptor, plus a vpage index for fault
 /// translation.
@@ -94,6 +96,61 @@ impl Mpt {
     }
 }
 
+/// A replicated, shared minipage table.
+///
+/// The distributed-management protocol replicates the MPT to every host
+/// so that translation (fault address → minipage) and home routing stay
+/// local lookups — no manager round-trip. The allocator host remains the
+/// single writer: it publishes every freshly defined minipage here, and
+/// all hosts read through cheap clones of the same handle. The in-process
+/// simulation models replication as shared read-mostly state; the cost
+/// model still charges a local `mpt_lookup` per translation.
+#[derive(Clone, Debug, Default)]
+pub struct SharedMpt {
+    inner: Arc<RwLock<Mpt>>,
+}
+
+impl SharedMpt {
+    /// An empty replicated table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a freshly allocated minipage to every replica.
+    pub fn publish(&self, geo: &Geometry, mp: Minipage) -> MinipageId {
+        self.inner.write().insert(geo, mp)
+    }
+
+    /// Descriptor for an id (copied out of the replica).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never published.
+    pub fn get(&self, id: MinipageId) -> Minipage {
+        *self.inner.read().get(id)
+    }
+
+    /// Local `Translate`: resolves an address to its minipage descriptor.
+    pub fn translate(&self, geo: &Geometry, addr: VAddr) -> Option<Minipage> {
+        self.inner.read().translate(geo, addr).copied()
+    }
+
+    /// Number of published minipages.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// A point-in-time copy of every descriptor (post-run validation).
+    pub fn snapshot(&self) -> Vec<Minipage> {
+        self.inner.read().iter().copied().collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +228,22 @@ mod tests {
         let mut mpt = Mpt::new();
         mpt.insert(&g, mk(0, 1, 2, 0, 128, &g));
         mpt.insert(&g, mk(1, 1, 2, 128, 128, &g));
+    }
+
+    #[test]
+    fn shared_mpt_replicates_published_entries() {
+        let g = geo();
+        let replica = SharedMpt::new();
+        let other_host_view = replica.clone();
+        assert!(replica.is_empty());
+        let m = mk(0, 1, 2, 256, 672, &g);
+        replica.publish(&g, m);
+        // Any clone of the handle sees the publication immediately.
+        assert_eq!(other_host_view.len(), 1);
+        let hit = other_host_view.translate(&g, g.addr_of(1, 2, 300)).unwrap();
+        assert_eq!(hit.id, MinipageId(0));
+        assert_eq!(other_host_view.get(MinipageId(0)).len, 672);
+        assert_eq!(replica.snapshot().len(), 1);
     }
 
     #[test]

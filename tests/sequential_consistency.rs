@@ -6,7 +6,7 @@
 //! therefore forbid the classic weak-memory outcomes; these tests hammer
 //! the racy windows and assert the forbidden results never appear.
 
-use millipage::{run, AllocMode, ClusterConfig, CostModel, HostId};
+use millipage::{run, AllocMode, ClusterConfig, CostModel, HomePolicyKind, HostId};
 use parking_lot::Mutex;
 
 fn cfg(hosts: usize, seed: u64) -> ClusterConfig {
@@ -240,4 +240,65 @@ fn unsynchronized_sharing_still_coherent_under_page_grain() {
         report.read_faults + report.write_faults >= 2,
         "the page must move between hosts at least once"
     );
+}
+
+#[test]
+fn register_stays_linearizable_under_distributed_homes() {
+    // A single shared register written with strictly increasing values by
+    // a rotating writer while every other host reads it concurrently.
+    // Sequential consistency makes the register linearizable, which with
+    // monotone writes means: every host's observed value sequence is
+    // non-decreasing, every observed value was actually written, and
+    // after the closing barrier everyone agrees on the final (maximal)
+    // value. Exercised under both distributed home policies so the
+    // invariant cannot depend on all directory state sitting on host 0.
+    const ROUNDS: u32 = 12;
+    const READS_PER_ROUND: u32 = 6;
+    for policy in [HomePolicyKind::Interleaved, HomePolicyKind::FirstTouch] {
+        for hosts in [2usize, 4, 8] {
+            let observations = Mutex::new(Vec::<(HostId, Vec<u32>)>::new());
+            let finals = Mutex::new(Vec::<u32>::new());
+            let report = run(
+                ClusterConfig {
+                    home_policy: policy,
+                    ..cfg(hosts, 31)
+                },
+                |s| s.alloc_cell_init::<u32>(0),
+                |ctx, reg| {
+                    let mut seen = Vec::new();
+                    for round in 0..ROUNDS {
+                        if ctx.host().index() == round as usize % ctx.hosts() {
+                            // Monotone writes: round+1 strictly increases.
+                            ctx.cell_set(reg, round + 1);
+                        } else {
+                            for _ in 0..READS_PER_ROUND {
+                                seen.push(ctx.cell_get(reg));
+                                ctx.compute(5_000);
+                            }
+                        }
+                        ctx.barrier();
+                    }
+                    finals.lock().push(ctx.cell_get(reg));
+                    observations.lock().push((ctx.host(), seen));
+                },
+            );
+            let tag = format!("{policy:?} hosts={hosts}");
+            assert!(report.coherence_violations.is_empty(), "{tag}");
+            for (host, seen) in observations.into_inner() {
+                assert!(
+                    seen.windows(2).all(|w| w[0] <= w[1]),
+                    "{tag}: host {host} saw the register go backwards: {seen:?}"
+                );
+                assert!(
+                    seen.iter().all(|&v| v <= ROUNDS),
+                    "{tag}: host {host} read a never-written value: {seen:?}"
+                );
+            }
+            let finals = finals.into_inner();
+            assert!(
+                finals.iter().all(|&v| v == ROUNDS),
+                "{tag}: hosts disagree on the final value: {finals:?}"
+            );
+        }
+    }
 }

@@ -1,0 +1,120 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each registered benchmark closure for a handful of iterations,
+//! reports a crude mean per iteration, and collects no statistics.
+//! Enough to keep `cargo bench`/`cargo test --benches` compiling and
+//! smoke-running offline. Only used by the offline stub registry (see
+//! `vendor/stubs/README.md`).
+
+use std::time::Instant;
+
+/// Iterations per measured benchmark in this stub.
+const ITERS: u64 = 10;
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; ignored by the stub.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` each iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..ITERS {
+            let input = setup();
+            black_box(routine(input));
+        }
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { _private: () };
+    let start = Instant::now();
+    f(&mut b);
+    let per_iter = start.elapsed().as_nanos() as u64 / ITERS.max(1);
+    println!("bench {name:<40} ~{per_iter} ns/iter (stub, {ITERS} iters)");
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark immediately.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl ToString, mut f: F) {
+        run_one(&name.to_string(), &mut f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group; benches run immediately, `finish` is a no-op.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl ToString, mut f: F) {
+        run_one(&format!("{}/{}", self.name, name.to_string()), &mut f);
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

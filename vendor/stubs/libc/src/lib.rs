@@ -1,0 +1,123 @@
+//! Offline stand-in for `libc`: exactly the x86-64 Linux (glibc) surface
+//! this workspace touches — memory mapping, memfd, and SIGSEGV handling.
+//! The extern declarations link against the system C library like the
+//! real crate; the struct layouts mirror glibc's x86-64 ABI. Only used by
+//! the offline stub registry (see `vendor/stubs/README.md`).
+
+#![allow(non_camel_case_types)]
+#![allow(non_upper_case_globals)]
+#![cfg(all(target_os = "linux", target_arch = "x86_64"))]
+
+pub use std::ffi::c_void;
+
+pub type c_char = i8;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type off_t = i64;
+pub type greg_t = i64;
+pub type sighandler_t = size_t;
+
+pub const PROT_NONE: c_int = 0;
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+pub const MAP_SHARED: c_int = 1;
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+pub const MFD_CLOEXEC: c_uint = 1;
+pub const SYS_memfd_create: c_long = 319;
+pub const _SC_PAGESIZE: c_int = 30;
+pub const SIGSEGV: c_int = 11;
+pub const SA_SIGINFO: c_int = 4;
+pub const SIG_DFL: sighandler_t = 0;
+/// Index of the page-fault error code in `mcontext_t::gregs` (x86-64).
+pub const REG_ERR: c_int = 19;
+
+/// glibc's 1024-bit signal set.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [u64; 16],
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigaction {
+    pub sa_sigaction: sighandler_t,
+    pub sa_mask: sigset_t,
+    pub sa_flags: c_int,
+    pub sa_restorer: Option<extern "C" fn()>,
+}
+
+/// glibc's 128-byte `siginfo_t`; the fault address is the first union
+/// field after the three leading ints (offset 16 on 64-bit).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct siginfo_t {
+    pub si_signo: c_int,
+    pub si_errno: c_int,
+    pub si_code: c_int,
+    _pad0: c_int,
+    _sifields: [u64; 14],
+}
+
+impl siginfo_t {
+    /// Faulting address (valid for SIGSEGV/SIGBUS).
+    ///
+    /// # Safety
+    ///
+    /// Only meaningful inside a handler for a fault signal.
+    pub unsafe fn si_addr(&self) -> *mut c_void {
+        self._sifields[0] as *mut c_void
+    }
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct stack_t {
+    pub ss_sp: *mut c_void,
+    pub ss_flags: c_int,
+    pub ss_size: size_t,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct mcontext_t {
+    pub gregs: [greg_t; 23],
+    fpregs: *mut c_void,
+    __reserved1: [u64; 8],
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct ucontext_t {
+    pub uc_flags: c_ulong,
+    pub uc_link: *mut ucontext_t,
+    pub uc_stack: stack_t,
+    pub uc_mcontext: mcontext_t,
+    pub uc_sigmask: sigset_t,
+    __fpregs_mem: [u64; 64],
+    __ssp: [u64; 4],
+}
+
+extern "C" {
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+}

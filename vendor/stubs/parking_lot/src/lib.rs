@@ -1,0 +1,111 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives behind the (subset of the) `parking_lot`
+//! API this workspace uses: non-poisoning `lock()`/`read()`/`write()`
+//! without `Result`, and a `Condvar::wait` that takes `&mut MutexGuard`.
+//! Only used by the offline stub registry (see `vendor/stubs/README.md`);
+//! networked builds use the real crate.
+
+use std::sync::{self, PoisonError};
+
+/// Guard type re-used from std (identical deref behaviour).
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Read guard type re-used from std.
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Write guard type re-used from std.
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+/// A mutex that ignores poisoning, like `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(t: T) -> Self {
+        Self(sync::Mutex::new(t))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock that ignores poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new rwlock.
+    pub const fn new(t: T) -> Self {
+        Self(sync::RwLock::new(t))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A condition variable usable with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, releasing the guard while parked.
+    ///
+    /// `std`'s wait consumes the guard; `parking_lot`'s borrows it. Bridge
+    /// the two by moving the guard out and back through raw pointers.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: `guard` is exclusively borrowed; we move the value out,
+        // hand it to std's wait, and write the returned guard back before
+        // anyone can observe the hole. A panic inside `wait` aborts via
+        // the duplicate-guard drop, which is acceptable for a test stub.
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let back = self.0.wait(taken).unwrap_or_else(PoisonError::into_inner);
+            std::ptr::write(guard, back);
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `rand`: the workspace declares the dependency but
+//! no code imports it, so this only needs to satisfy resolution. A tiny
+//! SplitMix64 is provided in case a future bench wants cheap randomness.
+//! Only used by the offline stub registry (see `vendor/stubs/README.md`).
+
+/// Minimal deterministic generator (SplitMix64).
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seeds the generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace only derives `Serialize`/`Deserialize` for report
+//! structs; nothing serializes through the traits. The stub re-exports
+//! no-op derive macros. Only used by the offline stub registry (see
+//! `vendor/stubs/README.md`).
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`: the derives expand to nothing.
+//! This workspace only *derives* Serialize/Deserialize (no code consumes
+//! the traits), so empty expansions typecheck everywhere.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
