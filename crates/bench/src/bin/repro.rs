@@ -9,15 +9,25 @@
 //! repro fig7  [--quick]   Figure 7: WATER chunking sweep
 //! repro ablate [--quick]  Extensions: fast-polling what-if, baseline
 //! repro manager-sweep [--quick]  §5 extension: home-policy hot-spot sweep
+//! repro trace [scenario] [--quick] [--out trace.json] [--json report.json]
+//!                         Traced run + invariant audit + Perfetto export
 //! repro all   [--quick]   Everything above
 //! ```
 //!
 //! `--quick` shrinks the workloads for fast smoke runs; without it the
 //! paper's input sets (Table 2) are used. Shapes, not absolute numbers,
 //! are the reproduction target — see EXPERIMENTS.md.
+//!
+//! `repro trace` runs the Table 2 applications (or one of them:
+//! `sor`/`is`/`water`/`lu`/`tsp`) at 4 hosts with the protocol tracer on,
+//! replays every trace through the SW/MR invariant auditor, and writes a
+//! combined Chrome-trace/Perfetto JSON (`--out`, default `trace.json`) —
+//! load it at <https://ui.perfetto.dev>. `--json <path>` additionally
+//! dumps the per-app [`RunReport`]s (histograms included) as JSON.
 
 use millipage::{
-    run, AllocMode, Category, ClusterConfig, Consistency, CostModel, HomePolicyKind, Ns, SharedCell,
+    audit, run, AllocMode, AuditMode, Category, ChromeTrace, ClusterConfig, Consistency, CostModel,
+    HomePolicyKind, Ns, SharedCell, Tracer,
 };
 use millipage_apps::{is, lu, sor, tsp, water, AppRun};
 use millipage_bench::scenarios;
@@ -37,6 +47,16 @@ fn main() {
         "fig7" => fig7(quick),
         "ablate" => ablate(quick),
         "manager-sweep" => manager_sweep(quick),
+        "trace" => {
+            let scenario = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "table2".into());
+            let out = flag_value(&args, "--out").unwrap_or_else(|| "trace.json".into());
+            let json = flag_value(&args, "--json");
+            trace_cmd(&scenario, quick, &out, json.as_deref());
+        }
         "all" => {
             table1();
             costs();
@@ -50,11 +70,19 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: repro [table1|costs|fig5|table2|fig6|fig7|ablate|manager-sweep|all] [--quick]"
+                "usage: repro [table1|costs|fig5|table2|fig6|fig7|ablate|manager-sweep|trace|all] [--quick]"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// The value following `name` in `args` (`--out foo.json` style).
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn header(title: &str) {
@@ -688,4 +716,107 @@ fn manager_sweep(quick: bool) {
     println!("several managers.\" Interleaved/first-touch split the directory");
     println!("across shards, flattening the per-shard competing-request peak");
     println!("that the centralized manager concentrates on host 0.");
+}
+
+// ----------------------------------------------------------------------
+// Observability: traced runs, invariant audit, Perfetto export.
+// ----------------------------------------------------------------------
+
+/// Per-recorder ring capacity for traced repro runs. 64Ki events per
+/// simulated thread keeps even the full-size Table 2 runs complete
+/// (`dropped == 0`) at the 4-host trace configuration.
+const TRACE_RING_CAPACITY: usize = 1 << 16;
+
+fn trace_cmd(scenario: &str, quick: bool, out_path: &str, json_path: Option<&str>) {
+    header(&format!(
+        "Trace — protocol events, latency histograms, invariant audit ({scenario}, 4 hosts)"
+    ));
+    let mut specs = app_specs(quick);
+    if !scenario.eq_ignore_ascii_case("table2") && !scenario.eq_ignore_ascii_case("all") {
+        specs.retain(|s| s.name.eq_ignore_ascii_case(scenario));
+        if specs.is_empty() {
+            eprintln!("unknown trace scenario {scenario:?}");
+            eprintln!(
+                "usage: repro trace [table2|sor|is|water|lu|tsp] [--quick] [--out f] [--json f]"
+            );
+            std::process::exit(2);
+        }
+    }
+    let mut chrome = ChromeTrace::new();
+    let mut total_violations = 0usize;
+    let mut json_apps: Vec<String> = Vec::new();
+    let mut rows = vec![vec![
+        "app".to_string(),
+        "events".into(),
+        "dropped".into(),
+        "violations".into(),
+        "fault p50".into(),
+        "fault p95".into(),
+        "fault p99".into(),
+        "queue p95".into(),
+        "inv-rt p95".into(),
+    ]];
+    let q = |v: Option<Ns>| v.map(us).unwrap_or_else(|| "-".into());
+    for (i, spec) in specs.iter().enumerate() {
+        let tracer = Tracer::enabled(TRACE_RING_CAPACITY);
+        let cfg = ClusterConfig {
+            tracer: tracer.clone(),
+            ..app_cfg(4)
+        };
+        let r = (spec.run)(cfg);
+        let log = tracer.drain();
+        // The Table 2 apps run under sequential consistency, so the
+        // replay checks the Single-Writer/Multiple-Readers invariants.
+        let violations = audit(&log.events, AuditMode::SwMr);
+        for v in violations.iter().take(5) {
+            eprintln!("  {}: VIOLATION {v}", spec.name);
+        }
+        if violations.len() > 5 {
+            eprintln!("  {}: ... and {} more", spec.name, violations.len() - 5);
+        }
+        total_violations += violations.len();
+        rows.push(vec![
+            spec.name.to_string(),
+            log.events.len().to_string(),
+            log.dropped.to_string(),
+            violations.len().to_string(),
+            q(r.report.fault_latency_p50()),
+            q(r.report.fault_latency_p95()),
+            q(r.report.fault_latency_p99()),
+            q(r.report.server_queue_delay.quantile(0.95)),
+            q(r.report.inv_round_trip.quantile(0.95)),
+        ]);
+        // One Chrome "process" block of 64 pids per app keeps the runs
+        // visually separate in the Perfetto UI.
+        chrome.add_run(spec.name, (i as u32) * 64, &log.events);
+        if json_path.is_some() {
+            json_apps.push(format!(
+                "{{\"app\":\"{}\",\"report\":{}}}",
+                spec.name,
+                r.report.to_json()
+            ));
+        }
+    }
+    print!("{}", render_table(&rows));
+    if let Err(e) = std::fs::write(out_path, chrome.finish()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote Chrome/Perfetto trace to {out_path} (open at ui.perfetto.dev)");
+    if let Some(p) = json_path {
+        let body = format!("[{}]\n", json_apps.join(","));
+        if let Err(e) = std::fs::write(p, body) {
+            eprintln!("failed to write {p}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote per-app RunReport JSON to {p}");
+    }
+    if total_violations > 0 {
+        eprintln!("audit FAILED: {total_violations} invariant violation(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "audit passed: 0 invariant violations across {} app(s)",
+        specs.len()
+    );
 }

@@ -1,0 +1,401 @@
+//! Trace-replay invariant checker.
+//!
+//! Replays a run's merged [`TraceLog`](sim_core::TraceLog) and asserts the
+//! protocol invariants at every event:
+//!
+//! * **SW/MR** (Figure 3): per minipage, at most one writable copy, and
+//!   never a writable copy coexisting with read copies; a copy is served
+//!   only inside the minipage's service window; the window never
+//!   double-opens or double-closes; a write is forwarded only once every
+//!   fanned-out invalidation has been confirmed.
+//! * **HLRC** (§5): a flusher enters a barrier or releases a lock only
+//!   after every acknowledged release diff it shipped has been confirmed
+//!   by its home (`RcDiffAck` before the barrier release).
+//! * **Both**: an invalidation confirmation never arrives without a
+//!   matching fan-out; at the end of the log every service window is
+//!   closed and no acknowledged diff is left pending.
+//!
+//! Events are replayed in **record order** ([`TraceEvent::seq`]), not
+//! virtual-time order: the optimistic simulation lets unrelated virtual
+//! timestamps invert across hosts (see `SERIALIZE_WINDOW` in `sim-net`),
+//! but the real processing order is a causally-consistent linearization —
+//! a message is handled only after it was sent — so replaying it never
+//! reports phantom violations.
+
+use sim_core::trace::{TraceEvent, TraceKind};
+use std::collections::{HashMap, HashSet};
+
+/// Which protocol's invariants to hold the trace against.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AuditMode {
+    /// The Figure 3 Single-Writer/Multiple-Readers protocol.
+    SwMr,
+    /// The §5 home-based eager release-consistency extension (the home
+    /// always keeps the master copy, so reads are served windowless and
+    /// copyset exclusivity is not required).
+    Hlrc,
+}
+
+#[derive(Default)]
+struct MpState {
+    writers: HashSet<u16>,
+    readers: HashSet<u16>,
+    window_open: bool,
+    inv_outstanding: i64,
+}
+
+/// Replays `events` (any order; re-sorted by [`TraceEvent::seq`]) and
+/// returns every invariant violation found. An empty result means the
+/// trace is consistent with the protocol. Run it only on complete logs
+/// ([`TraceLog::dropped`](sim_core::TraceLog::dropped) `== 0`): a wrapped
+/// ring loses the transitions the replay needs.
+pub fn audit(events: &[TraceEvent], mode: AuditMode) -> Vec<String> {
+    let mut evs: Vec<&TraceEvent> = events.iter().collect();
+    evs.sort_by_key(|e| e.seq);
+
+    let mut mps: HashMap<u32, MpState> = HashMap::new();
+    let mut rc_out: HashMap<u16, i64> = HashMap::new();
+    let mut violations = Vec::new();
+    let mut report = |vt: u64, msg: String| violations.push(format!("vt {vt}: {msg}"));
+
+    for e in &evs {
+        match e.kind {
+            TraceKind::AllocGrant => {
+                let s = mps.entry(e.mp).or_default();
+                s.writers.clear();
+                s.readers.clear();
+                if e.aux == 1 {
+                    s.writers.insert(e.peer);
+                } else {
+                    s.readers.insert(e.peer);
+                }
+            }
+            TraceKind::Install => {
+                let host = e.host;
+                let s = mps.entry(e.mp).or_default();
+                if e.aux == 2 {
+                    // A writable copy is granted only after every other
+                    // copy died (SW/MR exclusivity).
+                    if !s.writers.is_empty() {
+                        report(
+                            e.vt,
+                            format!(
+                                "mp{}: writable copy installed on h{host} while {:?} still \
+                                 hold writable copies",
+                                e.mp, s.writers
+                            ),
+                        );
+                    }
+                    if !s.readers.is_empty() {
+                        report(
+                            e.vt,
+                            format!(
+                                "mp{}: writable copy installed on h{host} while read copies \
+                                 survive on {:?}",
+                                e.mp, s.readers
+                            ),
+                        );
+                    }
+                    s.readers.clear();
+                    s.writers.clear();
+                    s.writers.insert(host);
+                } else {
+                    if mode == AuditMode::SwMr && !s.writers.is_empty() {
+                        report(
+                            e.vt,
+                            format!(
+                                "mp{}: read copy installed on h{host} while {:?} hold a \
+                                 writable copy",
+                                e.mp, s.writers
+                            ),
+                        );
+                    }
+                    s.readers.insert(host);
+                }
+            }
+            TraceKind::Downgrade => {
+                let host = e.host;
+                let s = mps.entry(e.mp).or_default();
+                s.writers.remove(&host);
+                s.readers.insert(host);
+            }
+            TraceKind::InvalidateLocal => {
+                let host = e.host;
+                let s = mps.entry(e.mp).or_default();
+                s.writers.remove(&host);
+                s.readers.remove(&host);
+            }
+            TraceKind::WindowOpen => {
+                let s = mps.entry(e.mp).or_default();
+                if s.window_open {
+                    report(
+                        e.vt,
+                        format!("mp{}: service window opened while already open", e.mp),
+                    );
+                }
+                s.window_open = true;
+            }
+            TraceKind::WindowClose => {
+                let s = mps.entry(e.mp).or_default();
+                if !s.window_open {
+                    report(
+                        e.vt,
+                        format!("mp{}: service window closed while not open", e.mp),
+                    );
+                }
+                s.window_open = false;
+            }
+            // HLRC serves reads straight off the home copy with no
+            // window; SW/MR transfers happen only mid-window.
+            TraceKind::Serve
+                if mode == AuditMode::SwMr && !mps.entry(e.mp).or_default().window_open =>
+            {
+                report(
+                    e.vt,
+                    format!(
+                        "mp{}: h{} served a {} outside the service window",
+                        e.mp,
+                        e.host,
+                        if e.aux == 1 { "write" } else { "read" }
+                    ),
+                );
+            }
+            TraceKind::Forward => {
+                let s = mps.entry(e.mp).or_default();
+                if e.aux == 1 && s.inv_outstanding != 0 {
+                    report(
+                        e.vt,
+                        format!(
+                            "mp{}: write forwarded to h{} with {} invalidations unconfirmed",
+                            e.mp, e.peer, s.inv_outstanding
+                        ),
+                    );
+                }
+            }
+            TraceKind::InvSend => mps.entry(e.mp).or_default().inv_outstanding += 1,
+            TraceKind::InvReplyRecv => {
+                let s = mps.entry(e.mp).or_default();
+                s.inv_outstanding -= 1;
+                if s.inv_outstanding < 0 {
+                    report(
+                        e.vt,
+                        format!(
+                            "mp{}: invalidation confirmation from h{} without a matching \
+                             fan-out",
+                            e.mp, e.peer
+                        ),
+                    );
+                    s.inv_outstanding = 0;
+                }
+            }
+            // aux 1 = an acknowledged flush-path diff; eviction diffs
+            // (aux 0) are fire-and-forget and never tracked.
+            TraceKind::RcDiffSend if e.aux == 1 => {
+                *rc_out.entry(e.host).or_default() += 1;
+            }
+            TraceKind::RcDiffAckRecv => {
+                let n = rc_out.entry(e.host).or_default();
+                *n -= 1;
+                if *n < 0 {
+                    report(
+                        e.vt,
+                        format!("h{}: diff ack received without a pending diff", e.host),
+                    );
+                    *n = 0;
+                }
+            }
+            TraceKind::BarrierEnter | TraceKind::LockRelease => {
+                let n = rc_out.get(&e.host).copied().unwrap_or(0);
+                if n != 0 {
+                    let what = if e.kind == TraceKind::BarrierEnter {
+                        "entered a barrier"
+                    } else {
+                        "released a lock"
+                    };
+                    report(
+                        e.vt,
+                        format!("h{}: {what} with {n} release diffs unacknowledged", e.host),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (id, s) in &mps {
+        if s.window_open {
+            violations.push(format!("end of log: mp{id}: service window never closed"));
+        }
+        if mode == AuditMode::SwMr && s.writers.len() > 1 {
+            violations.push(format!(
+                "end of log: mp{id}: multiple writable copies on {:?}",
+                s.writers
+            ));
+        }
+    }
+    for (h, n) in &rc_out {
+        if *n != 0 {
+            violations.push(format!(
+                "end of log: h{h}: {n} release diffs never acknowledged"
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::trace::Track;
+    use sim_core::HostId;
+
+    fn ev(seq: u64, host: u16, kind: TraceKind) -> TraceEvent {
+        let mut e = TraceEvent::new(seq, HostId(host), Track::Server, kind);
+        e.seq = seq;
+        e
+    }
+
+    #[test]
+    fn clean_swmr_exchange_passes() {
+        // h0 allocates (writable at home h0); h1 write-faults: window
+        // opens, h0's copy is invalidated as it serves, h1 installs RW,
+        // acks, window closes.
+        let events = vec![
+            ev(0, 0, TraceKind::AllocGrant)
+                .with_mp(4)
+                .with_peer(HostId(0))
+                .with_aux(1),
+            ev(1, 0, TraceKind::WindowOpen).with_mp(4),
+            ev(2, 0, TraceKind::Forward)
+                .with_mp(4)
+                .with_peer(HostId(0))
+                .with_aux(1),
+            ev(3, 0, TraceKind::InvalidateLocal).with_mp(4),
+            ev(4, 0, TraceKind::Serve)
+                .with_mp(4)
+                .with_peer(HostId(1))
+                .with_aux(1),
+            ev(5, 1, TraceKind::Install).with_mp(4).with_aux(2),
+            ev(6, 0, TraceKind::AckRecv).with_mp(4),
+            ev(7, 0, TraceKind::WindowClose).with_mp(4),
+        ];
+        assert_eq!(audit(&events, AuditMode::SwMr), Vec::<String>::new());
+    }
+
+    #[test]
+    fn injected_double_writer_is_caught() {
+        // h2 gets a writable copy while h0 (the home) still holds one and
+        // no invalidation ever ran: the single-writer invariant breaks.
+        let events = vec![
+            ev(0, 0, TraceKind::AllocGrant)
+                .with_mp(7)
+                .with_peer(HostId(0))
+                .with_aux(1),
+            ev(1, 0, TraceKind::WindowOpen).with_mp(7),
+            ev(2, 0, TraceKind::Serve)
+                .with_mp(7)
+                .with_peer(HostId(2))
+                .with_aux(1),
+            ev(3, 2, TraceKind::Install).with_mp(7).with_aux(2),
+        ];
+        let v = audit(&events, AuditMode::SwMr);
+        assert!(
+            v.iter().any(|s| s.contains("writable copy installed")),
+            "expected a double-writer violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn serve_outside_window_is_caught() {
+        let events = vec![
+            ev(0, 0, TraceKind::AllocGrant)
+                .with_mp(1)
+                .with_peer(HostId(0))
+                .with_aux(1),
+            ev(1, 0, TraceKind::Serve)
+                .with_mp(1)
+                .with_peer(HostId(1))
+                .with_aux(0),
+        ];
+        let v = audit(&events, AuditMode::SwMr);
+        assert!(v.iter().any(|s| s.contains("outside the service window")));
+    }
+
+    #[test]
+    fn forward_before_all_inv_replies_is_caught() {
+        let events = vec![
+            ev(0, 0, TraceKind::AllocGrant)
+                .with_mp(2)
+                .with_peer(HostId(0))
+                .with_aux(1),
+            ev(1, 0, TraceKind::WindowOpen).with_mp(2),
+            ev(2, 0, TraceKind::InvSend).with_mp(2).with_peer(HostId(1)),
+            ev(3, 0, TraceKind::InvSend).with_mp(2).with_peer(HostId(2)),
+            ev(4, 1, TraceKind::InvalidateLocal).with_mp(2),
+            ev(5, 0, TraceKind::InvReplyRecv)
+                .with_mp(2)
+                .with_peer(HostId(1)),
+            // Second reply never arrived, yet the write is forwarded.
+            ev(6, 0, TraceKind::Forward)
+                .with_mp(2)
+                .with_peer(HostId(0))
+                .with_aux(1),
+        ];
+        let v = audit(&events, AuditMode::SwMr);
+        assert!(v.iter().any(|s| s.contains("invalidations unconfirmed")));
+    }
+
+    #[test]
+    fn barrier_with_pending_diff_is_caught() {
+        let events = vec![
+            ev(0, 1, TraceKind::RcDiffSend)
+                .with_mp(3)
+                .with_aux(1)
+                .with_event(9),
+            ev(1, 1, TraceKind::BarrierEnter).with_event(10),
+        ];
+        let v = audit(&events, AuditMode::Hlrc);
+        assert!(v.iter().any(|s| s.contains("release diffs unacknowledged")));
+        // The diff stays unacknowledged to the end of the log, too.
+        assert!(v.iter().any(|s| s.contains("never acknowledged")));
+    }
+
+    #[test]
+    fn acked_diff_before_barrier_passes() {
+        let events = vec![
+            ev(0, 1, TraceKind::RcDiffSend)
+                .with_mp(3)
+                .with_aux(1)
+                .with_event(9),
+            ev(1, 0, TraceKind::RcDiffApply).with_mp(3).with_event(9),
+            ev(2, 0, TraceKind::RcDiffAckSend)
+                .with_mp(3)
+                .with_peer(HostId(1))
+                .with_event(9),
+            ev(3, 1, TraceKind::RcDiffAckRecv).with_event(9),
+            ev(4, 1, TraceKind::BarrierEnter).with_event(10),
+        ];
+        assert_eq!(audit(&events, AuditMode::Hlrc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn replay_uses_record_order_not_virtual_time() {
+        // A virtual-time inversion: the second window's events carry
+        // *earlier* virtual stamps (the optimistic simulation served the
+        // logically-past request "back then"), but record order shows the
+        // windows were strictly sequential. Sorting by vt would misread
+        // this as a double-open.
+        let mk = |seq: u64, vt: u64, kind| {
+            let mut e = TraceEvent::new(vt, HostId(0), Track::Shard, kind).with_mp(5);
+            e.seq = seq;
+            e
+        };
+        let events = vec![
+            mk(0, 50_000_000, TraceKind::WindowOpen),
+            mk(1, 51_000_000, TraceKind::WindowClose),
+            mk(2, 10_000_000, TraceKind::WindowOpen),
+            mk(3, 11_000_000, TraceKind::WindowClose),
+        ];
+        assert_eq!(audit(&events, AuditMode::SwMr), Vec::<String>::new());
+    }
+}

@@ -20,7 +20,8 @@ use crate::stats::{
 };
 use multiview::{AllocMode, Allocator};
 use sim_core::clock::Clock;
-use sim_core::{CostModel, HostId, SplitMix64, TimeBreakdown};
+use sim_core::trace::{Tracer, Track};
+use sim_core::{CostModel, HostId, LogHistogram, SplitMix64, TimeBreakdown};
 use sim_mem::{AddressSpace, Geometry, VAddr};
 use sim_net::{Network, ServerTimeline};
 use std::sync::atomic::AtomicU64;
@@ -58,6 +59,11 @@ pub struct ClusterConfig {
     pub manager: usize,
     /// Seed for every stochastic model component.
     pub seed: u64,
+    /// Protocol event tracer. Disabled by default (recording then costs
+    /// one branch per instrumentation point); pass
+    /// [`Tracer::enabled`] and drain it after [`run`] returns to get the
+    /// merged event log.
+    pub tracer: Tracer,
 }
 
 impl Default for ClusterConfig {
@@ -73,6 +79,7 @@ impl Default for ClusterConfig {
             home_policy: HomePolicyKind::Centralized,
             manager: 0,
             seed: 0x4D69_6C6C_6950_6167, // "MilliPag"
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -91,7 +98,7 @@ impl SetupCtx<'_> {
     /// by the manager host, so first-touch homes them there.
     pub fn alloc_bytes(&mut self, bytes: usize) -> VAddr {
         let me = self.mgr.me();
-        self.mgr.do_alloc(bytes, me)
+        self.mgr.do_alloc(bytes, me, 0)
     }
 
     /// Allocates a shared vector of `len` elements.
@@ -204,6 +211,7 @@ where
                 allocator,
                 Arc::clone(&home),
                 states.clone(),
+                cfg.tracer.recorder(HostId(h as u16), Track::Shard),
             ))
         })
         .collect();
@@ -227,9 +235,15 @@ where
             let timeline = ServerTimeline::new(cfg.cost.clone(), rng.fork(h as u64));
             let shard = shards[h].take().expect("shard present");
             let consistency = cfg.consistency;
-            server_handles.push(
-                scope.spawn(move || server_loop(ep, state, cost, consistency, timeline, shard)),
-            );
+            // The server's own sends (serves, replies, fan-outs) get
+            // recorded at the endpoint; handler-level events go through the
+            // loop's recorder.
+            ep.attach_tracer(cfg.tracer.recorder(HostId(h as u16), Track::Server));
+            let rec = cfg.tracer.recorder(HostId(h as u16), Track::Server);
+            server_handles
+                .push(scope.spawn(move || {
+                    server_loop(ep, state, cost, consistency, timeline, shard, rec)
+                }));
         }
         let mut app_handles = Vec::with_capacity(cfg.hosts * cfg.threads_per_host);
         for h in 0..cfg.hosts {
@@ -249,6 +263,8 @@ where
                     consistency: cfg.consistency,
                     timed_from: 0,
                     breakdown_mark: TimeBreakdown::new(),
+                    trace: cfg.tracer.recorder(HostId(h as u16), Track::App(t as u16)),
+                    fault_hist: LogHistogram::new(),
                 };
                 app_handles.push(scope.spawn(move || {
                     app_ref(&mut ctx, shared_ref);
@@ -259,6 +275,7 @@ where
                         breakdown: *ctx.breakdown(),
                         read_faults: 0, // Filled from host counters below.
                         write_faults: 0,
+                        fault_latency: std::mem::take(&mut ctx.fault_hist),
                     }
                 }));
             }
@@ -285,10 +302,21 @@ where
         (host_reports, outcomes)
     });
 
-    let mut shards: Vec<ManagerShard> = outcomes.into_iter().map(|o| o.shard).collect();
+    let mut server_queue_delay = LogHistogram::new();
+    let mut shards: Vec<ManagerShard> = outcomes
+        .into_iter()
+        .map(|o| {
+            server_queue_delay.merge(&o.queue_delay);
+            o.shard
+        })
+        .collect();
     shards.sort_by_key(|s| s.me().index());
 
     let mut per_host = host_reports;
+    let mut fault_latency = LogHistogram::new();
+    for rep in &per_host {
+        fault_latency.merge(&rep.fault_latency);
+    }
     let mut breakdown = TimeBreakdown::new();
     let mut read_faults = 0;
     let mut write_faults = 0;
@@ -312,8 +340,10 @@ where
     // host, directory counters on every home).
     let mut mstats = ManagerStats::default();
     let mut competing = 0u64;
+    let mut inv_round_trip = LogHistogram::new();
     let mut shard_reports = Vec::with_capacity(shards.len());
     for s in &shards {
+        inv_round_trip.merge(s.inv_round_trip());
         let st = s.stats();
         mstats.barriers += st.barriers;
         mstats.lock_acquires += st.lock_acquires;
@@ -355,6 +385,9 @@ where
         policy: home.policy_name(),
         shards: shard_reports,
         coherence_violations: violations,
+        fault_latency,
+        server_queue_delay,
+        inv_round_trip,
         per_host,
     }
 }

@@ -6,7 +6,7 @@
 //! in the manager."
 
 use crate::msg::Pmsg;
-use sim_core::HostId;
+use sim_core::{HostId, Ns};
 use std::collections::{HashMap, VecDeque};
 
 /// Directory state of one minipage.
@@ -23,6 +23,9 @@ pub struct DirectoryEntry {
     pub queue: VecDeque<Pmsg>,
     /// Outstanding invalidation acknowledgements for a pending write.
     pub inv_pending: u32,
+    /// Virtual time the pending invalidation round was fanned out
+    /// (measures the invalidation round-trip when the last reply lands).
+    pub inv_sent_vt: Ns,
     /// The write request waiting for the invalidations to complete.
     pub pending_write: Option<Pmsg>,
 }

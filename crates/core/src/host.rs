@@ -16,7 +16,8 @@ use crate::shared::{decode_slice, encode_slice, Pod, SharedCell, SharedVec};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use sim_core::clock::{BusyWindow, Clock, Ns};
-use sim_core::{Category, CostModel, Counter, HostId, TimeBreakdown};
+use sim_core::trace::{TraceKind, TraceRecorder, NO_MP};
+use sim_core::{Category, CostModel, Counter, HostId, LogHistogram, TimeBreakdown};
 use sim_mem::{Access, AccessError, AccessFault, AddressSpace, VAddr};
 use sim_net::Network;
 use std::collections::HashMap;
@@ -128,6 +129,11 @@ pub struct HostCtx {
     pub(crate) consistency: Consistency,
     pub(crate) timed_from: Ns,
     pub(crate) breakdown_mark: TimeBreakdown,
+    /// Protocol event recorder for this application thread (inert when
+    /// tracing is off).
+    pub(crate) trace: TraceRecorder,
+    /// Fault service times (request to resume) of this thread.
+    pub(crate) fault_hist: LogHistogram,
 }
 
 impl HostCtx {
@@ -216,6 +222,27 @@ impl HostCtx {
         dest
     }
 
+    /// Sends `msg` from this thread, tracing the wire event when enabled.
+    fn send(&mut self, dest: HostId, msg: Pmsg, payload: usize) {
+        if self.trace.enabled() {
+            let (event, mp) = (msg.event, msg.minipage.0);
+            self.trace.emit(self.clock.now(), TraceKind::MsgSend, |e| {
+                e.with_peer(dest)
+                    .with_event(event)
+                    .with_mp(mp)
+                    .with_bytes(payload)
+            });
+        }
+        self.net
+            .send(self.host, dest, msg, payload, self.clock.now());
+    }
+
+    /// The minipage id at `addr`, for trace records only (callers gate on
+    /// `trace.enabled()`; the lookup is replica-local and free).
+    fn trace_mp(&self, addr: VAddr) -> u32 {
+        self.home.translate(addr).map_or(NO_MP, |mp| mp.id.0)
+    }
+
     // ------------------------------------------------------------------
     // Allocation (§3.2's malloc-like API, via manager RPC).
     // ------------------------------------------------------------------
@@ -226,7 +253,7 @@ impl HostCtx {
         let (ev, w) = self.state.register_waiter(&self.events);
         let msg = Pmsg::new(MsgKind::AllocRequest, self.host, ev).with_aux(bytes as u64);
         let mgr = self.home.manager();
-        self.net.send(self.host, mgr, msg, 0, self.clock.now());
+        self.send(mgr, msg, 0);
         let c = self.blocking_wait(&w);
         self.clock.merge(c.resume_vt);
         self.breakdown.charge(Category::Comp, self.clock.now() - t0);
@@ -344,11 +371,17 @@ impl HostCtx {
         self.rc_flush();
         let t0 = self.clock.now();
         let (ev, w) = self.state.register_waiter(&self.events);
+        self.trace
+            .emit(t0, TraceKind::BarrierEnter, |e| e.with_event(ev));
         let msg = Pmsg::new(MsgKind::BarrierEnter, self.host, ev);
         let mgr = self.home.manager();
-        self.net.send(self.host, mgr, msg, 0, self.clock.now());
+        self.send(mgr, msg, 0);
         let c = self.blocking_wait(&w);
         self.clock.merge(c.resume_vt);
+        self.trace
+            .emit(self.clock.now(), TraceKind::BarrierResume, |e| {
+                e.with_event(ev)
+            });
         self.breakdown
             .charge(Category::Synch, self.clock.now() - t0);
     }
@@ -357,11 +390,17 @@ impl HostCtx {
     pub fn lock(&mut self, id: u64) {
         let t0 = self.clock.now();
         let (ev, w) = self.state.register_waiter(&self.events);
+        self.trace
+            .emit(t0, TraceKind::LockAcquireBegin, |e| e.with_event(id));
         let msg = Pmsg::new(MsgKind::LockAcquire, self.host, ev).with_aux(id);
         let mgr = self.home.manager();
-        self.net.send(self.host, mgr, msg, 0, self.clock.now());
+        self.send(mgr, msg, 0);
         let c = self.blocking_wait(&w);
         self.clock.merge(c.resume_vt);
+        self.trace
+            .emit(self.clock.now(), TraceKind::LockResume, |e| {
+                e.with_event(id)
+            });
         self.breakdown
             .charge(Category::Synch, self.clock.now() - t0);
     }
@@ -371,9 +410,13 @@ impl HostCtx {
     /// acquirer observes them.
     pub fn unlock(&mut self, id: u64) {
         self.rc_flush();
+        self.trace
+            .emit(self.clock.now(), TraceKind::LockRelease, |e| {
+                e.with_event(id)
+            });
         let msg = Pmsg::new(MsgKind::LockRelease, self.host, 0).with_aux(id);
         let mgr = self.home.manager();
-        self.net.send(self.host, mgr, msg, 0, self.clock.now());
+        self.send(mgr, msg, 0);
     }
 
     // ------------------------------------------------------------------
@@ -405,7 +448,7 @@ impl HostCtx {
         let mut msg = Pmsg::new(MsgKind::ReadRequest, self.host, ev).with_addr(addr);
         msg.prefetch = true;
         let dest = self.route_home(addr, Some(Category::Comp));
-        self.net.send(self.host, dest, msg, 0, self.clock.now());
+        self.send(dest, msg, 0);
     }
 
     /// Prefetches a whole shared vector.
@@ -497,12 +540,16 @@ impl HostCtx {
             self.breakdown
                 .charge(Category::Comp, self.cost.set_protection);
         }
+        if self.trace.enabled() {
+            let mp = self.trace_mp(addr);
+            self.trace
+                .emit(self.clock.now(), TraceKind::Downgrade, |e| e.with_mp(mp));
+        }
         let mut msg = Pmsg::new(MsgKind::PushRequest, self.host, 0).with_addr(addr);
         msg.data = Bytes::from(data);
         let payload = msg.payload_bytes();
         let dest = self.route_home(addr, Some(Category::Comp));
-        self.net
-            .send(self.host, dest, msg, payload, self.clock.now());
+        self.send(dest, msg, payload);
     }
 
     // ------------------------------------------------------------------
@@ -569,15 +616,32 @@ impl HostCtx {
                 .charge(Category::Prefetch, self.clock.now() - t0);
             return;
         }
-        let (kind, cat) = match f.access {
+        let (kind, cat, begin_kind, end_kind) = match f.access {
             Access::Read => {
                 self.state.counters.read_faults.bump();
-                (MsgKind::ReadRequest, Category::ReadFault)
+                (
+                    MsgKind::ReadRequest,
+                    Category::ReadFault,
+                    TraceKind::ReadFaultBegin,
+                    TraceKind::ReadFaultEnd,
+                )
             }
             Access::Write => {
                 self.state.counters.write_faults.bump();
-                (MsgKind::WriteRequest, Category::WriteFault)
+                (
+                    MsgKind::WriteRequest,
+                    Category::WriteFault,
+                    TraceKind::WriteFaultBegin,
+                    TraceKind::WriteFaultEnd,
+                )
             }
+        };
+        let traced_mp = if self.trace.enabled() {
+            let mp = self.trace_mp(f.addr);
+            self.trace.emit(t0, begin_kind, |e| e.with_mp(mp));
+            mp
+        } else {
+            NO_MP
         };
         // The kernel delivers the access fault to the handler...
         self.charge_busy(self.cost.access_fault);
@@ -586,9 +650,13 @@ impl HostCtx {
         let dest = self.route_home(f.addr, None);
         let (ev, w) = self.state.register_waiter(&self.events);
         let msg = Pmsg::new(kind, self.host, ev).with_addr(f.addr);
-        self.net.send(self.host, dest, msg, 0, self.clock.now());
+        self.send(dest, msg, 0);
         let c = self.blocking_wait(&w);
         self.clock.merge(c.resume_vt);
+        self.fault_hist.record(self.clock.now() - t0);
+        self.trace.emit(self.clock.now(), end_kind, |e| {
+            e.with_mp(traced_mp).with_event(ev)
+        });
         self.breakdown.charge(cat, self.clock.now() - t0);
         // The ack goes out only after the retried access completes, so the
         // service window at the manager covers the access (§3.3). The
@@ -603,6 +671,14 @@ impl HostCtx {
     fn rc_write_fault(&mut self, f: AccessFault) {
         let t0 = self.clock.now();
         self.state.counters.write_faults.bump();
+        let traced_mp = if self.trace.enabled() {
+            let mp = self.trace_mp(f.addr);
+            self.trace
+                .emit(t0, TraceKind::WriteFaultBegin, |e| e.with_mp(mp));
+            mp
+        } else {
+            NO_MP
+        };
         self.charge_busy(self.cost.access_fault);
         // Wait for an in-flight prefetch, or fetch a read copy from home.
         let pf = self.state.prefetch_waiters.lock().get(&f.vpage).cloned();
@@ -613,7 +689,7 @@ impl HostCtx {
             let dest = self.route_home(f.addr, None);
             let (ev, w) = self.state.register_waiter(&self.events);
             let msg = Pmsg::new(MsgKind::ReadRequest, self.host, ev).with_addr(f.addr);
-            self.net.send(self.host, dest, msg, 0, self.clock.now());
+            self.send(dest, msg, 0);
             let c = self.blocking_wait(&w);
             self.clock.merge(c.resume_vt);
         }
@@ -660,6 +736,11 @@ impl HostCtx {
                 .expect("application vpage");
             self.charge_busy(self.cost.set_protection);
         }
+        self.fault_hist.record(self.clock.now() - t0);
+        self.trace
+            .emit(self.clock.now(), TraceKind::WriteFaultEnd, |e| {
+                e.with_mp(traced_mp)
+            });
         self.breakdown
             .charge(Category::WriteFault, self.clock.now() - t0);
     }
@@ -689,7 +770,7 @@ impl HostCtx {
         };
         let t0 = self.clock.now();
         let distributed = self.home.kind() != HomePolicyKind::Centralized;
-        let mut pending: Vec<Arc<Waiter>> = Vec::new();
+        let mut pending: Vec<(u64, Arc<Waiter>)> = Vec::new();
         for d in dirty {
             // Snapshot + invalidate atomically per page, then diff. The
             // local copy is dropped (not downgraded): a concurrent
@@ -704,12 +785,16 @@ impl HostCtx {
             let diff = d.twin.diff(&data);
             self.charge_busy(self.cost.diff_time(d.info.len));
             self.charge_busy(self.cost.set_protection);
+            self.trace
+                .emit(self.clock.now(), TraceKind::InvalidateLocal, |e| {
+                    e.with_mp(d.info.id.0)
+                });
             if diff.is_empty() {
                 continue;
             }
             let ev = if distributed {
                 let (ev, w) = self.state.register_waiter(&self.events);
-                pending.push(w);
+                pending.push((ev, w));
                 ev
             } else {
                 0
@@ -721,15 +806,25 @@ impl HostCtx {
             msg.priv_base = d.info.priv_base;
             msg.data = Bytes::from(diff.encode());
             let payload = msg.payload_bytes();
+            self.trace
+                .emit(self.clock.now(), TraceKind::RcDiffSend, |e| {
+                    e.with_mp(d.info.id.0)
+                        .with_event(ev)
+                        .with_bytes(payload)
+                        .with_aux(u32::from(distributed))
+                });
             // The boundary cache already names the minipage, so the home
             // comes from the id map — no MPT lookup to charge.
             let dest = self.home.home(d.info.id);
-            self.net
-                .send(self.host, dest, msg, payload, self.clock.now());
+            self.send(dest, msg, payload);
         }
-        for w in pending {
+        for (ev, w) in pending {
             let c = self.blocking_wait(&w);
             self.clock.merge(c.resume_vt);
+            self.trace
+                .emit(self.clock.now(), TraceKind::RcDiffAckRecv, |e| {
+                    e.with_event(ev)
+                });
         }
         self.breakdown
             .charge(Category::Synch, self.clock.now() - t0);
@@ -744,7 +839,7 @@ impl HostCtx {
         for addr in acks {
             let msg = Pmsg::new(MsgKind::Ack, self.host, 0).with_addr(addr);
             let dest = self.route_home(addr, Some(Category::Comp));
-            self.net.send(self.host, dest, msg, 0, self.clock.now());
+            self.send(dest, msg, 0);
         }
     }
 }

@@ -23,6 +23,7 @@
 //! home-based eager release-consistency mode ([`hlrc`]) used for the
 //! SC-vs-relaxed ablation.
 
+pub mod audit;
 mod cluster;
 pub mod diff;
 mod directory;
@@ -45,7 +46,12 @@ pub use msg::{MsgKind, Pmsg};
 pub use shared::{Pod, SharedCell, SharedVec};
 pub use stats::{HostReport, RunReport, ShardStats};
 
+pub use audit::{audit, AuditMode};
+
 // Re-exports the applications and harnesses keep reaching for.
 pub use multiview::{AllocMode, AllocStats};
-pub use sim_core::{Category, CostModel, HostId, Ns, TimeBreakdown};
+pub use sim_core::{
+    Category, ChromeTrace, CostModel, HostId, LogHistogram, Ns, TimeBreakdown, TraceEvent,
+    TraceKind, TraceLog, Tracer, Track,
+};
 pub use sim_mem::VAddr;

@@ -27,7 +27,8 @@ use crate::home::HomeTable;
 use crate::host::HostState;
 use crate::msg::{MsgKind, Pmsg};
 use multiview::{AllocStats, Allocator, Minipage, MinipageId};
-use sim_core::{CostModel, HostId};
+use sim_core::trace::{TraceKind, TraceRecorder};
+use sim_core::{CostModel, HostId, LogHistogram, Ns};
 use sim_mem::{Prot, VAddr};
 use sim_net::{Endpoint, ServerTimeline};
 use std::collections::HashMap;
@@ -82,6 +83,11 @@ pub struct ManagerShard {
     /// unreachable by applications until the allocation reply delivers
     /// its address.
     states: Vec<Arc<HostState>>,
+    /// Protocol tracer for shard-side events (inert unless tracing is on).
+    trace: TraceRecorder,
+    /// Invalidation round-trips observed at this shard: fan-out to last
+    /// reply, per completed round.
+    inv_rt: LogHistogram,
 }
 
 impl ManagerShard {
@@ -96,6 +102,7 @@ impl ManagerShard {
         allocator: Option<Allocator>,
         home: Arc<HomeTable>,
         states: Vec<Arc<HostState>>,
+        trace: TraceRecorder,
     ) -> Self {
         Self {
             me,
@@ -110,6 +117,8 @@ impl ManagerShard {
             stats: ManagerStats::default(),
             home,
             states,
+            trace,
+            inv_rt: LogHistogram::new(),
         }
     }
 
@@ -142,6 +151,12 @@ impl ManagerShard {
         self.dir.competing_requests()
     }
 
+    /// Invalidation round-trip times (fan-out to last reply) observed at
+    /// this shard.
+    pub fn inv_round_trip(&self) -> &LogHistogram {
+        &self.inv_rt
+    }
+
     /// Read-only directory access (tests, validation).
     pub fn directory(&self) -> &Directory {
         &self.dir
@@ -155,7 +170,8 @@ impl ManagerShard {
     /// Allocates shared memory and initializes its directory state: each
     /// new minipage is published to the home table and starts at its home
     /// host with a writable copy. Runs on the manager host only.
-    pub(crate) fn do_alloc(&mut self, size: usize, requester: HostId) -> VAddr {
+    /// `now` is the virtual time of the grant (0 during pre-run setup).
+    pub(crate) fn do_alloc(&mut self, size: usize, requester: HostId, now: Ns) -> VAddr {
         let allocator = self
             .allocator
             .as_mut()
@@ -178,6 +194,13 @@ impl ManagerShard {
         };
         for mp in new_mps {
             let home = self.home.publish(mp, requester);
+            // aux 1 = the home copy starts writable (SW/MR), 0 = read-only
+            // (HLRC); peer = the home host the copy lands on.
+            self.trace.emit(now, TraceKind::AllocGrant, |e| {
+                e.with_mp(mp.id.0)
+                    .with_peer(home)
+                    .with_aux(u32::from(home_prot == Prot::ReadWrite))
+            });
             let home_state = &self.states[home.index()];
             for vp in mp.vpages(&geo) {
                 home_state
@@ -278,6 +301,35 @@ impl ManagerShard {
         mp.id
     }
 
+    /// [`Directory::begin_service`] with tracing: `WindowOpen` when the
+    /// window opens, `ReqQueued` when the request queues behind one.
+    /// `aux`: 0 = read, 1 = write, 2 = push, 3 = rc diff.
+    fn open_window(&mut self, id: MinipageId, m: &Pmsg, now: Ns, aux: u32) -> bool {
+        let opened = self.dir.begin_service(id.index(), m.clone());
+        let kind = if opened {
+            TraceKind::WindowOpen
+        } else {
+            TraceKind::ReqQueued
+        };
+        let peer = m.from;
+        self.trace
+            .emit(now, kind, |e| e.with_mp(id.0).with_peer(peer).with_aux(aux));
+        opened
+    }
+
+    /// [`Directory::end_service`] with a `WindowClose` trace record. An
+    /// ack can arrive for a windowless transfer (an HLRC home-served
+    /// read); closing is a no-op then and records nothing.
+    fn close_window(&mut self, id: MinipageId, now: Ns) -> Option<Pmsg> {
+        let was_open = self.dir.entry(id.index()).in_service;
+        let next = self.dir.end_service(id.index());
+        if was_open {
+            self.trace
+                .emit(now, TraceKind::WindowClose, |e| e.with_mp(id.0));
+        }
+        next
+    }
+
     fn handle_read_request(&mut self, mut m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
         let id = self.translate(&mut m, tl);
         if self.consistency == Consistency::HomeEagerRc {
@@ -296,10 +348,13 @@ impl ManagerShard {
             reply.data = bytes::Bytes::from(data);
             let to = reply.from;
             let payload = reply.payload_bytes();
+            self.trace.emit(tl.now(), TraceKind::Serve, |e| {
+                e.with_mp(id.0).with_peer(to).with_aux(0)
+            });
             ep.send(to, reply, payload, tl.now());
             return;
         }
-        if !self.dir.begin_service(id.index(), m.clone()) {
+        if !self.open_window(id, &m, tl.now(), 0) {
             return; // Queued as a competing request.
         }
         let e = self.dir.entry(id.index());
@@ -311,6 +366,9 @@ impl ManagerShard {
         e.owner = None;
         e.add(m.from);
         m.kind = MsgKind::ServeRead;
+        self.trace.emit(tl.now(), TraceKind::Forward, |e| {
+            e.with_mp(id.0).with_peer(src).with_aux(0)
+        });
         ep.send(src, m, 0, tl.now());
     }
 
@@ -321,7 +379,7 @@ impl ManagerShard {
             "write requests do not exist under release consistency"
         );
         let id = self.translate(&mut m, tl);
-        if !self.dir.begin_service(id.index(), m.clone()) {
+        if !self.open_window(id, &m, tl.now(), 1) {
             return;
         }
         let e = self.dir.entry(id.index());
@@ -335,15 +393,22 @@ impl ManagerShard {
         };
         let targets: Vec<HostId> = e.holders().filter(|&h| h != src).collect();
         if targets.is_empty() {
+            self.trace.emit(tl.now(), TraceKind::Forward, |e| {
+                e.with_mp(id.0).with_peer(src).with_aux(1)
+            });
             Self::forward_write(e, src, m, tl, ep);
         } else {
             e.inv_pending = targets.len() as u32;
+            e.inv_sent_vt = tl.now();
             e.pending_write = Some(m.clone());
             self.stats.invalidations_sent += targets.len() as u64;
             for t in targets {
                 let mut inv = m.clone();
                 inv.kind = MsgKind::InvalidateRequest;
                 inv.data = bytes::Bytes::new();
+                self.trace.emit(tl.now(), TraceKind::InvSend, |e| {
+                    e.with_mp(id.0).with_peer(t).with_event(inv.event)
+                });
                 ep.send(t, inv, 0, tl.now());
             }
         }
@@ -351,6 +416,10 @@ impl ManagerShard {
 
     fn handle_invalidate_reply(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
         let id = m.minipage;
+        let from = m.from;
+        self.trace.emit(tl.now(), TraceKind::InvReplyRecv, |e| {
+            e.with_mp(id.0).with_peer(from).with_event(m.event)
+        });
         let pending = {
             let e = self.dir.entry(id.index());
             e.remove(m.from);
@@ -366,6 +435,7 @@ impl ManagerShard {
             // Figure 3: "if got less than (#replicas - 1) replies then
             // return".
             if e.inv_pending == 0 {
+                self.inv_rt.record(tl.now().saturating_sub(e.inv_sent_vt));
                 Some(
                     e.pending_write
                         .take()
@@ -380,8 +450,11 @@ impl ManagerShard {
             // The pending request is a flushed diff: every stale copy is
             // now gone, release the flusher.
             let ack = Pmsg::new(MsgKind::RcDiffAck, self.me, w.event).with_addr(w.addr);
+            self.trace.emit(tl.now(), TraceKind::RcDiffAckSend, |e| {
+                e.with_mp(id.0).with_peer(w.from).with_event(w.event)
+            });
             ep.send(w.from, ack, 0, tl.now());
-            if let Some(next) = self.dir.end_service(id.index()) {
+            if let Some(next) = self.close_window(id, tl.now()) {
                 self.dispatch_queued(next, tl, ep);
             }
         } else {
@@ -389,6 +462,9 @@ impl ManagerShard {
             let src = e
                 .find_replica()
                 .expect("the serving replica was never invalidated");
+            self.trace.emit(tl.now(), TraceKind::Forward, |e| {
+                e.with_mp(id.0).with_peer(src).with_aux(1)
+            });
             Self::forward_write(e, src, w, tl, ep);
         }
     }
@@ -408,7 +484,11 @@ impl ManagerShard {
 
     fn handle_ack(&mut self, mut m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
         let id = self.translate(&mut m, tl);
-        if let Some(next) = self.dir.end_service(id.index()) {
+        let from = m.from;
+        self.trace.emit(tl.now(), TraceKind::AckRecv, |e| {
+            e.with_mp(id.0).with_peer(from)
+        });
+        if let Some(next) = self.close_window(id, tl.now()) {
             // The queued competing request is serviced now.
             self.dispatch_queued(next, tl, ep);
         }
@@ -426,7 +506,7 @@ impl ManagerShard {
 
     fn handle_alloc(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
         tl.charge(self.cost.mpt_lookup);
-        let addr = self.do_alloc(m.aux as usize, m.from);
+        let addr = self.do_alloc(m.aux as usize, m.from, tl.now());
         let mut reply = Pmsg::new(MsgKind::AllocReply, self.me, m.event);
         reply.addr = addr;
         ep.send(m.from, reply, 0, tl.now());
@@ -441,6 +521,10 @@ impl ManagerShard {
                 tl.charge(self.cost.barrier_per_host);
                 let mut rel = Pmsg::new(MsgKind::BarrierRelease, self.me, w.event);
                 rel.addr = w.addr;
+                self.trace
+                    .emit(tl.now(), TraceKind::BarrierReleaseSend, |e| {
+                        e.with_peer(w.from).with_event(w.event)
+                    });
                 ep.send(w.from, rel, 0, tl.now());
             }
             self.stats.barriers += 1;
@@ -454,6 +538,9 @@ impl ManagerShard {
             self.stats.lock_acquires += 1;
             tl.charge(self.cost.lock_service);
             let grant = Pmsg::new(MsgKind::LockGrant, self.me, m.event).with_aux(m.aux);
+            self.trace.emit(tl.now(), TraceKind::LockGrantSend, |e| {
+                e.with_peer(m.from).with_event(m.aux)
+            });
             ep.send(m.from, grant, 0, tl.now());
         } else {
             st.queue.push_back(m);
@@ -477,13 +564,16 @@ impl ManagerShard {
             st.held_by = Some(next.from);
             self.stats.lock_acquires += 1;
             let grant = Pmsg::new(MsgKind::LockGrant, self.me, next.event).with_aux(next.aux);
+            self.trace.emit(tl.now(), TraceKind::LockGrantSend, |e| {
+                e.with_peer(next.from).with_event(next.aux)
+            });
             ep.send(next.from, grant, 0, tl.now());
         }
     }
 
     fn handle_push(&mut self, mut m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
         let id = self.translate(&mut m, tl);
-        if !self.dir.begin_service(id.index(), m.clone()) {
+        if !self.open_window(id, &m, tl.now(), 2) {
             return; // Queued behind an in-flight transfer.
         }
         {
@@ -510,7 +600,7 @@ impl ManagerShard {
             }
         }
         // Pushes hold no service window (no ack follows).
-        if let Some(next) = self.dir.end_service(id.index()) {
+        if let Some(next) = self.close_window(id, tl.now()) {
             self.dispatch_queued(next, tl, ep);
         }
     }
@@ -537,10 +627,17 @@ impl ManagerShard {
             "RcDiff under the SW/MR protocol"
         );
         let acked = m.event != 0;
-        if acked && !self.dir.begin_service(m.minipage.index(), m.clone()) {
+        if acked && !self.open_window(m.minipage, &m, tl.now(), 3) {
             return; // A concurrent flush of this minipage is mid-window.
         }
         let diff = Diff::decode(&m.data).expect("well-formed diff on the wire");
+        let (mp, diff_bytes, diff_event) = (m.minipage.0, m.data.len(), m.event);
+        self.trace.emit(tl.now(), TraceKind::RcDiffApply, |e| {
+            e.with_mp(mp)
+                .with_bytes(diff_bytes)
+                .with_event(diff_event)
+                .with_peer(m.from)
+        });
         // Patch run by run: only changed bytes are written, so a racing
         // local write to *other* bytes of the page is never clobbered.
         for (off, bytes) in diff.iter_runs() {
@@ -560,20 +657,28 @@ impl ManagerShard {
             let mut inv = m.clone();
             inv.kind = MsgKind::InvalidateRequest;
             inv.data = bytes::Bytes::new();
-            ep.send(*t, inv, 0, tl.now());
+            let t = *t;
+            self.trace.emit(tl.now(), TraceKind::InvSend, |e| {
+                e.with_mp(id.0).with_peer(t).with_event(inv.event)
+            });
+            ep.send(t, inv, 0, tl.now());
         }
         e.copyset = 1u64 << me.index();
         e.owner = None;
         if acked {
             if targets.is_empty() {
                 let ack = Pmsg::new(MsgKind::RcDiffAck, me, m.event).with_addr(m.addr);
+                self.trace.emit(tl.now(), TraceKind::RcDiffAckSend, |e| {
+                    e.with_mp(id.0).with_peer(m.from).with_event(m.event)
+                });
                 ep.send(m.from, ack, 0, tl.now());
-                if let Some(next) = self.dir.end_service(id.index()) {
+                if let Some(next) = self.close_window(id, tl.now()) {
                     self.dispatch_queued(next, tl, ep);
                 }
             } else {
                 // Ack once the last invalidation is confirmed.
                 e.inv_pending = targets.len() as u32;
+                e.inv_sent_vt = tl.now();
                 e.pending_write = Some(m);
             }
         }

@@ -15,7 +15,8 @@ use crate::host::{HostState, Waiter};
 use crate::manager::ManagerShard;
 use crate::msg::{Completion, MsgKind, Pmsg};
 use bytes::Bytes;
-use sim_core::CostModel;
+use sim_core::trace::{TraceKind, TraceRecorder};
+use sim_core::{CostModel, LogHistogram};
 use sim_mem::Prot;
 use sim_net::{Endpoint, RecvError, ServerTimeline};
 use std::sync::Arc;
@@ -24,6 +25,8 @@ use std::sync::Arc;
 pub(crate) struct ServerOutcome {
     /// This host's manager shard (directory slice, counters).
     pub shard: ManagerShard,
+    /// Arrival→service-start delays of every packet this server handled.
+    pub queue_delay: LogHistogram,
     /// The endpoint is kept alive until every server has stopped so that
     /// late messages from still-draining peers never hit a closed channel.
     #[expect(dead_code)]
@@ -38,6 +41,7 @@ pub(crate) fn server_loop(
     consistency: Consistency,
     mut timeline: ServerTimeline,
     mut shard: ManagerShard,
+    mut rec: TraceRecorder,
 ) -> ServerOutcome {
     let home = Arc::clone(shard.home_table());
     loop {
@@ -67,6 +71,20 @@ pub(crate) fn server_loop(
                 pkt.msg.len,
             );
         }
+        if rec.enabled() {
+            let (from, event, mp, bytes) = (
+                pkt.from,
+                pkt.msg.event,
+                pkt.msg.minipage.0,
+                pkt.payload_bytes,
+            );
+            rec.emit(pkt.arrival_vt, TraceKind::MsgRecv, |e| {
+                e.with_peer(from)
+                    .with_event(event)
+                    .with_mp(mp)
+                    .with_bytes(bytes)
+            });
+        }
         timeline.begin_service(pkt.arrival_vt, busy);
         dispatch(
             pkt.msg,
@@ -77,10 +95,12 @@ pub(crate) fn server_loop(
             &mut shard,
             &home,
             &ep,
+            &mut rec,
         );
     }
     ServerOutcome {
         shard,
+        queue_delay: timeline.take_queue_delay(),
         endpoint: ep,
     }
 }
@@ -95,17 +115,18 @@ fn dispatch(
     shard: &mut ManagerShard,
     home: &HomeTable,
     ep: &Endpoint<Pmsg>,
+    rec: &mut TraceRecorder,
 ) {
     use MsgKind::*;
     match m.kind {
         ReadRequest | WriteRequest | InvalidateReply | Ack | AllocRequest | BarrierEnter
         | LockAcquire | LockRelease | PushRequest | RcDiff => shard.handle(m, tl, ep),
-        ServeRead => serve_read(m, state, cost, tl, ep),
-        ServeWrite => serve_write(m, state, cost, tl, ep),
-        InvalidateRequest => handle_invalidate(m, state, cost, consistency, tl, home, ep),
-        ReadReply | WriteReply => handle_data_reply(m, state, cost, tl, home, ep),
+        ServeRead => serve_read(m, state, cost, tl, ep, rec),
+        ServeWrite => serve_write(m, state, cost, tl, ep, rec),
+        InvalidateRequest => handle_invalidate(m, state, cost, consistency, tl, home, ep, rec),
+        ReadReply | WriteReply => handle_data_reply(m, state, cost, tl, home, ep, rec),
         AllocReply | BarrierRelease | LockGrant | RcDiffAck => fulfill_simple(m, state, cost, tl),
-        PushData => handle_push_data(m, state, cost, tl),
+        PushData => handle_push_data(m, state, cost, tl, rec),
         Shutdown => unreachable!("handled by the loop"),
     }
 }
@@ -134,9 +155,11 @@ fn serve_read(
     cost: &CostModel,
     tl: &mut ServerTimeline,
     ep: &Endpoint<Pmsg>,
+    rec: &mut TraceRecorder,
 ) {
     tl.charge(cost.dsm_overhead);
     tl.charge(cost.get_protection);
+    let mut downgraded = false;
     for vp in vpages_of(&m, state) {
         if state.space.prot(vp) == Prot::ReadWrite {
             state
@@ -144,8 +167,15 @@ fn serve_read(
                 .set_prot(vp, Prot::ReadOnly)
                 .expect("application vpage");
             tl.charge(cost.set_protection);
+            downgraded = true;
         }
     }
+    if downgraded {
+        rec.emit(tl.now(), TraceKind::Downgrade, |e| e.with_mp(m.minipage.0));
+    }
+    rec.emit(tl.now(), TraceKind::Serve, |e| {
+        e.with_mp(m.minipage.0).with_peer(m.from).with_aux(0)
+    });
     let data = state
         .space
         .priv_read(m.priv_base, m.len)
@@ -166,6 +196,7 @@ fn serve_write(
     cost: &CostModel,
     tl: &mut ServerTimeline,
     ep: &Endpoint<Pmsg>,
+    rec: &mut TraceRecorder,
 ) {
     tl.charge(cost.dsm_overhead);
     // NoAccess first: once the bytes leave, local threads must fault.
@@ -176,6 +207,12 @@ fn serve_write(
             .expect("application vpage");
         tl.charge(cost.set_protection);
     }
+    rec.emit(tl.now(), TraceKind::InvalidateLocal, |e| {
+        e.with_mp(m.minipage.0)
+    });
+    rec.emit(tl.now(), TraceKind::Serve, |e| {
+        e.with_mp(m.minipage.0).with_peer(m.from).with_aux(1)
+    });
     let data = state
         .space
         .priv_read(m.priv_base, m.len)
@@ -197,6 +234,7 @@ fn serve_write(
 /// (HLRC invalidations ride FIFO ordering to the single manager); with
 /// distributed homes the home shard counts replies before acknowledging
 /// the flusher, so one is sent either way.
+#[allow(clippy::too_many_arguments)]
 fn handle_invalidate(
     m: Pmsg,
     state: &Arc<HostState>,
@@ -205,7 +243,11 @@ fn handle_invalidate(
     tl: &mut ServerTimeline,
     home: &HomeTable,
     ep: &Endpoint<Pmsg>,
+    rec: &mut TraceRecorder,
 ) {
+    rec.emit(tl.now(), TraceKind::InvalidateLocal, |e| {
+        e.with_mp(m.minipage.0).with_event(m.event)
+    });
     if consistency == Consistency::HomeEagerRc {
         let dirty = state.rc.lock().dirty.remove(&m.minipage.0);
         if let Some(d) = dirty {
@@ -224,6 +266,11 @@ fn handle_invalidate(
                 out.priv_base = d.info.priv_base;
                 out.data = Bytes::from(diff.encode());
                 let payload = out.payload_bytes();
+                // Eviction diff: event 0, fire-and-forget (aux 0 marks it
+                // as not awaiting an RcDiffAck).
+                rec.emit(tl.now(), TraceKind::RcDiffSend, |e| {
+                    e.with_mp(d.info.id.0).with_bytes(payload).with_aux(0)
+                });
                 ep.send(home.home(d.info.id), out, payload, tl.now());
             }
         } else {
@@ -273,12 +320,18 @@ fn handle_data_reply(
     tl: &mut ServerTimeline,
     home: &HomeTable,
     ep: &Endpoint<Pmsg>,
+    rec: &mut TraceRecorder,
 ) {
     tl.charge(cost.dsm_overhead);
     state
         .space
         .priv_write(m.priv_base, &m.data)
         .expect("translated minipage in range");
+    // aux 1 = read-only copy installed, aux 2 = writable copy installed.
+    let aux = if m.kind == MsgKind::ReadReply { 1 } else { 2 };
+    rec.emit(tl.now(), TraceKind::Install, |e| {
+        e.with_mp(m.minipage.0).with_event(m.event).with_aux(aux)
+    });
     // Cache the manager's translation: the host-side minipage boundary
     // knowledge that the release-consistency write path relies on.
     state.rc.lock().learn(
@@ -351,11 +404,20 @@ fn fulfill_simple(m: Pmsg, state: &Arc<HostState>, cost: &CostModel, tl: &mut Se
 }
 
 /// Installs a pushed read copy (§4.3).
-fn handle_push_data(m: Pmsg, state: &Arc<HostState>, cost: &CostModel, tl: &mut ServerTimeline) {
+fn handle_push_data(
+    m: Pmsg,
+    state: &Arc<HostState>,
+    cost: &CostModel,
+    tl: &mut ServerTimeline,
+    rec: &mut TraceRecorder,
+) {
     state
         .space
         .priv_write(m.priv_base, &m.data)
         .expect("translated minipage in range");
+    rec.emit(tl.now(), TraceKind::Install, |e| {
+        e.with_mp(m.minipage.0).with_aux(1)
+    });
     for vp in vpages_of(&m, state) {
         state
             .space

@@ -5,12 +5,13 @@ use crate::home::HomeTable;
 use crate::host::HostState;
 use crate::manager::ManagerShard;
 use multiview::{AllocStats, Minipage};
-use sim_core::{HostId, Ns, TimeBreakdown};
+use serde::{Deserialize, Serialize};
+use sim_core::{HostId, LogHistogram, Ns, TimeBreakdown};
 use sim_mem::{Geometry, Prot};
 use std::sync::Arc;
 
 /// Per-application-thread outcome.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct HostReport {
     /// The host this thread ran on.
     pub host: HostId,
@@ -24,6 +25,8 @@ pub struct HostReport {
     pub read_faults: u64,
     /// Write faults taken by this host.
     pub write_faults: u64,
+    /// Fault service times (fault entry to resume) of this thread.
+    pub fault_latency: LogHistogram,
 }
 
 /// Per-shard manager-side counters: where the management load landed.
@@ -32,7 +35,7 @@ pub struct HostReport {
 /// activity; the distributed policies spread it, and the spread (in
 /// particular the peak `competing_requests`) is the Figure 7 hot-spot
 /// measurement per shard.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ShardStats {
     /// The host this shard ran on.
     pub host: HostId,
@@ -48,7 +51,7 @@ pub struct ShardStats {
 }
 
 /// The outcome of one cluster run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct RunReport {
     /// Number of hosts.
     pub hosts: usize,
@@ -88,12 +91,36 @@ pub struct RunReport {
     pub shards: Vec<ShardStats>,
     /// Coherence violations found post-run (must be empty).
     pub coherence_violations: Vec<String>,
+    /// Fault service times (fault entry to resume) over all application
+    /// threads.
+    pub fault_latency: LogHistogram,
+    /// Arrival→service-start delays at the DSM servers (poll/sweeper
+    /// delay plus queueing behind earlier handlers).
+    pub server_queue_delay: LogHistogram,
+    /// Invalidation round-trips at the manager shards: fan-out to last
+    /// confirmation, per completed round.
+    pub inv_round_trip: LogHistogram,
 }
 
 impl RunReport {
     /// Speedup relative to a single-host run time.
     pub fn speedup(&self, t1: Ns) -> f64 {
         t1 as f64 / self.virtual_time.max(1) as f64
+    }
+
+    /// Median fault service time (ns); `None` if the run took no faults.
+    pub fn fault_latency_p50(&self) -> Option<Ns> {
+        self.fault_latency.p50()
+    }
+
+    /// 95th-percentile fault service time (ns).
+    pub fn fault_latency_p95(&self) -> Option<Ns> {
+        self.fault_latency.p95()
+    }
+
+    /// 99th-percentile fault service time (ns).
+    pub fn fault_latency_p99(&self) -> Option<Ns> {
+        self.fault_latency.p99()
     }
 
     /// Parallel efficiency relative to a single-host run time.
@@ -110,6 +137,115 @@ impl RunReport {
             .max()
             .unwrap_or(0)
     }
+
+    /// The report as a JSON document (machine-readable run output; the
+    /// `repro --json` flag).
+    pub fn to_json(&self) -> String {
+        use sim_core::Category;
+        let mut s = String::with_capacity(4096);
+        s.push('{');
+        push_kv(&mut s, "hosts", &self.hosts.to_string());
+        push_kv(&mut s, "virtual_time_ns", &self.virtual_time.to_string());
+        push_kv(&mut s, "policy", &format!("\"{}\"", self.policy));
+        push_kv(&mut s, "read_faults", &self.read_faults.to_string());
+        push_kv(&mut s, "write_faults", &self.write_faults.to_string());
+        push_kv(&mut s, "prefetches", &self.prefetches.to_string());
+        push_kv(&mut s, "invalidations", &self.invalidations.to_string());
+        push_kv(
+            &mut s,
+            "competing_requests",
+            &self.competing_requests.to_string(),
+        );
+        push_kv(&mut s, "barriers", &self.barriers.to_string());
+        push_kv(&mut s, "lock_acquires", &self.lock_acquires.to_string());
+        push_kv(&mut s, "pushes", &self.pushes.to_string());
+        push_kv(&mut s, "messages", &self.messages.to_string());
+        push_kv(&mut s, "payload_bytes", &self.payload_bytes.to_string());
+        push_kv(&mut s, "rc_diffs", &self.rc_diffs.to_string());
+        let bd: Vec<String> = Category::ALL
+            .iter()
+            .map(|&c| format!("\"{c:?}\":{}", self.breakdown.get(c)))
+            .collect();
+        push_kv(&mut s, "breakdown_ns", &format!("{{{}}}", bd.join(",")));
+        push_kv(&mut s, "fault_latency", &hist_json(&self.fault_latency));
+        push_kv(
+            &mut s,
+            "server_queue_delay",
+            &hist_json(&self.server_queue_delay),
+        );
+        push_kv(&mut s, "inv_round_trip", &hist_json(&self.inv_round_trip));
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|sh| {
+                format!(
+                    "{{\"host\":{},\"competing_requests\":{},\"invalidations_sent\":{},\
+                     \"rc_diffs\":{},\"directory_entries\":{}}}",
+                    sh.host.index(),
+                    sh.competing_requests,
+                    sh.invalidations_sent,
+                    sh.rc_diffs,
+                    sh.directory_entries
+                )
+            })
+            .collect();
+        push_kv(&mut s, "shards", &format!("[{}]", shards.join(",")));
+        let hosts: Vec<String> = self
+            .per_host
+            .iter()
+            .map(|h| {
+                format!(
+                    "{{\"host\":{},\"thread\":{},\"end_vt\":{},\"read_faults\":{},\
+                     \"write_faults\":{}}}",
+                    h.host.index(),
+                    h.thread,
+                    h.end_vt,
+                    h.read_faults,
+                    h.write_faults
+                )
+            })
+            .collect();
+        push_kv(&mut s, "per_host", &format!("[{}]", hosts.join(",")));
+        let viol: Vec<String> = self
+            .coherence_violations
+            .iter()
+            .map(|v| format!("\"{}\"", sim_core::trace::esc(v)))
+            .collect();
+        push_kv(
+            &mut s,
+            "coherence_violations",
+            &format!("[{}]", viol.join(",")),
+        );
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+fn push_kv(out: &mut String, key: &str, val: &str) {
+    if out.len() > 1 {
+        out.push(',');
+    }
+    out.push_str(&format!("\"{key}\":{val}"));
+}
+
+/// Count/mean/extremes/percentiles of one latency histogram as JSON.
+fn hist_json(h: &LogHistogram) -> String {
+    fn opt(v: Option<Ns>) -> String {
+        v.map_or_else(|| "null".into(), |x| x.to_string())
+    }
+    format!(
+        "{{\"count\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\
+         \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+        h.count(),
+        opt(h.min()),
+        h.mean()
+            .map_or_else(|| "null".into(), |m| format!("{m:.1}")),
+        opt(h.max()),
+        opt(h.p50()),
+        opt(h.p95()),
+        opt(h.p99()),
+    )
 }
 
 /// Post-run validation for the release-consistency mode: after the final

@@ -13,25 +13,31 @@
 //! * [`cost`] — the calibrated cost model (Table 1 and §3.5 of the paper),
 //! * [`rng`] — a small deterministic PRNG (SplitMix64),
 //! * [`account`] — per-category time accounting (the Figure 6 breakdown),
-//! * [`stats`] — counters, summaries, and histograms used by the harnesses.
+//! * [`stats`] — counters, summaries, and histograms used by the harnesses,
+//! * [`trace`] — virtual-time protocol event tracing (per-thread rings,
+//!   Chrome-trace export).
 
 pub mod account;
 pub mod clock;
 pub mod cost;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use account::{Category, TimeBreakdown};
 pub use clock::{BusyWindow, Clock, Ns, SharedClock};
 pub use cost::{CostModel, ServiceDelayModel};
 pub use rng::SplitMix64;
-pub use stats::{Counter, Histogram, Summary};
+pub use stats::{Counter, Histogram, LogHistogram, Summary};
+pub use trace::{ChromeTrace, TraceEvent, TraceKind, TraceLog, TraceRecorder, Tracer, Track};
 
 /// Identifier of a simulated host (0-based, dense).
 ///
 /// The paper's testbed has eight hosts; the reproduction supports up to 64
 /// (copysets are stored as `u64` bitmasks).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct HostId(pub u16);
 
 impl HostId {

@@ -2,7 +2,9 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use sim_core::clock::Ns;
+use sim_core::trace::{TraceKind, TraceRecorder};
 use sim_core::{CostModel, Counter, HostId};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// A message in flight.
@@ -97,6 +99,7 @@ impl<M: Send> Network<M> {
                 host: HostId(i as u16),
                 net: net.clone(),
                 inbox: rx,
+                tracer: RefCell::new(TraceRecorder::disabled()),
             })
             .collect();
         (net, endpoints)
@@ -154,6 +157,11 @@ pub struct Endpoint<M> {
     host: HostId,
     net: Network<M>,
     inbox: Receiver<Packet<M>>,
+    /// Protocol tracer for sends issued through this endpoint (the host's
+    /// server thread). Inert unless [`attach_tracer`](Self::attach_tracer)
+    /// installed an enabled recorder; an endpoint is single-thread-owned,
+    /// so the `RefCell` never contends.
+    tracer: RefCell<TraceRecorder>,
 }
 
 impl<M: Send> Endpoint<M> {
@@ -167,8 +175,21 @@ impl<M: Send> Endpoint<M> {
         &self.net
     }
 
+    /// Installs a recorder that logs a `MsgSend` event for every send
+    /// issued through this endpoint.
+    pub fn attach_tracer(&self, rec: TraceRecorder) {
+        *self.tracer.borrow_mut() = rec;
+    }
+
     /// Sends to `to` at virtual time `now`; returns the arrival time.
     pub fn send(&self, to: HostId, msg: M, payload_bytes: usize, now: Ns) -> Ns {
+        let mut t = self.tracer.borrow_mut();
+        if t.enabled() {
+            t.emit(now, TraceKind::MsgSend, |e| {
+                e.with_peer(to).with_bytes(payload_bytes)
+            });
+        }
+        drop(t);
         self.net.send(self.host, to, msg, payload_bytes, now)
     }
 

@@ -10,7 +10,7 @@
 //! previous one finished.
 
 use sim_core::clock::Ns;
-use sim_core::{CostModel, SplitMix64};
+use sim_core::{CostModel, LogHistogram, SplitMix64};
 
 /// How far apart in virtual time two messages can be and still contend
 /// for the server thread. The simulation processes messages in real
@@ -27,6 +27,9 @@ pub struct ServerTimeline {
     clock: Ns,
     rng: SplitMix64,
     cost: CostModel,
+    /// Arrival→service-start delay of every packet this server handled:
+    /// poll/sweeper delay plus genuine queueing behind earlier handlers.
+    queue_delay: LogHistogram,
 }
 
 impl ServerTimeline {
@@ -36,6 +39,7 @@ impl ServerTimeline {
             clock: 0,
             rng,
             cost,
+            queue_delay: LogHistogram::new(),
         }
     }
 
@@ -70,8 +74,19 @@ impl ServerTimeline {
         } else {
             ideal // Inversion: logically served before the future work.
         };
+        self.queue_delay.record(start.saturating_sub(arrival_vt));
         self.clock = start;
         start
+    }
+
+    /// The arrival→start delay histogram accumulated so far.
+    pub fn queue_delay(&self) -> &LogHistogram {
+        &self.queue_delay
+    }
+
+    /// Extracts the delay histogram (end of run).
+    pub fn take_queue_delay(&mut self) -> LogHistogram {
+        std::mem::replace(&mut self.queue_delay, LogHistogram::new())
     }
 
     /// Charges `dt` of handler work and returns the completion time.
@@ -130,6 +145,21 @@ mod tests {
         t.charge(500);
         assert_eq!(t.merge(100), 500);
         assert_eq!(t.merge(900), 900);
+    }
+
+    #[test]
+    fn queue_delay_histogram_tracks_arrival_to_start() {
+        let mut t = timeline();
+        let s1 = t.begin_service(100_000, false);
+        t.charge(50_000);
+        t.begin_service(100_000, false);
+        assert_eq!(t.queue_delay().count(), 2);
+        // First packet: pure poll delay; second also queued behind it.
+        assert_eq!(t.queue_delay().min(), Some(s1 - 100_000));
+        assert_eq!(t.queue_delay().max(), Some(s1 + 50_000 - 100_000));
+        let h = t.take_queue_delay();
+        assert_eq!(h.count(), 2);
+        assert_eq!(t.queue_delay().count(), 0);
     }
 
     #[test]

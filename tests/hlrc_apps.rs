@@ -35,8 +35,15 @@ fn rc_apps_match_references() {
         wp,
     );
     assert!(r.report.coherence_violations.is_empty());
+    // WATER's lock-protected force accumulation is order-sensitive
+    // floating-point summation, and lock grant order depends on thread
+    // scheduling: run-to-run checksum drift of ~1e-6 relative is the
+    // expected envelope, not a protocol bug (the SW/MR run above is
+    // deterministic only because SOR is barrier-separated). 1e-5 keeps
+    // headroom above the observed drift while still catching lost or
+    // misapplied diffs, which move the checksum by percents.
     assert!(
-        close(r.checksum, water::reference(wp), 1e-9),
+        close(r.checksum, water::reference(wp), 1e-5),
         "{} vs {}",
         r.checksum,
         water::reference(wp)

@@ -1,0 +1,207 @@
+//! End-to-end protocol tracing: a 4-host workload runs with the tracer
+//! on, and the recorded event stream must (a) be complete (no ring
+//! overwrites), (b) replay cleanly through the invariant auditor under
+//! every home policy and both consistency modes, and (c) export to
+//! well-formed Chrome-trace/Perfetto JSON.
+
+use millipage::{
+    audit, run, AllocMode, AuditMode, ChromeTrace, ClusterConfig, Consistency, HomePolicyKind,
+    HostId, RunReport, TraceLog, Tracer,
+};
+
+/// A workload touching every traced protocol path: barrier-separated
+/// writer rotation (read/write faults, invalidation fan-out), a
+/// lock-protected counter (lock grant/release), and a final prefetch +
+/// push round (bulk transfers).
+fn traced_workload(policy: HomePolicyKind, consistency: Consistency) -> (RunReport, TraceLog) {
+    let tracer = Tracer::enabled(1 << 14);
+    let cfg = ClusterConfig {
+        hosts: 4,
+        views: 8,
+        pages: 64,
+        alloc_mode: AllocMode::FINE,
+        consistency,
+        home_policy: policy,
+        tracer: tracer.clone(),
+        seed: 13,
+        ..ClusterConfig::default()
+    };
+    let report = run(
+        cfg,
+        |s| {
+            let cells = (0..8)
+                .map(|_| s.alloc_vec_init(&[0u64; 2]))
+                .collect::<Vec<_>>();
+            let counter = s.alloc_cell_init::<u64>(0);
+            (cells, counter)
+        },
+        |ctx, (cells, counter)| {
+            for phase in 0..3u64 {
+                if ctx.host() == HostId((phase as usize % ctx.hosts()) as u16) {
+                    for (i, c) in cells.iter().enumerate() {
+                        let v = ctx.get(c, 0);
+                        ctx.set(c, 0, v + phase + i as u64);
+                    }
+                }
+                ctx.barrier();
+            }
+            ctx.lock(1);
+            let v = ctx.cell_get(counter);
+            ctx.cell_set(counter, v + 1);
+            ctx.unlock(1);
+            ctx.barrier();
+            ctx.prefetch_vec(&cells[0]);
+            let _ = ctx.get(&cells[0], 1);
+            ctx.barrier();
+        },
+    );
+    (report, tracer.drain())
+}
+
+/// The tentpole acceptance check: under all three home policies the
+/// 4-host SW/MR trace is complete and replays with zero violations.
+#[test]
+fn swmr_trace_audits_clean_under_every_home_policy() {
+    for policy in [
+        HomePolicyKind::Centralized,
+        HomePolicyKind::Interleaved,
+        HomePolicyKind::FirstTouch,
+    ] {
+        let (report, log) = traced_workload(policy, Consistency::SequentialSwMr);
+        assert!(report.coherence_violations.is_empty(), "{policy:?}");
+        assert_eq!(log.dropped, 0, "{policy:?}: ring overflow");
+        assert!(!log.events.is_empty(), "{policy:?}: empty trace");
+        let violations = audit(&log.events, AuditMode::SwMr);
+        assert!(
+            violations.is_empty(),
+            "{policy:?}: {} violations, first: {:?}",
+            violations.len(),
+            violations.first()
+        );
+    }
+}
+
+/// The HLRC protocol's traces replay cleanly too (diff acks before
+/// barrier release, no negative invalidation counters).
+#[test]
+fn hlrc_trace_audits_clean_under_every_home_policy() {
+    for policy in [
+        HomePolicyKind::Centralized,
+        HomePolicyKind::Interleaved,
+        HomePolicyKind::FirstTouch,
+    ] {
+        let (report, log) = traced_workload(policy, Consistency::HomeEagerRc);
+        assert!(report.coherence_violations.is_empty(), "{policy:?}");
+        assert_eq!(log.dropped, 0, "{policy:?}: ring overflow");
+        let violations = audit(&log.events, AuditMode::Hlrc);
+        assert!(
+            violations.is_empty(),
+            "{policy:?}: {} violations, first: {:?}",
+            violations.len(),
+            violations.first()
+        );
+    }
+}
+
+/// Traced runs feed the latency histograms: the fault-latency quantiles
+/// are available and ordered, every fault lands in the histogram, and
+/// the server-queueing histogram stays consistent with its count.
+#[test]
+fn traced_run_populates_histograms() {
+    let (traced, log) = traced_workload(HomePolicyKind::Centralized, Consistency::SequentialSwMr);
+    let p50 = traced.fault_latency_p50().expect("faults were recorded");
+    let p95 = traced.fault_latency_p95().expect("faults were recorded");
+    let p99 = traced.fault_latency_p99().expect("faults were recorded");
+    assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+    assert_eq!(
+        traced.fault_latency.count(),
+        traced.read_faults + traced.write_faults
+    );
+    assert!(log.events.len() > 100, "suspiciously small trace");
+    // Every message the servers received was queued for some time ≥ 0.
+    assert!(traced.server_queue_delay.count() > 0);
+    if let (Some(lo), Some(hi)) = (
+        traced.server_queue_delay.quantile(0.0),
+        traced.server_queue_delay.quantile(1.0),
+    ) {
+        assert!(lo <= hi);
+    }
+}
+
+/// The Chrome-trace exporter emits well-formed JSON (checked with a
+/// small structural parser — the workspace builds offline, so there is
+/// no JSON crate to lean on) with the expected metadata.
+#[test]
+fn chrome_trace_export_is_well_formed_json() {
+    let (_, log) = traced_workload(HomePolicyKind::Interleaved, Consistency::SequentialSwMr);
+    let mut ct = ChromeTrace::new();
+    ct.add_run("audit-test", 0, &log.events);
+    let json = ct.finish();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("process_name"));
+    assert!(json.contains("\"displayTimeUnit\""));
+    let rest = skip_json_value(json.trim()).expect("valid JSON value");
+    assert!(rest.trim().is_empty(), "trailing garbage: {rest:.40?}");
+
+    // The RunReport JSON dump must be well-formed too.
+    let (report, _) = traced_workload(HomePolicyKind::Centralized, Consistency::SequentialSwMr);
+    let rj = report.to_json();
+    let rest = skip_json_value(rj.trim()).expect("valid report JSON");
+    assert!(rest.trim().is_empty(), "trailing garbage: {rest:.40?}");
+    assert!(rj.contains("\"fault_latency\""));
+    assert!(rj.contains("\"p99_ns\""));
+}
+
+// A minimal recursive-descent JSON *recognizer*: consumes one value,
+// returns the remaining input, or None on malformed input.
+fn skip_json_value(s: &str) -> Option<&str> {
+    let s = s.trim_start();
+    let mut chars = s.char_indices();
+    match chars.next()?.1 {
+        '{' => skip_json_container(&s[1..], '}', true),
+        '[' => skip_json_container(&s[1..], ']', false),
+        '"' => skip_json_string(s),
+        _ => {
+            // number / true / false / null: eat the token.
+            let end = s
+                .find(|c: char| !(c.is_ascii_alphanumeric() || "+-.eE".contains(c)))
+                .unwrap_or(s.len());
+            (end > 0).then(|| &s[end..])
+        }
+    }
+}
+
+fn skip_json_string(s: &str) -> Option<&str> {
+    debug_assert!(s.starts_with('"'));
+    let mut escaped = false;
+    for (i, c) in s[1..].char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            '"' => return Some(&s[1 + i + 1..]),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn skip_json_container(mut s: &str, close: char, keyed: bool) -> Option<&str> {
+    loop {
+        s = s.trim_start();
+        if let Some(rest) = s.strip_prefix(close) {
+            return Some(rest);
+        }
+        if keyed {
+            s = skip_json_string(s.trim_start())?;
+            s = s.trim_start().strip_prefix(':')?;
+        }
+        s = skip_json_value(s)?;
+        s = s.trim_start();
+        if let Some(rest) = s.strip_prefix(',') {
+            s = rest;
+        } else {
+            s = s.strip_prefix(close)?;
+            return Some(s);
+        }
+    }
+}
