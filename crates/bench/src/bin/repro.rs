@@ -11,6 +11,8 @@
 //! repro manager-sweep [--quick]  §5 extension: home-policy hot-spot sweep
 //! repro trace [scenario] [--quick] [--out trace.json] [--json report.json]
 //!                         Traced run + invariant audit + Perfetto export
+//! repro faults [scenario] [--quick] [--seed N] [--out faults-trace.json]
+//!                         Loss sweep under seeded wire faults + audit
 //! repro all   [--quick]   Everything above
 //! ```
 //!
@@ -24,10 +26,21 @@
 //! combined Chrome-trace/Perfetto JSON (`--out`, default `trace.json`) —
 //! load it at <https://ui.perfetto.dev>. `--json <path>` additionally
 //! dumps the per-app [`RunReport`]s (histograms included) as JSON.
+//!
+//! `repro faults` sweeps packet-loss rates (0 / 0.1% / 1% / 5%; `--quick`
+//! keeps 0 and 1%) across the Table 2 applications and all three home
+//! policies with the seeded fault plane active (duplicates at half the
+//! drop rate, reorders at twice it). Every run is traced and audited —
+//! SW/MR invariants *plus* exactly-once FIFO delivery — and the table
+//! reports retransmissions, suppressed duplicates, repaired reorders and
+//! the added fault latency. Exits nonzero on any audit violation, any
+//! exhausted retransmit budget, or any surfaced protocol error. The 1%
+//! Centralized runs are exported as a Perfetto trace (`--out`, default
+//! `faults-trace.json`).
 
 use millipage::{
     audit, run, AllocMode, AuditMode, Category, ChromeTrace, ClusterConfig, Consistency, CostModel,
-    HomePolicyKind, Ns, SharedCell, Tracer,
+    FaultPlane, HomePolicyKind, Ns, SharedCell, Tracer,
 };
 use millipage_apps::{is, lu, sor, tsp, water, AppRun};
 use millipage_bench::scenarios;
@@ -57,6 +70,21 @@ fn main() {
             let json = flag_value(&args, "--json");
             trace_cmd(&scenario, quick, &out, json.as_deref());
         }
+        "faults" => {
+            let scenario = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "table2".into());
+            let out = flag_value(&args, "--out").unwrap_or_else(|| "faults-trace.json".into());
+            let seed = flag_value(&args, "--seed")
+                .map(|s| {
+                    s.parse::<u64>()
+                        .unwrap_or_else(|_| panic!("bad --seed {s:?}"))
+                })
+                .unwrap_or(7);
+            faults_cmd(&scenario, quick, seed, &out);
+        }
         "all" => {
             table1();
             costs();
@@ -70,7 +98,7 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: repro [table1|costs|fig5|table2|fig6|fig7|ablate|manager-sweep|trace|all] [--quick]"
+                "usage: repro [table1|costs|fig5|table2|fig6|fig7|ablate|manager-sweep|trace|faults|all] [--quick]"
             );
             std::process::exit(2);
         }
@@ -818,5 +846,138 @@ fn trace_cmd(scenario: &str, quick: bool, out_path: &str, json_path: Option<&str
     println!(
         "audit passed: 0 invariant violations across {} app(s)",
         specs.len()
+    );
+}
+
+// ----------------------------------------------------------------------
+// Fault injection: loss sweep under the reliable channel.
+// ----------------------------------------------------------------------
+
+/// Drop probabilities swept by `repro faults`. Duplicates run at half the
+/// drop rate and reorders at twice it, so the 1% point exercises the
+/// acceptance mix (1% drop + 0.5% dup + 2% reorder).
+const LOSS_SWEEP_FULL: &[f64] = &[0.0, 0.001, 0.01, 0.05];
+const LOSS_SWEEP_QUICK: &[f64] = &[0.0, 0.01];
+
+fn faults_cmd(scenario: &str, quick: bool, seed: u64, out_path: &str) {
+    header(&format!(
+        "Faults — loss sweep under the reliable channel ({scenario}, 4 hosts, seed {seed})"
+    ));
+    let mut specs = app_specs(quick);
+    if !scenario.eq_ignore_ascii_case("table2") && !scenario.eq_ignore_ascii_case("all") {
+        specs.retain(|s| s.name.eq_ignore_ascii_case(scenario));
+        if specs.is_empty() {
+            eprintln!("unknown faults scenario {scenario:?}");
+            eprintln!(
+                "usage: repro faults [table2|sor|is|water|lu|tsp] [--quick] [--seed N] [--out f]"
+            );
+            std::process::exit(2);
+        }
+    }
+    let losses = if quick {
+        LOSS_SWEEP_QUICK
+    } else {
+        LOSS_SWEEP_FULL
+    };
+    let policies = [
+        HomePolicyKind::Centralized,
+        HomePolicyKind::Interleaved,
+        HomePolicyKind::FirstTouch,
+    ];
+    let mut chrome = ChromeTrace::new();
+    let mut chrome_runs = 0u32;
+    let mut total_violations = 0usize;
+    let mut total_expired = 0u64;
+    let mut total_errors = 0usize;
+    let mut rows = vec![vec![
+        "app".to_string(),
+        "policy".into(),
+        "drop %".into(),
+        "drops".into(),
+        "retx".into(),
+        "dup-sup".into(),
+        "reorder".into(),
+        "expired".into(),
+        "fault-delay p95".into(),
+        "errors".into(),
+        "violations".into(),
+    ]];
+    for spec in &specs {
+        for policy in policies {
+            for &loss in losses {
+                let tracer = Tracer::enabled(TRACE_RING_CAPACITY);
+                let cfg = ClusterConfig {
+                    tracer: tracer.clone(),
+                    home_policy: policy,
+                    faults: FaultPlane::lossy(seed, loss, loss / 2.0, loss * 2.0),
+                    ..app_cfg(4)
+                };
+                let r = (spec.run)(cfg);
+                let log = tracer.drain();
+                // SW/MR invariants plus the transport's exactly-once FIFO
+                // check (the Table 2 apps run under SC).
+                let violations = audit(&log.events, AuditMode::SwMr);
+                for v in violations.iter().take(5) {
+                    eprintln!("  {} {policy:?} {loss}: VIOLATION {v}", spec.name);
+                }
+                if violations.len() > 5 {
+                    eprintln!("  ... and {} more", violations.len() - 5);
+                }
+                total_violations += violations.len();
+                total_errors += r.report.protocol_errors.len();
+                for e in r.report.protocol_errors.iter().take(5) {
+                    eprintln!("  {} {policy:?} {loss}: protocol error: {e}", spec.name);
+                }
+                assert!(
+                    r.report.coherence_violations.is_empty(),
+                    "{} {policy:?} {loss}: {:?}",
+                    spec.name,
+                    r.report.coherence_violations
+                );
+                let nf = r.report.net_faults.as_ref();
+                total_expired += nf.map_or(0, |n| n.expired);
+                rows.push(vec![
+                    spec.name.to_string(),
+                    format!("{policy:?}"),
+                    format!("{:.1}", loss * 100.0),
+                    nf.map_or("-".into(), |n| n.drops.to_string()),
+                    nf.map_or("-".into(), |n| n.retransmits.to_string()),
+                    nf.map_or("-".into(), |n| n.dups_suppressed.to_string()),
+                    nf.map_or("-".into(), |n| n.reorders.to_string()),
+                    nf.map_or("-".into(), |n| n.expired.to_string()),
+                    nf.and_then(|n| n.delay.quantile(0.95))
+                        .map(us)
+                        .unwrap_or_else(|| "-".into()),
+                    r.report.protocol_errors.len().to_string(),
+                    violations.len().to_string(),
+                ]);
+                // Export the acceptance-mix runs (1% loss, Centralized)
+                // so the retransmit/timeout events are inspectable in
+                // Perfetto next to the protocol events they delayed.
+                if policy == HomePolicyKind::Centralized && loss == 0.01 {
+                    chrome.add_run(&format!("{} @1%", spec.name), chrome_runs * 64, &log.events);
+                    chrome_runs += 1;
+                }
+            }
+        }
+    }
+    print!("{}", render_table(&rows));
+    if let Err(e) = std::fs::write(out_path, chrome.finish()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote Chrome/Perfetto trace of the 1% Centralized runs to {out_path}");
+    let failed = total_violations > 0 || total_expired > 0 || total_errors > 0;
+    if failed {
+        eprintln!(
+            "faults sweep FAILED: {total_violations} audit violation(s), \
+             {total_expired} unacked retransmit(s), {total_errors} protocol error(s)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "faults sweep passed: 0 violations, 0 unacked retransmits, 0 protocol \
+         errors across {} run(s)",
+        (rows.len() - 1)
     );
 }

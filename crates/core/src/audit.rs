@@ -14,6 +14,13 @@
 //! * **Both**: an invalidation confirmation never arrives without a
 //!   matching fan-out; at the end of the log every service window is
 //!   closed and no acknowledged diff is left pending.
+//! * **Transport**: when the fault plane is active every delivered
+//!   message carries its link sequence number ([`TraceKind::MsgRecv`]
+//!   `aux`), and per (sender, receiver) link those numbers must be
+//!   strictly increasing — the reliable channel delivered exactly once,
+//!   in FIFO order, despite drops, duplicates and reordering underneath.
+//!   (`aux == 0` marks a fault-free run or a self-delivery, which bypass
+//!   sequencing; those events are skipped.)
 //!
 //! Events are replayed in **record order** ([`TraceEvent::seq`]), not
 //! virtual-time order: the optimistic simulation lets unrelated virtual
@@ -55,11 +62,40 @@ pub fn audit(events: &[TraceEvent], mode: AuditMode) -> Vec<String> {
 
     let mut mps: HashMap<u32, MpState> = HashMap::new();
     let mut rc_out: HashMap<u16, i64> = HashMap::new();
+    // (sender, receiver) -> highest wire sequence number seen so far.
+    let mut link_seq: HashMap<(u16, u16), u32> = HashMap::new();
     let mut violations = Vec::new();
     let mut report = |vt: u64, msg: String| violations.push(format!("vt {vt}: {msg}"));
 
     for e in &evs {
         match e.kind {
+            // Exactly-once FIFO delivery: the reliable channel stamps
+            // every sequenced delivery with its link sequence number. A
+            // repeat means a duplicate leaked past dedup; a step backwards
+            // means a reorder leaked past the holdback buffer.
+            TraceKind::MsgRecv if e.aux != 0 => {
+                let last = link_seq.entry((e.peer, e.host)).or_insert(0);
+                if e.aux <= *last {
+                    report(
+                        e.vt,
+                        format!(
+                            "link h{}->h{}: wire seq {} delivered after seq {} \
+                             ({} leaked past the reliable channel)",
+                            e.peer,
+                            e.host,
+                            e.aux,
+                            last,
+                            if e.aux == *last {
+                                "a duplicate"
+                            } else {
+                                "a reorder"
+                            }
+                        ),
+                    );
+                } else {
+                    *last = e.aux;
+                }
+            }
             TraceKind::AllocGrant => {
                 let s = mps.entry(e.mp).or_default();
                 s.writers.clear();
@@ -376,6 +412,58 @@ mod tests {
             ev(4, 1, TraceKind::BarrierEnter).with_event(10),
         ];
         assert_eq!(audit(&events, AuditMode::Hlrc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn duplicate_wire_seq_is_caught() {
+        let recv = |seq: u64, host: u16, from: u16, wire: u32| {
+            ev(seq, host, TraceKind::MsgRecv)
+                .with_peer(HostId(from))
+                .with_aux(wire)
+        };
+        // h1 -> h0 delivers seq 1, 2, 2: the repeat is a duplicate that
+        // leaked past the reliable channel's dedup.
+        let events = vec![recv(0, 0, 1, 1), recv(1, 0, 1, 2), recv(2, 0, 1, 2)];
+        let v = audit(&events, AuditMode::SwMr);
+        assert!(
+            v.iter().any(|s| s.contains("duplicate")),
+            "expected a duplicate-delivery violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn reordered_wire_seq_is_caught() {
+        let recv = |seq: u64, host: u16, from: u16, wire: u32| {
+            ev(seq, host, TraceKind::MsgRecv)
+                .with_peer(HostId(from))
+                .with_aux(wire)
+        };
+        let events = vec![recv(0, 0, 1, 2), recv(1, 0, 1, 1)];
+        let v = audit(&events, AuditMode::SwMr);
+        assert!(
+            v.iter().any(|s| s.contains("reorder")),
+            "expected a reorder violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn fifo_wire_seq_and_unsequenced_deliveries_pass() {
+        let recv = |seq: u64, host: u16, from: u16, wire: u32| {
+            ev(seq, host, TraceKind::MsgRecv)
+                .with_peer(HostId(from))
+                .with_aux(wire)
+        };
+        // Distinct links sequence independently; aux 0 (fault-free run or
+        // self-delivery) is exempt from the check.
+        let events = vec![
+            recv(0, 0, 1, 1),
+            recv(1, 0, 2, 1),
+            recv(2, 0, 1, 2),
+            recv(3, 1, 0, 1),
+            recv(4, 0, 0, 0),
+            recv(5, 0, 0, 0),
+        ];
+        assert_eq!(audit(&events, AuditMode::SwMr), Vec::<String>::new());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! the computation starts), hands every application thread the same shared
 //! handle bundle, and assembles a [`RunReport`] when everything joins.
 
+use crate::error::ProtocolError;
 use crate::hlrc::Consistency;
 use crate::home::{HomePolicyKind, HomeTable};
 use crate::host::{HostCtx, HostState};
@@ -16,14 +17,15 @@ use crate::msg::{MsgKind, Pmsg};
 use crate::server::{server_loop, ServerOutcome};
 use crate::shared::{encode_slice, Pod, SharedCell, SharedVec};
 use crate::stats::{
-    check_coherence, check_directories, check_rc_consistency, HostReport, RunReport, ShardStats,
+    check_coherence, check_directories, check_rc_consistency, HostReport, NetFaultStats, RunReport,
+    ShardStats,
 };
 use multiview::{AllocMode, Allocator};
 use sim_core::clock::Clock;
 use sim_core::trace::{Tracer, Track};
 use sim_core::{CostModel, HostId, LogHistogram, SplitMix64, TimeBreakdown};
 use sim_mem::{AddressSpace, Geometry, VAddr};
-use sim_net::{Network, ServerTimeline};
+use sim_net::{FaultPlane, Network, ServerTimeline};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
@@ -64,6 +66,15 @@ pub struct ClusterConfig {
     /// [`Tracer::enabled`] and drain it after [`run`] returns to get the
     /// merged event log.
     pub tracer: Tracer,
+    /// Seeded wire-fault injection (drop / duplicate / jitter / reorder
+    /// plus scripted one-shot faults). Disabled by default, in which case
+    /// the network takes the exact pre-fault-plane code path.
+    pub faults: FaultPlane,
+    /// Wall-clock backstop on blocking application waits. `None` blocks
+    /// forever except under an active fault plane, where it defaults to
+    /// 30 s so a lost-beyond-recovery reply surfaces as a typed
+    /// [`ProtocolError::Timeout`] instead of a hang.
+    pub request_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -80,6 +91,8 @@ impl Default for ClusterConfig {
             manager: 0,
             seed: 0x4D69_6C6C_6950_6167, // "MilliPag"
             tracer: Tracer::disabled(),
+            faults: FaultPlane::disabled(),
+            request_timeout: None,
         }
     }
 }
@@ -189,8 +202,14 @@ where
     let states: Vec<Arc<HostState>> = (0..cfg.hosts)
         .map(|h| HostState::new(HostId(h as u16), AddressSpace::new(geo.clone())))
         .collect();
-    let (net, endpoints) = Network::<Pmsg>::new(cfg.hosts, cfg.cost.clone());
+    let (net, endpoints) =
+        Network::<Pmsg>::with_faults(cfg.hosts, cfg.cost.clone(), cfg.faults.clone());
     let manager_id = HostId(cfg.manager as u16);
+    let request_timeout = cfg.request_timeout.or_else(|| {
+        cfg.faults
+            .is_active()
+            .then(|| std::time::Duration::from_secs(30))
+    });
     let home = Arc::new(HomeTable::new(
         cfg.home_policy,
         cfg.hosts,
@@ -227,7 +246,8 @@ where
     let shared_ref = &shared;
     let app_ref = &app;
 
-    let (host_reports, outcomes) = std::thread::scope(|scope| {
+    let states_ref = &states;
+    let (host_reports, outcomes, app_failures) = std::thread::scope(|scope| {
         let mut server_handles = Vec::with_capacity(cfg.hosts);
         for (h, ep) in endpoints.into_iter().enumerate() {
             let state = Arc::clone(&states[h]);
@@ -265,27 +285,54 @@ where
                     breakdown_mark: TimeBreakdown::new(),
                     trace: cfg.tracer.recorder(HostId(h as u16), Track::App(t as u16)),
                     fault_hist: LogHistogram::new(),
+                    request_timeout,
                 };
                 app_handles.push(scope.spawn(move || {
-                    app_ref(&mut ctx, shared_ref);
-                    HostReport {
-                        host: ctx.host,
-                        thread: t,
-                        end_vt: ctx.now(),
-                        breakdown: *ctx.breakdown(),
-                        read_faults: 0, // Filled from host counters below.
-                        write_faults: 0,
-                        fault_latency: std::mem::take(&mut ctx.fault_hist),
-                    }
+                    // Catch the unwind here so a failed thread can cancel
+                    // its siblings' pending waits *before* anyone tries to
+                    // join: joining a thread that is parked on a waiter
+                    // nobody will ever fulfill would hang the cluster (and
+                    // pre-fault-plane, did).
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        app_ref(&mut ctx, shared_ref);
+                    }));
+                    let failure = match result {
+                        Ok(()) => None,
+                        Err(payload) => {
+                            for st in states_ref {
+                                st.cancel_pending();
+                            }
+                            Some(payload)
+                        }
+                    };
+                    (
+                        HostReport {
+                            host: ctx.host,
+                            thread: t,
+                            end_vt: ctx.now(),
+                            breakdown: *ctx.breakdown(),
+                            read_faults: 0, // Filled from host counters below.
+                            write_faults: 0,
+                            fault_latency: std::mem::take(&mut ctx.fault_hist),
+                        },
+                        failure,
+                    )
                 }));
             }
         }
+        let mut app_failures: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
         let host_reports: Vec<HostReport> = app_handles
             .into_iter()
-            .map(|h| h.join().expect("application thread panicked"))
+            .map(|h| {
+                let (rep, failure) = h.join().expect("application thread panicked");
+                app_failures.extend(failure);
+                rep
+            })
             .collect();
-        // All application work is done; stop the servers. FIFO per sender
-        // guarantees the Shutdown trails every earlier application message.
+        // All application work is done (or cancelled); stop the servers —
+        // unconditionally, so a failed run still tears down cleanly. FIFO
+        // per sender guarantees the Shutdown trails every earlier
+        // application message.
         for h in 0..cfg.hosts {
             net.send(
                 manager_id,
@@ -299,17 +346,32 @@ where
             .into_iter()
             .map(|h| h.join().expect("server thread panicked"))
             .collect();
-        (host_reports, outcomes)
+        (host_reports, outcomes, app_failures)
     });
 
+    let mut protocol_errors: Vec<String> = Vec::new();
     let mut server_queue_delay = LogHistogram::new();
     let mut shards: Vec<ManagerShard> = outcomes
         .into_iter()
         .map(|o| {
             server_queue_delay.merge(&o.queue_delay);
+            protocol_errors.extend(o.errors);
             o.shard
         })
         .collect();
+    // Split the failures: typed protocol errors are reported on the run,
+    // anything else is a genuine application bug and resumes unwinding now
+    // that every server has shut down cleanly.
+    let mut hard_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for payload in app_failures {
+        match payload.downcast::<ProtocolError>() {
+            Ok(e) => protocol_errors.push(e.to_string()),
+            Err(other) => hard_panic = Some(other),
+        }
+    }
+    if let Some(p) = hard_panic {
+        std::panic::resume_unwind(p);
+    }
     shards.sort_by_key(|s| s.me().index());
 
     let mut per_host = host_reports;
@@ -360,6 +422,18 @@ where
             directory_entries: s.directory().len(),
         });
     }
+    let net_faults = net.fault_active().then(|| {
+        let ns = net.stats();
+        NetFaultStats {
+            drops: ns.pkts_dropped.get(),
+            retransmits: ns.retransmits.get(),
+            dups_delivered: ns.dups_delivered.get(),
+            dups_suppressed: ns.dups_suppressed.get(),
+            reorders: ns.reorders.get(),
+            expired: ns.expired.get(),
+            delay: net.fault_delay(),
+        }
+    });
     let minipages = home.mpt().snapshot();
     let mut violations = match cfg.consistency {
         Consistency::SequentialSwMr => check_coherence(&minipages, &geo, &states),
@@ -388,6 +462,8 @@ where
         fault_latency,
         server_queue_delay,
         inv_round_trip,
+        protocol_errors,
+        net_faults,
         per_host,
     }
 }

@@ -9,6 +9,7 @@
 //! Figure 6 category.
 
 use crate::diff::Twin;
+use crate::error::ProtocolError;
 use crate::hlrc::{Consistency, MpInfo, RcDirty, RcState};
 use crate::home::{HomePolicyKind, HomeTable};
 use crate::msg::{Completion, MsgKind, Pmsg};
@@ -22,14 +23,19 @@ use sim_mem::{Access, AccessError, AccessFault, AddressSpace, VAddr};
 use sim_net::Network;
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A one-shot rendezvous between a blocked application thread and the DSM
 /// server thread that completes its request.
+///
+/// A waiter resolves exactly once: either fulfilled with a [`Completion`]
+/// or failed with a typed [`ProtocolError`] (nacked request, cancelled
+/// run). Pre-fault-plane a request that never completed hung its thread
+/// forever; failure is now a first-class outcome.
 #[derive(Default)]
 pub(crate) struct Waiter {
-    slot: Mutex<Option<Completion>>,
+    slot: Mutex<Option<Result<Completion, ProtocolError>>>,
     cv: Condvar,
 }
 
@@ -41,18 +47,49 @@ impl Waiter {
     /// Server side: publishes the completion and wakes the waiter.
     pub(crate) fn fulfill(&self, c: Completion) {
         let mut slot = self.slot.lock();
-        *slot = Some(c);
+        if slot.is_none() {
+            *slot = Some(Ok(c));
+        }
         self.cv.notify_all();
     }
 
-    /// Application side: blocks until fulfilled.
-    pub(crate) fn wait(&self) -> Completion {
+    /// Fails the rendezvous with a typed error (a fulfilled waiter keeps
+    /// its completion — failure never clobbers a result already won).
+    pub(crate) fn fail(&self, e: ProtocolError) {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(Err(e));
+        }
+        self.cv.notify_all();
+    }
+
+    /// Application side: blocks until fulfilled or failed.
+    pub(crate) fn wait(&self) -> Result<Completion, ProtocolError> {
         let mut slot = self.slot.lock();
         loop {
-            if let Some(c) = *slot {
-                return c;
+            if let Some(r) = slot.clone() {
+                return r;
             }
             self.cv.wait(&mut slot);
+        }
+    }
+
+    /// Like [`wait`](Self::wait) but gives up after `timeout` of wall
+    /// clock, returning `None`. The wall-clock backstop exists for runs
+    /// that disabled every deterministic failure path; virtual time never
+    /// advances while a thread is parked here.
+    pub(crate) fn wait_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Option<Result<Completion, ProtocolError>> {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(r) = slot.clone() {
+                return Some(r);
+            }
+            if self.cv.wait_for(&mut slot, timeout).timed_out() {
+                return slot.clone();
+            }
         }
     }
 }
@@ -83,6 +120,10 @@ pub(crate) struct HostState {
     /// the sequential-consistency protocol apart from boundary learning).
     pub rc: Mutex<RcState>,
     pub counters: HostCounters,
+    /// Set when the run failed somewhere and the cluster is tearing down:
+    /// no new wait may begin, and every outstanding wait has been (or is
+    /// about to be) failed with [`ProtocolError::Cancelled`].
+    pub aborted: AtomicBool,
 }
 
 impl HostState {
@@ -95,6 +136,7 @@ impl HostState {
             prefetch_waiters: Mutex::new(HashMap::new()),
             rc: Mutex::new(RcState::default()),
             counters: HostCounters::default(),
+            aborted: AtomicBool::new(false),
         })
     }
 
@@ -103,7 +145,35 @@ impl HostState {
         let ev = events.fetch_add(1, Ordering::Relaxed);
         let w = Waiter::new();
         self.waiters.lock().insert(ev, Arc::clone(&w));
+        // Re-check after publishing: the cancel sweep may have drained the
+        // map just before the insert, and a waiter registered after the
+        // sweep would otherwise block forever.
+        if self.aborted.load(Ordering::Acquire) {
+            self.waiters.lock().remove(&ev);
+            w.fail(ProtocolError::Cancelled {
+                host: self.host,
+                what: "request registered during shutdown",
+            });
+        }
         (ev, w)
+    }
+
+    /// Fails every outstanding wait on this host so its application
+    /// threads unblock and the cluster can shut down instead of hanging.
+    pub(crate) fn cancel_pending(&self) {
+        self.aborted.store(true, Ordering::Release);
+        for (_, w) in self.waiters.lock().drain() {
+            w.fail(ProtocolError::Cancelled {
+                host: self.host,
+                what: "pending request",
+            });
+        }
+        for (_, w) in self.prefetch_waiters.lock().drain() {
+            w.fail(ProtocolError::Cancelled {
+                host: self.host,
+                what: "pending prefetch",
+            });
+        }
     }
 }
 
@@ -134,6 +204,11 @@ pub struct HostCtx {
     pub(crate) trace: TraceRecorder,
     /// Fault service times (request to resume) of this thread.
     pub(crate) fault_hist: LogHistogram,
+    /// Wall-clock backstop on blocking waits. `None` (the default, and
+    /// always the case with the fault plane disabled) blocks forever, as
+    /// the pre-fault-plane code did; under injected faults a bounded wait
+    /// turns a lost-reply hang into a typed [`ProtocolError::Timeout`].
+    pub(crate) request_timeout: Option<std::time::Duration>,
 }
 
 impl HostCtx {
@@ -198,11 +273,31 @@ impl HostCtx {
         self.state.busy.record(t0, self.clock.now());
     }
 
-    /// Blocks on `w` until the DSM server fulfills the event. The host's
-    /// published clock stays at the block-entry time, so the server's
-    /// busy test reads the host as idle from that virtual moment on.
-    fn blocking_wait(&self, w: &Waiter) -> Completion {
-        w.wait()
+    /// Blocks on `w` until the DSM server fulfills or fails the event.
+    /// The host's published clock stays at the block-entry time, so the
+    /// server's busy test reads the host as idle from that virtual moment
+    /// on. A failed wait unwinds the application thread with the typed
+    /// error as payload; the cluster catches it, cancels the other hosts'
+    /// pending waits, and reports the error instead of hanging.
+    fn blocking_wait(&mut self, w: &Waiter, what: &'static str) -> Completion {
+        let res = match self.request_timeout {
+            None => w.wait(),
+            Some(d) => w.wait_timeout(d).unwrap_or(Err(ProtocolError::Timeout {
+                host: self.host,
+                what,
+                event: 0,
+            })),
+        };
+        match res {
+            Ok(c) => c,
+            Err(e) => {
+                if matches!(e, ProtocolError::Timeout { .. }) {
+                    self.trace
+                        .emit(self.clock.now(), TraceKind::TimeoutFired, |ev| ev);
+                }
+                std::panic::panic_any(e)
+            }
+        }
     }
 
     /// Routes `addr`'s protocol traffic to its home shard. Distributed
@@ -223,9 +318,14 @@ impl HostCtx {
     }
 
     /// Sends `msg` from this thread, tracing the wire event when enabled.
+    /// Under injected faults the reliable channel retransmits lost copies
+    /// transparently; a message that exhausts its retransmit budget
+    /// unwinds this thread with a typed [`ProtocolError::Timeout`] rather
+    /// than leaving it blocked on a request that never left the host.
     fn send(&mut self, dest: HostId, msg: Pmsg, payload: usize) {
+        let event = msg.event;
         if self.trace.enabled() {
-            let (event, mp) = (msg.event, msg.minipage.0);
+            let mp = msg.minipage.0;
             self.trace.emit(self.clock.now(), TraceKind::MsgSend, |e| {
                 e.with_peer(dest)
                     .with_event(event)
@@ -233,8 +333,34 @@ impl HostCtx {
                     .with_bytes(payload)
             });
         }
-        self.net
-            .send(self.host, dest, msg, payload, self.clock.now());
+        let receipt = self
+            .net
+            .send_receipt(self.host, dest, msg, payload, self.clock.now());
+        if receipt.drops > 0 && self.trace.enabled() {
+            for retry in 1..=receipt.drops {
+                self.trace
+                    .emit(self.clock.now(), TraceKind::PktDropped, |e| {
+                        e.with_peer(dest).with_event(event).with_aux(retry)
+                    });
+                if receipt.delivered || retry < receipt.drops {
+                    self.trace
+                        .emit(self.clock.now(), TraceKind::Retransmit, |e| {
+                            e.with_peer(dest).with_event(event).with_aux(retry)
+                        });
+                }
+            }
+        }
+        if !receipt.delivered {
+            self.trace
+                .emit(self.clock.now(), TraceKind::TimeoutFired, |e| {
+                    e.with_peer(dest).with_event(event)
+                });
+            std::panic::panic_any(ProtocolError::Timeout {
+                host: self.host,
+                what: "request send",
+                event,
+            });
+        }
     }
 
     /// The minipage id at `addr`, for trace records only (callers gate on
@@ -254,7 +380,7 @@ impl HostCtx {
         let msg = Pmsg::new(MsgKind::AllocRequest, self.host, ev).with_aux(bytes as u64);
         let mgr = self.home.manager();
         self.send(mgr, msg, 0);
-        let c = self.blocking_wait(&w);
+        let c = self.blocking_wait(&w, "shared allocation");
         self.clock.merge(c.resume_vt);
         self.breakdown.charge(Category::Comp, self.clock.now() - t0);
         c.addr
@@ -376,7 +502,7 @@ impl HostCtx {
         let msg = Pmsg::new(MsgKind::BarrierEnter, self.host, ev);
         let mgr = self.home.manager();
         self.send(mgr, msg, 0);
-        let c = self.blocking_wait(&w);
+        let c = self.blocking_wait(&w, "barrier release");
         self.clock.merge(c.resume_vt);
         self.trace
             .emit(self.clock.now(), TraceKind::BarrierResume, |e| {
@@ -395,7 +521,7 @@ impl HostCtx {
         let msg = Pmsg::new(MsgKind::LockAcquire, self.host, ev).with_aux(id);
         let mgr = self.home.manager();
         self.send(mgr, msg, 0);
-        let c = self.blocking_wait(&w);
+        let c = self.blocking_wait(&w, "lock grant");
         self.clock.merge(c.resume_vt);
         self.trace
             .emit(self.clock.now(), TraceKind::LockResume, |e| {
@@ -443,6 +569,15 @@ impl HostCtx {
             pf.entry(vp).or_insert_with(|| Arc::clone(&w));
         }
         drop(pf);
+        // Same publish-then-recheck dance as `register_waiter`: a cancel
+        // sweep racing the insert must not leave a live, unfailable waiter.
+        if self.state.aborted.load(Ordering::Acquire) {
+            w.fail(ProtocolError::Cancelled {
+                host: self.host,
+                what: "prefetch registered during shutdown",
+            });
+            return;
+        }
         self.state.counters.prefetch_requests.bump();
         let ev = self.events.fetch_add(1, Ordering::Relaxed);
         let mut msg = Pmsg::new(MsgKind::ReadRequest, self.host, ev).with_addr(addr);
@@ -491,7 +626,7 @@ impl HostCtx {
             }
         }
         for w in pending {
-            let c = self.blocking_wait(&w);
+            let c = self.blocking_wait(&w, "prefetch group");
             self.clock.merge(c.resume_vt);
         }
         if self.clock.now() > t0 {
@@ -610,7 +745,7 @@ impl HostCtx {
         // of issuing a second (competing) request.
         let pf = self.state.prefetch_waiters.lock().get(&f.vpage).cloned();
         if let Some(w) = pf {
-            let c = self.blocking_wait(&w);
+            let c = self.blocking_wait(&w, "prefetch completion");
             self.clock.merge(c.resume_vt);
             self.breakdown
                 .charge(Category::Prefetch, self.clock.now() - t0);
@@ -651,7 +786,7 @@ impl HostCtx {
         let (ev, w) = self.state.register_waiter(&self.events);
         let msg = Pmsg::new(kind, self.host, ev).with_addr(f.addr);
         self.send(dest, msg, 0);
-        let c = self.blocking_wait(&w);
+        let c = self.blocking_wait(&w, "fault service");
         self.clock.merge(c.resume_vt);
         self.fault_hist.record(self.clock.now() - t0);
         self.trace.emit(self.clock.now(), end_kind, |e| {
@@ -683,14 +818,14 @@ impl HostCtx {
         // Wait for an in-flight prefetch, or fetch a read copy from home.
         let pf = self.state.prefetch_waiters.lock().get(&f.vpage).cloned();
         if let Some(w) = pf {
-            let c = self.blocking_wait(&w);
+            let c = self.blocking_wait(&w, "prefetch completion");
             self.clock.merge(c.resume_vt);
         } else if self.state.space.prot(f.vpage) == sim_mem::Prot::NoAccess {
             let dest = self.route_home(f.addr, None);
             let (ev, w) = self.state.register_waiter(&self.events);
             let msg = Pmsg::new(MsgKind::ReadRequest, self.host, ev).with_addr(f.addr);
             self.send(dest, msg, 0);
-            let c = self.blocking_wait(&w);
+            let c = self.blocking_wait(&w, "rc read fetch");
             self.clock.merge(c.resume_vt);
         }
         // The reply taught us the minipage boundaries (home-allocated
@@ -819,7 +954,7 @@ impl HostCtx {
             self.send(dest, msg, payload);
         }
         for (ev, w) in pending {
-            let c = self.blocking_wait(&w);
+            let c = self.blocking_wait(&w, "rc diff ack");
             self.clock.merge(c.resume_vt);
             self.trace
                 .emit(self.clock.now(), TraceKind::RcDiffAckRecv, |e| {

@@ -27,6 +27,7 @@ pub mod audit;
 mod cluster;
 pub mod diff;
 mod directory;
+mod error;
 pub mod hlrc;
 mod home;
 mod host;
@@ -38,13 +39,14 @@ mod stats;
 
 pub use cluster::{run, ClusterConfig, SetupCtx};
 pub use directory::{Directory, DirectoryEntry};
+pub use error::ProtocolError;
 pub use hlrc::Consistency;
 pub use home::{Centralized, FirstTouch, HomePolicy, HomePolicyKind, HomeTable, Interleaved};
 pub use host::HostCtx;
 pub use manager::{ManagerShard, ManagerStats};
 pub use msg::{MsgKind, Pmsg};
 pub use shared::{Pod, SharedCell, SharedVec};
-pub use stats::{HostReport, RunReport, ShardStats};
+pub use stats::{HostReport, NetFaultStats, RunReport, ShardStats};
 
 pub use audit::{audit, AuditMode};
 
@@ -55,3 +57,4 @@ pub use sim_core::{
     TraceKind, TraceLog, Tracer, Track,
 };
 pub use sim_mem::VAddr;
+pub use sim_net::{FaultPlane, ScriptedFault, ScriptedKind};

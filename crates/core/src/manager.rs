@@ -22,10 +22,12 @@
 
 use crate::diff::Diff;
 use crate::directory::Directory;
+use crate::error::ProtocolError;
 use crate::hlrc::{Consistency, MpInfo};
 use crate::home::HomeTable;
 use crate::host::HostState;
 use crate::msg::{MsgKind, Pmsg};
+use crate::server::send_checked;
 use multiview::{AllocStats, Allocator, Minipage, MinipageId};
 use sim_core::trace::{TraceKind, TraceRecorder};
 use sim_core::{CostModel, HostId, LogHistogram, Ns};
@@ -263,8 +265,14 @@ impl ManagerShard {
 
     /// Handles one shard-addressed message. `tl` is this host's server
     /// timeline (service-start already charged by the server loop); `ep`
-    /// is its endpoint.
-    pub(crate) fn handle(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+    /// is its endpoint. A failed handler degrades the one request (the
+    /// server loop records the error and nacks the requester).
+    pub(crate) fn handle(
+        &mut self,
+        m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) -> Result<(), ProtocolError> {
         match m.kind {
             MsgKind::ReadRequest => self.handle_read_request(m, tl, ep),
             MsgKind::WriteRequest => self.handle_write_request(m, tl, ep),
@@ -276,18 +284,29 @@ impl ManagerShard {
             MsgKind::LockRelease => self.handle_lock_release(m, tl, ep),
             MsgKind::PushRequest => self.handle_push(m, tl, ep),
             MsgKind::RcDiff => self.handle_rc_diff(m, tl, ep),
-            other => panic!("non-manager message {other:?} routed to a shard"),
+            other => Err(ProtocolError::Unroutable {
+                host: self.me,
+                kind: other.name(),
+            }),
         }
     }
 
     /// Figure 3 `Translate`: fills the translation fields from the MPT
     /// replica.
-    fn translate(&mut self, m: &mut Pmsg, tl: &mut ServerTimeline) -> MinipageId {
+    fn translate(
+        &mut self,
+        m: &mut Pmsg,
+        tl: &mut ServerTimeline,
+    ) -> Result<MinipageId, ProtocolError> {
         tl.charge(self.cost.mpt_lookup);
         let mp = self
             .home
             .translate(m.addr)
-            .unwrap_or_else(|| panic!("fault at {} hits no minipage", m.addr));
+            .ok_or(ProtocolError::BadTranslation {
+                host: self.me,
+                addr: m.addr.0 as usize,
+                what: "faulting address",
+            })?;
         m.base = mp.base;
         m.len = mp.len;
         m.priv_base = mp.priv_base(self.home.geometry());
@@ -298,7 +317,7 @@ impl ManagerShard {
             "{} routed to a shard that does not home it",
             mp.id
         );
-        mp.id
+        Ok(mp.id)
     }
 
     /// [`Directory::begin_service`] with tracing: `WindowOpen` when the
@@ -330,8 +349,13 @@ impl ManagerShard {
         next
     }
 
-    fn handle_read_request(&mut self, mut m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
-        let id = self.translate(&mut m, tl);
+    fn handle_read_request(
+        &mut self,
+        mut m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) -> Result<(), ProtocolError> {
+        let id = self.translate(&mut m, tl)?;
         if self.consistency == Consistency::HomeEagerRc {
             // The home copy is always current at synchronization points:
             // serve directly, one hop, no service window.
@@ -342,7 +366,11 @@ impl ManagerShard {
                 .my_state()
                 .space
                 .priv_read(m.priv_base, m.len)
-                .expect("translated minipage in range");
+                .map_err(|_| ProtocolError::BadTranslation {
+                    host: self.me,
+                    addr: m.priv_base.0 as usize,
+                    what: "home copy read",
+                })?;
             let mut reply = m;
             reply.kind = MsgKind::ReadReply;
             reply.data = bytes::Bytes::from(data);
@@ -351,16 +379,17 @@ impl ManagerShard {
             self.trace.emit(tl.now(), TraceKind::Serve, |e| {
                 e.with_mp(id.0).with_peer(to).with_aux(0)
             });
-            ep.send(to, reply, payload, tl.now());
-            return;
+            send_checked(ep, to, reply, payload, tl.now(), "home read reply")?;
+            return Ok(());
         }
         if !self.open_window(id, &m, tl.now(), 0) {
-            return; // Queued as a competing request.
+            return Ok(()); // Queued as a competing request.
         }
         let e = self.dir.entry(id.index());
-        let src = e
-            .find_replica()
-            .expect("every allocated minipage has at least one copy");
+        let src = e.find_replica().ok_or(ProtocolError::MissingReplica {
+            host: self.me,
+            minipage: id.0,
+        })?;
         // Serving a read downgrades any writable copy (Figure 3's "Handle
         // Read Request"); the directory forgets the writer now.
         e.owner = None;
@@ -369,18 +398,25 @@ impl ManagerShard {
         self.trace.emit(tl.now(), TraceKind::Forward, |e| {
             e.with_mp(id.0).with_peer(src).with_aux(0)
         });
-        ep.send(src, m, 0, tl.now());
+        send_checked(ep, src, m, 0, tl.now(), "read forward")?;
+        Ok(())
     }
 
-    fn handle_write_request(&mut self, mut m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
-        assert_eq!(
-            self.consistency,
-            Consistency::SequentialSwMr,
-            "write requests do not exist under release consistency"
-        );
-        let id = self.translate(&mut m, tl);
+    fn handle_write_request(
+        &mut self,
+        mut m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) -> Result<(), ProtocolError> {
+        if self.consistency != Consistency::SequentialSwMr {
+            return Err(ProtocolError::BadState {
+                host: self.me,
+                what: "write request under release consistency",
+            });
+        }
+        let id = self.translate(&mut m, tl)?;
         if !self.open_window(id, &m, tl.now(), 1) {
-            return;
+            return Ok(());
         }
         let e = self.dir.entry(id.index());
         // Prefer upgrading in place when the requester already holds a
@@ -388,15 +424,17 @@ impl ManagerShard {
         let src = if e.holds(m.from) {
             m.from
         } else {
-            e.find_replica()
-                .expect("every allocated minipage has at least one copy")
+            e.find_replica().ok_or(ProtocolError::MissingReplica {
+                host: self.me,
+                minipage: id.0,
+            })?
         };
         let targets: Vec<HostId> = e.holders().filter(|&h| h != src).collect();
         if targets.is_empty() {
             self.trace.emit(tl.now(), TraceKind::Forward, |e| {
                 e.with_mp(id.0).with_peer(src).with_aux(1)
             });
-            Self::forward_write(e, src, m, tl, ep);
+            Self::forward_write(e, src, m, tl, ep)?;
         } else {
             e.inv_pending = targets.len() as u32;
             e.inv_sent_vt = tl.now();
@@ -409,12 +447,18 @@ impl ManagerShard {
                 self.trace.emit(tl.now(), TraceKind::InvSend, |e| {
                     e.with_mp(id.0).with_peer(t).with_event(inv.event)
                 });
-                ep.send(t, inv, 0, tl.now());
+                send_checked(ep, t, inv, 0, tl.now(), "invalidate fan-out")?;
             }
         }
+        Ok(())
     }
 
-    fn handle_invalidate_reply(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+    fn handle_invalidate_reply(
+        &mut self,
+        m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) -> Result<(), ProtocolError> {
         let id = m.minipage;
         let from = m.from;
         self.trace.emit(tl.now(), TraceKind::InvReplyRecv, |e| {
@@ -428,24 +472,28 @@ impl ManagerShard {
             // path; those echo event 0 and only update the copyset. Tracked
             // invalidations echo the waiting request's (nonzero) event.
             if self.consistency == Consistency::HomeEagerRc && m.event == 0 {
-                return;
+                return Ok(());
             }
-            debug_assert!(e.inv_pending > 0, "unexpected invalidate reply");
+            if e.inv_pending == 0 {
+                return Err(ProtocolError::BadState {
+                    host: self.me,
+                    what: "invalidate reply without pending invalidations",
+                });
+            }
             e.inv_pending -= 1;
             // Figure 3: "if got less than (#replicas - 1) replies then
             // return".
             if e.inv_pending == 0 {
                 self.inv_rt.record(tl.now().saturating_sub(e.inv_sent_vt));
-                Some(
-                    e.pending_write
-                        .take()
-                        .expect("a request was pending on these invalidations"),
-                )
+                Some(e.pending_write.take().ok_or(ProtocolError::BadState {
+                    host: self.me,
+                    what: "no request pending on these invalidations",
+                })?)
             } else {
                 None
             }
         };
-        let Some(w) = pending else { return };
+        let Some(w) = pending else { return Ok(()) };
         if self.consistency == Consistency::HomeEagerRc {
             // The pending request is a flushed diff: every stale copy is
             // now gone, release the flusher.
@@ -453,20 +501,22 @@ impl ManagerShard {
             self.trace.emit(tl.now(), TraceKind::RcDiffAckSend, |e| {
                 e.with_mp(id.0).with_peer(w.from).with_event(w.event)
             });
-            ep.send(w.from, ack, 0, tl.now());
+            send_checked(ep, w.from, ack, 0, tl.now(), "rc diff ack")?;
             if let Some(next) = self.close_window(id, tl.now()) {
-                self.dispatch_queued(next, tl, ep);
+                self.dispatch_queued(next, tl, ep)?;
             }
         } else {
             let e = self.dir.entry(id.index());
-            let src = e
-                .find_replica()
-                .expect("the serving replica was never invalidated");
+            let src = e.find_replica().ok_or(ProtocolError::MissingReplica {
+                host: self.me,
+                minipage: id.0,
+            })?;
             self.trace.emit(tl.now(), TraceKind::Forward, |e| {
                 e.with_mp(id.0).with_peer(src).with_aux(1)
             });
-            Self::forward_write(e, src, w, tl, ep);
+            Self::forward_write(e, src, w, tl, ep)?;
         }
+        Ok(())
     }
 
     fn forward_write(
@@ -475,44 +525,70 @@ impl ManagerShard {
         mut m: Pmsg,
         tl: &mut ServerTimeline,
         ep: &Endpoint<Pmsg>,
-    ) {
+    ) -> Result<(), ProtocolError> {
         e.copyset = 1u64 << m.from.index();
         e.owner = Some(m.from);
         m.kind = MsgKind::ServeWrite;
-        ep.send(src, m, 0, tl.now());
+        send_checked(ep, src, m, 0, tl.now(), "write forward")?;
+        Ok(())
     }
 
-    fn handle_ack(&mut self, mut m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
-        let id = self.translate(&mut m, tl);
+    fn handle_ack(
+        &mut self,
+        mut m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) -> Result<(), ProtocolError> {
+        let id = self.translate(&mut m, tl)?;
         let from = m.from;
         self.trace.emit(tl.now(), TraceKind::AckRecv, |e| {
             e.with_mp(id.0).with_peer(from)
         });
         if let Some(next) = self.close_window(id, tl.now()) {
             // The queued competing request is serviced now.
-            self.dispatch_queued(next, tl, ep);
+            self.dispatch_queued(next, tl, ep)?;
         }
+        Ok(())
     }
 
-    fn dispatch_queued(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+    fn dispatch_queued(
+        &mut self,
+        m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) -> Result<(), ProtocolError> {
         match m.kind {
             MsgKind::ReadRequest => self.handle_read_request(m, tl, ep),
             MsgKind::WriteRequest => self.handle_write_request(m, tl, ep),
             MsgKind::PushRequest => self.handle_push(m, tl, ep),
             MsgKind::RcDiff => self.handle_rc_diff(m, tl, ep),
-            other => panic!("unexpected queued message {other:?}"),
+            other => Err(ProtocolError::Unroutable {
+                host: self.me,
+                kind: other.name(),
+            }),
         }
     }
 
-    fn handle_alloc(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+    fn handle_alloc(
+        &mut self,
+        m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) -> Result<(), ProtocolError> {
         tl.charge(self.cost.mpt_lookup);
         let addr = self.do_alloc(m.aux as usize, m.from, tl.now());
         let mut reply = Pmsg::new(MsgKind::AllocReply, self.me, m.event);
         reply.addr = addr;
-        ep.send(m.from, reply, 0, tl.now());
+        send_checked(ep, m.from, reply, 0, tl.now(), "alloc reply")?;
+        Ok(())
     }
 
-    fn handle_barrier_enter(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+    fn handle_barrier_enter(
+        &mut self,
+        m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) -> Result<(), ProtocolError> {
         self.barrier_waiters.push(m);
         if self.barrier_waiters.len() == self.barrier_quorum {
             tl.charge(self.cost.barrier_base);
@@ -525,13 +601,19 @@ impl ManagerShard {
                     .emit(tl.now(), TraceKind::BarrierReleaseSend, |e| {
                         e.with_peer(w.from).with_event(w.event)
                     });
-                ep.send(w.from, rel, 0, tl.now());
+                send_checked(ep, w.from, rel, 0, tl.now(), "barrier release")?;
             }
             self.stats.barriers += 1;
         }
+        Ok(())
     }
 
-    fn handle_lock_acquire(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+    fn handle_lock_acquire(
+        &mut self,
+        m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) -> Result<(), ProtocolError> {
         let st = self.locks.entry(m.aux).or_default();
         if st.held_by.is_none() {
             st.held_by = Some(m.from);
@@ -541,24 +623,30 @@ impl ManagerShard {
             self.trace.emit(tl.now(), TraceKind::LockGrantSend, |e| {
                 e.with_peer(m.from).with_event(m.aux)
             });
-            ep.send(m.from, grant, 0, tl.now());
+            send_checked(ep, m.from, grant, 0, tl.now(), "lock grant")?;
         } else {
             st.queue.push_back(m);
         }
+        Ok(())
     }
 
-    fn handle_lock_release(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
+    fn handle_lock_release(
+        &mut self,
+        m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) -> Result<(), ProtocolError> {
         tl.charge(self.cost.lock_service);
-        let st = self
-            .locks
-            .get_mut(&m.aux)
-            .unwrap_or_else(|| panic!("release of unknown lock {}", m.aux));
-        assert_eq!(
-            st.held_by,
-            Some(m.from),
-            "lock {} released by a non-holder",
-            m.aux
-        );
+        let st = self.locks.get_mut(&m.aux).ok_or(ProtocolError::BadState {
+            host: self.me,
+            what: "release of an unknown lock",
+        })?;
+        if st.held_by != Some(m.from) {
+            return Err(ProtocolError::BadState {
+                host: self.me,
+                what: "lock released by a non-holder",
+            });
+        }
         st.held_by = None;
         if let Some(next) = st.queue.pop_front() {
             st.held_by = Some(next.from);
@@ -567,14 +655,20 @@ impl ManagerShard {
             self.trace.emit(tl.now(), TraceKind::LockGrantSend, |e| {
                 e.with_peer(next.from).with_event(next.aux)
             });
-            ep.send(next.from, grant, 0, tl.now());
+            send_checked(ep, next.from, grant, 0, tl.now(), "lock grant")?;
         }
+        Ok(())
     }
 
-    fn handle_push(&mut self, mut m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
-        let id = self.translate(&mut m, tl);
+    fn handle_push(
+        &mut self,
+        mut m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) -> Result<(), ProtocolError> {
+        let id = self.translate(&mut m, tl)?;
         if !self.open_window(id, &m, tl.now(), 2) {
-            return; // Queued behind an in-flight transfer.
+            return Ok(()); // Queued behind an in-flight transfer.
         }
         {
             let hosts = self.hosts;
@@ -592,7 +686,7 @@ impl ManagerShard {
                     let mut push = m.clone();
                     push.kind = MsgKind::PushData;
                     let payload = push.payload_bytes();
-                    ep.send(h, push, payload, tl.now());
+                    send_checked(ep, h, push, payload, tl.now(), "push data")?;
                 }
             } else {
                 // Ownership moved since the push was issued: stale, drop.
@@ -601,8 +695,9 @@ impl ManagerShard {
         }
         // Pushes hold no service window (no ack follows).
         if let Some(next) = self.close_window(id, tl.now()) {
-            self.dispatch_queued(next, tl, ep);
+            self.dispatch_queued(next, tl, ep)?;
         }
+        Ok(())
     }
 }
 
@@ -620,17 +715,26 @@ impl ManagerShard {
     /// only once every stale copy has confirmed its invalidation. The
     /// flusher blocks on that ack before entering the barrier or
     /// releasing the lock.
-    fn handle_rc_diff(&mut self, m: Pmsg, tl: &mut ServerTimeline, ep: &Endpoint<Pmsg>) {
-        assert_eq!(
-            self.consistency,
-            Consistency::HomeEagerRc,
-            "RcDiff under the SW/MR protocol"
-        );
+    fn handle_rc_diff(
+        &mut self,
+        m: Pmsg,
+        tl: &mut ServerTimeline,
+        ep: &Endpoint<Pmsg>,
+    ) -> Result<(), ProtocolError> {
+        if self.consistency != Consistency::HomeEagerRc {
+            return Err(ProtocolError::BadState {
+                host: self.me,
+                what: "RcDiff under the SW/MR protocol",
+            });
+        }
         let acked = m.event != 0;
         if acked && !self.open_window(m.minipage, &m, tl.now(), 3) {
-            return; // A concurrent flush of this minipage is mid-window.
+            return Ok(()); // A concurrent flush of this minipage is mid-window.
         }
-        let diff = Diff::decode(&m.data).expect("well-formed diff on the wire");
+        let diff = Diff::decode(&m.data).ok_or(ProtocolError::Malformed {
+            host: self.me,
+            what: "undecodable release diff",
+        })?;
         let (mp, diff_bytes, diff_event) = (m.minipage.0, m.data.len(), m.event);
         self.trace.emit(tl.now(), TraceKind::RcDiffApply, |e| {
             e.with_mp(mp)
@@ -644,7 +748,11 @@ impl ManagerShard {
             self.my_state()
                 .space
                 .priv_write(m.priv_base.add(off), bytes)
-                .expect("translated minipage in range");
+                .map_err(|_| ProtocolError::BadTranslation {
+                    host: self.me,
+                    addr: m.priv_base.add(off).0 as usize,
+                    what: "diff patch target",
+                })?;
         }
         tl.charge((self.cost.patch_per_byte_ns * m.len as f64) as sim_core::Ns);
         self.stats.rc_diffs += 1;
@@ -661,7 +769,7 @@ impl ManagerShard {
             self.trace.emit(tl.now(), TraceKind::InvSend, |e| {
                 e.with_mp(id.0).with_peer(t).with_event(inv.event)
             });
-            ep.send(t, inv, 0, tl.now());
+            send_checked(ep, t, inv, 0, tl.now(), "rc invalidate fan-out")?;
         }
         e.copyset = 1u64 << me.index();
         e.owner = None;
@@ -671,9 +779,9 @@ impl ManagerShard {
                 self.trace.emit(tl.now(), TraceKind::RcDiffAckSend, |e| {
                     e.with_mp(id.0).with_peer(m.from).with_event(m.event)
                 });
-                ep.send(m.from, ack, 0, tl.now());
+                send_checked(ep, m.from, ack, 0, tl.now(), "rc diff ack")?;
                 if let Some(next) = self.close_window(id, tl.now()) {
-                    self.dispatch_queued(next, tl, ep);
+                    self.dispatch_queued(next, tl, ep)?;
                 }
             } else {
                 // Ack once the last invalidation is confirmed.
@@ -682,6 +790,7 @@ impl ManagerShard {
                 e.pending_write = Some(m);
             }
         }
+        Ok(())
     }
 }
 

@@ -64,8 +64,45 @@ pub enum MsgKind {
     /// single manager and must block until its release is globally
     /// visible.
     RcDiffAck,
+    /// Server → requesting host: the request naming `event` could not be
+    /// served (translation failure, lost forward, directory corruption).
+    /// The receiving server fails the registered waiter with a typed
+    /// [`ProtocolError`](crate::ProtocolError) instead of letting the
+    /// application thread hang.
+    Nack,
     /// Controller → server: stop after draining.
     Shutdown,
+}
+
+impl MsgKind {
+    /// Static name, for typed-error reporting.
+    pub(crate) fn name(self) -> &'static str {
+        use MsgKind::*;
+        match self {
+            ReadRequest => "ReadRequest",
+            WriteRequest => "WriteRequest",
+            ServeRead => "ServeRead",
+            ServeWrite => "ServeWrite",
+            ReadReply => "ReadReply",
+            WriteReply => "WriteReply",
+            InvalidateRequest => "InvalidateRequest",
+            InvalidateReply => "InvalidateReply",
+            Ack => "Ack",
+            AllocRequest => "AllocRequest",
+            AllocReply => "AllocReply",
+            BarrierEnter => "BarrierEnter",
+            BarrierRelease => "BarrierRelease",
+            LockAcquire => "LockAcquire",
+            LockGrant => "LockGrant",
+            LockRelease => "LockRelease",
+            PushRequest => "PushRequest",
+            PushData => "PushData",
+            RcDiff => "RcDiff",
+            RcDiffAck => "RcDiffAck",
+            Nack => "Nack",
+            Shutdown => "Shutdown",
+        }
+    }
 }
 
 /// A protocol message.

@@ -8,16 +8,24 @@
 //! also carries its host's [`ManagerShard`]: requests for minipages homed
 //! here are handled in place, and protocol replies are routed to the
 //! responsible home shard through the cluster's [`HomeTable`].
+//!
+//! Handlers return `Result<(), ProtocolError>` rather than asserting the
+//! wire is reliable: a failed handler is recorded on the run report, the
+//! blocked requester is nacked (or its local waiter failed), and the
+//! server keeps serving — a lossy link degrades one request, not the
+//! whole host.
 
+use crate::error::ProtocolError;
 use crate::hlrc::{Consistency, MpInfo};
 use crate::home::{HomePolicyKind, HomeTable};
 use crate::host::{HostState, Waiter};
 use crate::manager::ManagerShard;
 use crate::msg::{Completion, MsgKind, Pmsg};
 use bytes::Bytes;
+use sim_core::clock::Ns;
 use sim_core::trace::{TraceKind, TraceRecorder};
-use sim_core::{CostModel, LogHistogram};
-use sim_mem::Prot;
+use sim_core::{CostModel, HostId, LogHistogram};
+use sim_mem::{Prot, VAddr};
 use sim_net::{Endpoint, RecvError, ServerTimeline};
 use std::sync::Arc;
 
@@ -27,6 +35,9 @@ pub(crate) struct ServerOutcome {
     pub shard: ManagerShard,
     /// Arrival→service-start delays of every packet this server handled.
     pub queue_delay: LogHistogram,
+    /// Protocol errors this server degraded through (empty on a clean
+    /// wire), in occurrence order.
+    pub errors: Vec<String>,
     /// The endpoint is kept alive until every server has stopped so that
     /// late messages from still-draining peers never hit a closed channel.
     #[expect(dead_code)]
@@ -44,13 +55,30 @@ pub(crate) fn server_loop(
     mut rec: TraceRecorder,
 ) -> ServerOutcome {
     let home = Arc::clone(shard.home_table());
+    let mut errors: Vec<String> = Vec::new();
+    // Under an active fault plane the reliable channel can resequence a
+    // window-closing `Ack` *behind* the controller's `Shutdown` (they
+    // travel on different links). Drain the inbox after `Shutdown` so
+    // those stragglers still close their directory windows.
+    let mut draining = false;
     loop {
-        let pkt = match ep.recv() {
-            Ok(p) => p,
-            Err(RecvError::Disconnected) => break,
-            Err(RecvError::Empty) => unreachable!("blocking recv"),
+        let pkt = if draining {
+            match ep.try_recv() {
+                Ok(p) => p,
+                Err(_) => break,
+            }
+        } else {
+            match ep.recv() {
+                Ok(p) => p,
+                Err(RecvError::Disconnected) => break,
+                Err(RecvError::Empty) => unreachable!("blocking recv"),
+            }
         };
         if matches!(pkt.msg.kind, MsgKind::Shutdown) {
+            if ep.network().fault_active() {
+                draining = true;
+                continue;
+            }
             break;
         }
         // §3.5.1: if the application threads were computing at the
@@ -72,22 +100,35 @@ pub(crate) fn server_loop(
             );
         }
         if rec.enabled() {
-            let (from, event, mp, bytes) = (
+            let (from, event, mp, bytes, seq) = (
                 pkt.from,
                 pkt.msg.event,
                 pkt.msg.minipage.0,
                 pkt.payload_bytes,
+                pkt.wire_seq,
             );
             rec.emit(pkt.arrival_vt, TraceKind::MsgRecv, |e| {
                 e.with_peer(from)
                     .with_event(event)
                     .with_mp(mp)
                     .with_bytes(bytes)
+                    .with_aux(seq as u32)
             });
         }
+        let clamps_before = timeline.clamp_events();
         timeline.begin_service(pkt.arrival_vt, busy);
-        dispatch(
+        // A clamp means the virtual-time model produced a negative queue
+        // delay (arrival after service start); it is silently floored to
+        // zero but no longer silently *uncounted*.
+        if timeline.clamp_events() > clamps_before && rec.enabled() {
+            rec.emit(pkt.arrival_vt, TraceKind::DelayClamped, |e| {
+                e.with_peer(pkt.from).with_event(pkt.msg.event)
+            });
+        }
+        let (kind, from, event, addr) = (pkt.msg.kind, pkt.msg.from, pkt.msg.event, pkt.msg.addr);
+        if let Err(e) = dispatch(
             pkt.msg,
+            pkt.from,
             &state,
             &cost,
             consistency,
@@ -96,11 +137,24 @@ pub(crate) fn server_loop(
             &home,
             &ep,
             &mut rec,
-        );
+        ) {
+            errors.push(e.to_string());
+            if matches!(e, ProtocolError::Timeout { .. }) {
+                rec.emit(timeline.now(), TraceKind::TimeoutFired, |ev| {
+                    ev.with_event(event)
+                });
+            }
+            surface_error(kind, from, event, addr, e, &state, &ep, &mut timeline);
+        }
     }
+    ep.network()
+        .stats()
+        .clamped_delays
+        .add(timeline.clamp_events());
     ServerOutcome {
         shard,
         queue_delay: timeline.take_queue_delay(),
+        errors,
         endpoint: ep,
     }
 }
@@ -108,6 +162,7 @@ pub(crate) fn server_loop(
 #[allow(clippy::too_many_arguments)]
 fn dispatch(
     m: Pmsg,
+    wire_from: HostId,
     state: &Arc<HostState>,
     cost: &CostModel,
     consistency: Consistency,
@@ -116,7 +171,7 @@ fn dispatch(
     home: &HomeTable,
     ep: &Endpoint<Pmsg>,
     rec: &mut TraceRecorder,
-) {
+) -> Result<(), ProtocolError> {
     use MsgKind::*;
     match m.kind {
         ReadRequest | WriteRequest | InvalidateReply | Ack | AllocRequest | BarrierEnter
@@ -124,11 +179,82 @@ fn dispatch(
         ServeRead => serve_read(m, state, cost, tl, ep, rec),
         ServeWrite => serve_write(m, state, cost, tl, ep, rec),
         InvalidateRequest => handle_invalidate(m, state, cost, consistency, tl, home, ep, rec),
-        ReadReply | WriteReply => handle_data_reply(m, state, cost, tl, home, ep, rec),
+        ReadReply | WriteReply => handle_data_reply(m, wire_from, state, cost, tl, home, ep, rec),
         AllocReply | BarrierRelease | LockGrant | RcDiffAck => fulfill_simple(m, state, cost, tl),
         PushData => handle_push_data(m, state, cost, tl, rec),
+        Nack => handle_nack(m, state, cost, tl),
         Shutdown => unreachable!("handled by the loop"),
     }
+}
+
+/// Routes a failed handler's error to whoever is blocked on the message:
+/// a request kind earns the (remote) requester a `Nack`, a reply kind
+/// fails the local waiter directly. Fire-and-forget kinds have nobody to
+/// tell — the recorded error is their only trace.
+#[allow(clippy::too_many_arguments)]
+fn surface_error(
+    kind: MsgKind,
+    from: HostId,
+    event: u64,
+    addr: VAddr,
+    e: ProtocolError,
+    state: &Arc<HostState>,
+    ep: &Endpoint<Pmsg>,
+    tl: &mut ServerTimeline,
+) {
+    use MsgKind::*;
+    match kind {
+        ReadRequest | WriteRequest | ServeRead | ServeWrite | AllocRequest | BarrierEnter
+        | LockAcquire | RcDiff
+            if event != 0 =>
+        {
+            // Best-effort: if the nack itself exhausts its retransmit
+            // budget the requester's wall-clock backstop still fires.
+            let nack = Pmsg::new(Nack, ep.host(), event).with_addr(addr);
+            ep.send(from, nack, 0, tl.now());
+        }
+        ReadReply | WriteReply | AllocReply | BarrierRelease | LockGrant | RcDiffAck => {
+            if let Some(w) = state.waiters.lock().remove(&event) {
+                w.fail(e);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A peer could not serve our request: fail the blocked thread with a
+/// typed error instead of letting it wait for a reply that never comes.
+fn handle_nack(
+    m: Pmsg,
+    state: &Arc<HostState>,
+    cost: &CostModel,
+    tl: &mut ServerTimeline,
+) -> Result<(), ProtocolError> {
+    tl.charge(cost.event_signal);
+    let nacked = ProtocolError::Nacked {
+        host: state.host,
+        event: m.event,
+    };
+    if let Some(w) = state.waiters.lock().remove(&m.event) {
+        w.fail(nacked);
+        return Ok(());
+    }
+    // A nacked prefetch registers no event waiter; resolve (and unlink)
+    // the vpage waiters so a later fault retries the normal path rather
+    // than parking on a request that already failed.
+    if let Some(vp) = state.space.geometry().vpage_of(m.addr) {
+        let mut pf = state.prefetch_waiters.lock();
+        if let Some(w) = pf.remove(&vp) {
+            pf.retain(|_, x| !Arc::ptr_eq(x, &w));
+            w.fail(nacked);
+            return Ok(());
+        }
+    }
+    Err(ProtocolError::NoWaiter {
+        host: state.host,
+        event: m.event,
+        kind: "Nack",
+    })
 }
 
 /// Whether `MILLIPAGE_TRACE` protocol tracing is on (debugging aid).
@@ -137,14 +263,60 @@ fn trace_enabled() -> bool {
     *ON.get_or_init(|| std::env::var_os("MILLIPAGE_TRACE").is_some())
 }
 
+/// Sends through `ep`, surfacing an exhausted retransmit budget as a
+/// typed timeout; the arrival stamp is the caller's on success.
+pub(crate) fn send_checked(
+    ep: &Endpoint<Pmsg>,
+    to: HostId,
+    msg: Pmsg,
+    payload: usize,
+    now: Ns,
+    what: &'static str,
+) -> Result<Ns, ProtocolError> {
+    let event = msg.event;
+    let receipt = ep.send_receipt(to, msg, payload, now);
+    if receipt.delivered {
+        Ok(receipt.arrival)
+    } else {
+        Err(ProtocolError::Timeout {
+            host: ep.host(),
+            what,
+            event,
+        })
+    }
+}
+
 /// The global vpages covered by the minipage named in a translated message.
-fn vpages_of(m: &Pmsg, state: &HostState) -> std::ops::Range<usize> {
+fn vpages_of(m: &Pmsg, state: &HostState) -> Result<std::ops::Range<usize>, ProtocolError> {
     state
         .space
         .geometry()
         .vpages_covering(m.base, m.len)
-        .expect("manager-translated minipages are in range")
-        .1
+        .map(|(_, r)| r)
+        .ok_or(ProtocolError::BadTranslation {
+            host: state.host,
+            addr: m.base.0 as usize,
+            what: "translated minipage range",
+        })
+}
+
+/// A vpage-protection change failed: the message named a page outside the
+/// application view.
+fn bad_vpage(state: &HostState, vp: usize) -> ProtocolError {
+    ProtocolError::BadTranslation {
+        host: state.host,
+        addr: vp,
+        what: "protection change",
+    }
+}
+
+/// A privileged-view access failed: the message's translation lied.
+fn bad_priv(state: &HostState, m: &Pmsg, what: &'static str) -> ProtocolError {
+    ProtocolError::BadTranslation {
+        host: state.host,
+        addr: m.priv_base.0 as usize,
+        what,
+    }
 }
 
 /// Figure 3 "Handle Read Request": downgrade a writable copy to read-only
@@ -156,16 +328,16 @@ fn serve_read(
     tl: &mut ServerTimeline,
     ep: &Endpoint<Pmsg>,
     rec: &mut TraceRecorder,
-) {
+) -> Result<(), ProtocolError> {
     tl.charge(cost.dsm_overhead);
     tl.charge(cost.get_protection);
     let mut downgraded = false;
-    for vp in vpages_of(&m, state) {
+    for vp in vpages_of(&m, state)? {
         if state.space.prot(vp) == Prot::ReadWrite {
             state
                 .space
                 .set_prot(vp, Prot::ReadOnly)
-                .expect("application vpage");
+                .map_err(|_| bad_vpage(state, vp))?;
             tl.charge(cost.set_protection);
             downgraded = true;
         }
@@ -179,13 +351,14 @@ fn serve_read(
     let data = state
         .space
         .priv_read(m.priv_base, m.len)
-        .expect("translated minipage in range");
+        .map_err(|_| bad_priv(state, &m, "serve-read source"))?;
     let mut reply = m;
     reply.kind = MsgKind::ReadReply;
     reply.data = Bytes::from(data);
     let to = reply.from;
     let payload = reply.payload_bytes();
-    ep.send(to, reply, payload, tl.now());
+    send_checked(ep, to, reply, payload, tl.now(), "read reply")?;
+    Ok(())
 }
 
 /// Figure 3 "Handle Write Request": invalidate the local copy, then send
@@ -197,14 +370,14 @@ fn serve_write(
     tl: &mut ServerTimeline,
     ep: &Endpoint<Pmsg>,
     rec: &mut TraceRecorder,
-) {
+) -> Result<(), ProtocolError> {
     tl.charge(cost.dsm_overhead);
     // NoAccess first: once the bytes leave, local threads must fault.
-    for vp in vpages_of(&m, state) {
+    for vp in vpages_of(&m, state)? {
         state
             .space
             .set_prot(vp, Prot::NoAccess)
-            .expect("application vpage");
+            .map_err(|_| bad_vpage(state, vp))?;
         tl.charge(cost.set_protection);
     }
     rec.emit(tl.now(), TraceKind::InvalidateLocal, |e| {
@@ -216,13 +389,14 @@ fn serve_write(
     let data = state
         .space
         .priv_read(m.priv_base, m.len)
-        .expect("translated minipage in range");
+        .map_err(|_| bad_priv(state, &m, "serve-write source"))?;
     let mut reply = m;
     reply.kind = MsgKind::WriteReply;
     reply.data = Bytes::from(data);
     let to = reply.from;
     let payload = reply.payload_bytes();
-    ep.send(to, reply, payload, tl.now());
+    send_checked(ep, to, reply, payload, tl.now(), "write reply")?;
+    Ok(())
 }
 
 /// Figure 3 "Handle Invalidate Request".
@@ -244,17 +418,25 @@ fn handle_invalidate(
     home: &HomeTable,
     ep: &Endpoint<Pmsg>,
     rec: &mut TraceRecorder,
-) {
+) -> Result<(), ProtocolError> {
     rec.emit(tl.now(), TraceKind::InvalidateLocal, |e| {
         e.with_mp(m.minipage.0).with_event(m.event)
     });
     if consistency == Consistency::HomeEagerRc {
-        let dirty = state.rc.lock().dirty.remove(&m.minipage.0);
+        // Hold the release-state lock from the dirty-set removal until the
+        // eviction diff is on the wire. Released earlier, the owner's
+        // in-progress release flush could observe the emptied dirty set,
+        // skip flushing, and enqueue its barrier-enter *ahead* of the
+        // eviction diff on the host→home FIFO — the home would then count
+        // the release (and serve post-barrier reads) with this copy's
+        // final writes still in flight.
+        let mut rc = state.rc.lock();
+        let dirty = rc.dirty.remove(&m.minipage.0);
         if let Some(d) = dirty {
             let data = state
                 .space
                 .snapshot_and_protect(d.info.base, d.info.len, Prot::NoAccess)
-                .expect("translated minipage in range");
+                .map_err(|_| bad_priv(state, &m, "eviction snapshot"))?;
             let diff = d.twin.diff(&data);
             tl.charge(cost.diff_time(d.info.len));
             tl.charge(cost.set_protection);
@@ -271,14 +453,23 @@ fn handle_invalidate(
                 rec.emit(tl.now(), TraceKind::RcDiffSend, |e| {
                     e.with_mp(d.info.id.0).with_bytes(payload).with_aux(0)
                 });
-                ep.send(home.home(d.info.id), out, payload, tl.now());
+                send_checked(
+                    ep,
+                    home.home(d.info.id),
+                    out,
+                    payload,
+                    tl.now(),
+                    "eviction diff",
+                )?;
             }
+            drop(rc);
         } else {
-            for vp in vpages_of(&m, state) {
+            drop(rc);
+            for vp in vpages_of(&m, state)? {
                 state
                     .space
                     .set_prot(vp, Prot::NoAccess)
-                    .expect("application vpage");
+                    .map_err(|_| bad_vpage(state, vp))?;
                 tl.charge(cost.set_protection);
             }
         }
@@ -290,15 +481,22 @@ fn handle_invalidate(
             let mut reply = Pmsg::new(MsgKind::InvalidateReply, ep.host(), m.event);
             reply.minipage = m.minipage;
             reply.addr = m.addr;
-            ep.send(home.home(m.minipage), reply, 0, tl.now());
+            send_checked(
+                ep,
+                home.home(m.minipage),
+                reply,
+                0,
+                tl.now(),
+                "invalidate reply",
+            )?;
         }
-        return;
+        return Ok(());
     }
-    for vp in vpages_of(&m, state) {
+    for vp in vpages_of(&m, state)? {
         state
             .space
             .set_prot(vp, Prot::NoAccess)
-            .expect("application vpage");
+            .map_err(|_| bad_vpage(state, vp))?;
         tl.charge(cost.set_protection);
     }
     state.counters.invalidations_received.bump();
@@ -307,26 +505,45 @@ fn handle_invalidate(
     reply.addr = m.addr;
     // The reply goes to the shard homing the minipage — the one that sent
     // the invalidation.
-    ep.send(home.home(m.minipage), reply, 0, tl.now());
+    send_checked(
+        ep,
+        home.home(m.minipage),
+        reply,
+        0,
+        tl.now(),
+        "invalidate reply",
+    )?;
+    Ok(())
 }
 
 /// Figure 3 "Handle Read or Write Reply": receive the minipage contents
 /// directly into the privileged view (no buffer copy), open the
 /// protection, and wake the faulting thread.
+#[allow(clippy::too_many_arguments)]
 fn handle_data_reply(
     m: Pmsg,
+    wire_from: HostId,
     state: &Arc<HostState>,
     cost: &CostModel,
     tl: &mut ServerTimeline,
     home: &HomeTable,
     ep: &Endpoint<Pmsg>,
     rec: &mut TraceRecorder,
-) {
+) -> Result<(), ProtocolError> {
     tl.charge(cost.dsm_overhead);
-    state
-        .space
-        .priv_write(m.priv_base, &m.data)
-        .expect("translated minipage in range");
+    // A self-addressed reply (this host served its own request — it homes
+    // the minipage) carries bytes read from the very page it would install
+    // them into. Writing them back is not just redundant: the snapshot was
+    // taken at serve time, and a diff applied to the home page between the
+    // serve and this install (another host's release flush) would be
+    // silently reverted by the stale write-back, losing that host's
+    // release for good. The protection change below is still required.
+    if wire_from != state.host {
+        state
+            .space
+            .priv_write(m.priv_base, &m.data)
+            .map_err(|_| bad_priv(state, &m, "reply install"))?;
+    }
     // aux 1 = read-only copy installed, aux 2 = writable copy installed.
     let aux = if m.kind == MsgKind::ReadReply { 1 } else { 2 };
     rec.emit(tl.now(), TraceKind::Install, |e| {
@@ -335,7 +552,7 @@ fn handle_data_reply(
     // Cache the manager's translation: the host-side minipage boundary
     // knowledge that the release-consistency write path relies on.
     state.rc.lock().learn(
-        vpages_of(&m, state),
+        vpages_of(&m, state)?,
         MpInfo {
             id: m.minipage,
             base: m.base,
@@ -348,8 +565,11 @@ fn handle_data_reply(
     } else {
         Prot::ReadWrite
     };
-    for vp in vpages_of(&m, state) {
-        state.space.set_prot(vp, prot).expect("application vpage");
+    for vp in vpages_of(&m, state)? {
+        state
+            .space
+            .set_prot(vp, prot)
+            .map_err(|_| bad_vpage(state, vp))?;
         tl.charge(cost.set_protection);
     }
     tl.charge(cost.event_signal);
@@ -359,7 +579,7 @@ fn handle_data_reply(
         let mut sleepers: Vec<Arc<Waiter>> = Vec::new();
         {
             let mut pf = state.prefetch_waiters.lock();
-            for vp in vpages_of(&m, state) {
+            for vp in vpages_of(&m, state)? {
                 if let Some(w) = pf.remove(&vp) {
                     if !sleepers.iter().any(|s| Arc::ptr_eq(s, &w)) {
                         sleepers.push(w);
@@ -374,33 +594,48 @@ fn handle_data_reply(
             });
         }
         let ack = Pmsg::new(MsgKind::Ack, ep.host(), 0).with_addr(m.addr);
-        ep.send(home.home(m.minipage), ack, 0, tl.now());
+        send_checked(ep, home.home(m.minipage), ack, 0, tl.now(), "prefetch ack")?;
     } else {
-        let w = state
-            .waiters
-            .lock()
-            .remove(&m.event)
-            .expect("a waiter registered before the request went out");
+        let w = state.waiters.lock().remove(&m.event).ok_or({
+            ProtocolError::NoWaiter {
+                host: state.host,
+                event: m.event,
+                kind: if m.kind == MsgKind::ReadReply {
+                    "ReadReply"
+                } else {
+                    "WriteReply"
+                },
+            }
+        })?;
         w.fulfill(Completion {
             resume_vt: tl.now(),
             addr: m.addr,
         });
     }
+    Ok(())
 }
 
 /// Wakes the thread blocked on an allocation, barrier, lock, or
 /// diff-flush event.
-fn fulfill_simple(m: Pmsg, state: &Arc<HostState>, cost: &CostModel, tl: &mut ServerTimeline) {
+fn fulfill_simple(
+    m: Pmsg,
+    state: &Arc<HostState>,
+    cost: &CostModel,
+    tl: &mut ServerTimeline,
+) -> Result<(), ProtocolError> {
     tl.charge(cost.event_signal);
-    let w = state
-        .waiters
-        .lock()
-        .remove(&m.event)
-        .expect("a waiter registered before the request went out");
+    let w = state.waiters.lock().remove(&m.event).ok_or({
+        ProtocolError::NoWaiter {
+            host: state.host,
+            event: m.event,
+            kind: "completion",
+        }
+    })?;
     w.fulfill(Completion {
         resume_vt: tl.now(),
         addr: m.addr,
     });
+    Ok(())
 }
 
 /// Installs a pushed read copy (§4.3).
@@ -410,20 +645,21 @@ fn handle_push_data(
     cost: &CostModel,
     tl: &mut ServerTimeline,
     rec: &mut TraceRecorder,
-) {
+) -> Result<(), ProtocolError> {
     state
         .space
         .priv_write(m.priv_base, &m.data)
-        .expect("translated minipage in range");
+        .map_err(|_| bad_priv(state, &m, "push install"))?;
     rec.emit(tl.now(), TraceKind::Install, |e| {
         e.with_mp(m.minipage.0).with_aux(1)
     });
-    for vp in vpages_of(&m, state) {
+    for vp in vpages_of(&m, state)? {
         state
             .space
             .set_prot(vp, Prot::ReadOnly)
-            .expect("application vpage");
+            .map_err(|_| bad_vpage(state, vp))?;
         tl.charge(cost.set_protection);
     }
     state.counters.pushes_received.bump();
+    Ok(())
 }

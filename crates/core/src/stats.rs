@@ -50,6 +50,29 @@ pub struct ShardStats {
     pub directory_entries: usize,
 }
 
+/// Wire-fault activity of one run; present only when the cluster ran
+/// with an active [`FaultPlane`](sim_net::FaultPlane).
+#[derive(Clone, Debug, Serialize)]
+pub struct NetFaultStats {
+    /// Transmissions the fault plane discarded (each costs one
+    /// retransmission round-trip of added latency).
+    pub drops: u64,
+    /// Retransmissions the reliable channel charged for.
+    pub retransmits: u64,
+    /// Duplicate copies injected and physically delivered.
+    pub dups_delivered: u64,
+    /// Duplicates (and stale retransmissions) the receive side discarded.
+    pub dups_suppressed: u64,
+    /// Packets delivered out of order by the fault plane.
+    pub reorders: u64,
+    /// Packets that exhausted their retransmit budget and were never
+    /// delivered (0 on any run that completed cleanly).
+    pub expired: u64,
+    /// Latency the fault plane added per delivered packet (backoff
+    /// penalties plus jitter; only packets with a nonzero penalty).
+    pub delay: LogHistogram,
+}
+
 /// The outcome of one cluster run.
 #[derive(Clone, Debug, Serialize)]
 pub struct RunReport {
@@ -100,6 +123,12 @@ pub struct RunReport {
     /// Invalidation round-trips at the manager shards: fan-out to last
     /// confirmation, per completed round.
     pub inv_round_trip: LogHistogram,
+    /// Typed protocol errors the run degraded through (empty on a clean
+    /// wire): server-side handler failures first, then failed application
+    /// waits, each rendered as its `ProtocolError` display form.
+    pub protocol_errors: Vec<String>,
+    /// Wire-fault counters; `None` unless the run injected faults.
+    pub net_faults: Option<NetFaultStats>,
 }
 
 impl RunReport {
@@ -216,6 +245,34 @@ impl RunReport {
             "coherence_violations",
             &format!("[{}]", viol.join(",")),
         );
+        // Fault-plane fields appear only on fault-injecting runs, keeping
+        // the disabled-plane JSON byte-for-byte what it always was.
+        if !self.protocol_errors.is_empty() {
+            let errs: Vec<String> = self
+                .protocol_errors
+                .iter()
+                .map(|e| format!("\"{}\"", sim_core::trace::esc(e)))
+                .collect();
+            push_kv(&mut s, "protocol_errors", &format!("[{}]", errs.join(",")));
+        }
+        if let Some(nf) = &self.net_faults {
+            push_kv(
+                &mut s,
+                "net_faults",
+                &format!(
+                    "{{\"drops\":{},\"retransmits\":{},\"dups_delivered\":{},\
+                     \"dups_suppressed\":{},\"reorders\":{},\"expired\":{},\
+                     \"delay\":{}}}",
+                    nf.drops,
+                    nf.retransmits,
+                    nf.dups_delivered,
+                    nf.dups_suppressed,
+                    nf.reorders,
+                    nf.expired,
+                    hist_json(&nf.delay),
+                ),
+            );
+        }
         s.push('}');
         s.push('\n');
         s

@@ -1,6 +1,9 @@
 //! Edge-case integration tests of the cluster API surface.
 
-use millipage::{run, AllocMode, Category, ClusterConfig, Consistency, CostModel, HostId};
+use millipage::{
+    run, AllocMode, Category, ClusterConfig, Consistency, CostModel, FaultPlane, HostId,
+    ScriptedFault,
+};
 use parking_lot::Mutex;
 
 fn cfg(hosts: usize) -> ClusterConfig {
@@ -199,6 +202,64 @@ fn crossing_writes_do_not_deadlock() {
     );
     assert!(report.coherence_violations.is_empty());
     assert!(report.write_faults > 10, "the test must actually contend");
+}
+
+#[test]
+#[should_panic(expected = "application bug on h1")]
+fn early_app_panic_terminates_cleanly() {
+    // Regression: an application thread that dies early (here: an assert
+    // firing before the barrier) used to leave its siblings parked on
+    // protocol waits nobody would ever fulfill — the scope join hung the
+    // whole cluster. The failing thread now cancels every host's pending
+    // waiters before anyone joins, the servers shut down, and the original
+    // panic resumes (siblings' cancellations become typed protocol errors,
+    // not panics). This test must *fail fast*, never hang.
+    run(
+        cfg(3),
+        |_| (),
+        |ctx, ()| {
+            if ctx.host() == HostId(1) {
+                panic!("application bug on h1");
+            }
+            ctx.barrier(); // h0/h2 park here until the cancel sweep.
+        },
+    );
+}
+
+#[test]
+fn blackholed_request_surfaces_as_protocol_error() {
+    // A scripted blackhole eats every transmission of h1's first request
+    // to the manager (the read-fault request and all its retransmits). The
+    // send exhausts its retransmit budget, surfaces as a typed timeout on
+    // the faulting thread, and the cluster shuts down cleanly with the
+    // error reported on the run — no hang, no propagated panic.
+    let report = run(
+        ClusterConfig {
+            faults: FaultPlane {
+                scripted: vec![ScriptedFault::blackhole_nth(HostId(1), HostId(0), 1)],
+                ..FaultPlane::disabled()
+            },
+            request_timeout: Some(std::time::Duration::from_millis(500)),
+            ..cfg(2)
+        },
+        |s| s.alloc_vec_init::<u64>(&[7; 8]),
+        |ctx, sv| {
+            if ctx.host() == HostId(1) {
+                let _ = ctx.get(sv, 0); // First h1 -> h0 packet: blackholed.
+            }
+            ctx.barrier();
+        },
+    );
+    assert!(
+        report
+            .protocol_errors
+            .iter()
+            .any(|e| e.contains("timed out")),
+        "expected a surfaced timeout, got {:?}",
+        report.protocol_errors
+    );
+    let nf = report.net_faults.expect("fault plane was active");
+    assert_eq!(nf.expired, 1, "exactly the blackholed send expired");
 }
 
 #[test]

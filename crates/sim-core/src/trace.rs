@@ -108,6 +108,22 @@ pub enum TraceKind {
     /// Allocation-time directory state: the minipage starts at its home
     /// (`aux` = 1 writable under SW/MR, 0 read-only under HLRC).
     AllocGrant,
+    /// The fault plane dropped a transmission on the wire (`peer` =
+    /// destination, `aux` = consecutive losses of this packet so far).
+    PktDropped,
+    /// The reliable channel retransmitted after a virtual-time RTO
+    /// (`peer` = destination, `aux` = retry number, 1-based).
+    Retransmit,
+    /// The receive-side dedup buffer suppressed a duplicate delivery
+    /// (`peer` = sender, `aux` = duplicated wire sequence number).
+    DupSuppressed,
+    /// A request outlived its retransmit budget (or wall-clock backstop)
+    /// and surfaced as a `ProtocolError::Timeout` (`peer` = destination).
+    TimeoutFired,
+    /// The server timeline clamped a negative queue delay — a
+    /// virtual-clock inversion the `saturating_sub` would otherwise hide
+    /// (`aux` = clamped magnitude in ns, saturated to `u32::MAX`).
+    DelayClamped,
 }
 
 /// One virtual-time-stamped protocol event.

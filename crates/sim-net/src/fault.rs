@@ -1,0 +1,254 @@
+//! Deterministic fault injection for the message fabric.
+//!
+//! The paper's Millipage inherits reliability from FastMessages, but FM
+//! itself has to *build* reliable FIFO delivery on top of raw Myrinet —
+//! sequence numbers, acks, retransmission timers. [`FaultPlane`] makes the
+//! simulated wire unreliable (seeded per-link drop / duplicate / reorder /
+//! jitter, plus scripted one-shot faults), so the reliable-channel layer in
+//! [`crate::Network`] has real work to do and the DSM protocol above it can
+//! be audited against loss.
+//!
+//! Everything is deterministic: each (sender, destination) link forks its
+//! own [`SplitMix64`](sim_core::SplitMix64) stream from [`FaultPlane::seed`],
+//! so a run with the same seed and the same send order replays the same
+//! fault schedule regardless of wall-clock interleaving.
+
+use sim_core::clock::Ns;
+use sim_core::HostId;
+
+/// Default virtual-time retransmission timeout: 100 µs, roughly four
+/// small-message round trips (§3.5: 25 µs RTT), mirroring FM's aggressive
+/// user-level timer.
+pub const DEFAULT_RTO_NS: Ns = 100_000;
+
+/// Default retransmit budget before a send is declared lost.
+pub const DEFAULT_MAX_RETRANSMITS: u32 = 8;
+
+/// Cap on the exponential-backoff shift so the penalty cannot overflow.
+pub(crate) const MAX_BACKOFF_SHIFT: u32 = 16;
+
+/// Per-link fault probabilities and the reliable-channel parameters that
+/// compensate for them.
+///
+/// A default-constructed plane is inert: [`FaultPlane::is_active`] returns
+/// `false` and the fabric takes the exact pre-fault-plane code path (no RNG
+/// draws, no locks, wire sequence numbers stay 0), keeping perf and trace
+/// output byte-for-byte identical to a build without fault injection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlane {
+    /// Probability that any single transmission is lost on the wire.
+    /// Each loss costs the sender one RTO (doubling per retry) before the
+    /// retransmission goes out.
+    pub drop: f64,
+    /// Probability that a delivered packet is duplicated in flight; the
+    /// receive-side dedup buffer must suppress the extra copy.
+    pub dup: f64,
+    /// Probability that a delivered packet is held back until the next
+    /// send on its link, producing a genuine out-of-order arrival the
+    /// receive-side resequencing buffer must repair.
+    pub reorder: f64,
+    /// Uniform extra delivery delay in `[0, jitter_ns)` virtual ns.
+    pub jitter_ns: Ns,
+    /// Initial virtual-time retransmission timeout; doubles per retry.
+    pub rto_ns: Ns,
+    /// Retransmissions attempted before the send surfaces as lost.
+    pub max_retransmits: u32,
+    /// Seed for the per-link fault streams.
+    pub seed: u64,
+    /// One-shot scripted faults, matched at send time in order.
+    pub scripted: Vec<ScriptedFault>,
+}
+
+impl Default for FaultPlane {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl FaultPlane {
+    /// A plane that injects nothing and leaves the fabric untouched.
+    pub fn disabled() -> Self {
+        Self {
+            drop: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            jitter_ns: 0,
+            rto_ns: DEFAULT_RTO_NS,
+            max_retransmits: DEFAULT_MAX_RETRANSMITS,
+            seed: 0,
+            scripted: Vec::new(),
+        }
+    }
+
+    /// A probabilistic plane with the default RTO and retransmit budget.
+    pub fn lossy(seed: u64, drop: f64, dup: f64, reorder: f64) -> Self {
+        Self {
+            drop,
+            dup,
+            reorder,
+            seed,
+            ..Self::disabled()
+        }
+    }
+
+    /// Whether any fault can ever fire. Inactive planes keep the fabric on
+    /// the exact unfaulted code path.
+    pub fn is_active(&self) -> bool {
+        self.drop > 0.0
+            || self.dup > 0.0
+            || self.reorder > 0.0
+            || self.jitter_ns > 0
+            || !self.scripted.is_empty()
+    }
+}
+
+/// What a scripted fault does to the packet it matches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScriptedKind {
+    /// Lose the first transmission; the retransmission proceeds normally
+    /// (subject to the probabilistic plane).
+    DropOnce,
+    /// Lose every transmission: the send exhausts its retransmit budget
+    /// and surfaces as a timeout at the protocol layer.
+    Blackhole,
+}
+
+/// A one-shot fault targeting the `nth` matching packet on a link.
+///
+/// Packets are counted per scripted fault, in send order, over all sends
+/// matching the `from`/`to` filters (a `None` filter matches any host).
+/// "Drop the Nth invalidation reply" is expressed by counting sends on the
+/// replier→manager link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// Sending host filter, or `None` for any sender.
+    pub from: Option<HostId>,
+    /// Destination host filter, or `None` for any destination.
+    pub to: Option<HostId>,
+    /// 1-based index of the matching packet to hit.
+    pub nth: u64,
+    /// What to do to it.
+    pub kind: ScriptedKind,
+}
+
+impl ScriptedFault {
+    /// Loses the `nth` packet from `from` to `to` once.
+    pub fn drop_nth(from: HostId, to: HostId, nth: u64) -> Self {
+        Self {
+            from: Some(from),
+            to: Some(to),
+            nth,
+            kind: ScriptedKind::DropOnce,
+        }
+    }
+
+    /// Permanently loses the `nth` packet from `from` to `to` (all
+    /// retransmissions included).
+    pub fn blackhole_nth(from: HostId, to: HostId, nth: u64) -> Self {
+        Self {
+            from: Some(from),
+            to: Some(to),
+            nth,
+            kind: ScriptedKind::Blackhole,
+        }
+    }
+
+    /// Whether a packet on the `from → to` link matches the filters.
+    pub(crate) fn matches(&self, from: HostId, to: HostId) -> bool {
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// What the fault plane did to one send. Returned by
+/// [`crate::Network::send_receipt`] so the protocol layer can emit trace
+/// events and surface exhausted retransmit budgets as typed errors.
+#[derive(Clone, Copy, Debug)]
+pub struct SendReceipt {
+    /// Virtual arrival time of the (final, successful) transmission. When
+    /// `delivered` is false this is when the sender gave up.
+    pub arrival: Ns,
+    /// Wire sequence number stamped on the packet (0 when the fault plane
+    /// is inactive or for self-delivery, which bypasses the wire).
+    pub wire_seq: u64,
+    /// Transmissions lost on the wire before one got through.
+    pub drops: u32,
+    /// Virtual latency added by retransmission backoff and jitter.
+    pub fault_delay: Ns,
+    /// False when the retransmit budget was exhausted: the packet will
+    /// never arrive and the request must surface a timeout.
+    pub delivered: bool,
+    /// A duplicate physical copy was also delivered.
+    pub duplicated: bool,
+    /// The packet was held back to force an out-of-order arrival.
+    pub reordered: bool,
+}
+
+impl SendReceipt {
+    /// The receipt of an unfaulted send.
+    pub(crate) fn clean(arrival: Ns) -> Self {
+        Self {
+            arrival,
+            wire_seq: 0,
+            drops: 0,
+            fault_delay: 0,
+            delivered: true,
+            duplicated: false,
+            reordered: false,
+        }
+    }
+}
+
+/// Retransmission backoff accumulated over `drops` consecutive losses:
+/// `Σ rto·2^i` with the shift capped.
+pub(crate) fn backoff_penalty(rto_ns: Ns, drops: u32) -> Ns {
+    let mut total: Ns = 0;
+    for i in 0..drops {
+        total = total.saturating_add(rto_ns << i.min(MAX_BACKOFF_SHIFT));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plane_detection() {
+        assert!(!FaultPlane::disabled().is_active());
+        assert!(FaultPlane::lossy(1, 0.01, 0.0, 0.0).is_active());
+        assert!(FaultPlane {
+            jitter_ns: 10,
+            ..FaultPlane::disabled()
+        }
+        .is_active());
+        let scripted = FaultPlane {
+            scripted: vec![ScriptedFault::drop_nth(HostId(0), HostId(1), 3)],
+            ..FaultPlane::disabled()
+        };
+        assert!(scripted.is_active());
+    }
+
+    #[test]
+    fn backoff_doubles_then_saturates() {
+        assert_eq!(backoff_penalty(100, 0), 0);
+        assert_eq!(backoff_penalty(100, 1), 100);
+        assert_eq!(backoff_penalty(100, 3), 100 + 200 + 400);
+        // Deep retries cap the shift instead of overflowing.
+        assert!(backoff_penalty(Ns::MAX / 2, 40) == Ns::MAX);
+    }
+
+    #[test]
+    fn scripted_filters_match() {
+        let f = ScriptedFault::drop_nth(HostId(2), HostId(0), 1);
+        assert!(f.matches(HostId(2), HostId(0)));
+        assert!(!f.matches(HostId(0), HostId(2)));
+        let any = ScriptedFault {
+            from: None,
+            to: Some(HostId(1)),
+            nth: 1,
+            kind: ScriptedKind::Blackhole,
+        };
+        assert!(any.matches(HostId(5), HostId(1)));
+        assert!(!any.matches(HostId(5), HostId(2)));
+    }
+}

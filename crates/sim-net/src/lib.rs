@@ -19,9 +19,21 @@
 //!
 //! Data messages carry their payload as [`bytes::Bytes`]; the zero-copy
 //! receive into the privileged view (§2.3.1) is performed by the DSM layer.
+//!
+//! Reliable FIFO delivery is a property FM *builds*, not one Myrinet
+//! grants: an optional, seeded [`FaultPlane`] makes the raw wire drop,
+//! duplicate, jitter and reorder packets, and the fabric then earns the
+//! guarantee back with per-link sequence numbers, cumulative acks,
+//! virtual-time retransmission with exponential backoff, and receive-side
+//! dedup/resequencing buffers (see [`net`](self) module docs). The plane
+//! is inert by default.
 
+mod fault;
 mod net;
 mod timeline;
 
+pub use fault::{
+    FaultPlane, ScriptedFault, ScriptedKind, SendReceipt, DEFAULT_MAX_RETRANSMITS, DEFAULT_RTO_NS,
+};
 pub use net::{Endpoint, NetStats, Network, Packet, RecvError};
 pub use timeline::ServerTimeline;

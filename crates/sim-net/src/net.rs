@@ -1,11 +1,39 @@
 //! The message fabric: per-host endpoints over reliable FIFO channels.
+//!
+//! With the [`FaultPlane`] inactive (the default) the fabric is the
+//! reliable, FIFO-ordered wire FM promises and nothing here costs anything
+//! beyond the channel send. With an active plane the raw wire drops,
+//! duplicates, jitters and reorders packets, and this module layers the
+//! reliable channel FM actually implements over Myrinet on top of it:
+//!
+//! * per-(sender, destination) **wire sequence numbers**, stamped at send,
+//! * **virtual-time retransmission** with exponential backoff — a dropped
+//!   transmission costs the sender `rto·2^retry` virtual ns and the packet
+//!   that finally arrives carries the accumulated penalty in its
+//!   `arrival_vt` (the real channel delivers it once; the losses are
+//!   accounted, not re-executed),
+//! * **receive-side dedup and resequencing**: duplicates are suppressed,
+//!   out-of-order arrivals are parked until the gap fills, and delivery to
+//!   the caller is exactly-once in FIFO order per sender,
+//! * a **cumulative-ack watermark** per link, advanced on in-order
+//!   delivery, so a run can prove every assigned sequence number was
+//!   delivered and acknowledged.
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crate::fault::{backoff_penalty, FaultPlane, ScriptedKind, SendReceipt};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use sim_core::clock::Ns;
 use sim_core::trace::{TraceKind, TraceRecorder};
-use sim_core::{CostModel, Counter, HostId};
+use sim_core::{CostModel, Counter, HostId, LogHistogram, SplitMix64};
 use std::cell::RefCell;
-use std::sync::Arc;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How long a fault-mode blocking receive parks before re-checking the
+/// per-link holdback slots for packets stashed by a sender that has since
+/// gone quiet. Pure wall-clock plumbing; carries no virtual time.
+const RESCUE_POLL: Duration = Duration::from_millis(5);
 
 /// A message in flight.
 #[derive(Clone, Debug)]
@@ -19,10 +47,15 @@ pub struct Packet<M> {
     /// Virtual time at which the sender issued the message.
     pub send_vt: Ns,
     /// Virtual time at which the message is available at the destination
-    /// network adapter (`send_vt + msg_time(payload)`).
+    /// network adapter (`send_vt + msg_time(payload)`, plus any
+    /// retransmission and jitter penalty under an active fault plane).
     pub arrival_vt: Ns,
     /// Payload bytes beyond the 32-byte header.
     pub payload_bytes: usize,
+    /// Per-(sender, destination) wire sequence number, stamped by the
+    /// reliable channel. 0 when the fault plane is inactive or for
+    /// self-delivery (which bypasses the wire).
+    pub wire_seq: u64,
 }
 
 /// Receive-side failure.
@@ -35,25 +68,73 @@ pub enum RecvError {
 }
 
 /// Aggregate traffic statistics for one network.
+///
+/// The fault-plane counters stay zero when the plane is inactive.
 #[derive(Clone, Debug, Default)]
 pub struct NetStats {
     /// Messages sent.
     pub messages: Counter,
     /// Total payload bytes sent (headers excluded).
     pub payload_bytes: Counter,
+    /// Transmissions lost on the wire (each one cost the sender an RTO).
+    pub pkts_dropped: Counter,
+    /// Retransmissions driven by the virtual RTO timers.
+    pub retransmits: Counter,
+    /// Duplicate physical deliveries injected by the plane.
+    pub dups_delivered: Counter,
+    /// Duplicates discarded by the receive-side dedup buffer.
+    pub dups_suppressed: Counter,
+    /// Packets held back at send to force an out-of-order arrival.
+    pub reorders: Counter,
+    /// Out-of-order arrivals parked in a resequencing buffer.
+    pub reorder_buffered: Counter,
+    /// Sends that exhausted their retransmit budget (packet never arrives;
+    /// the protocol layer must surface a timeout).
+    pub expired: Counter,
+    /// Sends to an endpoint whose receiver was already torn down; the
+    /// message is counted and discarded instead of panicking the sender.
+    pub send_failures: Counter,
+    /// Negative queue-delay clamps observed by server timelines — each one
+    /// is a virtual-clock inversion `saturating_sub` would silently hide.
+    pub clamped_delays: Counter,
+}
+
+/// Per-link mutable fault state: the seeded fault stream, the next wire
+/// sequence number, and the one-deep reorder holdback slot.
+struct LinkFault<M> {
+    rng: SplitMix64,
+    next_seq: u64,
+    held: Option<Packet<M>>,
+}
+
+/// Fault machinery shared by all handles; present only for active planes.
+struct FaultState<M> {
+    plane: FaultPlane,
+    /// `hosts × hosts` links, indexed `from * hosts + to`.
+    links: Vec<Mutex<LinkFault<M>>>,
+    /// Cumulative-ack watermark per link: the highest wire sequence
+    /// number delivered in order to the receiver.
+    acked: Vec<AtomicU64>,
+    /// Per scripted-fault count of matching packets seen so far.
+    script_hits: Mutex<Vec<u64>>,
+    /// Virtual latency the plane added to faulted sends.
+    delay: Mutex<LogHistogram>,
 }
 
 struct Fabric<M> {
     inboxes: Vec<Sender<Packet<M>>>,
     cost: CostModel,
     stats: NetStats,
+    faults: Option<FaultState<M>>,
 }
 
 /// A handle to the simulated interconnect.
 ///
-/// Cloneable; all clones send into the same fabric. Delivery is reliable
-/// and FIFO per sender (FM provides "a reliable and FIFO ordered messaging
-/// service").
+/// Cloneable; all clones send into the same fabric. Delivery to the
+/// protocol layer is reliable and FIFO per sender (FM provides "a reliable
+/// and FIFO ordered messaging service") — natively so when the
+/// [`FaultPlane`] is inactive, and via the reliable-channel layer (see the
+/// module docs) when it is not.
 pub struct Network<M> {
     fabric: Arc<Fabric<M>>,
 }
@@ -66,14 +147,27 @@ impl<M> Clone for Network<M> {
     }
 }
 
-impl<M: Send> Network<M> {
-    /// Creates a fabric connecting `hosts` hosts, returning one
-    /// [`Endpoint`] per host (in host order).
+impl<M: Send + Clone> Network<M> {
+    /// Creates a fabric connecting `hosts` hosts with a reliable wire,
+    /// returning one [`Endpoint`] per host (in host order).
     ///
     /// # Panics
     ///
     /// Panics if `hosts` is zero or exceeds [`HostId::MAX_HOSTS`].
     pub fn new(hosts: usize, cost: CostModel) -> (Network<M>, Vec<Endpoint<M>>) {
+        Self::with_faults(hosts, cost, FaultPlane::disabled())
+    }
+
+    /// Creates a fabric whose wire misbehaves according to `plane`.
+    ///
+    /// An inactive plane (the default) is completely inert: no locks, no
+    /// RNG draws, wire sequence numbers stay 0, and behaviour is
+    /// byte-for-byte identical to [`Network::new`].
+    pub fn with_faults(
+        hosts: usize,
+        cost: CostModel,
+        plane: FaultPlane,
+    ) -> (Network<M>, Vec<Endpoint<M>>) {
         assert!(
             (1..=HostId::MAX_HOSTS).contains(&hosts),
             "host count {hosts} out of range"
@@ -85,11 +179,31 @@ impl<M: Send> Network<M> {
             inboxes.push(tx);
             receivers.push(rx);
         }
+        let faults = plane.is_active().then(|| {
+            let mut seed_rng = SplitMix64::new(plane.seed);
+            let links = (0..hosts * hosts)
+                .map(|i| {
+                    Mutex::new(LinkFault {
+                        rng: seed_rng.fork(i as u64),
+                        next_seq: 1,
+                        held: None,
+                    })
+                })
+                .collect();
+            FaultState {
+                script_hits: Mutex::new(vec![0; plane.scripted.len()]),
+                plane,
+                links,
+                acked: (0..hosts * hosts).map(|_| AtomicU64::new(0)).collect(),
+                delay: Mutex::new(LogHistogram::new()),
+            }
+        });
         let net = Network {
             fabric: Arc::new(Fabric {
                 inboxes,
                 cost,
                 stats: NetStats::default(),
+                faults,
             }),
         };
         let endpoints = receivers
@@ -97,6 +211,9 @@ impl<M: Send> Network<M> {
             .enumerate()
             .map(|(i, rx)| Endpoint {
                 host: HostId(i as u16),
+                rel: net
+                    .fault_active()
+                    .then(|| RefCell::new(RelState::new(hosts))),
                 net: net.clone(),
                 inbox: rx,
                 tracer: RefCell::new(TraceRecorder::disabled()),
@@ -120,6 +237,65 @@ impl<M: Send> Network<M> {
         &self.fabric.cost
     }
 
+    /// Whether an active fault plane is installed.
+    pub fn fault_active(&self) -> bool {
+        self.fabric.faults.is_some()
+    }
+
+    /// The virtual latency the fault plane added to faulted sends
+    /// (empty histogram when the plane is inactive).
+    pub fn fault_delay(&self) -> LogHistogram {
+        match &self.fabric.faults {
+            Some(f) => f.delay.lock().expect("fault delay lock").clone(),
+            None => LogHistogram::new(),
+        }
+    }
+
+    /// Wire sequence numbers assigned on the `from → to` link so far.
+    pub fn link_sent(&self, from: HostId, to: HostId) -> u64 {
+        match &self.fabric.faults {
+            Some(f) => {
+                let link = f.links[self.link_index(from, to)]
+                    .lock()
+                    .expect("link lock");
+                link.next_seq - 1
+            }
+            None => 0,
+        }
+    }
+
+    /// Cumulative-ack watermark of the `from → to` link: the highest wire
+    /// sequence number the receiver has taken delivery of in order.
+    pub fn link_acked(&self, from: HostId, to: HostId) -> u64 {
+        match &self.fabric.faults {
+            Some(f) => f.acked[self.link_index(from, to)].load(Ordering::Acquire),
+            None => 0,
+        }
+    }
+
+    /// Total wire sequence numbers assigned but not (yet) acknowledged,
+    /// summed over every link. After a quiesced run this counts packets
+    /// that were permanently lost (blackholes) or parked behind a loss.
+    pub fn total_unacked(&self) -> u64 {
+        let Some(f) = &self.fabric.faults else {
+            return 0;
+        };
+        let hosts = self.hosts();
+        let mut total = 0;
+        for from in 0..hosts {
+            for to in 0..hosts {
+                let li = from * hosts + to;
+                let sent = f.links[li].lock().expect("link lock").next_seq - 1;
+                total += sent - f.acked[li].load(Ordering::Acquire);
+            }
+        }
+        total
+    }
+
+    fn link_index(&self, from: HostId, to: HostId) -> usize {
+        from.index() * self.hosts() + to.index()
+    }
+
     /// Sends `msg` from `from` to `to` at virtual time `now`, with
     /// `payload_bytes` of data beyond the 32-byte header. Returns the
     /// arrival virtual time.
@@ -128,13 +304,30 @@ impl<M: Send> Network<M> {
     ///
     /// Panics if `to` is not a host on this fabric.
     pub fn send(&self, from: HostId, to: HostId, msg: M, payload_bytes: usize, now: Ns) -> Ns {
+        self.send_receipt(from, to, msg, payload_bytes, now).arrival
+    }
+
+    /// Like [`send`](Self::send), but reports what the fault plane did to
+    /// the packet so the protocol layer can trace retransmissions and
+    /// surface exhausted budgets as typed timeouts.
+    pub fn send_receipt(
+        &self,
+        from: HostId,
+        to: HostId,
+        msg: M,
+        payload_bytes: usize,
+        now: Ns,
+    ) -> SendReceipt {
         // Self-delivery (the manager forwarding to its own server) is a
-        // local handler call, not a wire round trip.
+        // local handler call, not a wire round trip; the fault plane does
+        // not apply.
         let arrival = if from == to {
             now + self.fabric.cost.self_msg
         } else {
             now + self.fabric.cost.msg_time(payload_bytes)
         };
+        self.fabric.stats.messages.bump();
+        self.fabric.stats.payload_bytes.add(payload_bytes as u64);
         let pkt = Packet {
             from,
             to,
@@ -142,13 +335,185 @@ impl<M: Send> Network<M> {
             send_vt: now,
             arrival_vt: arrival,
             payload_bytes,
+            wire_seq: 0,
         };
-        self.fabric.stats.messages.bump();
-        self.fabric.stats.payload_bytes.add(payload_bytes as u64);
-        self.fabric.inboxes[to.index()]
-            .send(pkt)
-            .expect("endpoint receivers live as long as the network");
-        arrival
+        match &self.fabric.faults {
+            Some(faults) if from != to => self.send_through_faults(faults, pkt, arrival),
+            _ => {
+                self.deliver(pkt);
+                SendReceipt::clean(arrival)
+            }
+        }
+    }
+
+    /// Runs one packet through the active fault plane. Assigns the wire
+    /// sequence number, samples losses/duplication/reordering from the
+    /// link's seeded stream, accounts the retransmission backoff into the
+    /// arrival stamp, and performs the (at most two) physical deliveries.
+    fn send_through_faults(
+        &self,
+        faults: &FaultState<M>,
+        mut pkt: Packet<M>,
+        base_arrival: Ns,
+    ) -> SendReceipt {
+        let plane = &faults.plane;
+        let stats = &self.fabric.stats;
+        let li = self.link_index(pkt.from, pkt.to);
+        let mut link = faults.links[li].lock().expect("link lock");
+        let seq = link.next_seq;
+        link.next_seq += 1;
+        pkt.wire_seq = seq;
+
+        // Scripted one-shot faults fire before the probabilistic plane.
+        let mut forced_drop = false;
+        let mut blackhole = false;
+        if !plane.scripted.is_empty() {
+            let mut hits = faults.script_hits.lock().expect("script lock");
+            for (fault, hit) in plane.scripted.iter().zip(hits.iter_mut()) {
+                if fault.matches(pkt.from, pkt.to) {
+                    *hit += 1;
+                    if *hit == fault.nth {
+                        match fault.kind {
+                            ScriptedKind::DropOnce => forced_drop = true,
+                            ScriptedKind::Blackhole => blackhole = true,
+                        }
+                    }
+                }
+            }
+        }
+
+        // Sample consecutive wire losses; each costs one (doubling) RTO.
+        let budget = plane.max_retransmits;
+        let mut drops = 0u32;
+        if blackhole {
+            drops = budget + 1;
+        } else {
+            while drops <= budget {
+                let lost = if drops == 0 && forced_drop {
+                    true
+                } else {
+                    link.rng.next_f64() < plane.drop
+                };
+                if !lost {
+                    break;
+                }
+                drops += 1;
+            }
+        }
+        let delivered = drops <= budget;
+        stats.pkts_dropped.add(drops as u64);
+        stats.retransmits.add(drops.min(budget) as u64);
+        let mut fault_delay = backoff_penalty(plane.rto_ns, drops);
+        if delivered && plane.jitter_ns > 0 {
+            fault_delay += link.rng.next_range(plane.jitter_ns);
+        }
+        pkt.arrival_vt = base_arrival.saturating_add(fault_delay);
+        let arrival = pkt.arrival_vt;
+
+        let mut duplicated = false;
+        let mut reordered = false;
+        // Anything previously held back must go out behind this packet
+        // (that inversion is the point of the holdback slot).
+        let prev_held = link.held.take();
+        if delivered {
+            duplicated = link.rng.next_f64() < plane.dup;
+            reordered = link.rng.next_f64() < plane.reorder && prev_held.is_none();
+            if duplicated {
+                stats.dups_delivered.bump();
+                self.deliver(pkt.clone());
+            }
+            if reordered {
+                stats.reorders.bump();
+                link.held = Some(pkt);
+            } else {
+                self.deliver(pkt);
+            }
+        } else {
+            stats.expired.bump();
+        }
+        if let Some(h) = prev_held {
+            self.deliver(h);
+        }
+        drop(link);
+        if fault_delay > 0 {
+            faults
+                .delay
+                .lock()
+                .expect("fault delay lock")
+                .record(fault_delay as u64);
+        }
+        SendReceipt {
+            arrival,
+            wire_seq: seq,
+            drops,
+            fault_delay,
+            delivered,
+            duplicated,
+            reordered,
+        }
+    }
+
+    /// Physically enqueues a packet, tolerating a torn-down receiver: a
+    /// host that exited early absorbs late protocol traffic into the
+    /// `send_failures` counter instead of panicking the sender.
+    fn deliver(&self, pkt: Packet<M>) {
+        if self.fabric.inboxes[pkt.to.index()].send(pkt).is_err() {
+            self.fabric.stats.send_failures.bump();
+        }
+    }
+
+    /// Flushes any reorder-holdback packets destined to `to` into its
+    /// inbox. Called by the receiver before parking, so a stashed packet
+    /// whose sender went quiet cannot deadlock the destination. Returns
+    /// whether anything was flushed.
+    fn flush_held_to(&self, to: HostId) -> bool {
+        let Some(faults) = &self.fabric.faults else {
+            return false;
+        };
+        let hosts = self.hosts();
+        let mut flushed = false;
+        for from in 0..hosts {
+            let li = from * hosts + to.index();
+            let held = faults.links[li].lock().expect("link lock").held.take();
+            if let Some(pkt) = held {
+                self.deliver(pkt);
+                flushed = true;
+            }
+        }
+        flushed
+    }
+
+    /// Records an acknowledged in-order delivery on the `from → to` link.
+    fn ack(&self, from: HostId, to: HostId, seq: u64) {
+        if let Some(faults) = &self.fabric.faults {
+            faults.acked[self.link_index(from, to)].fetch_max(seq, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Receive-side reliable-channel state: per-sender expected sequence
+/// numbers, resequencing buffers, and the in-order ready queue.
+struct RelState<M> {
+    ready: VecDeque<Packet<M>>,
+    peers: Vec<PeerSeq<M>>,
+}
+
+struct PeerSeq<M> {
+    next: u64,
+    parked: BTreeMap<u64, Packet<M>>,
+}
+
+impl<M> RelState<M> {
+    fn new(hosts: usize) -> Self {
+        Self {
+            ready: VecDeque::new(),
+            peers: (0..hosts)
+                .map(|_| PeerSeq {
+                    next: 1,
+                    parked: BTreeMap::new(),
+                })
+                .collect(),
+        }
     }
 }
 
@@ -157,6 +522,10 @@ pub struct Endpoint<M> {
     host: HostId,
     net: Network<M>,
     inbox: Receiver<Packet<M>>,
+    /// Reliable-channel receive state; present only under an active fault
+    /// plane. Like the tracer, an endpoint is single-thread-owned, so the
+    /// `RefCell` never contends.
+    rel: Option<RefCell<RelState<M>>>,
     /// Protocol tracer for sends issued through this endpoint (the host's
     /// server thread). Inert unless [`attach_tracer`](Self::attach_tracer)
     /// installed an enabled recorder; an endpoint is single-thread-owned,
@@ -164,7 +533,7 @@ pub struct Endpoint<M> {
     tracer: RefCell<TraceRecorder>,
 }
 
-impl<M: Send> Endpoint<M> {
+impl<M: Send + Clone> Endpoint<M> {
     /// This endpoint's host id.
     pub fn host(&self) -> HostId {
         self.host
@@ -183,6 +552,13 @@ impl<M: Send> Endpoint<M> {
 
     /// Sends to `to` at virtual time `now`; returns the arrival time.
     pub fn send(&self, to: HostId, msg: M, payload_bytes: usize, now: Ns) -> Ns {
+        self.send_receipt(to, msg, payload_bytes, now).arrival
+    }
+
+    /// Sends to `to`, tracing what the fault plane did (`PktDropped` /
+    /// `Retransmit` per lost transmission) and returning the receipt so
+    /// the caller can surface an exhausted retransmit budget.
+    pub fn send_receipt(&self, to: HostId, msg: M, payload_bytes: usize, now: Ns) -> SendReceipt {
         let mut t = self.tracer.borrow_mut();
         if t.enabled() {
             t.emit(now, TraceKind::MsgSend, |e| {
@@ -190,27 +566,148 @@ impl<M: Send> Endpoint<M> {
             });
         }
         drop(t);
-        self.net.send(self.host, to, msg, payload_bytes, now)
+        let receipt = self
+            .net
+            .send_receipt(self.host, to, msg, payload_bytes, now);
+        if receipt.drops > 0 {
+            let mut t = self.tracer.borrow_mut();
+            if t.enabled() {
+                for retry in 1..=receipt.drops {
+                    t.emit(now, TraceKind::PktDropped, |e| {
+                        e.with_peer(to).with_aux(retry)
+                    });
+                    if retry
+                        <= self
+                            .net
+                            .fabric
+                            .faults
+                            .as_ref()
+                            .map_or(0, |f| f.plane.max_retransmits)
+                    {
+                        t.emit(now, TraceKind::Retransmit, |e| {
+                            e.with_peer(to).with_aux(retry)
+                        });
+                    }
+                }
+            }
+        }
+        receipt
     }
 
     /// Blocking receive (models the FM handler loop; the *virtual* waiting
     /// time is derived from packet timestamps, not from real time).
+    ///
+    /// Under an active fault plane this is the reliable-channel receive:
+    /// duplicates are suppressed, out-of-order packets are parked until
+    /// their gap fills, and delivery is exactly-once FIFO per sender.
     pub fn recv(&self) -> Result<Packet<M>, RecvError> {
-        self.inbox.recv().map_err(|_| RecvError::Disconnected)
+        let Some(rel) = &self.rel else {
+            return self.inbox.recv().map_err(|_| RecvError::Disconnected);
+        };
+        loop {
+            if let Some(p) = rel.borrow_mut().ready.pop_front() {
+                return Ok(p);
+            }
+            match self.inbox.try_recv() {
+                Ok(p) => self.sequence(rel, p),
+                Err(TryRecvError::Disconnected) => return Err(RecvError::Disconnected),
+                Err(TryRecvError::Empty) => {
+                    // A sender may have stashed a packet for us in a
+                    // holdback slot and gone quiet; rescue it rather than
+                    // blocking forever, then park briefly so the race
+                    // between a stash and this flush stays bounded.
+                    if self.net.flush_held_to(self.host) {
+                        continue;
+                    }
+                    match self.inbox.recv_timeout(RESCUE_POLL) {
+                        Ok(p) => self.sequence(rel, p),
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
+                    }
+                }
+            }
+        }
     }
 
-    /// Non-blocking receive.
+    /// Non-blocking receive (reliable-channel semantics under an active
+    /// fault plane, as for [`recv`](Self::recv)).
     pub fn try_recv(&self) -> Result<Packet<M>, RecvError> {
-        self.inbox.try_recv().map_err(|e| match e {
-            TryRecvError::Empty => RecvError::Empty,
-            TryRecvError::Disconnected => RecvError::Disconnected,
-        })
+        let Some(rel) = &self.rel else {
+            return self.inbox.try_recv().map_err(|e| match e {
+                TryRecvError::Empty => RecvError::Empty,
+                TryRecvError::Disconnected => RecvError::Disconnected,
+            });
+        };
+        let mut flushed_once = false;
+        loop {
+            if let Some(p) = rel.borrow_mut().ready.pop_front() {
+                return Ok(p);
+            }
+            match self.inbox.try_recv() {
+                Ok(p) => self.sequence(rel, p),
+                Err(TryRecvError::Disconnected) => return Err(RecvError::Disconnected),
+                Err(TryRecvError::Empty) => {
+                    if !flushed_once && self.net.flush_held_to(self.host) {
+                        flushed_once = true;
+                        continue;
+                    }
+                    return Err(RecvError::Empty);
+                }
+            }
+        }
+    }
+
+    /// Runs one raw arrival through the dedup/resequencing buffers,
+    /// advancing the cumulative-ack watermark for every in-order delivery.
+    fn sequence(&self, rel: &RefCell<RelState<M>>, pkt: Packet<M>) {
+        let mut st = rel.borrow_mut();
+        if pkt.wire_seq == 0 {
+            // Self-delivery bypasses the wire and is never faulted.
+            st.ready.push_back(pkt);
+            return;
+        }
+        let stats = &self.net.fabric.stats;
+        let from = pkt.from;
+        let seq = pkt.wire_seq;
+        let expected = st.peers[from.index()].next;
+        if seq < expected || st.peers[from.index()].parked.contains_key(&seq) {
+            stats.dups_suppressed.bump();
+            let mut t = self.tracer.borrow_mut();
+            if t.enabled() {
+                t.emit(pkt.arrival_vt, TraceKind::DupSuppressed, |e| {
+                    e.with_peer(from).with_aux(seq as u32)
+                });
+            }
+        } else if seq == expected {
+            self.net.ack(from, self.host, seq);
+            st.peers[from.index()].next += 1;
+            st.ready.push_back(pkt);
+            // The gap just closed may release parked successors.
+            loop {
+                let released = {
+                    let peer = &mut st.peers[from.index()];
+                    match peer.parked.remove(&peer.next) {
+                        Some(p) => {
+                            peer.next += 1;
+                            p
+                        }
+                        None => break,
+                    }
+                };
+                self.net.ack(from, self.host, released.wire_seq);
+                st.ready.push_back(released);
+            }
+        } else {
+            stats.reorder_buffered.bump();
+            st.peers[from.index()].parked.insert(seq, pkt);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::ScriptedFault;
 
     #[test]
     fn arrival_stamp_uses_latency_model() {
@@ -222,6 +719,7 @@ mod tests {
         assert_eq!(pkt.send_vt, 1_000);
         assert_eq!(pkt.arrival_vt, arrival);
         assert_eq!(pkt.from, HostId(0));
+        assert_eq!(pkt.wire_seq, 0);
     }
 
     #[test]
@@ -291,5 +789,126 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn zero_hosts_panics() {
         let _ = Network::<()>::new(0, CostModel::default());
+    }
+
+    #[test]
+    fn inactive_plane_is_inert() {
+        let (net, eps) =
+            Network::<u8>::with_faults(2, CostModel::default(), FaultPlane::disabled());
+        assert!(!net.fault_active());
+        let r = net.send_receipt(HostId(0), HostId(1), 1, 0, 0);
+        assert_eq!(r.wire_seq, 0);
+        assert!(r.delivered && r.drops == 0);
+        assert_eq!(eps[1].recv().unwrap().wire_seq, 0);
+        assert_eq!(net.total_unacked(), 0);
+    }
+
+    #[test]
+    fn drops_inflate_arrival_and_count_retransmits() {
+        // drop = 1 for the first transmission would retry forever; use a
+        // scripted DropOnce so exactly one loss occurs deterministically.
+        let plane = FaultPlane {
+            scripted: vec![ScriptedFault::drop_nth(HostId(0), HostId(1), 1)],
+            ..FaultPlane::disabled()
+        };
+        let rto = plane.rto_ns;
+        let (net, eps) = Network::<u8>::with_faults(2, CostModel::default(), plane);
+        let clean = net.cost().msg_time(0);
+        let r = net.send_receipt(HostId(0), HostId(1), 9, 0, 0);
+        assert!(r.delivered);
+        assert_eq!(r.drops, 1);
+        assert_eq!(r.arrival, clean + rto);
+        assert_eq!(net.stats().pkts_dropped.get(), 1);
+        assert_eq!(net.stats().retransmits.get(), 1);
+        let pkt = eps[1].recv().unwrap();
+        assert_eq!(pkt.arrival_vt, clean + rto);
+        assert_eq!(pkt.wire_seq, 1);
+        assert_eq!(net.link_acked(HostId(0), HostId(1)), 1);
+        assert_eq!(net.total_unacked(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_at_the_receiver() {
+        let plane = FaultPlane::lossy(42, 0.0, 1.0, 0.0);
+        let (net, eps) = Network::<u8>::with_faults(2, CostModel::default(), plane);
+        for i in 0..10 {
+            eps[0].send(HostId(1), i, 0, 0);
+        }
+        for i in 0..10 {
+            assert_eq!(eps[1].recv().unwrap().msg, i);
+        }
+        assert_eq!(eps[1].try_recv().unwrap_err(), RecvError::Empty);
+        assert_eq!(net.stats().dups_delivered.get(), 10);
+        assert_eq!(net.stats().dups_suppressed.get(), 10);
+        assert_eq!(net.total_unacked(), 0);
+    }
+
+    #[test]
+    fn reordered_packets_are_resequenced() {
+        // Every packet is a reorder candidate; the holdback slot inverts
+        // consecutive pairs on the wire and the receive buffer repairs
+        // them back into FIFO order.
+        let plane = FaultPlane::lossy(7, 0.0, 0.0, 1.0);
+        let (net, eps) = Network::<u32>::with_faults(2, CostModel::default(), plane);
+        for i in 0..20 {
+            eps[0].send(HostId(1), i, 0, i as Ns);
+        }
+        for i in 0..20 {
+            assert_eq!(eps[1].recv().unwrap().msg, i, "FIFO broken at {i}");
+        }
+        assert!(net.stats().reorders.get() > 0);
+        assert!(net.stats().reorder_buffered.get() > 0);
+        assert_eq!(net.total_unacked(), 0);
+    }
+
+    #[test]
+    fn blackhole_exhausts_budget_and_leaves_seq_unacked() {
+        let plane = FaultPlane {
+            scripted: vec![ScriptedFault::blackhole_nth(HostId(0), HostId(1), 2)],
+            ..FaultPlane::disabled()
+        };
+        let (net, eps) = Network::<u8>::with_faults(2, CostModel::default(), plane);
+        let r1 = net.send_receipt(HostId(0), HostId(1), 1, 0, 0);
+        let r2 = net.send_receipt(HostId(0), HostId(1), 2, 0, 0);
+        let r3 = net.send_receipt(HostId(0), HostId(1), 3, 0, 0);
+        assert!(r1.delivered && !r2.delivered && r3.delivered);
+        assert_eq!(net.stats().expired.get(), 1);
+        // Packet 1 arrives; packet 3 stays parked behind the permanent
+        // gap left by the blackholed packet 2.
+        assert_eq!(eps[1].recv().unwrap().msg, 1);
+        assert_eq!(eps[1].try_recv().unwrap_err(), RecvError::Empty);
+        assert_eq!(net.link_acked(HostId(0), HostId(1)), 1);
+        assert_eq!(net.total_unacked(), 2);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let run = |seed| {
+            let plane = FaultPlane::lossy(seed, 0.2, 0.1, 0.1);
+            let (net, eps) = Network::<u32>::with_faults(2, CostModel::default(), plane);
+            for i in 0..200 {
+                eps[0].send(HostId(1), i, 0, i as Ns);
+            }
+            for i in 0..200 {
+                assert_eq!(eps[1].recv().unwrap().msg, i);
+            }
+            (
+                net.stats().pkts_dropped.get(),
+                net.stats().dups_delivered.get(),
+                net.stats().reorders.get(),
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn send_to_torn_down_endpoint_is_tolerated() {
+        let (net, mut eps) = Network::<u8>::new(2, CostModel::default());
+        drop(eps.remove(1));
+        // Pre-PR this panicked the sender; a late shutdown-era message
+        // must degrade into a counter instead.
+        eps[0].send(HostId(1), 1, 0, 0);
+        assert_eq!(net.stats().send_failures.get(), 1);
     }
 }

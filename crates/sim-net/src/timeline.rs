@@ -30,6 +30,11 @@ pub struct ServerTimeline {
     /// Arrival→service-start delay of every packet this server handled:
     /// poll/sweeper delay plus genuine queueing behind earlier handlers.
     queue_delay: LogHistogram,
+    /// Times the queue delay came out negative (service start before
+    /// arrival) and was clamped to zero. Every branch of `begin_service`
+    /// keeps `start >= arrival`, so a nonzero count is a virtual-clock
+    /// inversion the `saturating_sub` would otherwise silently hide.
+    clamped: u64,
 }
 
 impl ServerTimeline {
@@ -40,6 +45,7 @@ impl ServerTimeline {
             rng,
             cost,
             queue_delay: LogHistogram::new(),
+            clamped: 0,
         }
     }
 
@@ -74,9 +80,23 @@ impl ServerTimeline {
         } else {
             ideal // Inversion: logically served before the future work.
         };
+        if start < arrival_vt {
+            debug_assert!(
+                false,
+                "virtual-clock inversion: service starts {} ns before arrival",
+                arrival_vt - start
+            );
+            self.clamped += 1;
+        }
         self.queue_delay.record(start.saturating_sub(arrival_vt));
         self.clock = start;
         start
+    }
+
+    /// Number of negative-queue-delay clamps so far (see the field docs:
+    /// any nonzero value marks a virtual-clock inversion).
+    pub fn clamp_events(&self) -> u64 {
+        self.clamped
     }
 
     /// The arrival→start delay histogram accumulated so far.
@@ -160,6 +180,21 @@ mod tests {
         let h = t.take_queue_delay();
         assert_eq!(h.count(), 2);
         assert_eq!(t.queue_delay().count(), 0);
+    }
+
+    #[test]
+    fn no_branch_of_begin_service_clamps_queue_delay() {
+        // Exercise all three branches (idle, contended, inverted); the
+        // clamp must never fire because every branch keeps start >=
+        // arrival. A regression here would silently corrupt the
+        // queue-delay histogram via saturating_sub.
+        let mut t = timeline();
+        t.begin_service(100_000, false); // idle
+        t.charge(1_000_000);
+        t.begin_service(100_000, true); // contended: queued behind work
+        t.charge(50_000_000);
+        t.begin_service(10_000, false); // inversion: served "back then"
+        assert_eq!(t.clamp_events(), 0);
     }
 
     #[test]

@@ -1,19 +1,24 @@
 //! End-to-end protocol tracing: a 4-host workload runs with the tracer
 //! on, and the recorded event stream must (a) be complete (no ring
 //! overwrites), (b) replay cleanly through the invariant auditor under
-//! every home policy and both consistency modes, and (c) export to
-//! well-formed Chrome-trace/Perfetto JSON.
+//! every home policy and both consistency modes — with the wire perfect
+//! *and* under the acceptance fault mix (1% drop + 0.5% dup + 2%
+//! reorder) — and (c) export to well-formed Chrome-trace/Perfetto JSON.
 
 use millipage::{
-    audit, run, AllocMode, AuditMode, ChromeTrace, ClusterConfig, Consistency, HomePolicyKind,
-    HostId, RunReport, TraceLog, Tracer,
+    audit, run, AllocMode, AuditMode, ChromeTrace, ClusterConfig, Consistency, FaultPlane,
+    HomePolicyKind, HostId, RunReport, TraceLog, Tracer,
 };
 
 /// A workload touching every traced protocol path: barrier-separated
 /// writer rotation (read/write faults, invalidation fan-out), a
 /// lock-protected counter (lock grant/release), and a final prefetch +
 /// push round (bulk transfers).
-fn traced_workload(policy: HomePolicyKind, consistency: Consistency) -> (RunReport, TraceLog) {
+fn traced_workload(
+    policy: HomePolicyKind,
+    consistency: Consistency,
+    faults: FaultPlane,
+) -> (RunReport, TraceLog) {
     let tracer = Tracer::enabled(1 << 14);
     let cfg = ClusterConfig {
         hosts: 4,
@@ -24,6 +29,7 @@ fn traced_workload(policy: HomePolicyKind, consistency: Consistency) -> (RunRepo
         home_policy: policy,
         tracer: tracer.clone(),
         seed: 13,
+        faults,
         ..ClusterConfig::default()
     };
     let report = run(
@@ -58,26 +64,64 @@ fn traced_workload(policy: HomePolicyKind, consistency: Consistency) -> (RunRepo
     (report, tracer.drain())
 }
 
+const POLICIES: [HomePolicyKind; 3] = [
+    HomePolicyKind::Centralized,
+    HomePolicyKind::Interleaved,
+    HomePolicyKind::FirstTouch,
+];
+
+/// The acceptance fault mix: 1% drop, 0.5% duplicate, 2% reorder.
+fn lossy_plane() -> FaultPlane {
+    FaultPlane::lossy(13, 0.01, 0.005, 0.02)
+}
+
+/// Runs the workload and holds its trace to the full invariant set; with
+/// the fault plane active additionally requires that no send exhausted
+/// its retransmit budget and no protocol error surfaced — the reliable
+/// channel hid every injected fault from the DSM protocol.
+fn assert_audits_clean(policy: HomePolicyKind, consistency: Consistency, faults: FaultPlane) {
+    let fault_run = faults.is_active();
+    let (report, log) = traced_workload(policy, consistency, faults);
+    assert!(
+        report.coherence_violations.is_empty(),
+        "{policy:?}/{consistency:?}: {:?}",
+        report.coherence_violations
+    );
+    assert!(
+        report.protocol_errors.is_empty(),
+        "{policy:?}/{consistency:?}: {:?}",
+        report.protocol_errors
+    );
+    assert_eq!(log.dropped, 0, "{policy:?}: ring overflow");
+    assert!(!log.events.is_empty(), "{policy:?}: empty trace");
+    let mode = match consistency {
+        Consistency::SequentialSwMr => AuditMode::SwMr,
+        Consistency::HomeEagerRc => AuditMode::Hlrc,
+    };
+    let violations = audit(&log.events, mode);
+    assert!(
+        violations.is_empty(),
+        "{policy:?}/{consistency:?}: {} violations, first: {:?}",
+        violations.len(),
+        violations.first()
+    );
+    if fault_run {
+        let nf = report.net_faults.expect("fault plane was active");
+        assert_eq!(nf.expired, 0, "{policy:?}: a send exhausted its budget");
+    } else {
+        assert!(
+            report.net_faults.is_none(),
+            "inactive plane must report no fault stats"
+        );
+    }
+}
+
 /// The tentpole acceptance check: under all three home policies the
 /// 4-host SW/MR trace is complete and replays with zero violations.
 #[test]
 fn swmr_trace_audits_clean_under_every_home_policy() {
-    for policy in [
-        HomePolicyKind::Centralized,
-        HomePolicyKind::Interleaved,
-        HomePolicyKind::FirstTouch,
-    ] {
-        let (report, log) = traced_workload(policy, Consistency::SequentialSwMr);
-        assert!(report.coherence_violations.is_empty(), "{policy:?}");
-        assert_eq!(log.dropped, 0, "{policy:?}: ring overflow");
-        assert!(!log.events.is_empty(), "{policy:?}: empty trace");
-        let violations = audit(&log.events, AuditMode::SwMr);
-        assert!(
-            violations.is_empty(),
-            "{policy:?}: {} violations, first: {:?}",
-            violations.len(),
-            violations.first()
-        );
+    for policy in POLICIES {
+        assert_audits_clean(policy, Consistency::SequentialSwMr, FaultPlane::disabled());
     }
 }
 
@@ -85,21 +129,27 @@ fn swmr_trace_audits_clean_under_every_home_policy() {
 /// barrier release, no negative invalidation counters).
 #[test]
 fn hlrc_trace_audits_clean_under_every_home_policy() {
-    for policy in [
-        HomePolicyKind::Centralized,
-        HomePolicyKind::Interleaved,
-        HomePolicyKind::FirstTouch,
-    ] {
-        let (report, log) = traced_workload(policy, Consistency::HomeEagerRc);
-        assert!(report.coherence_violations.is_empty(), "{policy:?}");
-        assert_eq!(log.dropped, 0, "{policy:?}: ring overflow");
-        let violations = audit(&log.events, AuditMode::Hlrc);
-        assert!(
-            violations.is_empty(),
-            "{policy:?}: {} violations, first: {:?}",
-            violations.len(),
-            violations.first()
-        );
+    for policy in POLICIES {
+        assert_audits_clean(policy, Consistency::HomeEagerRc, FaultPlane::disabled());
+    }
+}
+
+/// At 1% loss the reliable channel must make the wire look perfect: the
+/// SW/MR replay — including the exactly-once FIFO delivery check on the
+/// wire sequence numbers — finds nothing, for every home policy.
+#[test]
+fn swmr_trace_audits_clean_at_one_percent_loss() {
+    for policy in POLICIES {
+        assert_audits_clean(policy, Consistency::SequentialSwMr, lossy_plane());
+    }
+}
+
+/// Same bar for HLRC: release diffs, their acks and the barrier protocol
+/// survive drops, duplicates and reordering without a visible trace.
+#[test]
+fn hlrc_trace_audits_clean_at_one_percent_loss() {
+    for policy in POLICIES {
+        assert_audits_clean(policy, Consistency::HomeEagerRc, lossy_plane());
     }
 }
 
@@ -108,7 +158,11 @@ fn hlrc_trace_audits_clean_under_every_home_policy() {
 /// the server-queueing histogram stays consistent with its count.
 #[test]
 fn traced_run_populates_histograms() {
-    let (traced, log) = traced_workload(HomePolicyKind::Centralized, Consistency::SequentialSwMr);
+    let (traced, log) = traced_workload(
+        HomePolicyKind::Centralized,
+        Consistency::SequentialSwMr,
+        FaultPlane::disabled(),
+    );
     let p50 = traced.fault_latency_p50().expect("faults were recorded");
     let p95 = traced.fault_latency_p95().expect("faults were recorded");
     let p99 = traced.fault_latency_p99().expect("faults were recorded");
@@ -133,7 +187,11 @@ fn traced_run_populates_histograms() {
 /// no JSON crate to lean on) with the expected metadata.
 #[test]
 fn chrome_trace_export_is_well_formed_json() {
-    let (_, log) = traced_workload(HomePolicyKind::Interleaved, Consistency::SequentialSwMr);
+    let (_, log) = traced_workload(
+        HomePolicyKind::Interleaved,
+        Consistency::SequentialSwMr,
+        FaultPlane::disabled(),
+    );
     let mut ct = ChromeTrace::new();
     ct.add_run("audit-test", 0, &log.events);
     let json = ct.finish();
@@ -144,7 +202,11 @@ fn chrome_trace_export_is_well_formed_json() {
     assert!(rest.trim().is_empty(), "trailing garbage: {rest:.40?}");
 
     // The RunReport JSON dump must be well-formed too.
-    let (report, _) = traced_workload(HomePolicyKind::Centralized, Consistency::SequentialSwMr);
+    let (report, _) = traced_workload(
+        HomePolicyKind::Centralized,
+        Consistency::SequentialSwMr,
+        FaultPlane::disabled(),
+    );
     let rj = report.to_json();
     let rest = skip_json_value(rj.trim()).expect("valid report JSON");
     assert!(rest.trim().is_empty(), "trailing garbage: {rest:.40?}");

@@ -5,7 +5,7 @@
 //! stub registry (see `vendor/stubs/README.md`).
 
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Sending half of an unbounded channel.
     pub struct Sender<T>(std::sync::mpsc::Sender<T>);
@@ -35,6 +35,11 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Blocking receive with a wall-clock timeout.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
     }
 

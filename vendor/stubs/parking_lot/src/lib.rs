@@ -71,6 +71,18 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Result of a timed condition-variable wait (mirrors
+/// `parking_lot::WaitTimeoutResult`).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable usable with [`Mutex`].
 #[derive(Debug, Default)]
 pub struct Condvar(sync::Condvar);
@@ -94,6 +106,25 @@ impl Condvar {
             let taken = std::ptr::read(guard);
             let back = self.0.wait(taken).unwrap_or_else(PoisonError::into_inner);
             std::ptr::write(guard, back);
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses. Returns a result whose
+    /// [`WaitTimeoutResult::timed_out`] reports whether the wait expired.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        // SAFETY: same guard move-out/move-back dance as `wait` above.
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let (back, res) = self
+                .0
+                .wait_timeout(taken, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            std::ptr::write(guard, back);
+            WaitTimeoutResult(res.timed_out())
         }
     }
 
