@@ -13,6 +13,11 @@
 //!                         Traced run + invariant audit + Perfetto export
 //! repro faults [scenario] [--quick] [--seed N] [--out faults-trace.json]
 //!                         Loss sweep under seeded wire faults + audit
+//! repro explore [--schedules N] [--seed N] [--quick] [--out repro.json]
+//!               [--inject stale-reinstall] [--replay repro.json]
+//!                         Schedule exploration under the deterministic
+//!                         scheduler; shrinks any violation to a replayable
+//!                         JSON reproducer
 //! repro all   [--quick]   Everything above
 //! ```
 //!
@@ -37,10 +42,22 @@
 //! exhausted retransmit budget, or any surfaced protocol error. The 1%
 //! Centralized runs are exported as a Perfetto trace (`--out`, default
 //! `faults-trace.json`).
+//!
+//! `repro explore` runs the built-in race workload (disjoint-element
+//! writers over one HLRC minipage, one barrier per round) through a
+//! seeded sweep of random-walk and PCT schedules under the deterministic
+//! scheduler, auditing every interleaving. A clean sweep exits 0; any
+//! violation is shrunk to a minimal schedule and written as JSON
+//! (`--out`, default `schedule-repro.json`) with a nonzero exit.
+//! `--inject stale-reinstall` re-introduces the PR-3 stale-reinstall bug
+//! to demonstrate detection; `--replay <file>` replays a saved reproducer
+//! instead of sweeping (exit mirrors whether it still violates).
 
+use millipage::explore::{race_config, race_workload};
 use millipage::{
-    audit, run, AllocMode, AuditMode, Category, ChromeTrace, ClusterConfig, Consistency, CostModel,
-    FaultPlane, HomePolicyKind, Ns, SharedCell, Tracer,
+    audit, explore, replay_repro, run, AllocMode, AuditMode, Category, ChromeTrace, ClusterConfig,
+    Consistency, CostModel, ExploreOpts, FaultPlane, HomePolicyKind, MinimizedRepro, Ns,
+    SharedCell, Tracer,
 };
 use millipage_apps::{is, lu, sor, tsp, water, AppRun};
 use millipage_bench::scenarios;
@@ -85,6 +102,24 @@ fn main() {
                 .unwrap_or(7);
             faults_cmd(&scenario, quick, seed, &out);
         }
+        "explore" => {
+            let schedules = flag_value(&args, "--schedules")
+                .map(|s| {
+                    s.parse::<usize>()
+                        .unwrap_or_else(|_| panic!("bad --schedules {s:?}"))
+                })
+                .unwrap_or(if quick { 40 } else { 200 });
+            let seed = flag_value(&args, "--seed")
+                .map(|s| {
+                    s.parse::<u64>()
+                        .unwrap_or_else(|_| panic!("bad --seed {s:?}"))
+                })
+                .unwrap_or(7);
+            let out = flag_value(&args, "--out").unwrap_or_else(|| "schedule-repro.json".into());
+            let inject = flag_value(&args, "--inject");
+            let replay = flag_value(&args, "--replay");
+            explore_cmd(schedules, seed, &out, inject.as_deref(), replay.as_deref());
+        }
         "all" => {
             table1();
             costs();
@@ -98,7 +133,7 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: repro [table1|costs|fig5|table2|fig6|fig7|ablate|manager-sweep|trace|faults|all] [--quick]"
+                "usage: repro [table1|costs|fig5|table2|fig6|fig7|ablate|manager-sweep|trace|faults|explore|all] [--quick]"
             );
             std::process::exit(2);
         }
@@ -847,6 +882,106 @@ fn trace_cmd(scenario: &str, quick: bool, out_path: &str, json_path: Option<&str
         "audit passed: 0 invariant violations across {} app(s)",
         specs.len()
     );
+}
+
+// ----------------------------------------------------------------------
+// Schedule exploration under the deterministic scheduler.
+// ----------------------------------------------------------------------
+
+/// Per-recorder ring capacity for explored runs: the race workload is
+/// tiny, so a 32Ki ring keeps every schedule's trace complete.
+const EXPLORE_RING_CAPACITY: usize = 1 << 15;
+
+fn explore_cmd(
+    schedules: usize,
+    seed: u64,
+    out_path: &str,
+    inject: Option<&str>,
+    replay_path: Option<&str>,
+) {
+    let mut cfg = race_config();
+    match inject {
+        None => {}
+        Some("stale-reinstall") => cfg.bug_stale_reinstall = true,
+        Some(other) => {
+            eprintln!("unknown --inject {other:?} (known: stale-reinstall)");
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(path) = replay_path {
+        header(&format!("Explore — replay reproducer {path}"));
+        let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(2);
+        });
+        let repro = MinimizedRepro::from_json(&body).unwrap_or_else(|| {
+            eprintln!("{path} is not a schedule reproducer");
+            std::process::exit(2);
+        });
+        println!(
+            "schedule {} of seed {} ({}), {} choice(s)",
+            repro.schedule_index,
+            repro.seed,
+            repro.policy,
+            repro.choices.len()
+        );
+        let violations = replay_repro(&cfg, race_workload, &repro, EXPLORE_RING_CAPACITY);
+        if violations.is_empty() {
+            println!("replay is clean: the recorded schedule no longer violates");
+            return;
+        }
+        eprintln!("replay reproduces {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+
+    header(&format!(
+        "Explore — {schedules} schedule(s), seed {seed}, race workload ({} hosts{})",
+        cfg.hosts,
+        if cfg.bug_stale_reinstall {
+            ", stale-reinstall injected"
+        } else {
+            ""
+        }
+    ));
+    let opts = ExploreOpts {
+        schedules,
+        seed,
+        trace_capacity: EXPLORE_RING_CAPACITY,
+        ..ExploreOpts::default()
+    };
+    let outcome = explore(&cfg, race_workload, &opts);
+    match outcome.finding {
+        None => {
+            println!(
+                "sweep clean: {} schedule(s) ran, audited, 0 violations",
+                outcome.schedules_run
+            );
+        }
+        Some(repro) => {
+            eprintln!(
+                "schedule {} (policy {}) violated; shrunk to {} choice(s) in {} replay(s):",
+                repro.schedule_index,
+                repro.policy,
+                repro.choices.len(),
+                repro.replays_used
+            );
+            for v in &repro.violations {
+                eprintln!("  {v}");
+            }
+            if let Err(e) = std::fs::write(out_path, repro.to_json()) {
+                eprintln!("failed to write {out_path}: {e}");
+            } else {
+                eprintln!(
+                    "wrote reproducer to {out_path} (replay: repro explore --replay {out_path})"
+                );
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 // ----------------------------------------------------------------------

@@ -22,6 +22,7 @@ use crate::stats::{
 };
 use multiview::{AllocMode, Allocator};
 use sim_core::clock::Clock;
+use sim_core::sched::{SchedMode, SchedThread, Scheduler, ThreadKey};
 use sim_core::trace::{Tracer, Track};
 use sim_core::{CostModel, HostId, LogHistogram, SplitMix64, TimeBreakdown};
 use sim_mem::{AddressSpace, Geometry, VAddr};
@@ -73,8 +74,23 @@ pub struct ClusterConfig {
     /// Wall-clock backstop on blocking application waits. `None` blocks
     /// forever except under an active fault plane, where it defaults to
     /// 30 s so a lost-beyond-recovery reply surfaces as a typed
-    /// [`ProtocolError::Timeout`] instead of a hang.
+    /// [`ProtocolError::Timeout`] instead of a hang. Ignored in
+    /// deterministic mode, where the scheduler's deadlock detection
+    /// replaces every wall-clock backstop.
     pub request_timeout: Option<std::time::Duration>,
+    /// Cooperative deterministic scheduling (see `sim_core::sched`). Off
+    /// by default — the free-threaded optimistic execution — unless the
+    /// `MILLIPAGE_DET_SCHED` environment variable is set, which turns on
+    /// the canonical virtual-time schedule for every run (how CI runs the
+    /// integration suite deterministically without touching each test).
+    pub sched: SchedMode,
+    /// Deliberately re-introduces the fixed PR-3 stale-reinstall bug (a
+    /// home host installing its own serve-time snapshot over concurrently
+    /// applied release diffs). Exists solely so the schedule-exploration
+    /// harness can demonstrate it catches and shrinks the bug; never set
+    /// this outside those tests.
+    #[doc(hidden)]
+    pub bug_stale_reinstall: bool,
 }
 
 impl Default for ClusterConfig {
@@ -93,6 +109,12 @@ impl Default for ClusterConfig {
             tracer: Tracer::disabled(),
             faults: FaultPlane::disabled(),
             request_timeout: None,
+            sched: if std::env::var_os("MILLIPAGE_DET_SCHED").is_some() {
+                SchedMode::deterministic()
+            } else {
+                SchedMode::off()
+            },
+            bug_stale_reinstall: false,
         }
     }
 }
@@ -205,11 +227,34 @@ where
     let (net, endpoints) =
         Network::<Pmsg>::with_faults(cfg.hosts, cfg.cost.clone(), cfg.faults.clone());
     let manager_id = HostId(cfg.manager as u16);
-    let request_timeout = cfg.request_timeout.or_else(|| {
-        cfg.faults
-            .is_active()
-            .then(|| std::time::Duration::from_secs(30))
-    });
+    // Deterministic mode replaces wall-clock backstops outright: virtual
+    // threads legitimately sit parked for unbounded real time while the
+    // schedule runs elsewhere, and a schedule nobody can advance is
+    // detected as a deadlock instead of timed out.
+    let request_timeout = if cfg.sched.is_on() {
+        None
+    } else {
+        cfg.request_timeout.or_else(|| {
+            cfg.faults
+                .is_active()
+                .then(|| std::time::Duration::from_secs(30))
+        })
+    };
+    // Slot order (servers, then application threads, in host order) is
+    // the decision-log numbering; keep it stable across runs.
+    let sched = {
+        let mut keys = Vec::with_capacity(cfg.hosts * (1 + cfg.threads_per_host));
+        for h in 0..cfg.hosts {
+            keys.push(ThreadKey::server(HostId(h as u16)));
+        }
+        for h in 0..cfg.hosts {
+            for t in 0..cfg.threads_per_host {
+                keys.push(ThreadKey::app(HostId(h as u16), t as u16));
+            }
+        }
+        Scheduler::new(&cfg.sched, keys)
+    };
+    net.attach_scheduler(&sched);
     let home = Arc::new(HomeTable::new(
         cfg.home_policy,
         cfg.hosts,
@@ -260,10 +305,14 @@ where
             // loop's recorder.
             ep.attach_tracer(cfg.tracer.recorder(HostId(h as u16), Track::Server));
             let rec = cfg.tracer.recorder(HostId(h as u16), Track::Server);
-            server_handles
-                .push(scope.spawn(move || {
-                    server_loop(ep, state, cost, consistency, timeline, shard, rec)
-                }));
+            let sched = sched.clone();
+            let bug = cfg.bug_stale_reinstall;
+            server_handles.push(scope.spawn(move || {
+                // Attach on the spawned thread: it parks until the whole
+                // thread set is registered and the policy picks it.
+                let st = sched.attach(ThreadKey::server(HostId(h as u16)));
+                server_loop(ep, state, cost, consistency, timeline, shard, rec, st, bug)
+            }));
         }
         let mut app_handles = Vec::with_capacity(cfg.hosts * cfg.threads_per_host);
         for h in 0..cfg.hosts {
@@ -286,8 +335,11 @@ where
                     trace: cfg.tracer.recorder(HostId(h as u16), Track::App(t as u16)),
                     fault_hist: LogHistogram::new(),
                     request_timeout,
+                    sched: SchedThread::disabled(),
                 };
+                let sched = sched.clone();
                 app_handles.push(scope.spawn(move || {
+                    ctx.sched = sched.attach(ThreadKey::app(HostId(h as u16), t as u16));
                     // Catch the unwind here so a failed thread can cancel
                     // its siblings' pending waits *before* anyone tries to
                     // join: joining a thread that is parked on a waiter
@@ -302,6 +354,9 @@ where
                             for st in states_ref {
                                 st.cancel_pending();
                             }
+                            // Cancelled waiters are scheduler-visible state:
+                            // blocked siblings must re-check and unwind.
+                            ctx.sched_action();
                             Some(payload)
                         }
                     };
@@ -332,16 +387,21 @@ where
         // All application work is done (or cancelled); stop the servers —
         // unconditionally, so a failed run still tears down cleanly. FIFO
         // per sender guarantees the Shutdown trails every earlier
-        // application message.
-        for h in 0..cfg.hosts {
-            net.send(
-                manager_id,
-                HostId(h as u16),
-                Pmsg::new(MsgKind::Shutdown, manager_id, 0),
-                0,
-                0,
-            );
-        }
+        // application message. In deterministic mode the (unscheduled)
+        // main thread first waits for the scheduled world to quiesce, so
+        // the shutdown injection point — and with it the whole run,
+        // teardown included — is a pure function of the schedule.
+        sched.quiesce_then(|| {
+            for h in 0..cfg.hosts {
+                net.send(
+                    manager_id,
+                    HostId(h as u16),
+                    Pmsg::new(MsgKind::Shutdown, manager_id, 0),
+                    0,
+                    0,
+                );
+            }
+        });
         let outcomes: Vec<ServerOutcome> = server_handles
             .into_iter()
             .map(|h| h.join().expect("server thread panicked"))

@@ -94,6 +94,16 @@ pub enum ProtocolError {
         /// What the thread was waiting on.
         what: &'static str,
     },
+    /// The deterministic scheduler found no runnable thread while this one
+    /// was still blocked: the explored schedule deadlocked. Only produced
+    /// in deterministic mode, where a deadlocking interleaving is a
+    /// finding, not a hang.
+    Deadlock {
+        /// Host whose wait can never complete.
+        host: HostId,
+        /// What the thread was waiting on.
+        what: &'static str,
+    },
 }
 
 impl ProtocolError {
@@ -109,7 +119,8 @@ impl ProtocolError {
             | ProtocolError::BadState { host, .. }
             | ProtocolError::Unroutable { host, .. }
             | ProtocolError::Nacked { host, .. }
-            | ProtocolError::Cancelled { host, .. } => host,
+            | ProtocolError::Cancelled { host, .. }
+            | ProtocolError::Deadlock { host, .. } => host,
         }
     }
 }
@@ -149,6 +160,12 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::Cancelled { host, what } => {
                 write!(f, "{host}: {what} cancelled by cluster shutdown")
+            }
+            ProtocolError::Deadlock { host, what } => {
+                write!(
+                    f,
+                    "{host}: {what} deadlocked under the deterministic schedule"
+                )
             }
         }
     }

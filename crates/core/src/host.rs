@@ -17,6 +17,7 @@ use crate::shared::{decode_slice, encode_slice, Pod, SharedCell, SharedVec};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use sim_core::clock::{BusyWindow, Clock, Ns};
+use sim_core::sched::{BlockOutcome, SchedThread};
 use sim_core::trace::{TraceKind, TraceRecorder, NO_MP};
 use sim_core::{Category, CostModel, Counter, HostId, LogHistogram, TimeBreakdown};
 use sim_mem::{Access, AccessError, AccessFault, AddressSpace, VAddr};
@@ -61,6 +62,13 @@ impl Waiter {
             *slot = Some(Err(e));
         }
         self.cv.notify_all();
+    }
+
+    /// Non-blocking probe: the resolution, if the rendezvous already
+    /// completed. Used by the deterministic scheduler's cooperative wait
+    /// in place of parking on the condvar.
+    pub(crate) fn try_result(&self) -> Option<Result<Completion, ProtocolError>> {
+        self.slot.lock().clone()
     }
 
     /// Application side: blocks until fulfilled or failed.
@@ -209,6 +217,9 @@ pub struct HostCtx {
     /// the pre-fault-plane code did; under injected faults a bounded wait
     /// turns a lost-reply hang into a typed [`ProtocolError::Timeout`].
     pub(crate) request_timeout: Option<std::time::Duration>,
+    /// This thread's handle into the deterministic scheduler (inert in
+    /// the default free-threaded mode).
+    pub(crate) sched: SchedThread,
 }
 
 impl HostCtx {
@@ -226,6 +237,13 @@ impl HostCtx {
     /// runs a single application thread).
     pub fn thread(&self) -> usize {
         self.thread
+    }
+
+    /// Publishes a scheduler action: this thread just mutated state a
+    /// blocked peer may be waiting on outside the network path (e.g. the
+    /// cluster cancelling pending waiters after an application failure).
+    pub(crate) fn sched_action(&self) {
+        self.sched.action();
     }
 
     /// Current virtual time of this application thread.
@@ -280,13 +298,27 @@ impl HostCtx {
     /// error as payload; the cluster catches it, cancels the other hosts'
     /// pending waits, and reports the error instead of hanging.
     fn blocking_wait(&mut self, w: &Waiter, what: &'static str) -> Completion {
-        let res = match self.request_timeout {
-            None => w.wait(),
-            Some(d) => w.wait_timeout(d).unwrap_or(Err(ProtocolError::Timeout {
-                host: self.host,
-                what,
-                event: 0,
-            })),
+        let res = if self.sched.enabled() {
+            // Cooperative wait: yield the schedule until the server
+            // resolves the rendezvous. A poisoned scheduler means no
+            // schedulable thread can ever fulfill it — the explored
+            // interleaving deadlocked, which is a typed finding.
+            match self.sched.block_until(self.clock.now(), || w.try_result()) {
+                BlockOutcome::Ready(r) => r,
+                BlockOutcome::Poisoned => Err(ProtocolError::Deadlock {
+                    host: self.host,
+                    what,
+                }),
+            }
+        } else {
+            match self.request_timeout {
+                None => w.wait(),
+                Some(d) => w.wait_timeout(d).unwrap_or(Err(ProtocolError::Timeout {
+                    host: self.host,
+                    what,
+                    event: 0,
+                })),
+            }
         };
         match res {
             Ok(c) => c,
@@ -361,6 +393,9 @@ impl HostCtx {
                 event,
             });
         }
+        // Yield point: the message is on the wire; give the schedule a
+        // chance to run its receiver before this thread proceeds.
+        self.sched.yield_now(self.clock.now());
     }
 
     /// The minipage id at `addr`, for trace records only (callers gate on
@@ -728,6 +763,24 @@ impl HostCtx {
 
     /// Figure 3 "On Read or Write Fault".
     fn service_fault(&mut self, f: AccessFault) {
+        // Yield point: a fault is where the hardware would trap out of
+        // the application — a natural interleaving boundary.
+        self.sched.yield_now(self.clock.now());
+        if self.sched.enabled() {
+            // The yield may have let the server resolve this very fault
+            // (a prefetch reply or push installing the page between the
+            // trap and the handler). Retry the access instead of
+            // requesting a copy the host already holds — the real kernel
+            // path does the same for a fault on a since-mapped page.
+            let p = self.state.space.prot(f.vpage);
+            let resolved = match f.access {
+                Access::Read => p != sim_mem::Prot::NoAccess,
+                Access::Write => p == sim_mem::Prot::ReadWrite,
+            };
+            if resolved {
+                return;
+            }
+        }
         // Close any service window we still hold before requesting the
         // next minipage. A multi-minipage operation (possible under the
         // page-grain baseline) would otherwise hold minipage A's window
@@ -901,7 +954,13 @@ impl HostCtx {
             if rc.dirty.is_empty() {
                 return;
             }
-            rc.dirty.drain().map(|(_, d)| d).collect()
+            let mut dirty: Vec<RcDirty> = rc.dirty.drain().map(|(_, d)| d).collect();
+            // HashMap drain order is nondeterministic; ship diffs in
+            // minipage order so the flush sequence (and everything
+            // downstream of it — traces, costs, home arrival order) is a
+            // pure function of the schedule.
+            dirty.sort_by_key(|d| d.info.id.0);
+            dirty
         };
         let t0 = self.clock.now();
         let distributed = self.home.kind() != HomePolicyKind::Centralized;

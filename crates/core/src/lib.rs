@@ -28,6 +28,7 @@ mod cluster;
 pub mod diff;
 mod directory;
 mod error;
+pub mod explore;
 pub mod hlrc;
 mod home;
 mod host;
@@ -49,6 +50,9 @@ pub use shared::{Pod, SharedCell, SharedVec};
 pub use stats::{HostReport, NetFaultStats, RunReport, ShardStats};
 
 pub use audit::{audit, AuditMode};
+
+pub use explore::{explore, replay_repro, ExploreOpts, ExploreOutcome, MinimizedRepro};
+pub use sim_core::sched::{SchedMode, SchedPolicy};
 
 // Re-exports the applications and harnesses keep reaching for.
 pub use multiview::{AllocMode, AllocStats};

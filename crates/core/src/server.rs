@@ -23,6 +23,7 @@ use crate::manager::ManagerShard;
 use crate::msg::{Completion, MsgKind, Pmsg};
 use bytes::Bytes;
 use sim_core::clock::Ns;
+use sim_core::sched::{BlockOutcome, SchedThread};
 use sim_core::trace::{TraceKind, TraceRecorder};
 use sim_core::{CostModel, HostId, LogHistogram};
 use sim_mem::{Prot, VAddr};
@@ -45,6 +46,7 @@ pub(crate) struct ServerOutcome {
 }
 
 /// Runs one host's DSM server until shutdown.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn server_loop(
     ep: Endpoint<Pmsg>,
     state: Arc<HostState>,
@@ -53,6 +55,8 @@ pub(crate) fn server_loop(
     mut timeline: ServerTimeline,
     mut shard: ManagerShard,
     mut rec: TraceRecorder,
+    sched: SchedThread,
+    bug_stale_reinstall: bool,
 ) -> ServerOutcome {
     let home = Arc::clone(shard.home_table());
     let mut errors: Vec<String> = Vec::new();
@@ -66,6 +70,21 @@ pub(crate) fn server_loop(
             match ep.try_recv() {
                 Ok(p) => p,
                 Err(_) => break,
+            }
+        } else if sched.enabled() {
+            // Cooperative receive: one handler dispatch per scheduling
+            // step (the dispatch boundary is the server's yield point —
+            // handlers themselves run atomically, as in the real system).
+            sched.yield_now(timeline.now());
+            match sched.block_until(timeline.now(), || match ep.try_recv() {
+                Ok(p) => Some(Ok(p)),
+                Err(RecvError::Empty) => None,
+                Err(RecvError::Disconnected) => Some(Err(())),
+            }) {
+                BlockOutcome::Ready(Ok(p)) => p,
+                // Disconnected, or the schedule deadlocked and the run is
+                // tearing down; either way the server is done.
+                BlockOutcome::Ready(Err(())) | BlockOutcome::Poisoned => break,
             }
         } else {
             match ep.recv() {
@@ -137,6 +156,7 @@ pub(crate) fn server_loop(
             &home,
             &ep,
             &mut rec,
+            bug_stale_reinstall,
         ) {
             errors.push(e.to_string());
             if matches!(e, ProtocolError::Timeout { .. }) {
@@ -146,6 +166,9 @@ pub(crate) fn server_loop(
             }
             surface_error(kind, from, event, addr, e, &state, &ep, &mut timeline);
         }
+        // The handler may have fulfilled or failed a waiter: a blocked
+        // application thread must re-check its rendezvous.
+        sched.action();
     }
     ep.network()
         .stats()
@@ -171,6 +194,7 @@ fn dispatch(
     home: &HomeTable,
     ep: &Endpoint<Pmsg>,
     rec: &mut TraceRecorder,
+    bug_stale_reinstall: bool,
 ) -> Result<(), ProtocolError> {
     use MsgKind::*;
     match m.kind {
@@ -179,7 +203,17 @@ fn dispatch(
         ServeRead => serve_read(m, state, cost, tl, ep, rec),
         ServeWrite => serve_write(m, state, cost, tl, ep, rec),
         InvalidateRequest => handle_invalidate(m, state, cost, consistency, tl, home, ep, rec),
-        ReadReply | WriteReply => handle_data_reply(m, wire_from, state, cost, tl, home, ep, rec),
+        ReadReply | WriteReply => handle_data_reply(
+            m,
+            wire_from,
+            state,
+            cost,
+            tl,
+            home,
+            ep,
+            rec,
+            bug_stale_reinstall,
+        ),
         AllocReply | BarrierRelease | LockGrant | RcDiffAck => fulfill_simple(m, state, cost, tl),
         PushData => handle_push_data(m, state, cost, tl, rec),
         Nack => handle_nack(m, state, cost, tl),
@@ -529,6 +563,7 @@ fn handle_data_reply(
     home: &HomeTable,
     ep: &Endpoint<Pmsg>,
     rec: &mut TraceRecorder,
+    bug_stale_reinstall: bool,
 ) -> Result<(), ProtocolError> {
     tl.charge(cost.dsm_overhead);
     // A self-addressed reply (this host served its own request — it homes
@@ -538,7 +573,9 @@ fn handle_data_reply(
     // serve and this install (another host's release flush) would be
     // silently reverted by the stale write-back, losing that host's
     // release for good. The protection change below is still required.
-    if wire_from != state.host {
+    // `bug_stale_reinstall` re-introduces the fixed bug on purpose so the
+    // schedule-exploration harness can prove it would catch it.
+    if wire_from != state.host || bug_stale_reinstall {
         state
             .space
             .priv_write(m.priv_base, &m.data)

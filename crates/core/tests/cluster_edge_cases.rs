@@ -1,7 +1,7 @@
 //! Edge-case integration tests of the cluster API surface.
 
 use millipage::{
-    run, AllocMode, Category, ClusterConfig, Consistency, CostModel, FaultPlane, HostId,
+    run, AllocMode, Category, ClusterConfig, Consistency, CostModel, FaultPlane, HostId, SchedMode,
     ScriptedFault,
 };
 use parking_lot::Mutex;
@@ -115,11 +115,17 @@ fn timer_reset_scopes_the_breakdown() {
 #[test]
 fn fetch_group_overlaps_fetches() {
     // Composed-view group fetch (§5): pulling 24 minipages as a group
-    // must cost far less than 24 serial fault round trips.
+    // must cost far less than 24 serial fault round trips. The serial vs
+    // grouped timing ratio depends on how host 1's faults interleave with
+    // host 0's server, so the comparison runs under the deterministic
+    // scheduler: one canonical interleaving, stable virtual times.
     let serial = Mutex::new(0u64);
     let grouped = Mutex::new(0u64);
     let report = run(
-        cfg(2),
+        ClusterConfig {
+            sched: SchedMode::deterministic(),
+            ..cfg(2)
+        },
         |s| {
             let a: Vec<_> = (0..24).map(|_| s.alloc_vec_init::<u64>(&[1; 8])).collect();
             let b: Vec<_> = (0..24).map(|_| s.alloc_vec_init::<u64>(&[2; 8])).collect();

@@ -15,12 +15,15 @@
 //! * [`account`] — per-category time accounting (the Figure 6 breakdown),
 //! * [`stats`] — counters, summaries, and histograms used by the harnesses,
 //! * [`trace`] — virtual-time protocol event tracing (per-thread rings,
-//!   Chrome-trace export).
+//!   Chrome-trace export),
+//! * [`sched`] — the cooperative deterministic scheduler (one seed, one
+//!   interleaving) backing schedule exploration.
 
 pub mod account;
 pub mod clock;
 pub mod cost;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod trace;
 
@@ -28,6 +31,9 @@ pub use account::{Category, TimeBreakdown};
 pub use clock::{BusyWindow, Clock, Ns, SharedClock};
 pub use cost::{CostModel, ServiceDelayModel};
 pub use rng::SplitMix64;
+pub use sched::{
+    BlockOutcome, SchedMode, SchedPolicy, SchedThread, Scheduler, ThreadClass, ThreadKey,
+};
 pub use stats::{Counter, Histogram, LogHistogram, Summary};
 pub use trace::{ChromeTrace, TraceEvent, TraceKind, TraceLog, TraceRecorder, Tracer, Track};
 

@@ -1,0 +1,863 @@
+//! Cooperative deterministic scheduling of simulated threads.
+//!
+//! The simulation runs every simulated host as real OS threads (one DSM
+//! server plus the application threads), which makes the default execution
+//! *optimistic*: virtual time is accounted deterministically, but the real
+//! interleaving — and therefore message arrival order, directory state
+//! transitions, and the recorded trace — is whatever the OS scheduler
+//! produced. This module adds a **deterministic mode**: when a
+//! [`Scheduler`] is enabled, exactly one simulated thread runs at a time,
+//! every thread hands control back at explicit *yield points* (message
+//! send/receive, fault entry, blocking rendezvous), and the next runnable
+//! thread is picked by a deterministic [`SchedPolicy`]. A seed then maps
+//! to exactly one interleaving and one trace, which is what makes
+//! schedule *exploration* (random-walk / PCT search over interleavings,
+//! with replayable minimal reproducers) possible at all.
+//!
+//! Design notes:
+//!
+//! * **Disabled is free.** A disabled scheduler hands out inert
+//!   [`SchedThread`] handles whose methods are a single branch on an
+//!   `Option`; the free-threaded default path is untouched.
+//! * **Wake-ups are action-counted, not wired.** Blocking conditions
+//!   (a waiter slot filling, a packet landing in an inbox) live in the
+//!   protocol layer and are not told about the scheduler. Instead a
+//!   global *action counter* is bumped after anything that could unblock
+//!   a peer (every network delivery, every handler dispatch); a blocked
+//!   thread is schedulable again exactly when the counter moved past the
+//!   value it recorded when its condition last failed, and it simply
+//!   re-checks. A finite number of re-checks per action means no
+//!   livelock, and a thread whose condition was already met never parks.
+//! * **Handler atomicity.** A DSM server handles one message per
+//!   scheduling step: the dispatch boundary *is* the yield point, and
+//!   everything inside a handler (window open/close, directory updates,
+//!   reply sends) is atomic with respect to other simulated threads —
+//!   exactly as in the real system, where a handler runs to completion
+//!   inside the message layer.
+//! * **Deadlock is a verdict, not a hang.** If no thread is runnable and
+//!   an application thread is still blocked, the schedule deadlocked:
+//!   the scheduler poisons itself, every blocked thread returns
+//!   [`BlockOutcome::Poisoned`], and the run terminates with typed
+//!   errors instead of hanging — a deadlocking schedule is a *finding*
+//!   for the exploration harness.
+
+use crate::clock::Ns;
+use crate::rng::SplitMix64;
+use crate::HostId;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// How many scheduling steps a PCT priority-change schedule spreads its
+/// change points over. PCT samples `depth - 1` change points uniformly
+/// from this range; runs longer than the hint simply see no further
+/// demotions.
+const PCT_STEP_HINT: u64 = 4096;
+
+/// Which simulated role a scheduled thread plays. Part of the
+/// deterministic tie-break key (application threads before server
+/// threads at equal virtual time).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum ThreadClass {
+    /// An application thread (drives faults, barriers, locks).
+    App,
+    /// A DSM server thread (handles protocol messages; the manager shard
+    /// runs inside its host's server dispatch).
+    Server,
+}
+
+/// Identity of one simulated thread: the deterministic tie-break key.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct ThreadKey {
+    /// Host the thread belongs to.
+    pub host: HostId,
+    /// Role on that host.
+    pub class: ThreadClass,
+    /// Index among same-class threads of the host (0 for the server,
+    /// the application thread index otherwise).
+    pub lane: u16,
+}
+
+impl ThreadKey {
+    /// The server thread of `host`.
+    pub fn server(host: HostId) -> Self {
+        Self {
+            host,
+            class: ThreadClass::Server,
+            lane: 0,
+        }
+    }
+
+    /// Application thread `lane` of `host`.
+    pub fn app(host: HostId, lane: u16) -> Self {
+        Self {
+            host,
+            class: ThreadClass::App,
+            lane,
+        }
+    }
+}
+
+impl std::fmt::Display for ThreadKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.class {
+            ThreadClass::App => write!(f, "{}.app{}", self.host, self.lane),
+            ThreadClass::Server => write!(f, "{}.server", self.host),
+        }
+    }
+}
+
+/// How the deterministic scheduler picks the next runnable thread.
+#[derive(Clone, Debug)]
+pub enum SchedPolicy {
+    /// Smallest `(virtual time, thread key)` first — the canonical
+    /// deterministic schedule, closest to what the virtual-time model
+    /// "means".
+    VirtualTime,
+    /// Seeded uniform random walk over the runnable set.
+    Random {
+        /// Seed of the walk.
+        seed: u64,
+    },
+    /// PCT-style priority schedule (Burckhardt et al.): every thread gets
+    /// a random priority, the highest-priority runnable thread always
+    /// runs, and at `depth - 1` pre-sampled change points the running
+    /// thread's priority drops below everyone else's. Finds bugs of
+    /// "ordering depth" ≤ `depth` with known probability.
+    Pct {
+        /// Seed for priorities and change points.
+        seed: u64,
+        /// Bug depth to target (≥ 1; 1 means no priority changes).
+        depth: u32,
+    },
+    /// Replays a recorded decision sequence: entry *i* names the slot to
+    /// run at step *i*. A choice that is not currently runnable (or an
+    /// exhausted sequence) falls back to [`SchedPolicy::VirtualTime`], so
+    /// prefixes of a recorded schedule are always replayable.
+    Replay {
+        /// Recorded slot choices, in dispatch order.
+        choices: Arc<Vec<u32>>,
+    },
+}
+
+/// Scheduling mode carried on a cluster configuration. Off by default:
+/// the free-threaded optimistic execution. When on, it names the policy
+/// and owns the shared decision log the run's [`Scheduler`] records into
+/// (so callers can retrieve the schedule after the run for replay and
+/// shrinking).
+#[derive(Clone, Debug, Default)]
+pub struct SchedMode {
+    inner: Option<ModeInner>,
+}
+
+#[derive(Clone, Debug)]
+struct ModeInner {
+    policy: SchedPolicy,
+    log: Arc<Mutex<Vec<u32>>>,
+}
+
+impl SchedMode {
+    /// Free-threaded execution (the default).
+    pub fn off() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether deterministic scheduling is requested.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Deterministic mode with the canonical [`SchedPolicy::VirtualTime`]
+    /// policy.
+    pub fn deterministic() -> Self {
+        Self::with_policy(SchedPolicy::VirtualTime)
+    }
+
+    /// Deterministic mode with a seeded random-walk schedule.
+    pub fn random(seed: u64) -> Self {
+        Self::with_policy(SchedPolicy::Random { seed })
+    }
+
+    /// Deterministic mode with a seeded PCT priority schedule.
+    pub fn pct(seed: u64, depth: u32) -> Self {
+        Self::with_policy(SchedPolicy::Pct {
+            seed,
+            depth: depth.max(1),
+        })
+    }
+
+    /// Deterministic mode replaying a recorded decision sequence.
+    pub fn replay(choices: Vec<u32>) -> Self {
+        Self::with_policy(SchedPolicy::Replay {
+            choices: Arc::new(choices),
+        })
+    }
+
+    /// Deterministic mode with an explicit policy.
+    pub fn with_policy(policy: SchedPolicy) -> Self {
+        Self {
+            inner: Some(ModeInner {
+                policy,
+                log: Arc::new(Mutex::new(Vec::new())),
+            }),
+        }
+    }
+
+    /// Short policy name for reports.
+    pub fn policy_name(&self) -> &'static str {
+        match &self.inner {
+            None => "off",
+            Some(m) => match m.policy {
+                SchedPolicy::VirtualTime => "virtual-time",
+                SchedPolicy::Random { .. } => "random",
+                SchedPolicy::Pct { .. } => "pct",
+                SchedPolicy::Replay { .. } => "replay",
+            },
+        }
+    }
+
+    /// The decision sequence the last run recorded under this mode (the
+    /// slot picked at each scheduling step). Empty before any run or when
+    /// off. Feed it to [`SchedMode::replay`] to reproduce the run.
+    pub fn decisions(&self) -> Vec<u32> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(m) => m.log.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+        }
+    }
+}
+
+/// What a scheduled blocking wait resolved to.
+#[derive(Debug)]
+pub enum BlockOutcome<T> {
+    /// The condition was met; the value it produced.
+    Ready(T),
+    /// The schedule deadlocked (no runnable thread while an application
+    /// thread was blocked) and the run is tearing down. The caller must
+    /// unwind/exit instead of retrying.
+    Poisoned,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Blocked since the action counter read `seen`; schedulable again
+    /// (to re-check its condition) once the counter moves past it.
+    Blocked {
+        seen: u64,
+    },
+    Done,
+}
+
+struct Slot {
+    key: ThreadKey,
+    vt: Ns,
+    status: Status,
+    attached: bool,
+}
+
+enum PolicyState {
+    VirtualTime,
+    Random {
+        rng: SplitMix64,
+    },
+    Pct {
+        prios: Vec<u64>,
+        change_at: Vec<u64>,
+        demote_next: u64,
+    },
+    Replay {
+        choices: Arc<Vec<u32>>,
+        pos: usize,
+    },
+}
+
+struct State {
+    slots: Vec<Slot>,
+    attached: usize,
+    started: bool,
+    poisoned: bool,
+    /// Index of the one thread currently allowed to run, if any.
+    running: Option<usize>,
+    /// Set while an unregistered external actor (the cluster's main
+    /// thread, delivering shutdowns) runs inside a quiesced window;
+    /// suppresses dispatches from its action bumps.
+    external: bool,
+    /// Global potentially-unblocking-action counter (see module docs).
+    actions: u64,
+    steps: u64,
+    policy: PolicyState,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// One condvar per slot: a dispatch wakes exactly the picked thread
+    /// instead of broadcasting to every parked one (the broadcast storm
+    /// dominates runtime on million-step schedules).
+    cvs: Vec<Condvar>,
+    /// Signalled when the scheduler goes idle or poisons; what
+    /// [`Scheduler::quiesce_then`] waits on.
+    main_cv: Condvar,
+    log: Arc<Mutex<Vec<u32>>>,
+}
+
+/// Wakes every parked thread (poison teardown) and the quiesce waiter.
+fn wake_everyone(inner: &Inner) {
+    for cv in &inner.cvs {
+        cv.notify_all();
+    }
+    inner.main_cv.notify_all();
+}
+
+/// The run-wide deterministic scheduler handle. Cloning shares the
+/// scheduler; a default/disabled one is inert.
+#[derive(Clone, Default)]
+pub struct Scheduler {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Scheduler({})",
+            if self.inner.is_some() {
+                "deterministic"
+            } else {
+                "off"
+            }
+        )
+    }
+}
+
+impl Scheduler {
+    /// An inert scheduler: every handle it produces is a no-op.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Builds a scheduler for the thread set named by `keys` under
+    /// `mode`'s policy (inert when the mode is off). The slot order of
+    /// `keys` defines the decision-log numbering, so callers must build
+    /// it deterministically (the cluster enumerates servers then
+    /// application threads in host order).
+    pub fn new(mode: &SchedMode, keys: Vec<ThreadKey>) -> Self {
+        let Some(m) = &mode.inner else {
+            return Self::disabled();
+        };
+        assert!(!keys.is_empty(), "deterministic mode with no threads");
+        let policy = match &m.policy {
+            SchedPolicy::VirtualTime => PolicyState::VirtualTime,
+            SchedPolicy::Random { seed } => PolicyState::Random {
+                rng: SplitMix64::new(*seed),
+            },
+            SchedPolicy::Pct { seed, depth } => {
+                let mut rng = SplitMix64::new(*seed);
+                // High bit set: every initial priority sits above every
+                // demotion value, and demotions stay mutually distinct.
+                let prios = keys.iter().map(|_| rng.next_u64() | (1 << 63)).collect();
+                let mut change_at: Vec<u64> = (1..*depth)
+                    .map(|_| 1 + rng.next_range(PCT_STEP_HINT))
+                    .collect();
+                change_at.sort_unstable();
+                PolicyState::Pct {
+                    prios,
+                    change_at,
+                    demote_next: 1 << 62,
+                }
+            }
+            SchedPolicy::Replay { choices } => PolicyState::Replay {
+                choices: Arc::clone(choices),
+                pos: 0,
+            },
+        };
+        m.log.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        let slots: Vec<Slot> = keys
+            .into_iter()
+            .map(|key| Slot {
+                key,
+                vt: 0,
+                status: Status::Runnable,
+                attached: false,
+            })
+            .collect();
+        let cvs = (0..slots.len()).map(|_| Condvar::new()).collect();
+        Self {
+            inner: Some(Arc::new(Inner {
+                state: Mutex::new(State {
+                    slots,
+                    attached: 0,
+                    started: false,
+                    poisoned: false,
+                    running: None,
+                    external: false,
+                    actions: 0,
+                    steps: 0,
+                    policy,
+                }),
+                cvs,
+                main_cv: Condvar::new(),
+                log: Arc::clone(&m.log),
+            })),
+        }
+    }
+
+    /// Whether deterministic scheduling is active.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers the calling OS thread as the simulated thread `key` and
+    /// parks it until every expected thread has attached and the policy
+    /// picks it. Must be called on the spawned thread itself. Returns an
+    /// inert handle when the scheduler is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` names no slot or was already attached.
+    pub fn attach(&self, key: ThreadKey) -> SchedThread {
+        let Some(inner) = &self.inner else {
+            return SchedThread { inner: None, id: 0 };
+        };
+        let mut st = lock(&inner.state);
+        let id = st
+            .slots
+            .iter()
+            .position(|s| s.key == key)
+            .unwrap_or_else(|| panic!("no scheduler slot for thread {key}"));
+        assert!(!st.slots[id].attached, "thread {key} attached twice");
+        st.slots[id].attached = true;
+        st.attached += 1;
+        if st.attached == st.slots.len() {
+            st.started = true;
+            dispatch(inner, &mut st);
+        }
+        let t = SchedThread {
+            inner: Some(Arc::clone(inner)),
+            id,
+        };
+        drop(park_until_running(inner, st, id));
+        t
+    }
+
+    /// Bumps the action counter from *any* thread (registered or not):
+    /// called by the network fabric on every delivery, so a blocked
+    /// receiver always becomes schedulable again. Dispatches if the
+    /// scheduler was idle (an external actor made progress possible).
+    pub fn bump_action(&self) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut st = lock(&inner.state);
+        st.actions += 1;
+        if st.started && !st.external && !st.poisoned && st.running.is_none() {
+            dispatch(inner, &mut st);
+        }
+    }
+
+    /// Waits until every scheduled thread is either done or blocked with
+    /// nothing runnable (the cluster has quiesced), then runs `f` with
+    /// dispatching suppressed, then dispatches whatever `f`'s actions
+    /// made runnable. This is how the cluster's (unscheduled) main thread
+    /// injects its shutdown messages without racing the scheduled world.
+    pub fn quiesce_then(&self, f: impl FnOnce()) {
+        let Some(inner) = &self.inner else {
+            f();
+            return;
+        };
+        let mut st = lock(&inner.state);
+        while !(st.poisoned || (st.started && st.running.is_none())) {
+            st = wait(&inner.main_cv, st);
+        }
+        st.external = true;
+        drop(st);
+        f();
+        let mut st = lock(&inner.state);
+        st.external = false;
+        if !st.poisoned && st.running.is_none() {
+            dispatch(inner, &mut st);
+        }
+    }
+
+    /// Number of scheduling decisions taken so far.
+    pub fn steps(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => lock(&inner.state).steps,
+        }
+    }
+}
+
+/// One simulated thread's handle into the scheduler. Obtained from
+/// [`Scheduler::attach`]; all methods are no-ops on a disabled handle.
+/// Dropping the handle marks the thread done and hands control on.
+pub struct SchedThread {
+    inner: Option<Arc<Inner>>,
+    id: usize,
+}
+
+impl SchedThread {
+    /// An inert handle (what a disabled scheduler hands out).
+    pub fn disabled() -> Self {
+        Self { inner: None, id: 0 }
+    }
+
+    /// Whether this thread is cooperatively scheduled.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A cooperative yield point: records the thread's current virtual
+    /// time, lets the policy pick the next thread (possibly this one
+    /// again), and returns when this thread is picked again.
+    pub fn yield_now(&self, vt: Ns) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut st = lock(&inner.state);
+        if st.poisoned {
+            return;
+        }
+        debug_assert_eq!(st.running, Some(self.id), "yield from a paused thread");
+        st.slots[self.id].vt = vt;
+        dispatch(inner, &mut st);
+        drop(park_until_running(inner, st, self.id));
+    }
+
+    /// Bumps the action counter: the caller just did something that may
+    /// have unblocked a peer (fulfilled a waiter, mutated protocol state)
+    /// outside the network-delivery hook.
+    pub fn action(&self) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        lock(&inner.state).actions += 1;
+    }
+
+    /// Blocks until `check` produces a value, yielding to other threads
+    /// while the condition is unmet. `check` runs *while this thread
+    /// holds the schedule* (no scheduler lock held), so it may touch
+    /// channels and waiter slots freely; it must be side-effect-free on
+    /// failure. `vt` is the block-entry virtual time used for the
+    /// policy's tie-break while parked.
+    pub fn block_until<T>(&self, vt: Ns, mut check: impl FnMut() -> Option<T>) -> BlockOutcome<T> {
+        let Some(inner) = &self.inner else {
+            unreachable!("block_until on a disabled scheduler handle");
+        };
+        loop {
+            // Snapshot the counter *before* checking: an external action
+            // landing between a failed check and the park below leaves
+            // `seen` stale, so the thread stays schedulable and re-checks
+            // — no lost wake-up.
+            let seen = {
+                let st = lock(&inner.state);
+                if st.poisoned {
+                    return BlockOutcome::Poisoned;
+                }
+                st.actions
+            };
+            if let Some(v) = check() {
+                return BlockOutcome::Ready(v);
+            }
+            let mut st = lock(&inner.state);
+            if st.poisoned {
+                return BlockOutcome::Poisoned;
+            }
+            st.slots[self.id].vt = vt;
+            st.slots[self.id].status = Status::Blocked { seen };
+            dispatch(inner, &mut st);
+            let mut st = park_until_running(inner, st, self.id);
+            if st.poisoned {
+                return BlockOutcome::Poisoned;
+            }
+            st.slots[self.id].status = Status::Runnable;
+        }
+    }
+
+    /// Marks the thread done and hands control to the next runnable
+    /// thread. Idempotent; also called on drop.
+    pub fn finish(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let mut st = lock(&inner.state);
+        st.slots[self.id].status = Status::Done;
+        // Finishing is an action: a sibling blocked on state this thread
+        // just released (a cancelled waiter, a final message) must
+        // re-check.
+        st.actions += 1;
+        if !st.poisoned {
+            dispatch(&inner, &mut st);
+        } else {
+            wake_everyone(&inner);
+        }
+    }
+}
+
+impl Drop for SchedThread {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a>(cv: &Condvar, g: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+fn park_until_running<'a>(
+    inner: &'a Inner,
+    mut st: MutexGuard<'a, State>,
+    id: usize,
+) -> MutexGuard<'a, State> {
+    while !(st.poisoned || st.running == Some(id)) {
+        st = wait(&inner.cvs[id], st);
+    }
+    st
+}
+
+/// Whether slot `i` may be scheduled right now.
+fn is_candidate(s: &Slot, actions: u64) -> bool {
+    match s.status {
+        Status::Runnable => true,
+        Status::Blocked { seen } => seen < actions,
+        Status::Done => false,
+    }
+}
+
+/// Picks and installs the next thread to run; idles (or poisons, on a
+/// genuine deadlock) when nothing is runnable. Call with the state lock
+/// held, from the thread relinquishing control.
+fn dispatch(inner: &Inner, st: &mut State) {
+    st.running = None;
+    if st.poisoned {
+        wake_everyone(inner);
+        return;
+    }
+    let actions = st.actions;
+    // Candidate scans are allocation-free: a schedule takes millions of
+    // steps and a Vec per step would dominate the scheduler's cost.
+    let n_candidates = st.slots.iter().filter(|s| is_candidate(s, actions)).count();
+    if n_candidates == 0 {
+        let stuck_app = st
+            .slots
+            .iter()
+            .any(|s| s.key.class == ThreadClass::App && s.status != Status::Done);
+        if stuck_app {
+            // A blocked application thread nobody can ever wake: the
+            // schedule deadlocked. Poison so every thread unwinds with a
+            // typed error instead of hanging the run.
+            st.poisoned = true;
+            wake_everyone(inner);
+        } else {
+            // Only servers are parked on empty inboxes; idle until an
+            // external action (the cluster's shutdown) re-dispatches.
+            inner.main_cv.notify_all();
+        }
+        return;
+    }
+    let step = st.steps + 1;
+    let slots = &st.slots;
+    let chosen = match &mut st.policy {
+        PolicyState::VirtualTime => None,
+        PolicyState::Random { rng } => (0..slots.len())
+            .filter(|&i| is_candidate(&slots[i], actions))
+            .nth(rng.next_usize(n_candidates)),
+        PolicyState::Pct {
+            prios,
+            change_at,
+            demote_next,
+        } => {
+            let pick = (0..slots.len())
+                .filter(|&i| is_candidate(&slots[i], actions))
+                .max_by_key(|&i| prios[i])
+                .expect("non-empty candidate set");
+            while change_at.first() == Some(&step) {
+                change_at.remove(0);
+                prios[pick] = *demote_next;
+                *demote_next -= 1;
+            }
+            Some(pick)
+        }
+        PolicyState::Replay { choices, pos } => {
+            let want = choices.get(*pos).map(|&c| c as usize);
+            *pos += 1;
+            // Exhausted or invalid choices fall back to virtual-time order.
+            want.filter(|&w| w < slots.len() && is_candidate(&slots[w], actions))
+        }
+    };
+    let pick = chosen.unwrap_or_else(|| {
+        (0..st.slots.len())
+            .filter(|&i| is_candidate(&st.slots[i], actions))
+            .min_by_key(|&i| (st.slots[i].vt, st.slots[i].key))
+            .expect("non-empty candidate set")
+    });
+    st.steps += 1;
+    inner
+        .log
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(pick as u32);
+    st.running = Some(pick);
+    inner.cvs[pick].notify_one();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn keys(apps: usize) -> Vec<ThreadKey> {
+        let mut v = vec![ThreadKey::server(HostId(0))];
+        for t in 0..apps {
+            v.push(ThreadKey::app(HostId(0), t as u16));
+        }
+        v
+    }
+
+    #[test]
+    fn disabled_scheduler_is_inert() {
+        let s = Scheduler::disabled();
+        assert!(!s.is_enabled());
+        let t = s.attach(ThreadKey::app(HostId(0), 0));
+        assert!(!t.enabled());
+        t.yield_now(5);
+        s.bump_action();
+        s.quiesce_then(|| {});
+        assert_eq!(s.steps(), 0);
+        assert_eq!(SchedMode::off().decisions(), Vec::<u32>::new());
+    }
+
+    /// Two producers and one counter-consumer, serialized: the consumer
+    /// blocks until both producers bumped, and the whole interleaving is
+    /// recorded and identical run-to-run.
+    fn run_once(mode: &SchedMode) -> (u64, Vec<u32>) {
+        let sched = Scheduler::new(mode, keys(2));
+        let counter = Arc::new(AtomicU64::new(0));
+        let order = Arc::new(Mutex::new(Vec::<u64>::new()));
+        std::thread::scope(|scope| {
+            for lane in 0..2u16 {
+                let sched = sched.clone();
+                let counter = Arc::clone(&counter);
+                let order = Arc::clone(&order);
+                scope.spawn(move || {
+                    let t = sched.attach(ThreadKey::app(HostId(0), lane));
+                    for i in 0..3 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        order.lock().unwrap().push(u64::from(lane) * 10 + i);
+                        t.action();
+                        t.yield_now(i);
+                    }
+                });
+            }
+            let sched2 = sched.clone();
+            let counter2 = Arc::clone(&counter);
+            scope.spawn(move || {
+                let t = sched2.attach(ThreadKey::server(HostId(0)));
+                let got = t.block_until(0, || {
+                    (counter2.load(Ordering::Relaxed) >= 6)
+                        .then(|| counter2.load(Ordering::Relaxed))
+                });
+                match got {
+                    BlockOutcome::Ready(v) => assert_eq!(v, 6),
+                    BlockOutcome::Poisoned => panic!("unexpected poison"),
+                }
+            });
+        });
+        let hash = order
+            .lock()
+            .unwrap()
+            .iter()
+            .fold(17u64, |h, &x| h.wrapping_mul(31).wrapping_add(x));
+        (hash, mode.decisions())
+    }
+
+    #[test]
+    fn same_policy_same_interleaving() {
+        for mode in [
+            SchedMode::deterministic(),
+            SchedMode::random(42),
+            SchedMode::pct(7, 3),
+        ] {
+            let (h1, d1) = run_once(&mode);
+            let (h2, d2) = run_once(&mode);
+            assert_eq!(h1, h2, "{} interleaving drifted", mode.policy_name());
+            assert_eq!(d1, d2, "{} decision log drifted", mode.policy_name());
+            assert!(!d1.is_empty());
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_a_random_walk() {
+        let random = SchedMode::random(1234);
+        let (h1, decisions) = run_once(&random);
+        let replay = SchedMode::replay(decisions.clone());
+        let (h2, d2) = run_once(&replay);
+        assert_eq!(h1, h2, "replay produced a different interleaving");
+        assert_eq!(decisions, d2, "replay re-recorded a different log");
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        // With three threads and nine yield points at least one of these
+        // seeds must deviate from the virtual-time order.
+        let (base, _) = run_once(&SchedMode::deterministic());
+        let diverged = (0..8u64).any(|s| run_once(&SchedMode::random(s)).0 != base);
+        assert!(diverged, "random walks never left the default order");
+    }
+
+    #[test]
+    fn deadlock_poisons_instead_of_hanging() {
+        let mode = SchedMode::deterministic();
+        let sched = Scheduler::new(&mode, vec![ThreadKey::app(HostId(0), 0)]);
+        let outcome = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let t = sched.attach(ThreadKey::app(HostId(0), 0));
+                    // A condition nothing will ever satisfy.
+                    match t.block_until(0, || None::<()>) {
+                        BlockOutcome::Poisoned => "poisoned",
+                        BlockOutcome::Ready(()) => "ready",
+                    }
+                })
+                .join()
+                .unwrap()
+        });
+        assert_eq!(outcome, "poisoned");
+    }
+
+    #[test]
+    fn quiesce_runs_after_all_threads_block_or_finish() {
+        let mode = SchedMode::deterministic();
+        let sched = Scheduler::new(&mode, keys(1));
+        let flag = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            let sched_app = sched.clone();
+            scope.spawn(move || {
+                let t = sched_app.attach(ThreadKey::app(HostId(0), 0));
+                t.yield_now(1);
+                // App finishes; server stays blocked on the flag.
+            });
+            let sched_srv = sched.clone();
+            let flag_srv = Arc::clone(&flag);
+            scope.spawn(move || {
+                let t = sched_srv.attach(ThreadKey::server(HostId(0)));
+                match t.block_until(0, || {
+                    let v = flag_srv.load(Ordering::Relaxed);
+                    (v != 0).then_some(v)
+                }) {
+                    BlockOutcome::Ready(v) => assert_eq!(v, 9),
+                    BlockOutcome::Poisoned => panic!("server poisoned"),
+                }
+            });
+            // Main thread: wait for quiescence, then unblock the server
+            // the way the cluster injects its shutdown messages.
+            let flag_main = Arc::clone(&flag);
+            sched.quiesce_then(move || {
+                flag_main.store(9, Ordering::Relaxed);
+            });
+            sched.bump_action();
+        });
+    }
+}

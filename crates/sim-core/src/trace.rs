@@ -297,8 +297,10 @@ impl Tracer {
         let rings = std::mem::take(&mut *s.rings.lock().expect("trace sink poisoned"));
         let dropped = *s.dropped.lock().expect("trace sink poisoned");
         let mut events: Vec<TraceEvent> = rings.into_iter().flatten().collect();
-        // Stable: events with equal (vt, rank) keep per-ring order.
-        events.sort_by_key(|e| (e.vt, audit_rank(e.kind), e.host));
+        // The final `seq` tie-break makes the merged order independent of
+        // ring flush order (recorders are flushed at drop, and drop order
+        // races even under the deterministic scheduler).
+        events.sort_by_key(|e| (e.vt, audit_rank(e.kind), e.host, e.seq));
         TraceLog { events, dropped }
     }
 }

@@ -22,12 +22,13 @@
 use crate::fault::{backoff_penalty, FaultPlane, ScriptedKind, SendReceipt};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use sim_core::clock::Ns;
+use sim_core::sched::Scheduler;
 use sim_core::trace::{TraceKind, TraceRecorder};
 use sim_core::{CostModel, Counter, HostId, LogHistogram, SplitMix64};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// How long a fault-mode blocking receive parks before re-checking the
@@ -126,6 +127,10 @@ struct Fabric<M> {
     cost: CostModel,
     stats: NetStats,
     faults: Option<FaultState<M>>,
+    /// Deterministic scheduler to notify on every delivery (a delivery may
+    /// unblock the destination's receive loop). Unset or disabled in the
+    /// default free-threaded mode.
+    sched: OnceLock<Scheduler>,
 }
 
 /// A handle to the simulated interconnect.
@@ -204,6 +209,7 @@ impl<M: Send + Clone> Network<M> {
                 cost,
                 stats: NetStats::default(),
                 faults,
+                sched: OnceLock::new(),
             }),
         };
         let endpoints = receivers
@@ -459,6 +465,20 @@ impl<M: Send + Clone> Network<M> {
     fn deliver(&self, pkt: Packet<M>) {
         if self.fabric.inboxes[pkt.to.index()].send(pkt).is_err() {
             self.fabric.stats.send_failures.bump();
+        } else if let Some(sched) = self.fabric.sched.get() {
+            // Every successful delivery may unblock the destination's
+            // receive loop: tell the deterministic scheduler so the
+            // receiver becomes a candidate again.
+            sched.bump_action();
+        }
+    }
+
+    /// Attaches the deterministic scheduler so deliveries count as
+    /// potentially-unblocking actions. No-op for a disabled scheduler;
+    /// later attachments are ignored.
+    pub fn attach_scheduler(&self, sched: &Scheduler) {
+        if sched.is_enabled() {
+            let _ = self.fabric.sched.set(sched.clone());
         }
     }
 

@@ -1,7 +1,7 @@
 //! Data-race-free applications under the §5 release-consistency
 //! extension: identical results, different protocol economics.
 
-use millipage::{AllocMode, ClusterConfig, Consistency, CostModel};
+use millipage::{AllocMode, ClusterConfig, Consistency, CostModel, SchedMode};
 
 fn cfg(hosts: usize) -> ClusterConfig {
     ClusterConfig {
@@ -12,6 +12,10 @@ fn cfg(hosts: usize) -> ClusterConfig {
         alloc_mode: AllocMode::FINE,
         consistency: Consistency::HomeEagerRc,
         seed: 9,
+        // WATER's lock-protected force accumulation is order-sensitive
+        // floating-point summation; the deterministic scheduler pins the
+        // lock grant order so the checksum is exactly reproducible.
+        sched: SchedMode::deterministic(),
         ..ClusterConfig::default()
     }
 }
@@ -35,15 +39,8 @@ fn rc_apps_match_references() {
         wp,
     );
     assert!(r.report.coherence_violations.is_empty());
-    // WATER's lock-protected force accumulation is order-sensitive
-    // floating-point summation, and lock grant order depends on thread
-    // scheduling: run-to-run checksum drift of ~1e-6 relative is the
-    // expected envelope, not a protocol bug (the SW/MR run above is
-    // deterministic only because SOR is barrier-separated). 1e-5 keeps
-    // headroom above the observed drift while still catching lost or
-    // misapplied diffs, which move the checksum by percents.
     assert!(
-        close(r.checksum, water::reference(wp), 1e-5),
+        close(r.checksum, water::reference(wp), 1e-9),
         "{} vs {}",
         r.checksum,
         water::reference(wp)

@@ -176,7 +176,12 @@ fn single_location_writes_serialize() {
             for round in 0..ROUNDS {
                 ctx.cell_set(c, (round * 10 + ctx.host().index()) as u32);
                 ctx.barrier();
-                finals.lock().push((round, ctx.host(), ctx.cell_get(c)));
+                // Read before taking the host-local results lock: a DSM
+                // access can block on the protocol, and holding an OS lock
+                // across that wait deadlocks the deterministic scheduler
+                // (the lock-holder parks outside its yield points).
+                let v = ctx.cell_get(c);
+                finals.lock().push((round, ctx.host(), v));
                 ctx.barrier();
             }
         },
@@ -278,7 +283,10 @@ fn register_stays_linearizable_under_distributed_homes() {
                         }
                         ctx.barrier();
                     }
-                    finals.lock().push(ctx.cell_get(reg));
+                    // As above: never hold the results lock across a DSM
+                    // access.
+                    let last = ctx.cell_get(reg);
+                    finals.lock().push(last);
                     observations.lock().push((ctx.host(), seen));
                 },
             );
