@@ -61,7 +61,7 @@ use millipage::{
 };
 use millipage_apps::{is, lu, sor, tsp, water, AppRun};
 use millipage_bench::scenarios;
-use millipage_bench::{render_table, us};
+use millipage_bench::{render_table, us, wall};
 use sim_cache::fig5::{point, predicted_break_views, Fig5Config};
 
 fn main() {
@@ -120,6 +120,24 @@ fn main() {
             let replay = flag_value(&args, "--replay");
             explore_cmd(schedules, seed, &out, inject.as_deref(), replay.as_deref());
         }
+        "bench" => {
+            let json = flag_value(&args, "--json");
+            let baseline = flag_value(&args, "--baseline");
+            // `--check` takes an optional file; bare `--check` (or one
+            // followed by another flag) compares against BENCH_5.json.
+            let check = args.iter().position(|a| a == "--check").map(|i| {
+                args.get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .unwrap_or_else(|| "BENCH_5.json".into())
+            });
+            bench_cmd(
+                quick,
+                json.as_deref(),
+                baseline.as_deref(),
+                check.as_deref(),
+            );
+        }
         "all" => {
             table1();
             costs();
@@ -133,7 +151,7 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: repro [table1|costs|fig5|table2|fig6|fig7|ablate|manager-sweep|trace|faults|explore|all] [--quick]"
+                "usage: repro [table1|costs|fig5|table2|fig6|fig7|ablate|manager-sweep|trace|faults|explore|bench|all] [--quick]"
             );
             std::process::exit(2);
         }
@@ -1115,4 +1133,119 @@ fn faults_cmd(scenario: &str, quick: bool, seed: u64, out_path: &str) {
          errors across {} run(s)",
         (rows.len() - 1)
     );
+}
+
+// ----------------------------------------------------------------------
+// Wall-clock benchmarks: `repro bench`.
+// ----------------------------------------------------------------------
+
+/// Runs the wall-clock benchmark suite (diff micro-benchmarks, per-access
+/// fast path, end-to-end Table 2 apps at 4 hosts). `--json` writes the
+/// results; with `--baseline FILE` the output is a before/after
+/// comparison (the committed `BENCH_5.json` shape). `--check [FILE]`
+/// exits nonzero if any benchmark regressed > 20% vs. the baseline.
+fn bench_cmd(quick: bool, json: Option<&str>, baseline: Option<&str>, check: Option<&str>) {
+    header("Wall-clock benchmarks (simulator hot paths)");
+    let mut results = wall::diff_results(quick);
+    results.extend(wall::fastpath_results(quick));
+    let reps = if quick { 1 } else { 2 };
+    for spec in app_specs(quick) {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = std::time::Instant::now();
+            let r = (spec.run)(app_cfg(4));
+            let el = t.elapsed().as_nanos() as f64;
+            assert!(
+                r.report.coherence_violations.is_empty(),
+                "{}: {:?}",
+                spec.name,
+                r.report.coherence_violations
+            );
+            best = best.min(el);
+        }
+        results.push(wall::BenchResult {
+            name: format!("e2e/{}@4hosts", spec.name),
+            ns_per_op: best,
+            bytes_per_op: 0,
+        });
+    }
+    let mut rows = vec![vec!["benchmark".to_string(), "ns/op".into(), "MB/s".into()]];
+    for r in &results {
+        rows.push(vec![
+            r.name.clone(),
+            if r.ns_per_op >= 1e6 {
+                format!("{:.0}", r.ns_per_op)
+            } else {
+                format!("{:.1}", r.ns_per_op)
+            },
+            if r.bytes_per_op > 0 {
+                format!("{:.0}", r.mb_per_sec())
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    print!("{}", render_table(&rows));
+    if let Some(path) = json {
+        let body = match baseline {
+            Some(bpath) => {
+                let text = std::fs::read_to_string(bpath)
+                    .unwrap_or_else(|e| panic!("failed to read baseline {bpath}: {e}"));
+                let before: Vec<wall::BenchResult> = wall::parse_baseline(&text)
+                    .into_iter()
+                    .map(|(name, ns)| {
+                        let bytes = results
+                            .iter()
+                            .find(|r| r.name == name)
+                            .map_or(0, |r| r.bytes_per_op);
+                        wall::BenchResult {
+                            name,
+                            ns_per_op: ns,
+                            bytes_per_op: bytes,
+                        }
+                    })
+                    .collect();
+                wall::to_compare_json(&before, &results, quick)
+            }
+            None => wall::to_json(&results, quick),
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+    if let Some(cpath) = check {
+        let text = std::fs::read_to_string(cpath)
+            .unwrap_or_else(|e| panic!("failed to read --check baseline {cpath}: {e}"));
+        let base = wall::parse_baseline(&text);
+        if base.is_empty() {
+            eprintln!("--check: no results found in {cpath}");
+            std::process::exit(1);
+        }
+        let bad = wall::regressions(&results, &base, 0.2);
+        if bad.is_empty() {
+            println!(
+                "check passed: no benchmark regressed > 20% vs {cpath} \
+                 ({} compared)",
+                results
+                    .iter()
+                    .filter(|r| base.iter().any(|(n, _)| *n == r.name))
+                    .count()
+            );
+        } else {
+            for (name, base_ns, now_ns) in &bad {
+                eprintln!(
+                    "REGRESSION {name}: {base_ns:.1} ns/op -> {now_ns:.1} ns/op \
+                     ({:+.0}%)",
+                    (now_ns / base_ns - 1.0) * 100.0
+                );
+            }
+            eprintln!(
+                "check FAILED: {} benchmark(s) regressed > 20% vs {cpath}",
+                bad.len()
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,465 @@
+//! Wall-clock benchmarks of the simulator's own hot paths (`repro bench`).
+//!
+//! Every other `repro` command measures *virtual* time — the calibrated
+//! protocol costs the paper reports. This module measures *wall-clock*
+//! time of the reproduction itself: how fast `Diff::compute` chews through
+//! a page, how many checked shared-memory accesses per second an installed
+//! page sustains, and how long the Table 2 apps take end to end. These are
+//! the numbers the perf work of PR 5 moves; `BENCH_5.json` records the
+//! before/after pairs.
+//!
+//! Timing is hand-rolled over `std::time::Instant` (adaptive batching,
+//! best-of-N passes) — no criterion, no new dependencies, per the
+//! workspace's offline dependency policy.
+
+use millipage::diff::Diff;
+use millipage::{run, ClusterConfig};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured benchmark point.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Stable identifier, e.g. `diff_compute/4096/dense`.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per operation (best timed pass).
+    pub ns_per_op: f64,
+    /// Bytes processed per operation (0 when not meaningful).
+    pub bytes_per_op: usize,
+}
+
+impl BenchResult {
+    /// Operations per second implied by [`ns_per_op`](Self::ns_per_op).
+    pub fn ops_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_op.max(1e-9)
+    }
+
+    /// Throughput in MB/s (0 when `bytes_per_op` is 0).
+    pub fn mb_per_sec(&self) -> f64 {
+        self.bytes_per_op as f64 * self.ops_per_sec() / 1e6
+    }
+}
+
+/// Times `f`, adaptively growing the batch size until one pass runs for
+/// at least `target_ns`, then keeps the fastest of `passes` passes.
+/// Returns mean nanoseconds per call.
+pub fn bench_ns<F: FnMut()>(mut f: F, target_ns: u128, passes: usize) -> f64 {
+    for _ in 0..3 {
+        f(); // warmup
+    }
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let el = t.elapsed().as_nanos();
+        if el >= target_ns || iters >= 1 << 28 {
+            break;
+        }
+        let scale = match (target_ns * 2).checked_div(el) {
+            None => 16,
+            Some(s) => s.clamp(2, 1 << 16) as u64,
+        };
+        iters = iters.saturating_mul(scale).min(1 << 28);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..passes.max(1) {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+// ----------------------------------------------------------------------
+// Diff micro-benchmarks.
+// ----------------------------------------------------------------------
+
+/// Change patterns the diff benches sweep. `dense` flips every byte (the
+/// paper's 250 µs/4 KB worst case), `sparse` flips 8 isolated bytes, and
+/// `straddle` writes 4-byte runs crossing u64 word boundaries (the case a
+/// word-scanning diff must refine byte by byte).
+pub const DIFF_PATTERNS: &[&str] = &["sparse", "dense", "straddle"];
+
+/// Page sizes the diff benches sweep (64 B minipage to the 4 KB page).
+pub const DIFF_SIZES: &[usize] = &[64, 256, 1024, 4096];
+
+/// Builds a (twin, current) pair of `size` bytes under `pattern`.
+pub fn diff_pair(size: usize, pattern: &str) -> (Vec<u8>, Vec<u8>) {
+    let twin: Vec<u8> = (0..size).map(|i| (i * 31 % 251) as u8).collect();
+    let mut cur = twin.clone();
+    match pattern {
+        "dense" => {
+            for b in cur.iter_mut() {
+                *b ^= 0xA5;
+            }
+        }
+        "sparse" => {
+            let step = (size / 8).max(1);
+            let mut i = step / 2;
+            while i < size {
+                cur[i] ^= 0xFF;
+                i += step;
+            }
+        }
+        "straddle" => {
+            let mut i = 6;
+            while i + 4 <= size {
+                for b in cur[i..i + 4].iter_mut() {
+                    *b ^= 0x5A;
+                }
+                i += 64;
+            }
+        }
+        other => panic!("unknown diff pattern {other:?}"),
+    }
+    (twin, cur)
+}
+
+/// Runs the diff micro-benchmarks: `compute` across the full size×pattern
+/// matrix; `apply`/`encode`/`decode` on the 4 KB sparse and dense pairs.
+pub fn diff_results(quick: bool) -> Vec<BenchResult> {
+    let target: u128 = if quick { 2_000_000 } else { 20_000_000 };
+    let passes = if quick { 2 } else { 3 };
+    let mut out = Vec::new();
+    for &size in DIFF_SIZES {
+        for &pattern in DIFF_PATTERNS {
+            let (twin, cur) = diff_pair(size, pattern);
+            let ns = bench_ns(
+                || {
+                    std::hint::black_box(Diff::compute(
+                        std::hint::black_box(&twin),
+                        std::hint::black_box(&cur),
+                    ));
+                },
+                target,
+                passes,
+            );
+            out.push(BenchResult {
+                name: format!("diff_compute/{size}/{pattern}"),
+                ns_per_op: ns,
+                bytes_per_op: size,
+            });
+        }
+    }
+    for &pattern in &["sparse", "dense"] {
+        let size = 4096usize;
+        let (twin, cur) = diff_pair(size, pattern);
+        let d = Diff::compute(&twin, &cur);
+        let mut target_buf = twin.clone();
+        let ns = bench_ns(
+            || {
+                d.apply(std::hint::black_box(&mut target_buf));
+            },
+            target,
+            passes,
+        );
+        out.push(BenchResult {
+            name: format!("diff_apply/{size}/{pattern}"),
+            ns_per_op: ns,
+            bytes_per_op: size,
+        });
+        let ns = bench_ns(
+            || {
+                std::hint::black_box(d.encode());
+            },
+            target,
+            passes,
+        );
+        out.push(BenchResult {
+            name: format!("diff_encode/{size}/{pattern}"),
+            ns_per_op: ns,
+            bytes_per_op: size,
+        });
+        let wire = bytes::Bytes::from(d.encode());
+        let ns = bench_ns(
+            || {
+                std::hint::black_box(Diff::decode(std::hint::black_box(&wire)));
+            },
+            target,
+            passes,
+        );
+        out.push(BenchResult {
+            name: format!("diff_decode/{size}/{pattern}"),
+            ns_per_op: ns,
+            bytes_per_op: size,
+        });
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Per-access fast path.
+// ----------------------------------------------------------------------
+
+/// Measures checked `ctx` access throughput on an installed page: one
+/// host, one 4 KB vector faulted in writable once, then tight read/write
+/// loops — the non-faulting common case every DSM access pays.
+pub fn fastpath_results(quick: bool) -> Vec<BenchResult> {
+    let ops: usize = if quick { 200_000 } else { 2_000_000 };
+    let range_ops = ops / 64;
+    let slot = Arc::new(Mutex::new([0f64; 4]));
+    let sink = Arc::clone(&slot);
+    let cfg = ClusterConfig {
+        hosts: 1,
+        ..ClusterConfig::default()
+    };
+    run(
+        cfg,
+        |s| s.alloc_vec_init(&vec![0f64; 512]),
+        move |ctx, sv| {
+            // Install: the first write faults the page in writable; every
+            // access after this is the fast path under test.
+            for i in 0..512 {
+                ctx.set(sv, i, i as f64);
+            }
+            let t = Instant::now();
+            let mut acc = 0.0f64;
+            for k in 0..ops {
+                acc += ctx.get(sv, k & 511);
+            }
+            let read_ns = t.elapsed().as_nanos() as f64 / ops as f64;
+            std::hint::black_box(acc);
+            let t = Instant::now();
+            for k in 0..ops {
+                ctx.set(sv, k & 511, k as f64);
+            }
+            let write_ns = t.elapsed().as_nanos() as f64 / ops as f64;
+            let t = Instant::now();
+            for k in 0..range_ops {
+                std::hint::black_box(ctx.read_range(sv, 0..512));
+                std::hint::black_box(k);
+            }
+            let rr_ns = t.elapsed().as_nanos() as f64 / range_ops as f64;
+            let vals = vec![1.5f64; 512];
+            let t = Instant::now();
+            for _ in 0..range_ops {
+                ctx.write_range(sv, 0, &vals);
+            }
+            let wr_ns = t.elapsed().as_nanos() as f64 / range_ops as f64;
+            *sink.lock() = [read_ns, write_ns, rr_ns, wr_ns];
+        },
+    );
+    let [read_ns, write_ns, rr_ns, wr_ns] = *slot.lock();
+    vec![
+        BenchResult {
+            name: "fastpath/read8".into(),
+            ns_per_op: read_ns,
+            bytes_per_op: 8,
+        },
+        BenchResult {
+            name: "fastpath/write8".into(),
+            ns_per_op: write_ns,
+            bytes_per_op: 8,
+        },
+        BenchResult {
+            name: "fastpath/read_range4k".into(),
+            ns_per_op: rr_ns,
+            bytes_per_op: 4096,
+        },
+        BenchResult {
+            name: "fastpath/write_range4k".into(),
+            ns_per_op: wr_ns,
+            bytes_per_op: 4096,
+        },
+    ]
+}
+
+// ----------------------------------------------------------------------
+// JSON emit / parse / regression check.
+// ----------------------------------------------------------------------
+
+/// Serializes one result list as a JSON array.
+fn results_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ns_per_op\":{:.1},\"bytes_per_op\":{}}}",
+            r.name, r.ns_per_op, r.bytes_per_op
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Serializes a plain single-run report.
+pub fn to_json(results: &[BenchResult], quick: bool) -> String {
+    format!(
+        "{{\"schema\":\"millipage-bench-v1\",\"quick\":{},\"results\":{}}}\n",
+        quick,
+        results_json(results)
+    )
+}
+
+/// Serializes a before/after comparison report (the `BENCH_5.json` shape).
+pub fn to_compare_json(before: &[BenchResult], after: &[BenchResult], quick: bool) -> String {
+    let mut speedups = String::from("[");
+    let mut first = true;
+    for a in after {
+        if let Some(b) = before.iter().find(|b| b.name == a.name) {
+            if !first {
+                speedups.push(',');
+            }
+            first = false;
+            let _ = write!(
+                speedups,
+                "{{\"name\":\"{}\",\"speedup\":{:.2}}}",
+                a.name,
+                b.ns_per_op / a.ns_per_op.max(1e-9)
+            );
+        }
+    }
+    speedups.push(']');
+    format!(
+        "{{\"schema\":\"millipage-bench-v1\",\"quick\":{},\"before\":{},\"after\":{},\"speedup\":{}}}\n",
+        quick,
+        results_json(before),
+        results_json(after),
+        speedups
+    )
+}
+
+/// Extracts `(name, ns_per_op)` pairs from a bench JSON. Accepts both the
+/// plain shape (reads `"results"`) and the comparison shape (reads
+/// `"after"` — the optimized numbers are the baseline to hold). Hand
+/// rolled like the writer: the grammar is exactly what we emit.
+pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    let section = ["\"after\":[", "\"results\":["]
+        .iter()
+        .find_map(|k| json.find(k).map(|i| &json[i + k.len()..]));
+    let Some(mut rest) = section else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    while let Some(ni) = rest.find("\"name\":\"") {
+        // Stop at the section's closing bracket.
+        if let Some(end) = rest.find(']') {
+            if end < ni {
+                break;
+            }
+        }
+        rest = &rest[ni + 8..];
+        let Some(nq) = rest.find('"') else { break };
+        let name = rest[..nq].to_string();
+        let Some(vi) = rest.find("\"ns_per_op\":") else {
+            break;
+        };
+        rest = &rest[vi + 12..];
+        let vend = rest
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..vend].parse::<f64>() {
+            out.push((name, v));
+        }
+        rest = &rest[vend..];
+    }
+    out
+}
+
+/// Compares `current` against a parsed baseline: returns the benchmarks
+/// that regressed by more than `tolerance` (0.2 = 20% slower).
+pub fn regressions(
+    current: &[BenchResult],
+    baseline: &[(String, f64)],
+    tolerance: f64,
+) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for r in current {
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| *n == r.name) {
+            if r.ns_per_op > base * (1.0 + tolerance) {
+                out.push((r.name.clone(), *base, r.ns_per_op));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ns_times_a_cheap_op() {
+        let mut x = 0u64;
+        let ns = bench_ns(
+            || {
+                x = x.wrapping_add(1);
+            },
+            100_000,
+            1,
+        );
+        assert!((0.0..1_000_000.0).contains(&ns));
+    }
+
+    #[test]
+    fn diff_pairs_change_what_they_claim() {
+        let (t, c) = diff_pair(4096, "dense");
+        assert!(t.iter().zip(&c).all(|(a, b)| a != b));
+        let (t, c) = diff_pair(4096, "sparse");
+        let changed = t.iter().zip(&c).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, 8);
+        let (t, c) = diff_pair(256, "straddle");
+        assert!(t.iter().zip(&c).any(|(a, b)| a != b));
+        // Straddle runs cross a u64 boundary: bytes 6..10 differ.
+        assert_ne!(t[7], c[7]);
+        assert_ne!(t[8], c[8]);
+    }
+
+    #[test]
+    fn json_roundtrips_through_parse() {
+        let results = vec![
+            BenchResult {
+                name: "diff_compute/4096/dense".into(),
+                ns_per_op: 1234.5,
+                bytes_per_op: 4096,
+            },
+            BenchResult {
+                name: "fastpath/read8".into(),
+                ns_per_op: 55.1,
+                bytes_per_op: 8,
+            },
+        ];
+        let parsed = parse_baseline(&to_json(&results, true));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "diff_compute/4096/dense");
+        assert!((parsed[0].1 - 1234.5).abs() < 0.1);
+        // Comparison shape: the "after" numbers are the baseline.
+        let faster = vec![BenchResult {
+            name: "fastpath/read8".into(),
+            ns_per_op: 30.0,
+            bytes_per_op: 8,
+        }];
+        let parsed = parse_baseline(&to_compare_json(&results, &faster, false));
+        assert_eq!(parsed.len(), 1);
+        assert!((parsed[0].1 - 30.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn regressions_flag_only_slower_results() {
+        let base = vec![("a".to_string(), 100.0), ("b".to_string(), 100.0)];
+        let current = vec![
+            BenchResult {
+                name: "a".into(),
+                ns_per_op: 115.0,
+                bytes_per_op: 0,
+            },
+            BenchResult {
+                name: "b".into(),
+                ns_per_op: 130.0,
+                bytes_per_op: 0,
+            },
+        ];
+        let bad = regressions(&current, &base, 0.2);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "b");
+    }
+}

@@ -336,6 +336,7 @@ where
                     fault_hist: LogHistogram::new(),
                     request_timeout,
                     sched: SchedThread::disabled(),
+                    tlb: sim_mem::AccessTlb::new(),
                 };
                 let sched = sched.clone();
                 app_handles.push(scope.spawn(move || {

@@ -8,40 +8,118 @@
 //! required in the DSM protocol." This module provides the twin/diff
 //! machinery so the reproduction can (a) measure that cost and (b) build
 //! the §5 reduced-consistency extension ([`crate::hlrc`]).
+//!
+//! The *virtual* cost of a diff is what [`sim_core::cost::CostModel`]
+//! charges (61 ns/byte, the paper's 250 µs/4 KB); the implementation here
+//! only has to be fast in *wall-clock* terms. `compute` scans u64 words
+//! and refines byte-by-byte only inside a mismatching word; a diff stores
+//! all changed bytes in one contiguous [`Bytes`] buffer with runs indexing
+//! into it, so `decode` is zero-copy over the wire buffer (runs borrow the
+//! incoming `Bytes`; no per-run `Vec` is ever allocated).
+
+use bytes::Bytes;
+
+/// One changed run: `len` bytes at page offset `off`, stored at `pos`
+/// in the diff's shared data buffer.
+#[derive(Clone, Copy, Debug)]
+struct Run {
+    off: u32,
+    len: u32,
+    pos: u32,
+}
 
 /// A run-length diff: a list of `(offset, bytes)` runs that changed
 /// between a twin and the current page contents.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Diff {
-    runs: Vec<(u32, Vec<u8>)>,
+    runs: Vec<Run>,
+    /// Backing store for every run's bytes: the gathered changed bytes
+    /// after [`compute`](Diff::compute), the whole wire buffer after
+    /// [`decode`](Diff::decode).
+    data: Bytes,
     source_len: usize,
+}
+
+/// All-ones in each byte; `x - LO` borrows out of exactly the zero bytes.
+const LO: u64 = 0x0101_0101_0101_0101;
+/// High bit of each byte.
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Reads the u64 at `b[i..i + 8]` (caller guarantees the bounds).
+#[inline]
+fn word_at(b: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(b[i..i + 8].try_into().unwrap())
 }
 
 impl Diff {
     /// Computes the run-length diff turning `twin` into `current`.
+    ///
+    /// Scans u64 words: equal words are skipped in one compare; inside a
+    /// mismatching word `trailing_zeros` locates the first differing byte
+    /// and the has-zero-byte trick locates the run's end, so run
+    /// boundaries are byte-exact — identical to a byte-at-a-time scan.
     ///
     /// # Panics
     ///
     /// Panics if the buffers differ in length.
     pub fn compute(twin: &[u8], current: &[u8]) -> Self {
         assert_eq!(twin.len(), current.len(), "twin/current size mismatch");
+        let n = twin.len();
         let mut runs = Vec::new();
-        let mut i = 0;
-        while i < twin.len() {
-            if twin[i] == current[i] {
-                i += 1;
-                continue;
+        let mut data = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            // Find the next differing byte, whole equal words at a time.
+            while i + 8 <= n {
+                let x = word_at(twin, i) ^ word_at(current, i);
+                if x != 0 {
+                    i += (x.trailing_zeros() / 8) as usize;
+                    break;
+                }
+                i += 8;
             }
+            while i < n && twin[i] == current[i] {
+                i += 1; // tail bytes past the last whole word
+            }
+            if i >= n {
+                break;
+            }
+            // Find the run's end: the next *equal* byte. A zero byte in
+            // the xor word is an equal byte; the lowest set bit of the
+            // has-zero mask is exactly the first one (no borrow can
+            // propagate from below it).
             let start = i;
-            while i < twin.len() && twin[i] != current[i] {
+            while i + 8 <= n {
+                let x = word_at(twin, i) ^ word_at(current, i);
+                let z = x.wrapping_sub(LO) & !x & HI;
+                if z != 0 {
+                    i += (z.trailing_zeros() / 8) as usize;
+                    break;
+                }
+                i += 8;
+            }
+            while i < n && twin[i] != current[i] {
                 i += 1;
             }
-            runs.push((start as u32, current[start..i].to_vec()));
+            runs.push(Run {
+                off: start as u32,
+                len: (i - start) as u32,
+                pos: data.len() as u32,
+            });
+            data.extend_from_slice(&current[start..i]);
         }
         Self {
             runs,
-            source_len: twin.len(),
+            data: Bytes::from(data),
+            source_len: n,
         }
+    }
+
+    /// The bytes of one run, borrowed from the shared data buffer.
+    #[inline]
+    fn run_bytes(&self, r: &Run) -> &[u8] {
+        let p = r.pos as usize;
+        &self.data[p..p + r.len as usize]
     }
 
     /// Applies the diff to `target` in place.
@@ -54,16 +132,18 @@ impl Diff {
             target.len() >= self.source_len,
             "target shorter than the diffed page"
         );
-        for (off, bytes) in &self.runs {
-            let off = *off as usize;
-            target[off..off + bytes.len()].copy_from_slice(bytes);
+        for r in &self.runs {
+            let off = r.off as usize;
+            target[off..off + r.len as usize].copy_from_slice(self.run_bytes(r));
         }
     }
 
     /// Iterates `(offset, bytes)` runs (used to apply a diff in place
     /// without a whole-page read-modify-write).
     pub fn iter_runs(&self) -> impl Iterator<Item = (usize, &[u8])> {
-        self.runs.iter().map(|(o, b)| (*o as usize, b.as_slice()))
+        self.runs
+            .iter()
+            .map(|r| (r.off as usize, self.run_bytes(r)))
     }
 
     /// Number of changed runs.
@@ -73,12 +153,18 @@ impl Diff {
 
     /// Total changed bytes.
     pub fn changed_bytes(&self) -> usize {
-        self.runs.iter().map(|(_, b)| b.len()).sum()
+        self.runs.iter().map(|r| r.len as usize).sum()
     }
 
     /// Whether nothing changed.
     pub fn is_empty(&self) -> bool {
         self.runs.is_empty()
+    }
+
+    /// Length of the diffed buffer: every run fits inside it, and
+    /// [`apply`](Diff::apply) requires a target at least this long.
+    pub fn source_len(&self) -> usize {
+        self.source_len
     }
 
     /// Wire size: 8 bytes of run header per run plus the changed bytes
@@ -93,40 +179,73 @@ impl Diff {
         let mut out = Vec::with_capacity(8 + self.wire_bytes());
         out.extend_from_slice(&(self.source_len as u32).to_le_bytes());
         out.extend_from_slice(&(self.runs.len() as u32).to_le_bytes());
-        for (off, bytes) in &self.runs {
-            out.extend_from_slice(&off.to_le_bytes());
-            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-            out.extend_from_slice(bytes);
+        for r in &self.runs {
+            out.extend_from_slice(&r.off.to_le_bytes());
+            out.extend_from_slice(&r.len.to_le_bytes());
+            out.extend_from_slice(self.run_bytes(r));
         }
         out
     }
 
-    /// Parses a diff serialized by [`encode`](Diff::encode). Returns
-    /// `None` on malformed input.
-    pub fn decode(mut b: &[u8]) -> Option<Diff> {
-        fn take_u32(b: &mut &[u8]) -> Option<u32> {
-            let (head, rest) = b.split_first_chunk::<4>()?;
-            *b = rest;
-            Some(u32::from_le_bytes(*head))
-        }
-        let source_len = take_u32(&mut b)? as usize;
-        let n = take_u32(&mut b)? as usize;
-        let mut runs = Vec::with_capacity(n.min(4096));
-        for _ in 0..n {
-            let off = take_u32(&mut b)?;
-            let len = take_u32(&mut b)? as usize;
-            if b.len() < len || (off as usize + len) > source_len {
-                return None;
-            }
-            runs.push((off, b[..len].to_vec()));
-            b = &b[len..];
-        }
-        if !b.is_empty() {
+    /// Parses a diff serialized by [`encode`](Diff::encode) without
+    /// copying: the returned diff's runs index into `wire` itself (an
+    /// `Arc` refcount bump, no per-run allocation).
+    ///
+    /// Returns `None` on malformed input — truncated headers or payloads,
+    /// trailing junk, or any run whose `offset + len` exceeds
+    /// `source_len` (a hostile diff must not be able to make
+    /// [`apply`](Diff::apply) write out of bounds). Callers surface this
+    /// as a `ProtocolError`.
+    pub fn decode(wire: &Bytes) -> Option<Diff> {
+        let b: &[u8] = wire.as_ref();
+        if b.len() > u32::MAX as usize {
             return None;
         }
-        Some(Diff { runs, source_len })
+        fn take_u32(b: &[u8], pos: &mut usize) -> Option<u32> {
+            let v = b.get(*pos..*pos + 4)?;
+            *pos += 4;
+            Some(u32::from_le_bytes(v.try_into().unwrap()))
+        }
+        let mut pos = 0usize;
+        let source_len = take_u32(b, &mut pos)? as usize;
+        let n = take_u32(b, &mut pos)? as usize;
+        let mut runs = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let off = take_u32(b, &mut pos)?;
+            let len = take_u32(b, &mut pos)? as usize;
+            if b.len() - pos < len || (off as usize).checked_add(len)? > source_len {
+                return None;
+            }
+            runs.push(Run {
+                off,
+                len: len as u32,
+                pos: pos as u32,
+            });
+            pos += len;
+        }
+        if pos != b.len() {
+            return None;
+        }
+        Some(Diff {
+            runs,
+            data: wire.clone(),
+            source_len,
+        })
     }
 }
+
+/// Diffs are equal when they describe the same edit — same source length
+/// and the same `(offset, bytes)` run sequence — regardless of whether
+/// the bytes live in a gathered buffer or a borrowed wire buffer.
+impl PartialEq for Diff {
+    fn eq(&self, other: &Self) -> bool {
+        self.source_len == other.source_len
+            && self.runs.len() == other.runs.len()
+            && self.iter_runs().eq(other.iter_runs())
+    }
+}
+
+impl Eq for Diff {}
 
 /// A twin: the pristine copy made on the first write to a page, later
 /// diffed against the current contents.
@@ -163,6 +282,32 @@ impl Twin {
 mod tests {
     use super::*;
 
+    /// The byte-at-a-time scan the word-wise `compute` must match exactly.
+    fn compute_bytewise(twin: &[u8], current: &[u8]) -> Vec<(usize, Vec<u8>)> {
+        assert_eq!(twin.len(), current.len());
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < twin.len() {
+            if twin[i] == current[i] {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < twin.len() && twin[i] != current[i] {
+                i += 1;
+            }
+            runs.push((start, current[start..i].to_vec()));
+        }
+        runs
+    }
+
+    fn assert_matches_reference(twin: &[u8], current: &[u8]) {
+        let d = Diff::compute(twin, current);
+        let reference = compute_bytewise(twin, current);
+        let got: Vec<(usize, Vec<u8>)> = d.iter_runs().map(|(o, b)| (o, b.to_vec())).collect();
+        assert_eq!(got, reference, "twin={twin:?} current={current:?}");
+    }
+
     #[test]
     fn identical_buffers_produce_empty_diff() {
         let a = vec![7u8; 256];
@@ -198,6 +343,32 @@ mod tests {
         assert_eq!(d.runs(), 1);
         assert_eq!(d.changed_bytes(), 10);
         assert_eq!(d.wire_bytes(), 8 + 10);
+    }
+
+    #[test]
+    fn word_scan_matches_bytewise_on_crafted_shapes() {
+        // All equal, all different, and every run placement that
+        // straddles, starts, or ends on a u64 word boundary.
+        let twin: Vec<u8> = (0..96).map(|i| (i * 7 % 250) as u8).collect();
+        assert_matches_reference(&twin, &twin);
+        let all_diff: Vec<u8> = twin.iter().map(|b| b ^ 0xFF).collect();
+        assert_matches_reference(&twin, &all_diff);
+        for start in 0..24 {
+            for len in 1..24 {
+                let mut cur = twin.clone();
+                for b in cur[start..start + len].iter_mut() {
+                    *b ^= 0xFF;
+                }
+                assert_matches_reference(&twin, &cur);
+            }
+        }
+        // Changes in the tail past the last whole word.
+        for n in [1usize, 7, 9, 15, 17] {
+            let twin = vec![3u8; n];
+            let mut cur = twin.clone();
+            *cur.last_mut().unwrap() = 4;
+            assert_matches_reference(&twin, &cur);
+        }
     }
 
     #[test]
@@ -242,7 +413,7 @@ mod tests {
         cur[200] = 2;
         cur[201] = 3;
         let d = Diff::compute(&twin, &cur);
-        let bytes = d.encode();
+        let bytes = Bytes::from(d.encode());
         let d2 = Diff::decode(&bytes).expect("valid encoding");
         assert_eq!(d, d2);
         let mut rebuilt = twin.clone();
@@ -252,17 +423,54 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(Diff::decode(&[1, 2, 3]).is_none());
+        assert!(Diff::decode(&Bytes::from(vec![1, 2, 3])).is_none());
         // Truncated run payload.
         let twin = vec![0u8; 64];
         let mut cur = twin.clone();
         cur[10] = 9;
         let mut bytes = Diff::compute(&twin, &cur).encode();
         bytes.truncate(bytes.len() - 1);
-        assert!(Diff::decode(&bytes).is_none());
+        assert!(Diff::decode(&Bytes::from(bytes)).is_none());
         // Trailing junk.
         let mut bytes2 = Diff::compute(&twin, &cur).encode();
         bytes2.push(0);
-        assert!(Diff::decode(&bytes2).is_none());
+        assert!(Diff::decode(&Bytes::from(bytes2)).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_runs_past_source_len() {
+        // A hostile run claims offset+len beyond the page: apply() on a
+        // source_len-sized target would write out of bounds. decode must
+        // reject it, not defer the crash.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&16u32.to_le_bytes()); // source_len = 16
+        wire.extend_from_slice(&1u32.to_le_bytes()); // one run
+        wire.extend_from_slice(&12u32.to_le_bytes()); // offset 12
+        wire.extend_from_slice(&8u32.to_le_bytes()); // len 8: 12+8 > 16
+        wire.extend_from_slice(&[0xAA; 8]);
+        assert!(Diff::decode(&Bytes::from(wire)).is_none());
+        // Offset alone past the end, zero-length payload.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&16u32.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&17u32.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.push(0xAA);
+        assert!(Diff::decode(&Bytes::from(wire)).is_none());
+    }
+
+    #[test]
+    fn decoded_diff_borrows_the_wire_buffer() {
+        let twin = vec![0u8; 4096];
+        let mut cur = twin.clone();
+        for b in cur[100..300].iter_mut() {
+            *b = 7;
+        }
+        let wire = Bytes::from(Diff::compute(&twin, &cur).encode());
+        let d = Diff::decode(&wire).expect("valid");
+        let (_, run) = d.iter_runs().next().expect("one run");
+        // Zero-copy: the run's bytes live inside the wire allocation.
+        let wire_range = wire.as_ref().as_ptr_range();
+        assert!(wire_range.contains(&run.as_ptr()));
     }
 }

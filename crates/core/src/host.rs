@@ -20,12 +20,16 @@ use sim_core::clock::{BusyWindow, Clock, Ns};
 use sim_core::sched::{BlockOutcome, SchedThread};
 use sim_core::trace::{TraceKind, TraceRecorder, NO_MP};
 use sim_core::{Category, CostModel, Counter, HostId, LogHistogram, TimeBreakdown};
-use sim_mem::{Access, AccessError, AccessFault, AddressSpace, VAddr};
+use sim_mem::{Access, AccessError, AccessFault, AccessTlb, AddressSpace, VAddr};
 use sim_net::Network;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Largest [`Pod`] element size: lets the typed accessors stage elements
+/// in a stack buffer instead of allocating per access.
+const POD_MAX: usize = 8;
 
 /// A one-shot rendezvous between a blocked application thread and the DSM
 /// server thread that completes its request.
@@ -152,12 +156,21 @@ impl HostState {
     pub(crate) fn register_waiter(&self, events: &AtomicU64) -> (u64, Arc<Waiter>) {
         let ev = events.fetch_add(1, Ordering::Relaxed);
         let w = Waiter::new();
-        self.waiters.lock().insert(ev, Arc::clone(&w));
-        // Re-check after publishing: the cancel sweep may have drained the
-        // map just before the insert, and a waiter registered after the
-        // sweep would otherwise block forever.
-        if self.aborted.load(Ordering::Acquire) {
-            self.waiters.lock().remove(&ev);
+        // One critical section: checking `aborted` under the same lock the
+        // cancel sweep drains under means either the sweep ran first (we
+        // see the flag and never publish) or we publish first (the sweep
+        // finds and fails the waiter). The old publish-then-recheck dance
+        // took the lock twice per registration on the fault hot path.
+        let cancelled = {
+            let mut ws = self.waiters.lock();
+            if self.aborted.load(Ordering::Acquire) {
+                true
+            } else {
+                ws.insert(ev, Arc::clone(&w));
+                false
+            }
+        };
+        if cancelled {
             w.fail(ProtocolError::Cancelled {
                 host: self.host,
                 what: "request registered during shutdown",
@@ -220,6 +233,14 @@ pub struct HostCtx {
     /// This thread's handle into the deterministic scheduler (inert in
     /// the default free-threaded mode).
     pub(crate) sched: SchedThread,
+    /// Per-thread software TLB over the host's address space: caches the
+    /// last few `(vpage → protection, page)` resolutions so the
+    /// non-faulting common case skips the address decode and protection
+    /// load. Entries are validated against the space's protection
+    /// generation under the page lock, so the cache changes wall-clock
+    /// cost only — never which accesses fault (see
+    /// `sim_mem::AddressSpace`'s module docs).
+    pub(crate) tlb: AccessTlb,
 }
 
 impl HostCtx {
@@ -437,16 +458,16 @@ impl HostCtx {
 
     /// Reads element `i`.
     pub fn get<T: Pod>(&mut self, sv: &SharedVec<T>, i: usize) -> T {
-        let mut buf = vec![0u8; T::SIZE];
-        self.read_bytes_at(sv.addr_of(i), &mut buf);
-        T::from_bytes(&buf)
+        let mut buf = [0u8; POD_MAX];
+        self.read_bytes_at(sv.addr_of(i), &mut buf[..T::SIZE]);
+        T::from_bytes(&buf[..T::SIZE])
     }
 
     /// Writes element `i`.
     pub fn set<T: Pod>(&mut self, sv: &SharedVec<T>, i: usize, v: T) {
-        let mut buf = vec![0u8; T::SIZE];
-        v.to_bytes(&mut buf);
-        self.write_bytes_at(sv.addr_of(i), &buf);
+        let mut buf = [0u8; POD_MAX];
+        v.to_bytes(&mut buf[..T::SIZE]);
+        self.write_bytes_at(sv.addr_of(i), &buf[..T::SIZE]);
     }
 
     /// Reads elements `range` into a fresh vector.
@@ -473,16 +494,16 @@ impl HostCtx {
 
     /// Reads the cell.
     pub fn cell_get<T: Pod>(&mut self, c: &SharedCell<T>) -> T {
-        let mut buf = vec![0u8; T::SIZE];
-        self.read_bytes_at(c.addr(), &mut buf);
-        T::from_bytes(&buf)
+        let mut buf = [0u8; POD_MAX];
+        self.read_bytes_at(c.addr(), &mut buf[..T::SIZE]);
+        T::from_bytes(&buf[..T::SIZE])
     }
 
     /// Writes the cell.
     pub fn cell_set<T: Pod>(&mut self, c: &SharedCell<T>, v: T) {
-        let mut buf = vec![0u8; T::SIZE];
-        v.to_bytes(&mut buf);
-        self.write_bytes_at(c.addr(), &buf);
+        let mut buf = [0u8; POD_MAX];
+        v.to_bytes(&mut buf[..T::SIZE]);
+        self.write_bytes_at(c.addr(), &buf[..T::SIZE]);
     }
 
     /// Segmented read: commits page by page, like a hardware memcpy whose
@@ -491,6 +512,15 @@ impl HostCtx {
     /// multi-minipage ranges live (per-page atomicity, as on real
     /// hardware).
     fn read_bytes_at(&mut self, addr: VAddr, buf: &mut [u8]) {
+        // TLB fast path: the whole access inside one cached, readable
+        // vpage — no address decode, no fault-retry machinery.
+        if let Some(e) = self.tlb.lookup(addr, buf.len(), Access::Read) {
+            if self.state.space.tlb_read(&e, addr, buf) {
+                self.account_access(buf.len());
+                return;
+            }
+            self.tlb.evict(e.vpage());
+        }
         let page = self.state.space.geometry().page_size();
         let mut off = 0usize;
         while off < buf.len() {
@@ -501,12 +531,20 @@ impl HostCtx {
             self.checked(seg_addr, take, Access::Read, |space| {
                 space.read(seg_addr, dst)
             });
+            self.tlb_refill(seg_addr);
             off += take;
         }
     }
 
     /// Segmented write; see [`read_bytes_at`](Self::read_bytes_at).
     fn write_bytes_at(&mut self, addr: VAddr, data: &[u8]) {
+        if let Some(e) = self.tlb.lookup(addr, data.len(), Access::Write) {
+            if self.state.space.tlb_write(&e, addr, data) {
+                self.account_access(data.len());
+                return;
+            }
+            self.tlb.evict(e.vpage());
+        }
         let page = self.state.space.geometry().page_size();
         let mut off = 0usize;
         while off < data.len() {
@@ -517,7 +555,16 @@ impl HostCtx {
             self.checked(seg_addr, take, Access::Write, |space| {
                 space.write(seg_addr, src)
             });
+            self.tlb_refill(seg_addr);
             off += take;
+        }
+    }
+
+    /// Caches the vpage resolution of a segment that just completed on
+    /// the slow path, so the next access to it takes the fast path.
+    fn tlb_refill(&mut self, addr: VAddr) {
+        if let Some(e) = self.state.space.tlb_fill(addr) {
+            self.tlb.insert(e);
         }
     }
 
@@ -594,24 +641,23 @@ impl HostCtx {
             panic!("prefetch outside the shared region: {addr}+{len}");
         };
         // Skip when data is already present or a prefetch is in flight.
-        let mut pf = self.state.prefetch_waiters.lock();
-        let first = vpages.start;
-        if self.state.space.prot(first) != sim_mem::Prot::NoAccess || pf.contains_key(&first) {
-            return;
-        }
-        let w = Waiter::new();
-        for vp in vpages {
-            pf.entry(vp).or_insert_with(|| Arc::clone(&w));
-        }
-        drop(pf);
-        // Same publish-then-recheck dance as `register_waiter`: a cancel
-        // sweep racing the insert must not leave a live, unfailable waiter.
-        if self.state.aborted.load(Ordering::Acquire) {
-            w.fail(ProtocolError::Cancelled {
-                host: self.host,
-                what: "prefetch registered during shutdown",
-            });
-            return;
+        // Like `register_waiter`, the shutdown check lives inside the same
+        // critical section as the publication: the cancel sweep either ran
+        // first (we see the flag, publish nothing, send nothing) or finds
+        // the published waiter and fails it — one lock either way.
+        {
+            let mut pf = self.state.prefetch_waiters.lock();
+            let first = vpages.start;
+            if self.state.space.prot(first) != sim_mem::Prot::NoAccess || pf.contains_key(&first) {
+                return;
+            }
+            if self.state.aborted.load(Ordering::Acquire) {
+                return;
+            }
+            let w = Waiter::new();
+            for vp in vpages {
+                pf.entry(vp).or_insert_with(|| Arc::clone(&w));
+            }
         }
         self.state.counters.prefetch_requests.bump();
         let ev = self.events.fetch_add(1, Ordering::Relaxed);
@@ -740,12 +786,7 @@ impl HostCtx {
         loop {
             match attempt(&self.state.space) {
                 Ok(r) => {
-                    let cost = self.cost.copy_time(len);
-                    let t0 = self.clock.now();
-                    self.clock.advance(cost);
-                    self.breakdown.charge(Category::Comp, cost);
-                    self.state.busy.record(t0, self.clock.now());
-                    self.flush_acks();
+                    self.account_access(len);
                     return r;
                 }
                 Err(AccessError::Fault(f)) => {
@@ -759,6 +800,18 @@ impl HostCtx {
                 }
             }
         }
+    }
+
+    /// The virtual-time charge of one completed shared access — identical
+    /// whether the copy went through the TLB fast path or the checked
+    /// slow path, which is what keeps the TLB invisible to virtual time.
+    fn account_access(&mut self, len: usize) {
+        let cost = self.cost.copy_time(len);
+        let t0 = self.clock.now();
+        self.clock.advance(cost);
+        self.breakdown.charge(Category::Comp, cost);
+        self.state.busy.record(t0, self.clock.now());
+        self.flush_acks();
     }
 
     /// Figure 3 "On Read or Write Fault".

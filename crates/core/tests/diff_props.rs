@@ -1,0 +1,125 @@
+//! Property-based tests of the word-scanning diff against a byte-wise
+//! reference implementation (the algorithm the paper describes, kept here
+//! as the specification the optimized scan must match run for run).
+
+use bytes::Bytes;
+use millipage::diff::{Diff, Twin};
+use proptest::prelude::*;
+
+/// The specification: the naive byte-at-a-time run scan.
+fn reference_runs(twin: &[u8], current: &[u8]) -> Vec<(usize, Vec<u8>)> {
+    assert_eq!(twin.len(), current.len());
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < twin.len() {
+        if twin[i] == current[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < twin.len() && twin[i] != current[i] {
+            i += 1;
+        }
+        runs.push((start, current[start..i].to_vec()));
+    }
+    runs
+}
+
+/// Builds a (twin, current) pair of `len` bytes: `twin` from `seed`,
+/// `current` by flipping the bytes `edits` selects (offset, run length).
+fn build_pair(len: usize, seed: u8, edits: &[(u16, u8)]) -> (Vec<u8>, Vec<u8>) {
+    let twin: Vec<u8> = (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect();
+    let mut cur = twin.clone();
+    for &(off, run) in edits {
+        let start = off as usize % len.max(1);
+        for b in cur.iter_mut().skip(start).take(run as usize % 17 + 1) {
+            *b ^= 0xFF;
+        }
+    }
+    (twin, cur)
+}
+
+proptest! {
+    /// Word-wise compute produces byte-identical runs to the byte-wise
+    /// reference on random edit patterns — including none (all-equal) and
+    /// runs straddling u64 word boundaries, which `edits` hits constantly
+    /// since offsets are arbitrary.
+    #[test]
+    fn compute_matches_bytewise_reference(
+        len in 1usize..700,
+        seed in any::<u8>(),
+        edits in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..12),
+    ) {
+        let (twin, cur) = build_pair(len, seed, &edits);
+        let d = Diff::compute(&twin, &cur);
+        let got: Vec<(usize, Vec<u8>)> =
+            d.iter_runs().map(|(o, b)| (o, b.to_vec())).collect();
+        prop_assert_eq!(got, reference_runs(&twin, &cur));
+    }
+
+    /// All-different pairs: one run covering everything, same as the
+    /// reference (the dense worst case the paper's 250 µs figure is about).
+    #[test]
+    fn compute_matches_on_all_different(len in 1usize..600, seed in any::<u8>()) {
+        let twin: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_add(seed)).collect();
+        let cur: Vec<u8> = twin.iter().map(|b| b ^ 0x80).collect();
+        let d = Diff::compute(&twin, &cur);
+        prop_assert_eq!(d.runs(), 1);
+        prop_assert_eq!(d.changed_bytes(), len);
+        let got: Vec<(usize, Vec<u8>)> =
+            d.iter_runs().map(|(o, b)| (o, b.to_vec())).collect();
+        prop_assert_eq!(got, reference_runs(&twin, &cur));
+    }
+
+    /// `apply(compute(twin, current), twin) == current` — the twin/diff
+    /// contract HLRC's release path depends on.
+    #[test]
+    fn apply_compute_rebuilds_current(
+        len in 1usize..700,
+        seed in any::<u8>(),
+        edits in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..12),
+    ) {
+        let (twin, cur) = build_pair(len, seed, &edits);
+        let d = Twin::capture(&twin).diff(&cur);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        prop_assert_eq!(rebuilt, cur);
+    }
+
+    /// decode(encode(d)) round-trips semantically for arbitrary diffs.
+    #[test]
+    fn encode_decode_roundtrips(
+        len in 1usize..700,
+        seed in any::<u8>(),
+        edits in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..12),
+    ) {
+        let (twin, cur) = build_pair(len, seed, &edits);
+        let d = Diff::compute(&twin, &cur);
+        let wire = Bytes::from(d.encode());
+        let d2 = Diff::decode(&wire).expect("own encoding is valid");
+        prop_assert_eq!(&d, &d2);
+        prop_assert_eq!(d.wire_bytes(), d2.wire_bytes());
+        let mut rebuilt = twin.clone();
+        d2.apply(&mut rebuilt);
+        prop_assert_eq!(rebuilt, cur);
+    }
+
+    /// Hostile wire bytes never panic decode: it returns `Some` only for
+    /// well-formed input, and anything it accepts is safe to `apply` to a
+    /// `source_len`-sized buffer.
+    #[test]
+    fn decode_is_total_on_arbitrary_bytes(
+        raw in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let wire = Bytes::from(raw);
+        if let Some(d) = Diff::decode(&wire) {
+            for (off, bytes) in d.iter_runs() {
+                prop_assert!(off + bytes.len() <= d.source_len());
+            }
+            let mut target = vec![0u8; d.source_len()];
+            d.apply(&mut target); // must not panic
+        }
+    }
+}

@@ -9,7 +9,6 @@
 use crate::minipage::{Minipage, MinipageId};
 use parking_lot::RwLock;
 use sim_mem::{Geometry, VAddr};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The minipage table: id → descriptor, plus a vpage index for fault
@@ -17,12 +16,17 @@ use std::sync::Arc;
 ///
 /// In the dynamic layout every vpage is associated with at most one
 /// minipage (that is the invariant MultiView exists to establish), so the
-/// fault-address lookup is a single vpage-keyed map probe — the 7 µs
-/// "minipage translation" of Table 1.
+/// fault-address lookup is a single vpage-indexed load — the 7 µs
+/// "minipage translation" of Table 1. The index is a flat `Vec` rather
+/// than a hash map: vpage indices are small and dense (views × pages of
+/// one geometry), so a direct load beats hashing on the translation path
+/// every fault and every home routing takes.
 #[derive(Debug, Default)]
 pub struct Mpt {
     entries: Vec<Minipage>,
-    by_vpage: HashMap<usize, MinipageId>,
+    /// `by_vpage[vp]` is the minipage carrying global vpage `vp`, if any;
+    /// grown on insert to cover the highest associated vpage.
+    by_vpage: Vec<Option<MinipageId>>,
 }
 
 impl Mpt {
@@ -55,7 +59,10 @@ impl Mpt {
             "minipage ids are dense insertion indices"
         );
         for vp in mp.vpages(geo) {
-            let prev = self.by_vpage.insert(vp, mp.id);
+            if vp >= self.by_vpage.len() {
+                self.by_vpage.resize(vp + 1, None);
+            }
+            let prev = self.by_vpage[vp].replace(mp.id);
             assert!(
                 prev.is_none(),
                 "vpage {vp} already carries {:?}",
@@ -81,7 +88,7 @@ impl Mpt {
     /// that carry no minipage.
     pub fn translate(&self, geo: &Geometry, fault_addr: VAddr) -> Option<&Minipage> {
         let vp = geo.vpage_of(fault_addr)?;
-        let id = *self.by_vpage.get(&vp)?;
+        let id = (*self.by_vpage.get(vp)?)?;
         Some(self.get(id))
     }
 

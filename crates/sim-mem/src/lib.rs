@@ -30,4 +30,4 @@ mod space;
 
 pub use addr::{Geometry, Loc, VAddr, DEFAULT_BASE, DEFAULT_PAGE_SIZE};
 pub use fault::{Access, AccessFault, MemError, Prot};
-pub use space::{AccessError, AddressSpace};
+pub use space::{AccessError, AccessTlb, AddressSpace, TlbEntry};

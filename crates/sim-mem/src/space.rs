@@ -3,7 +3,7 @@
 use crate::addr::{Geometry, VAddr};
 use crate::fault::{Access, AccessFault, MemError, Prot};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Why a checked access did not complete.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,10 +50,115 @@ impl std::error::Error for AccessError {}
 /// before the remote write, which is legal under sequential consistency
 /// because the writer is still blocked waiting for the invalidation ack) or
 /// the protection change lands first and the access faults.
+///
+/// # The software TLB
+///
+/// The non-faulting common case is the one MultiView's protection trick is
+/// supposed to make near-free, so threads may cache `(vpage → protection,
+/// page)` resolutions in a per-thread [`AccessTlb`] and take the
+/// [`tlb_read`](AddressSpace::tlb_read) / [`tlb_write`](AddressSpace::tlb_write)
+/// fast path, which skips the address decode (divisions) and the
+/// protection re-load. Safety rests on a single generation counter: every
+/// protection change ([`set_prot`](AddressSpace::set_prot),
+/// [`snapshot_and_protect`](AddressSpace::snapshot_and_protect)) bumps
+/// [`prot_generation`](AddressSpace::prot_generation) *while holding the
+/// page's exclusive lock*, and the fast path re-validates the cached
+/// generation *under the page lock* before touching bytes. A matching
+/// generation proves no protection anywhere changed since the entry was
+/// filled, so the cached protection is still exact; a mismatch falls back
+/// to the slow path (at worst a spurious miss for an unrelated vpage's
+/// change). The TLB therefore changes wall-clock cost only — never which
+/// accesses fault.
 pub struct AddressSpace {
     geo: Geometry,
     prots: Vec<AtomicU8>,
     pages: Vec<RwLock<Box<[u8]>>>,
+    /// Bumped (under the affected page's exclusive lock) by every
+    /// protection change; validates [`TlbEntry`]s.
+    prot_gen: AtomicU64,
+}
+
+/// One cached vpage resolution: the fields a checked access needs, minus
+/// anything that requires a division or a map probe.
+#[derive(Clone, Copy, Debug)]
+pub struct TlbEntry {
+    /// [`AddressSpace::prot_generation`] at fill time.
+    gen: u64,
+    /// Global vpage index (identifies the entry for eviction).
+    vpage: usize,
+    /// Physical page index (the lock + storage to use).
+    page: usize,
+    /// First address of the vpage.
+    base: u64,
+    /// One past the last address of the vpage.
+    limit: u64,
+    /// Protection at fill time (exact while `gen` is current).
+    prot: Prot,
+}
+
+/// A tiny per-thread cache of [`TlbEntry`]s (fully associative, round
+/// robin replacement — big enough for a stencil's neighbor rows, small
+/// enough to probe in a few compares).
+#[derive(Debug, Default)]
+pub struct AccessTlb {
+    entries: [Option<TlbEntry>; 4],
+    victim: usize,
+}
+
+impl AccessTlb {
+    /// An empty TLB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cached entry whose vpage covers `[addr, addr+len)` with a
+    /// protection allowing `access`. The returned entry must still be
+    /// generation-validated under the page lock by
+    /// [`AddressSpace::tlb_read`] / [`AddressSpace::tlb_write`].
+    #[inline]
+    pub fn lookup(&self, addr: VAddr, len: usize, access: Access) -> Option<TlbEntry> {
+        self.entries
+            .iter()
+            .flatten()
+            .copied()
+            .find(|e| addr.0 >= e.base && addr.0 + len as u64 <= e.limit && e.prot.allows(access))
+    }
+
+    /// Caches `e`, replacing any entry for the same vpage, else a round
+    /// robin victim.
+    pub fn insert(&mut self, e: TlbEntry) {
+        let slot = self
+            .entries
+            .iter()
+            .position(|s| s.is_some_and(|s| s.vpage == e.vpage))
+            .unwrap_or_else(|| {
+                let v = self.victim;
+                self.victim = (v + 1) % self.entries.len();
+                v
+            });
+        self.entries[slot] = Some(e);
+    }
+
+    /// Drops the entry for `vpage` (after a failed generation check).
+    pub fn evict(&mut self, vpage: usize) {
+        for s in self.entries.iter_mut() {
+            if s.is_some_and(|e| e.vpage == vpage) {
+                *s = None;
+            }
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries = [None; 4];
+    }
+}
+
+impl TlbEntry {
+    /// The global vpage this entry resolves (for [`AccessTlb::evict`]).
+    pub fn vpage(&self) -> usize {
+        self.vpage
+    }
 }
 
 impl AddressSpace {
@@ -75,7 +180,12 @@ impl AddressSpace {
         let pages = (0..geo.pages())
             .map(|_| RwLock::new(vec![0u8; geo.page_size()].into_boxed_slice()))
             .collect();
-        Self { geo, prots, pages }
+        Self {
+            geo,
+            prots,
+            pages,
+            prot_gen: AtomicU64::new(0),
+        }
     }
 
     /// The shared geometry.
@@ -110,10 +220,81 @@ impl AddressSpace {
         }
         let page = vpage % self.geo.pages();
         // Exclusive page lock: no application copy of this physical page is
-        // in flight while the protection changes.
+        // in flight while the protection changes. The generation bump under
+        // the same lock invalidates every cached TlbEntry before any fast
+        // path can next validate one against this page.
         let _guard = self.pages[page].write();
         self.prots[vpage].store(prot as u8, Ordering::Release);
+        self.prot_gen.fetch_add(1, Ordering::Release);
         Ok(())
+    }
+
+    /// The protection-change generation; a [`TlbEntry`] is valid only
+    /// while this still equals the value read at fill time.
+    pub fn prot_generation(&self) -> u64 {
+        self.prot_gen.load(Ordering::Acquire)
+    }
+
+    /// Resolves `addr`'s vpage into a cacheable [`TlbEntry`] (page index,
+    /// vpage bounds, current protection, current generation — read
+    /// consistently under the page lock). Returns `None` outside the
+    /// shared region or for the privileged view, which bypasses
+    /// protections and stays on the slow path.
+    pub fn tlb_fill(&self, addr: VAddr) -> Option<TlbEntry> {
+        let (loc, vpages) = self.geo.vpages_covering(addr, 1)?;
+        if loc.view == self.geo.priv_view() {
+            return None;
+        }
+        let vpage = vpages.start;
+        let guard = self.pages[loc.page].read();
+        // Under the page's read lock no protection change for *this* page
+        // can interleave; reading the generation before the protection is
+        // merely conservative for concurrent changes to other pages.
+        let gen = self.prot_gen.load(Ordering::Acquire);
+        let prot = self.prot(vpage);
+        drop(guard);
+        let base = addr.0 - loc.offset as u64;
+        Some(TlbEntry {
+            gen,
+            vpage,
+            page: loc.page,
+            base,
+            limit: base + self.geo.page_size() as u64,
+            prot,
+        })
+    }
+
+    /// Fast-path read through a cached [`TlbEntry`]: no address decode,
+    /// no protection load — one page read lock, one generation compare,
+    /// one copy. Returns `false` (without touching `buf`) if any
+    /// protection changed since the entry was filled; the caller falls
+    /// back to the checked slow path.
+    ///
+    /// The caller must have matched `addr`/`buf.len()` against the entry
+    /// via [`AccessTlb::lookup`], which also checked the cached
+    /// protection allows reads.
+    #[inline]
+    pub fn tlb_read(&self, e: &TlbEntry, addr: VAddr, buf: &mut [u8]) -> bool {
+        let guard = self.pages[e.page].read();
+        if self.prot_gen.load(Ordering::Acquire) != e.gen {
+            return false;
+        }
+        let off = (addr.0 - e.base) as usize;
+        buf.copy_from_slice(&guard[off..off + buf.len()]);
+        true
+    }
+
+    /// Fast-path write through a cached [`TlbEntry`]; see
+    /// [`tlb_read`](AddressSpace::tlb_read).
+    #[inline]
+    pub fn tlb_write(&self, e: &TlbEntry, addr: VAddr, data: &[u8]) -> bool {
+        let mut guard = self.pages[e.page].write();
+        if self.prot_gen.load(Ordering::Acquire) != e.gen {
+            return false;
+        }
+        let off = (addr.0 - e.base) as usize;
+        guard[off..off + data.len()].copy_from_slice(data);
+        true
     }
 
     /// Checks whether `[addr, addr+len)` is accessible for `access`
@@ -339,6 +520,7 @@ impl AddressSpace {
             out[filled..filled + take].copy_from_slice(&guard[off..off + take]);
             let vp = vp_iter.next().expect("vpages cover the range");
             self.prots[vp].store(prot as u8, Ordering::Release);
+            self.prot_gen.fetch_add(1, Ordering::Release);
             drop(guard);
             filled += take;
             off = 0;
@@ -551,6 +733,105 @@ mod tests {
         // Privileged-view targets are rejected.
         let p = g.to_priv(a).unwrap();
         assert!(s.snapshot_and_protect(p, 4, Prot::NoAccess).is_err());
+    }
+
+    #[test]
+    fn tlb_fast_path_reads_and_writes() {
+        let s = space();
+        let g = s.geometry().clone();
+        let vp = g.vpage_index(0, 1);
+        s.set_prot(vp, Prot::ReadWrite).unwrap();
+        let a = g.addr_of(0, 1, 100);
+        let mut tlb = AccessTlb::new();
+        assert!(tlb.lookup(a, 4, Access::Read).is_none());
+        let e = s.tlb_fill(a).unwrap();
+        assert_eq!(e.vpage(), vp);
+        tlb.insert(e);
+        let e = tlb.lookup(a, 4, Access::Write).expect("cached entry");
+        assert!(s.tlb_write(&e, a, &[1, 2, 3, 4]));
+        let mut buf = [0u8; 4];
+        let e = tlb.lookup(a, 4, Access::Read).expect("cached entry");
+        assert!(s.tlb_read(&e, a, &mut buf));
+        assert_eq!(buf, [1, 2, 3, 4]);
+        // An access past the vpage, or without the needed protection,
+        // never matches the cache.
+        assert!(tlb.lookup(g.addr_of(0, 2, 0), 4, Access::Read).is_none());
+        s.set_prot(vp, Prot::ReadOnly).unwrap();
+        let e = s.tlb_fill(a).unwrap();
+        tlb.insert(e);
+        assert!(tlb.lookup(a, 4, Access::Write).is_none());
+        assert!(tlb.lookup(a, 4, Access::Read).is_some());
+    }
+
+    #[test]
+    fn tlb_entry_is_invalidated_by_protection_change() {
+        // write → invalidate → read must fault (miss), not hit the stale
+        // cached entry: the generation bumped by set_prot defeats the
+        // cached ReadWrite resolution.
+        let s = space();
+        let g = s.geometry().clone();
+        let vp = g.vpage_index(0, 1);
+        s.set_prot(vp, Prot::ReadWrite).unwrap();
+        let a = g.addr_of(0, 1, 0);
+        let mut tlb = AccessTlb::new();
+        tlb.insert(s.tlb_fill(a).unwrap());
+        let e = tlb.lookup(a, 8, Access::Write).expect("cached entry");
+        assert!(s.tlb_write(&e, a, &[9u8; 8]));
+        // The invalidation (e.g. a remote writer taking ownership).
+        s.set_prot(vp, Prot::NoAccess).unwrap();
+        // The stale entry still matches the lookup — but the generation
+        // check under the page lock rejects it...
+        let stale = tlb.lookup(a, 8, Access::Read).expect("stale entry");
+        let mut buf = [0u8; 8];
+        assert!(!s.tlb_read(&stale, a, &mut buf));
+        tlb.evict(stale.vpage());
+        assert!(tlb.lookup(a, 8, Access::Read).is_none());
+        // ...and the slow path faults, exactly as without a TLB.
+        assert!(matches!(s.read(a, &mut buf), Err(AccessError::Fault(_))));
+        // A refill after a re-grant works again.
+        s.set_prot(vp, Prot::ReadOnly).unwrap();
+        tlb.insert(s.tlb_fill(a).unwrap());
+        let e = tlb.lookup(a, 8, Access::Read).expect("refilled");
+        assert!(s.tlb_read(&e, a, &mut buf));
+        assert_eq!(buf, [9u8; 8]);
+    }
+
+    #[test]
+    fn tlb_is_invalidated_by_snapshot_and_protect() {
+        let s = space();
+        let g = s.geometry().clone();
+        let vp = g.vpage_index(0, 1);
+        s.set_prot(vp, Prot::ReadWrite).unwrap();
+        let a = g.addr_of(0, 1, 0);
+        let mut tlb = AccessTlb::new();
+        tlb.insert(s.tlb_fill(a).unwrap());
+        s.snapshot_and_protect(a, 16, Prot::ReadOnly).unwrap();
+        let stale = tlb.lookup(a, 8, Access::Write).expect("stale entry");
+        assert!(!s.tlb_write(&stale, a, &[1u8; 8]));
+    }
+
+    #[test]
+    fn tlb_replacement_keeps_recent_entries() {
+        let s = space();
+        let g = s.geometry().clone();
+        let mut tlb = AccessTlb::new();
+        for page in 0..4 {
+            s.set_prot(g.vpage_index(0, page), Prot::ReadWrite).unwrap();
+            tlb.insert(s.tlb_fill(g.addr_of(0, page, 0)).unwrap());
+        }
+        // All four resident; a fifth (same vpage refreshed) replaces in
+        // place, not a victim.
+        for page in 0..4 {
+            assert!(
+                tlb.lookup(g.addr_of(0, page, 10), 1, Access::Read)
+                    .is_some(),
+                "page {page} evicted prematurely"
+            );
+        }
+        tlb.insert(s.tlb_fill(g.addr_of(0, 2, 0)).unwrap());
+        assert!(tlb.lookup(g.addr_of(0, 0, 0), 1, Access::Read).is_some());
+        tlb.clear();
+        assert!(tlb.lookup(g.addr_of(0, 0, 0), 1, Access::Read).is_none());
     }
 
     #[test]
