@@ -15,7 +15,7 @@
 //! paper's 90 barriers for 10 iterations.
 
 use crate::{band, cal, AppRun, TimedAgg};
-use millipage::{run, ClusterConfig, HostCtx, SetupCtx, SharedVec};
+use millipage::{run, ClusterConfig, Dsm, SetupCtx, SharedVec};
 use sim_core::SplitMix64;
 
 /// IS workload parameters.
@@ -105,7 +105,7 @@ pub fn setup(s: &mut SetupCtx, p: IsParams) -> IsShared {
 }
 
 /// The per-host program.
-pub fn worker(ctx: &mut HostCtx, sh: &IsShared) {
+pub fn worker<D: Dsm>(ctx: &mut D, sh: &IsShared) {
     let p = sh.params;
     let hosts = ctx.hosts();
     let me = ctx.host().index();
@@ -141,7 +141,7 @@ pub fn worker(ctx: &mut HostCtx, sh: &IsShared) {
 }
 
 /// Checksum over the shared histogram (host 0, after the final barrier).
-pub fn checksum(ctx: &mut HostCtx, sh: &IsShared) -> f64 {
+pub fn checksum<D: Dsm>(ctx: &mut D, sh: &IsShared) -> f64 {
     let p = sh.params;
     let bpr = p.buckets_per_region();
     let mut sum = 0.0;
@@ -180,6 +180,40 @@ pub fn run_is(mut cfg: ClusterConfig, p: IsParams) -> AppRun {
         timed_ns,
         timed_breakdown,
     }
+}
+
+/// Runs IS on the real-memory backend (Linux): same workers, same
+/// checksum, real SIGSEGV faults.
+#[cfg(target_os = "linux")]
+pub fn run_is_host(hosts: usize, p: IsParams) -> Result<crate::HostAppRun, String> {
+    assert!(
+        hosts <= p.regions,
+        "the rotated merge needs at least as many regions as hosts"
+    );
+    let cfg = millipage::HostRunConfig {
+        hosts,
+        views: p.regions.max(4),
+        pages: 64,
+    };
+    let sum = parking_lot::Mutex::new(0.0f64);
+    let report = millipage::run_host(
+        cfg,
+        |s| setup(s, p),
+        |ctx, sh| {
+            worker(ctx, sh);
+            if ctx.host().index() == 0 {
+                *sum.lock() = checksum(ctx, sh);
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    if !report.errors.is_empty() {
+        return Err(report.errors.join("; "));
+    }
+    Ok(crate::HostAppRun {
+        report,
+        checksum: sum.into_inner(),
+    })
 }
 
 #[cfg(test)]

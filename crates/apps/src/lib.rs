@@ -78,6 +78,18 @@ impl AppRun {
     }
 }
 
+/// Result of one application run on the real-memory backend (Linux):
+/// real SIGSEGV fault counts instead of simulated ones.
+#[cfg(target_os = "linux")]
+#[derive(Clone, Debug)]
+pub struct HostAppRun {
+    /// The host-backend run report (real fault counters, wall time).
+    pub report: millipage::HostRunReport,
+    /// The application checksum, comparable against both the sequential
+    /// reference and the simulator run's checksum.
+    pub checksum: f64,
+}
+
 /// Aggregates the timed regions of all application threads of a run.
 #[derive(Default)]
 pub struct TimedAgg {

@@ -8,7 +8,7 @@
 //! phase and false sharing is absent.
 
 use crate::{band, cal, AppRun, TimedAgg};
-use millipage::{run, ClusterConfig, HostCtx, SetupCtx, SharedVec};
+use millipage::{run, ClusterConfig, Dsm, SetupCtx, SharedVec};
 
 /// SOR workload parameters.
 #[derive(Clone, Copy, Debug)]
@@ -101,8 +101,10 @@ pub fn setup(setup: &mut SetupCtx, p: SorParams) -> SorShared {
     SorShared { rows, params: p }
 }
 
-/// The per-host program.
-pub fn worker(ctx: &mut HostCtx, sh: &SorShared) {
+/// The per-host program, portable across backends: written against the
+/// [`Dsm`] trait, it runs identically on the simulator's `HostCtx` and on
+/// the real-memory backend's `HostDsmCtx`.
+pub fn worker<D: Dsm>(ctx: &mut D, sh: &SorShared) {
     let p = sh.params;
     let hosts = ctx.hosts();
     let my = band(p.rows, hosts, ctx.host().index());
@@ -136,7 +138,7 @@ pub fn worker(ctx: &mut HostCtx, sh: &SorShared) {
 }
 
 /// Checksum as computed by host 0 after the final barrier.
-pub fn checksum(ctx: &mut HostCtx, sh: &SorShared) -> f64 {
+pub fn checksum<D: Dsm>(ctx: &mut D, sh: &SorShared) -> f64 {
     let p = sh.params;
     let mut sum = 0.0f64;
     for row in &sh.rows {
@@ -171,6 +173,40 @@ pub fn run_sor(mut cfg: ClusterConfig, p: SorParams) -> AppRun {
         timed_ns,
         timed_breakdown,
     }
+}
+
+/// Runs SOR on the real-memory backend (Linux): same workers, same
+/// checksum, real SIGSEGV faults. The geometry mirrors [`run_sor`]'s
+/// sizing with the real page size.
+#[cfg(target_os = "linux")]
+pub fn run_sor_host(hosts: usize, p: SorParams) -> Result<crate::HostAppRun, String> {
+    let page_size = 4096; // MultiViewRegion uses the system page size.
+    let pages = p.shared_bytes() / page_size * 2 + 64;
+    let views = (page_size / (p.cols * 4)).clamp(1, 32);
+    let cfg = millipage::HostRunConfig {
+        hosts,
+        views,
+        pages,
+    };
+    let sum = parking_lot::Mutex::new(0.0f64);
+    let report = millipage::run_host(
+        cfg,
+        |s| setup(s, p),
+        |ctx, sh| {
+            worker(ctx, sh);
+            if ctx.host().index() == 0 {
+                *sum.lock() = checksum(ctx, sh);
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    if !report.errors.is_empty() {
+        return Err(report.errors.join("; "));
+    }
+    Ok(crate::HostAppRun {
+        report,
+        checksum: sum.into_inner(),
+    })
 }
 
 #[cfg(test)]

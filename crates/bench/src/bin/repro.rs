@@ -4,7 +4,15 @@
 //! repro table1            Table 1: basic operation costs
 //! repro costs             §4.2 prose: fault/barrier/lock/diff times
 //! repro fig5  [--quick]   Figure 5: MultiView overhead vs. #views
-//! repro table2 [--quick]  Table 2: application suite characteristics
+//! repro table2 [--quick] [--backend sim|host]
+//!                         Table 2: application suite characteristics
+//!                         (`--backend host`: SOR/IS on real memory)
+//! repro sor   [--quick] [--backend sim|host] [--hosts N]
+//! repro is    [--quick] [--backend sim|host] [--hosts N]
+//!                         One app on one backend; `--backend host` runs
+//!                         both and cross-checks the checksums, printing
+//!                         real SIGSEGV fault counts next to simulated
+//!                         ones (Linux only)
 //! repro fig6  [--quick]   Figure 6: speedups + time breakdown
 //! repro fig7  [--quick]   Figure 7: WATER chunking sweep
 //! repro ablate [--quick]  Extensions: fast-polling what-if, baseline
@@ -56,10 +64,10 @@
 use millipage::explore::{race_config, race_workload};
 use millipage::{
     audit, explore, replay_repro, run, AllocMode, AuditMode, Category, ChromeTrace, ClusterConfig,
-    Consistency, CostModel, ExploreOpts, FaultPlane, HomePolicyKind, MinimizedRepro, Ns,
-    SharedCell, Tracer,
+    Consistency, CostModel, ExploreOpts, HomePolicyKind, MinimizedRepro, Ns, SharedCell, Tracer,
+    WireFaults,
 };
-use millipage_apps::{is, lu, sor, tsp, water, AppRun};
+use millipage_apps::{close, is, lu, sor, tsp, water, AppRun};
 use millipage_bench::scenarios;
 use millipage_bench::{render_table, us, wall};
 use sim_cache::fig5::{point, predicted_break_views, Fig5Config};
@@ -72,7 +80,21 @@ fn main() {
         "table1" => table1(),
         "costs" => costs(),
         "fig5" => fig5(quick),
-        "table2" => table2(quick),
+        "table2" => match flag_value(&args, "--backend").as_deref() {
+            None | Some("sim") => table2(quick),
+            Some("host") => table2_host(quick),
+            Some(other) => {
+                eprintln!("unknown backend {other:?} (expected sim or host)");
+                std::process::exit(2);
+            }
+        },
+        "sor" | "is" => {
+            let hosts = flag_value(&args, "--hosts")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4);
+            let backend = flag_value(&args, "--backend").unwrap_or_else(|| "sim".into());
+            app_backend(cmd, quick, hosts, &backend);
+        }
         "fig6" => fig6(quick),
         "fig7" => fig7(quick),
         "ablate" => ablate(quick),
@@ -151,7 +173,7 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: repro [table1|costs|fig5|table2|fig6|fig7|ablate|manager-sweep|trace|faults|explore|bench|all] [--quick]"
+                "usage: repro [table1|costs|fig5|table2|sor|is|fig6|fig7|ablate|manager-sweep|trace|faults|explore|bench|all] [--quick] [--backend sim|host]"
             );
             std::process::exit(2);
         }
@@ -415,6 +437,294 @@ fn app_specs_inner(quick: bool, chunk_water: bool) -> Vec<AppSpec> {
             run: Box::new(move |c| tsp::run_tsp(c, tp)),
         },
     ]
+}
+
+// ----------------------------------------------------------------------
+// Backend comparison: `repro sor|is --backend {sim,host}`.
+// ----------------------------------------------------------------------
+
+/// SOR input for the backend-comparison commands. The host backend moves
+/// real bytes through per-byte volatile accessors, so `--quick` shrinks
+/// below the sim-only quick sizes.
+fn sor_cmp_params(quick: bool) -> sor::SorParams {
+    if quick {
+        sor::SorParams {
+            rows: 512,
+            cols: 64,
+            iters: 4,
+        }
+    } else {
+        sor::SorParams {
+            rows: 8192,
+            cols: 64,
+            iters: 10,
+        }
+    }
+}
+
+/// IS input for the backend-comparison commands.
+fn is_cmp_params(quick: bool) -> is::IsParams {
+    if quick {
+        is::IsParams {
+            keys: 1 << 14,
+            ..is::IsParams::paper()
+        }
+    } else {
+        is::IsParams {
+            keys: 1 << 20,
+            ..is::IsParams::paper()
+        }
+    }
+}
+
+/// Prints the backend table: the sim row plus (when the host backend ran)
+/// the host row produced by [`host_row`].
+fn print_backend_table(sim: &AppRun, host_rows: Vec<Vec<String>>) {
+    let mut rows = vec![vec![
+        "backend".to_string(),
+        "checksum".into(),
+        "read flt".into(),
+        "write flt".into(),
+        "invalidations".into(),
+        "time ms".into(),
+    ]];
+    rows.push(vec![
+        "sim".into(),
+        format!("{:.6}", sim.checksum),
+        sim.report.read_faults.to_string(),
+        sim.report.write_faults.to_string(),
+        sim.report.invalidations.to_string(),
+        format!("{:.2} (virtual)", sim.report.virtual_time as f64 / 1e6),
+    ]);
+    rows.extend(host_rows);
+    print!("{}", render_table(&rows));
+}
+
+#[cfg(target_os = "linux")]
+fn host_row(h: &millipage_apps::HostAppRun) -> Vec<Vec<String>> {
+    vec![vec![
+        "host".into(),
+        format!("{:.6}", h.checksum),
+        h.report.read_faults.iter().sum::<u64>().to_string(),
+        h.report.write_faults.iter().sum::<u64>().to_string(),
+        h.report.invalidations.iter().sum::<u64>().to_string(),
+        format!("{:.2} (wall)", h.report.wall.as_secs_f64() * 1e3),
+    ]]
+}
+
+/// Per-host real fault counts plus the sim-vs-host checksum cross-check;
+/// exits nonzero on a mismatch (the host backend produced wrong results).
+#[cfg(target_os = "linux")]
+fn check_backends(sim: &AppRun, h: &millipage_apps::HostAppRun, tol: f64) {
+    println!("per-host real faults (SIGSEGV):");
+    for (i, (r, w)) in h
+        .report
+        .read_faults
+        .iter()
+        .zip(&h.report.write_faults)
+        .enumerate()
+    {
+        println!(
+            "  host {i}: {r} read, {w} write, {} invalidations",
+            h.report.invalidations[i]
+        );
+    }
+    if close(sim.checksum, h.checksum, tol) {
+        println!(
+            "checksums match: sim {} == host {} (tol {tol})",
+            sim.checksum, h.checksum
+        );
+    } else {
+        eprintln!(
+            "CHECKSUM MISMATCH: sim {} vs host {} (tol {tol})",
+            sim.checksum, h.checksum
+        );
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn host_unsupported() -> ! {
+    eprintln!("the host (real-memory) backend requires Linux");
+    std::process::exit(2);
+}
+
+/// `repro sor|is [--backend sim|host] [--hosts N] [--quick]`: one
+/// application on one or both backends. With `--backend host` the sim run
+/// happens too, so real SIGSEGV fault counts print next to simulated ones
+/// and the checksums can be cross-checked.
+fn app_backend(app: &str, quick: bool, hosts: usize, backend: &str) {
+    if backend != "sim" && backend != "host" {
+        eprintln!("unknown backend {backend:?} (expected sim or host)");
+        std::process::exit(2);
+    }
+    match app {
+        "sor" => {
+            let p = sor_cmp_params(quick);
+            header(&format!(
+                "SOR — {backend} backend, {hosts} hosts, {}x{} matrix, {} iters",
+                p.rows, p.cols, p.iters
+            ));
+            let sim = sor::run_sor(
+                ClusterConfig {
+                    hosts,
+                    views: 16,
+                    pages: 256,
+                    alloc_mode: AllocMode::FINE,
+                    ..ClusterConfig::default()
+                },
+                p,
+            );
+            if backend == "sim" {
+                print_backend_table(&sim, vec![]);
+                return;
+            }
+            #[cfg(target_os = "linux")]
+            {
+                let h = sor::run_sor_host(hosts, p).unwrap_or_else(|e| {
+                    eprintln!("host run failed: {e}");
+                    std::process::exit(1);
+                });
+                print_backend_table(&sim, host_row(&h));
+                check_backends(&sim, &h, 1e-9);
+            }
+            #[cfg(not(target_os = "linux"))]
+            host_unsupported();
+        }
+        "is" => {
+            let p = is_cmp_params(quick);
+            // The rotated merge needs hosts <= regions.
+            let hosts = hosts.min(p.regions);
+            header(&format!(
+                "IS — {backend} backend, {hosts} hosts, 2^{} keys, 2^{} values",
+                p.keys.ilog2(),
+                p.max_key.ilog2()
+            ));
+            let sim = is::run_is(
+                ClusterConfig {
+                    hosts,
+                    views: 8,
+                    pages: 64,
+                    ..ClusterConfig::default()
+                },
+                p,
+            );
+            if backend == "sim" {
+                print_backend_table(&sim, vec![]);
+                return;
+            }
+            #[cfg(target_os = "linux")]
+            {
+                let h = is::run_is_host(hosts, p).unwrap_or_else(|e| {
+                    eprintln!("host run failed: {e}");
+                    std::process::exit(1);
+                });
+                print_backend_table(&sim, host_row(&h));
+                check_backends(&sim, &h, 1e-9);
+            }
+            #[cfg(not(target_os = "linux"))]
+            host_unsupported();
+        }
+        other => unreachable!("app_backend called with {other:?}"),
+    }
+}
+
+/// Table 2's host-capable subset (SOR and IS) on the real-memory backend:
+/// both backends' checksums side by side with real SIGSEGV fault counts
+/// next to the simulated ones. WATER, LU and TSP use locks and prefetch,
+/// which the host `Dsm` surface deliberately excludes.
+fn table2_host(quick: bool) {
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = quick;
+        host_unsupported();
+    }
+    #[cfg(target_os = "linux")]
+    {
+        let hosts = 4usize;
+        header(&format!(
+            "Table 2 (host backend) — SOR and IS on real memory ({hosts} hosts)"
+        ));
+        let mut rows = vec![vec![
+            "app".to_string(),
+            "input set".into(),
+            "sim checksum".into(),
+            "host checksum".into(),
+            "sim R/W flt".into(),
+            "host R/W flt".into(),
+            "host wall ms".into(),
+        ]];
+        let mut mismatches = 0usize;
+        let mut push = |name: &str, input: String, sim: AppRun, h: millipage_apps::HostAppRun| {
+            if !close(sim.checksum, h.checksum, 1e-9) {
+                eprintln!(
+                    "{name}: CHECKSUM MISMATCH sim {} vs host {}",
+                    sim.checksum, h.checksum
+                );
+                mismatches += 1;
+            }
+            rows.push(vec![
+                name.into(),
+                input,
+                format!("{:.6}", sim.checksum),
+                format!("{:.6}", h.checksum),
+                format!("{}/{}", sim.report.read_faults, sim.report.write_faults),
+                format!(
+                    "{}/{}",
+                    h.report.read_faults.iter().sum::<u64>(),
+                    h.report.write_faults.iter().sum::<u64>()
+                ),
+                format!("{:.2}", h.report.wall.as_secs_f64() * 1e3),
+            ]);
+        };
+        let sp = sor_cmp_params(quick);
+        push(
+            "SOR",
+            format!("{}x{} matrix", sp.rows, sp.cols),
+            sor::run_sor(
+                ClusterConfig {
+                    hosts,
+                    views: 16,
+                    pages: 256,
+                    alloc_mode: AllocMode::FINE,
+                    ..ClusterConfig::default()
+                },
+                sp,
+            ),
+            sor::run_sor_host(hosts, sp).unwrap_or_else(|e| {
+                eprintln!("SOR host run failed: {e}");
+                std::process::exit(1);
+            }),
+        );
+        let ip = is_cmp_params(quick);
+        push(
+            "IS",
+            format!(
+                "2^{} numbers, 2^{} values",
+                ip.keys.ilog2(),
+                ip.max_key.ilog2()
+            ),
+            is::run_is(
+                ClusterConfig {
+                    hosts,
+                    views: 8,
+                    pages: 64,
+                    ..ClusterConfig::default()
+                },
+                ip,
+            ),
+            is::run_is_host(hosts, ip).unwrap_or_else(|e| {
+                eprintln!("IS host run failed: {e}");
+                std::process::exit(1);
+            }),
+        );
+        print!("{}", render_table(&rows));
+        println!("WATER/LU/TSP need locks and prefetch — sim backend only.");
+        if mismatches > 0 {
+            std::process::exit(1);
+        }
+        println!("host checksums match the simulator on both apps");
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -1062,7 +1372,7 @@ fn faults_cmd(scenario: &str, quick: bool, seed: u64, out_path: &str) {
                 let cfg = ClusterConfig {
                     tracer: tracer.clone(),
                     home_policy: policy,
-                    faults: FaultPlane::lossy(seed, loss, loss / 2.0, loss * 2.0),
+                    faults: WireFaults::lossy(seed, loss, loss / 2.0, loss * 2.0),
                     ..app_cfg(4)
                 };
                 let r = (spec.run)(cfg);

@@ -9,6 +9,7 @@
 //! handle bundle, and assembles a [`RunReport`] when everything joins.
 
 use crate::error::ProtocolError;
+use crate::faults::WireFaults;
 use crate::hlrc::Consistency;
 use crate::home::{HomePolicyKind, HomeTable};
 use crate::host::{HostCtx, HostState};
@@ -26,7 +27,7 @@ use sim_core::sched::{SchedMode, SchedThread, Scheduler, ThreadKey};
 use sim_core::trace::{Tracer, Track};
 use sim_core::{CostModel, HostId, LogHistogram, SplitMix64, TimeBreakdown};
 use sim_mem::{AddressSpace, Geometry, VAddr};
-use sim_net::{FaultPlane, Network, ServerTimeline};
+use sim_net::{Network, ServerTimeline};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
@@ -70,7 +71,7 @@ pub struct ClusterConfig {
     /// Seeded wire-fault injection (drop / duplicate / jitter / reorder
     /// plus scripted one-shot faults). Disabled by default, in which case
     /// the network takes the exact pre-fault-plane code path.
-    pub faults: FaultPlane,
+    pub faults: WireFaults,
     /// Wall-clock backstop on blocking application waits. `None` blocks
     /// forever except under an active fault plane, where it defaults to
     /// 30 s so a lost-beyond-recovery reply surfaces as a typed
@@ -107,7 +108,7 @@ impl Default for ClusterConfig {
             manager: 0,
             seed: 0x4D69_6C6C_6950_6167, // "MilliPag"
             tracer: Tracer::disabled(),
-            faults: FaultPlane::disabled(),
+            faults: WireFaults::disabled(),
             request_timeout: None,
             sched: if std::env::var_os("MILLIPAGE_DET_SCHED").is_some() {
                 SchedMode::deterministic()
@@ -128,7 +129,13 @@ pub struct SetupCtx<'a> {
     mgr: &'a mut ManagerShard,
 }
 
-impl SetupCtx<'_> {
+impl<'a> SetupCtx<'a> {
+    /// Wraps the manager shard for a pre-run setup phase (used by every
+    /// backend's assembly code).
+    pub(crate) fn new(mgr: &'a mut ManagerShard) -> Self {
+        Self { mgr }
+    }
+
     /// Allocates `bytes` of shared memory. Setup allocations are issued
     /// by the manager host, so first-touch homes them there.
     pub fn alloc_bytes(&mut self, bytes: usize) -> VAddr {
@@ -225,7 +232,7 @@ where
         .map(|h| HostState::new(HostId(h as u16), AddressSpace::new(geo.clone())))
         .collect();
     let (net, endpoints) =
-        Network::<Pmsg>::with_faults(cfg.hosts, cfg.cost.clone(), cfg.faults.clone());
+        Network::<Pmsg>::with_faults(cfg.hosts, cfg.cost.clone(), cfg.faults.to_plane());
     let manager_id = HostId(cfg.manager as u16);
     // Deterministic mode replaces wall-clock backstops outright: virtual
     // threads legitimately sit parked for unbounded real time while the
@@ -262,7 +269,10 @@ where
         geo.clone(),
     ));
     // Every host runs a manager shard; the manager host's shard also
-    // carries the shared allocator and the synchronization services.
+    // carries the shared allocator and the synchronization services. The
+    // shards see the cluster's memory only through the backend trait.
+    let cluster_mem: Arc<dyn crate::backend::ClusterMemory> =
+        Arc::new(crate::backend::SimClusterMemory::new(states.clone()));
     let mut shards: Vec<Option<ManagerShard>> = (0..cfg.hosts)
         .map(|h| {
             let allocator = (h == cfg.manager).then(|| Allocator::new(geo.clone(), cfg.alloc_mode));
@@ -274,7 +284,7 @@ where
                 cfg.consistency,
                 allocator,
                 Arc::clone(&home),
-                states.clone(),
+                Arc::clone(&cluster_mem),
                 cfg.tracer.recorder(HostId(h as u16), Track::Shard),
             ))
         })

@@ -104,6 +104,17 @@ pub enum ProtocolError {
         /// What the thread was waiting on.
         what: &'static str,
     },
+    /// A real-memory backend operation failed (`mmap`, `mprotect`,
+    /// transport socket, fault-handler registry). Only produced by the
+    /// host backend; the simulator's memory cannot fail this way.
+    Backend {
+        /// Host whose backend failed.
+        host: HostId,
+        /// The failing operation.
+        what: &'static str,
+        /// OS error code, or 0 when the failure is not a syscall.
+        errno: i32,
+    },
 }
 
 impl ProtocolError {
@@ -120,7 +131,8 @@ impl ProtocolError {
             | ProtocolError::Unroutable { host, .. }
             | ProtocolError::Nacked { host, .. }
             | ProtocolError::Cancelled { host, .. }
-            | ProtocolError::Deadlock { host, .. } => host,
+            | ProtocolError::Deadlock { host, .. }
+            | ProtocolError::Backend { host, .. } => host,
         }
     }
 }
@@ -166,6 +178,14 @@ impl std::fmt::Display for ProtocolError {
                     f,
                     "{host}: {what} deadlocked under the deterministic schedule"
                 )
+            }
+            ProtocolError::Backend { host, what, errno } => {
+                if *errno != 0 {
+                    let e = std::io::Error::from_raw_os_error(*errno);
+                    write!(f, "{host}: backend {what} failed: {e}")
+                } else {
+                    write!(f, "{host}: backend {what} failed")
+                }
             }
         }
     }

@@ -1,0 +1,1052 @@
+//! The real-memory backend: the protocol core on Linux `mmap`/`mprotect`.
+//!
+//! Everything the simulator models, this module does for real — on one
+//! Linux process standing in for the cluster:
+//!
+//! * every "host" is a [`hostmv::MultiViewRegion`]: its own `memfd` memory
+//!   object mapped through the application views plus the privileged view,
+//!   so hosts genuinely hold separate copies of the shared pages;
+//! * application accesses are volatile loads/stores through the view
+//!   mappings; a protection miss raises a **real SIGSEGV**, decoded from
+//!   the signal context ([`hostmv::RawFault`], write bit from `REG_ERR`)
+//!   and resolved by running the same request/reply protocol the simulator
+//!   runs — the fault handler sends the request and blocks on a socket
+//!   until the server thread has installed the reply and opened the page;
+//! * each host runs a real DSM server thread; the wire is a
+//!   `SOCK_SEQPACKET` socketpair per host (atomic datagrams, FIFO — the
+//!   ordering the protocol's correctness arguments assume);
+//! * the protocol logic itself is **shared with the simulator**: the
+//!   server loop dispatches into [`ManagerShard::handle`] and the generic
+//!   engine functions of [`server`](crate::server) through the
+//!   [`MemoryBackend`]/[`Transport`]/[`ProtoClock`] traits. Only the
+//!   substrate differs.
+//!
+//! Scope: `SequentialSwMr` consistency, `Centralized` homes, one
+//! application thread per host, no prefetch/push/locks — exactly the
+//! surface the [`Dsm`](crate::dsm::Dsm) trait exposes. Backend failures
+//! are fatal to the run (reported, not retried): there is no fault plane
+//! to degrade through on a local socketpair.
+//!
+//! Addresses on the wire are the canonical shared [`Geometry`] addresses
+//! (every message field means the same thing as in the simulator); they
+//! are translated to each host's real mapping at the memory edge
+//! ([`HostMemory`]). The run's fault counters come straight from the
+//! SIGSEGV handler, which is what makes `--backend host` reports
+//! comparable with the simulator's fault counts.
+
+use crate::backend::{ClusterMemory, MemFault, MemoryBackend, PageProt, ProtoClock, Transport};
+use crate::cluster::SetupCtx;
+use crate::dsm::Dsm;
+use crate::error::ProtocolError;
+use crate::hlrc::{Consistency, MpInfo};
+use crate::home::{HomePolicyKind, HomeTable};
+use crate::manager::ManagerShard;
+use crate::msg::{MsgKind, Pmsg};
+use crate::server;
+use crate::shared::{decode_slice, encode_slice, Pod, SharedVec};
+use bytes::Bytes;
+use hostmv::{install_dsm_handler, FaultCounters, HostProt, MultiViewRegion, RawFault};
+use multiview::{AllocMode, Allocator, MinipageId};
+use sim_core::trace::{Tracer, Track};
+use sim_core::{CostModel, Geometry, HostId, Ns, VAddr, DEFAULT_BASE};
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+/// Fixed header size; minipage data (if any) follows in the same datagram.
+const HEADER: usize = 64;
+
+/// Largest data payload a single datagram may carry. `SOCK_SEQPACKET`
+/// sends are atomic up to the socket buffer; the default Linux buffer is
+/// ~208 KiB, so minipages (at most a few pages) fit with room to spare.
+const MAX_DATA: usize = 128 * 1024;
+
+fn kind_to_u8(k: MsgKind) -> u8 {
+    use MsgKind::*;
+    match k {
+        ReadRequest => 0,
+        WriteRequest => 1,
+        ServeRead => 2,
+        ServeWrite => 3,
+        ReadReply => 4,
+        WriteReply => 5,
+        InvalidateRequest => 6,
+        InvalidateReply => 7,
+        Ack => 8,
+        AllocRequest => 9,
+        AllocReply => 10,
+        BarrierEnter => 11,
+        BarrierRelease => 12,
+        LockAcquire => 13,
+        LockGrant => 14,
+        LockRelease => 15,
+        PushRequest => 16,
+        PushData => 17,
+        RcDiff => 18,
+        RcDiffAck => 19,
+        Nack => 20,
+        Shutdown => 21,
+    }
+}
+
+fn kind_from_u8(b: u8) -> Option<MsgKind> {
+    use MsgKind::*;
+    Some(match b {
+        0 => ReadRequest,
+        1 => WriteRequest,
+        2 => ServeRead,
+        3 => ServeWrite,
+        4 => ReadReply,
+        5 => WriteReply,
+        6 => InvalidateRequest,
+        7 => InvalidateReply,
+        8 => Ack,
+        9 => AllocRequest,
+        10 => AllocReply,
+        11 => BarrierEnter,
+        12 => BarrierRelease,
+        13 => LockAcquire,
+        14 => LockGrant,
+        15 => LockRelease,
+        16 => PushRequest,
+        17 => PushData,
+        18 => RcDiff,
+        19 => RcDiffAck,
+        20 => Nack,
+        21 => Shutdown,
+        _ => return None,
+    })
+}
+
+/// Encodes a message header into a fixed stack buffer. No allocation —
+/// this is the encoder the SIGSEGV resolver uses from signal context.
+fn encode_header(buf: &mut [u8; HEADER], wire_from: HostId, m: &Pmsg, data_len: usize) {
+    buf[0] = kind_to_u8(m.kind);
+    buf[1] = u8::from(m.prefetch);
+    buf[2..4].copy_from_slice(&wire_from.0.to_le_bytes());
+    buf[4..6].copy_from_slice(&m.from.0.to_le_bytes());
+    buf[6..8].copy_from_slice(&[0, 0]);
+    buf[8..16].copy_from_slice(&m.event.to_le_bytes());
+    buf[16..24].copy_from_slice(&m.addr.0.to_le_bytes());
+    buf[24..32].copy_from_slice(&m.base.0.to_le_bytes());
+    buf[32..40].copy_from_slice(&m.priv_base.0.to_le_bytes());
+    buf[40..48].copy_from_slice(&(m.len as u64).to_le_bytes());
+    buf[48..52].copy_from_slice(&m.minipage.0.to_le_bytes());
+    buf[52..56].copy_from_slice(&(data_len as u32).to_le_bytes());
+    buf[56..64].copy_from_slice(&m.aux.to_le_bytes());
+}
+
+fn u64_at(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Decodes a received datagram into (sender, message). `None` on a
+/// malformed or truncated frame.
+fn decode_frame(buf: &[u8]) -> Option<(HostId, Pmsg)> {
+    if buf.len() < HEADER {
+        return None;
+    }
+    let kind = kind_from_u8(buf[0])?;
+    let wire_from = HostId(u16::from_le_bytes([buf[2], buf[3]]));
+    let data_len = u32::from_le_bytes(buf[52..56].try_into().expect("4 bytes")) as usize;
+    if buf.len() != HEADER + data_len {
+        return None;
+    }
+    let mut m = Pmsg::new(
+        kind,
+        HostId(u16::from_le_bytes([buf[4], buf[5]])),
+        u64_at(buf, 8),
+    );
+    m.prefetch = buf[1] != 0;
+    m.addr = VAddr(u64_at(buf, 16));
+    m.base = VAddr(u64_at(buf, 24));
+    m.priv_base = VAddr(u64_at(buf, 32));
+    m.len = u64_at(buf, 40) as usize;
+    m.minipage = MinipageId(u32::from_le_bytes(buf[48..52].try_into().expect("4 bytes")));
+    m.aux = u64_at(buf, 56);
+    if data_len > 0 {
+        m.data = Bytes::copy_from_slice(&buf[HEADER..]);
+    }
+    Some((wire_from, m))
+}
+
+// ---------------------------------------------------------------------------
+// Sockets
+// ---------------------------------------------------------------------------
+
+/// A connected `SOCK_SEQPACKET` pair: datagrams written to `tx` arrive,
+/// boundaries intact and in order, at `rx`.
+fn seqpacket_pair() -> Result<(libc::c_int, libc::c_int), ProtocolError> {
+    let mut fds = [0 as libc::c_int; 2];
+    // SAFETY: socketpair writes two fds into the provided array.
+    let rc = unsafe { libc::socketpair(libc::AF_UNIX, libc::SOCK_SEQPACKET, 0, fds.as_mut_ptr()) };
+    if rc != 0 {
+        return Err(backend_err(HostId(0), "socketpair"));
+    }
+    for fd in fds {
+        let sz: libc::c_int = 1 << 20;
+        // SAFETY: setsockopt on a fd we just created; best-effort sizing.
+        unsafe {
+            libc::setsockopt(
+                fd,
+                libc::SOL_SOCKET,
+                libc::SO_RCVBUF,
+                (&raw const sz).cast(),
+                std::mem::size_of::<libc::c_int>() as libc::socklen_t,
+            );
+        }
+    }
+    Ok((fds[0], fds[1]))
+}
+
+/// Sends one datagram, retrying on `EINTR`. Async-signal-safe (`send(2)`
+/// plus arithmetic), so the fault resolver may call it.
+fn send_fd(fd: libc::c_int, buf: &[u8]) -> Result<(), i32> {
+    loop {
+        // SAFETY: valid fd and an in-bounds buffer; MSG_NOSIGNAL keeps a
+        // torn-down peer an error instead of a SIGPIPE.
+        let n = unsafe { libc::send(fd, buf.as_ptr().cast(), buf.len(), libc::MSG_NOSIGNAL) };
+        if n == buf.len() as isize {
+            return Ok(());
+        }
+        let errno = std::io::Error::last_os_error().raw_os_error().unwrap_or(0);
+        if n < 0 && errno == libc::EINTR {
+            continue;
+        }
+        return Err(errno);
+    }
+}
+
+/// Receives one datagram into `buf`, retrying on `EINTR`. Returns the
+/// datagram length. Async-signal-safe.
+fn recv_fd(fd: libc::c_int, buf: &mut [u8]) -> Result<usize, i32> {
+    loop {
+        // SAFETY: valid fd, writable in-bounds buffer.
+        let n = unsafe { libc::recv(fd, buf.as_mut_ptr().cast(), buf.len(), 0) };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let errno = std::io::Error::last_os_error().raw_os_error().unwrap_or(0);
+        if errno == libc::EINTR {
+            continue;
+        }
+        return Err(errno);
+    }
+}
+
+fn backend_err(host: HostId, what: &'static str) -> ProtocolError {
+    ProtocolError::Backend {
+        host,
+        what,
+        errno: std::io::Error::last_os_error().raw_os_error().unwrap_or(0),
+    }
+}
+
+/// The host backend's [`Transport`]: every host's server inbox is one
+/// `SOCK_SEQPACKET` socket; anyone holding the send side (servers, app
+/// threads, the fault resolver) can enqueue a datagram atomically.
+struct SocketTransport {
+    me: HostId,
+    /// Send-side fd of every host's server inbox, indexed by host.
+    srv_tx: Arc<Vec<libc::c_int>>,
+}
+
+impl Transport for SocketTransport {
+    fn me(&self) -> HostId {
+        self.me
+    }
+
+    fn send(
+        &self,
+        to: HostId,
+        msg: Pmsg,
+        _payload: usize,
+        now: Ns,
+        what: &'static str,
+    ) -> Result<Ns, ProtocolError> {
+        let mut head = [0u8; HEADER];
+        if msg.data.is_empty() {
+            encode_header(&mut head, self.me, &msg, 0);
+            send_fd(self.srv_tx[to.index()], &head)
+        } else {
+            assert!(msg.data.len() <= MAX_DATA, "datagram over wire limit");
+            let mut frame = Vec::with_capacity(HEADER + msg.data.len());
+            encode_header(&mut head, self.me, &msg, msg.data.len());
+            frame.extend_from_slice(&head);
+            frame.extend_from_slice(&msg.data);
+            send_fd(self.srv_tx[to.index()], &frame)
+        }
+        .map_err(|errno| ProtocolError::Backend {
+            host: self.me,
+            what,
+            errno,
+        })?;
+        Ok(now)
+    }
+}
+
+/// The host backend's [`ProtoClock`]: real work takes real time, so
+/// `charge` is a no-op and `now` reads the monotonic clock (nanoseconds
+/// since the run started — enough for window bookkeeping and stamps).
+struct WallClock {
+    start: Instant,
+}
+
+impl ProtoClock for WallClock {
+    fn now(&self) -> Ns {
+        self.start.elapsed().as_nanos() as Ns
+    }
+
+    fn charge(&mut self, _dt: Ns) -> Ns {
+        self.now()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------------
+
+fn to_host_prot(p: PageProt) -> HostProt {
+    match p {
+        PageProt::NoAccess => HostProt::NoAccess,
+        PageProt::ReadOnly => HostProt::ReadOnly,
+        PageProt::ReadWrite => HostProt::ReadWrite,
+    }
+}
+
+fn from_host_prot(p: HostProt) -> PageProt {
+    match p {
+        HostProt::NoAccess => PageProt::NoAccess,
+        HostProt::ReadOnly => PageProt::ReadOnly,
+        HostProt::ReadWrite => PageProt::ReadWrite,
+    }
+}
+
+/// One host's [`MemoryBackend`] over its real [`MultiViewRegion`].
+/// Canonical [`Geometry`] addresses are decoded here and mapped onto the
+/// region's identical (view, page, offset) layout.
+struct HostMemory {
+    geo: Geometry,
+    region: Arc<MultiViewRegion>,
+}
+
+impl HostMemory {
+    /// Decodes a canonical address (any view — every view aliases the same
+    /// physical pages, exactly like the sim's privileged accessors) into a
+    /// physical (page, offset).
+    fn priv_loc(&self, addr: VAddr) -> Result<(usize, usize), MemFault> {
+        let loc = self.geo.decode(addr).ok_or(MemFault::OutOfRange)?;
+        Ok((loc.page, loc.offset))
+    }
+}
+
+impl MemoryBackend for HostMemory {
+    fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    fn prot(&self, vpage: usize) -> PageProt {
+        let (view, page) = (vpage / self.geo.pages(), vpage % self.geo.pages());
+        if view >= self.geo.priv_view() {
+            return PageProt::ReadWrite;
+        }
+        from_host_prot(self.region.prot(view, page))
+    }
+
+    fn set_prot(&self, vpage: usize, prot: PageProt) -> Result<(), MemFault> {
+        let (view, page) = (vpage / self.geo.pages(), vpage % self.geo.pages());
+        if view >= self.geo.priv_view() {
+            return Err(MemFault::Privileged);
+        }
+        self.region
+            .protect(view, page, to_host_prot(prot))
+            .map_err(|_| MemFault::OutOfRange)
+    }
+
+    fn priv_read(&self, addr: VAddr, len: usize) -> Result<Vec<u8>, MemFault> {
+        let (page, offset) = self.priv_loc(addr)?;
+        if offset + len > (self.geo.pages() - page) * self.geo.page_size() {
+            return Err(MemFault::OutOfRange);
+        }
+        Ok(self.region.priv_read(page, offset, len))
+    }
+
+    fn priv_write(&self, addr: VAddr, data: &[u8]) -> Result<(), MemFault> {
+        let (page, offset) = self.priv_loc(addr)?;
+        if offset + data.len() > (self.geo.pages() - page) * self.geo.page_size() {
+            return Err(MemFault::OutOfRange);
+        }
+        self.region.priv_write(page, offset, data);
+        Ok(())
+    }
+
+    fn snapshot_and_protect(
+        &self,
+        addr: VAddr,
+        len: usize,
+        prot: PageProt,
+    ) -> Result<Vec<u8>, MemFault> {
+        // Copy first, then revoke: same order the sim's eviction uses.
+        // (Unused under SequentialSwMr — present for trait completeness.)
+        let priv_addr = self.geo.to_priv(addr).ok_or(MemFault::OutOfRange)?;
+        let data = self.priv_read(priv_addr, len)?;
+        let (_, range) = self
+            .geo
+            .vpages_covering(addr, len)
+            .ok_or(MemFault::OutOfRange)?;
+        for vp in range {
+            self.set_prot(vp, prot)?;
+        }
+        Ok(data)
+    }
+}
+
+/// The manager's setup-time access to every host's region (fresh minipages
+/// are initialized at their home host before the run starts).
+struct HostClusterMemory {
+    geo: Geometry,
+    regions: Vec<Arc<MultiViewRegion>>,
+}
+
+impl HostClusterMemory {
+    fn mem(&self, host: HostId) -> HostMemory {
+        HostMemory {
+            geo: self.geo.clone(),
+            region: Arc::clone(&self.regions[host.index()]),
+        }
+    }
+}
+
+impl ClusterMemory for HostClusterMemory {
+    fn set_prot(&self, host: HostId, vpage: usize, prot: PageProt) -> Result<(), MemFault> {
+        self.mem(host).set_prot(vpage, prot)
+    }
+
+    fn priv_read(&self, host: HostId, addr: VAddr, len: usize) -> Result<Vec<u8>, MemFault> {
+        self.mem(host).priv_read(addr, len)
+    }
+
+    fn priv_write(&self, host: HostId, addr: VAddr, data: &[u8]) -> Result<(), MemFault> {
+        self.mem(host).priv_write(addr, data)
+    }
+
+    fn learn_rc(&self, _host: HostId, _vpages: Range<usize>, _info: MpInfo) {
+        // SequentialSwMr only: no release-consistency bookkeeping.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+/// Per-application-thread runtime state the fault resolver needs. One per
+/// host (the host backend runs one application thread per host).
+struct ThreadRt {
+    host: HostId,
+    /// This thread's (fixed) event id — events are per-host scoped, so a
+    /// constant nonzero id is protocol-valid.
+    event: u64,
+    /// Server → application completion channel (recv side).
+    res_rx: libc::c_int,
+    /// Send side, held by the host's server thread.
+    res_tx: libc::c_int,
+    /// Canonical address of the last serviced fault, still owing the
+    /// manager its window-closing `Ack` (0 = none). Set by the resolver,
+    /// drained at the next fault, after each range operation, and before
+    /// every barrier.
+    pending_ack: AtomicU64,
+}
+
+/// Process-wide runtime shared by servers, application threads and the
+/// SIGSEGV resolver. Leaked for the process lifetime (the fault-handler
+/// registry keeps the regions alive anyway), so the resolver may reach it
+/// from signal context through a plain pointer.
+struct HostRt {
+    geo: Geometry,
+    manager: HostId,
+    srv_tx: Arc<Vec<libc::c_int>>,
+    threads: Vec<ThreadRt>,
+}
+
+thread_local! {
+    /// Index of this application thread in [`HostRt::threads`]
+    /// (`usize::MAX` on non-application threads). Const-initialized: the
+    /// first read from signal context takes no lazy-init path.
+    static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+impl HostRt {
+    /// Sends `msg` as a bare header to `to`'s server. Async-signal-safe.
+    fn send_header(&self, to: HostId, wire_from: HostId, msg: &Pmsg) -> Result<(), i32> {
+        let mut head = [0u8; HEADER];
+        encode_header(&mut head, wire_from, msg, 0);
+        send_fd(self.srv_tx[to.index()], &head)
+    }
+
+    /// Flushes the thread's pending window-closing `Ack`, if any.
+    /// Async-signal-safe.
+    fn flush_ack(&self, th: &ThreadRt) -> Result<(), i32> {
+        let addr = th.pending_ack.swap(0, Ordering::AcqRel);
+        if addr == 0 {
+            return Ok(());
+        }
+        // Figure 3's fault-service confirmation: event 0, addressed so the
+        // manager can translate it back to the minipage. Centralized homes:
+        // every window lives at the manager.
+        let ack = Pmsg::new(MsgKind::Ack, th.host, 0).with_addr(VAddr(addr));
+        self.send_header(self.manager, th.host, &ack)
+    }
+}
+
+/// The DSM fault resolver: runs on the faulting application thread, in
+/// signal context. Sends the read/write request the paper's fault handler
+/// sends, then blocks on the completion socket until this host's server
+/// has installed the reply and opened the page. Everything on this path is
+/// async-signal-safe: atomics, const-init TLS, `send`/`recv`.
+fn dsm_resolver(_region: &MultiViewRegion, fault: &RawFault, token: usize) -> bool {
+    // SAFETY: `token` is the leaked HostRt pointer installed alongside the
+    // handler; it lives for the process lifetime.
+    let rt = unsafe { &*(token as *const HostRt) };
+    let slot = SLOT.with(|s| s.get());
+    if slot == usize::MAX {
+        return false; // A fault off the application threads is a crash.
+    }
+    let th = &rt.threads[slot];
+    if rt.flush_ack(th).is_err() {
+        return false;
+    }
+    let addr = rt.geo.addr_of(fault.view, fault.page, fault.offset);
+    let kind = if fault.write {
+        MsgKind::WriteRequest
+    } else {
+        MsgKind::ReadRequest
+    };
+    let req = Pmsg::new(kind, th.host, th.event).with_addr(addr);
+    if rt.send_header(rt.manager, th.host, &req).is_err() {
+        return false;
+    }
+    // Block until the server thread signals the install. The reply header
+    // itself carries no data — the bytes went straight into the region
+    // through the privileged view (the zero-copy receive path).
+    let mut head = [0u8; HEADER];
+    let Ok(n) = recv_fd(th.res_rx, &mut head) else {
+        return false;
+    };
+    if n < HEADER {
+        return false;
+    }
+    match kind_from_u8(head[0]) {
+        Some(MsgKind::ReadReply | MsgKind::WriteReply) => {}
+        _ => return false, // Nacked or torn down: crash with a core.
+    }
+    th.pending_ack.store(addr.0, Ordering::Release);
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Server loop
+// ---------------------------------------------------------------------------
+
+/// What one host's server thread hands back at shutdown.
+struct HostServerOutcome {
+    /// Protocol/backend errors (fatal to the affected request; a non-empty
+    /// list fails the run report).
+    errors: Vec<String>,
+    /// Invalidations applied on this host (protocol counter, matches the
+    /// sim's `invalidations_received`).
+    invalidations: u64,
+}
+
+/// One host's DSM server: the real-thread analogue of
+/// [`server::server_loop`], dispatching into the same shard and engine
+/// code through the backend traits.
+#[allow(clippy::too_many_arguments)]
+fn host_server_loop(
+    me: HostId,
+    srv_rx: libc::c_int,
+    res_tx: libc::c_int,
+    mem: HostMemory,
+    mut shard: ManagerShard,
+    ep: SocketTransport,
+    mut clock: WallClock,
+    cost: CostModel,
+) -> HostServerOutcome {
+    let home = Arc::clone(shard.home_table());
+    let tracer = Tracer::disabled();
+    let mut rec = tracer.recorder(me, Track::Server);
+    let mut errors = Vec::new();
+    let mut invalidations = 0u64;
+    let mut buf = vec![0u8; HEADER + MAX_DATA];
+    loop {
+        let n = match recv_fd(srv_rx, &mut buf) {
+            Ok(n) => n,
+            Err(errno) => {
+                errors.push(format!(
+                    "h{}: server recv failed: errno {errno}",
+                    me.index()
+                ));
+                break;
+            }
+        };
+        let Some((wire_from, m)) = decode_frame(&buf[..n]) else {
+            errors.push(format!("h{}: malformed frame ({n} bytes)", me.index()));
+            continue;
+        };
+        let kind = m.kind;
+        let event = m.event;
+        let result: Result<(), ProtocolError> = match kind {
+            MsgKind::Shutdown => break,
+            // Shard-addressed kinds: identical dispatch to the simulator's.
+            MsgKind::ReadRequest
+            | MsgKind::WriteRequest
+            | MsgKind::InvalidateReply
+            | MsgKind::Ack
+            | MsgKind::AllocRequest
+            | MsgKind::BarrierEnter
+            | MsgKind::LockAcquire
+            | MsgKind::LockRelease
+            | MsgKind::PushRequest
+            | MsgKind::RcDiff => shard.handle(m, &mut clock, &ep),
+            MsgKind::ServeRead => server::serve_read(m, &mem, me, &cost, &mut clock, &ep, &mut rec),
+            MsgKind::ServeWrite => {
+                server::serve_write(m, &mem, me, &cost, &mut clock, &ep, &mut rec)
+            }
+            MsgKind::InvalidateRequest => {
+                server::invalidate_local(&m, &mem, me, &cost, &mut clock, &mut rec).and_then(|()| {
+                    invalidations += 1;
+                    let mut reply = Pmsg::new(MsgKind::InvalidateReply, me, m.event);
+                    reply.minipage = m.minipage;
+                    reply.addr = m.addr;
+                    ep.send(
+                        home.home(m.minipage),
+                        reply,
+                        0,
+                        clock.now(),
+                        "invalidate reply",
+                    )
+                    .map(|_| ())
+                })
+            }
+            MsgKind::ReadReply | MsgKind::WriteReply => {
+                // A self-addressed reply carries bytes read from the very
+                // page they would be written back to: skip the write, as
+                // the simulator does (stale-reinstall fix).
+                let skip_write = wire_from == me;
+                server::install_reply(&m, &mem, me, &cost, &mut clock, &mut rec, skip_write)
+                    .and_then(|_| {
+                        // Page open: release the faulting thread (the
+                        // sim's event signal, here a completion datagram).
+                        let mut head = [0u8; HEADER];
+                        encode_header(&mut head, me, &m, 0);
+                        send_fd(res_tx, &head).map_err(|errno| ProtocolError::Backend {
+                            host: me,
+                            what: "completion forward",
+                            errno,
+                        })
+                    })
+            }
+            // Synchronization completions go straight to the (single)
+            // application thread.
+            MsgKind::AllocReply | MsgKind::BarrierRelease | MsgKind::LockGrant | MsgKind::Nack => {
+                let mut head = [0u8; HEADER];
+                encode_header(&mut head, me, &m, 0);
+                send_fd(res_tx, &head).map_err(|errno| ProtocolError::Backend {
+                    host: me,
+                    what: "completion forward",
+                    errno,
+                })
+            }
+            MsgKind::PushData | MsgKind::RcDiffAck => Err(ProtocolError::Unroutable {
+                host: me,
+                kind: kind.name(),
+            }),
+        };
+        if let Err(e) = result {
+            // No fault plane to degrade through: a handler failure on this
+            // backend is a real bug or a dead socket. Record it and, when a
+            // thread is blocked on the outcome, crash it cleanly via Nack.
+            errors.push(e.to_string());
+            if event != 0 && matches!(kind, MsgKind::ReadReply | MsgKind::WriteReply) {
+                let nack = Pmsg::new(MsgKind::Nack, me, event);
+                let mut head = [0u8; HEADER];
+                encode_header(&mut head, me, &nack, 0);
+                let _ = send_fd(res_tx, &head);
+            }
+        }
+    }
+    HostServerOutcome {
+        errors,
+        invalidations,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Application context
+// ---------------------------------------------------------------------------
+
+/// One application thread's context on the real-memory backend. Shared
+/// accesses are volatile loads/stores through the host's view mappings;
+/// protection misses raise real SIGSEGVs resolved by [`dsm_resolver`].
+pub struct HostDsmCtx {
+    rt: &'static HostRt,
+    slot: usize,
+    region: Arc<MultiViewRegion>,
+    /// Virtual compute charged by the portable kernels (tallied for
+    /// reporting; wall time passes by itself here).
+    compute_ns: Ns,
+    timer_start: Instant,
+}
+
+impl HostDsmCtx {
+    fn th(&self) -> &ThreadRt {
+        &self.rt.threads[self.slot]
+    }
+
+    fn flush_ack(&self) {
+        if self.rt.flush_ack(self.th()).is_err() {
+            panic!("h{}: ack send failed", self.th().host.index());
+        }
+    }
+
+    /// Copies `[addr, addr+len)` out of shared memory, one volatile byte
+    /// at a time, faulting pages in on demand.
+    fn read_bytes(&self, addr: VAddr, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        for (i, b) in out.iter_mut().enumerate() {
+            let loc = self
+                .rt
+                .geo
+                .decode(addr.add(i))
+                .expect("shared address in range");
+            *b = self.region.read_u8(loc.view, loc.page, loc.offset);
+        }
+        out
+    }
+
+    /// Stores `data` into shared memory byte-wise, faulting for write
+    /// access on demand.
+    fn write_bytes(&self, addr: VAddr, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            let loc = self
+                .rt
+                .geo
+                .decode(addr.add(i))
+                .expect("shared address in range");
+            self.region.write_u8(loc.view, loc.page, loc.offset, b);
+        }
+    }
+
+    /// Blocks on the completion socket until `want` arrives; anything
+    /// else on the channel is a protocol breach and panics.
+    fn wait_for(&self, want: MsgKind) {
+        let mut head = [0u8; HEADER];
+        let n = recv_fd(self.th().res_rx, &mut head).expect("completion recv");
+        assert!(n >= HEADER, "truncated completion");
+        match kind_from_u8(head[0]) {
+            Some(k) if k == want => {}
+            Some(MsgKind::Nack) => {
+                panic!("h{}: request nacked", self.th().host.index())
+            }
+            k => panic!("unexpected completion {k:?}"),
+        }
+    }
+
+    /// Virtual compute tallied via [`Dsm::compute`] (for comparing the
+    /// modeled kernel cost against real wall time).
+    pub fn compute_tallied(&self) -> Ns {
+        self.compute_ns
+    }
+
+    /// Wall time since the last [`Dsm::timer_reset`].
+    pub fn timed_wall(&self) -> std::time::Duration {
+        self.timer_start.elapsed()
+    }
+}
+
+impl Dsm for HostDsmCtx {
+    fn host(&self) -> HostId {
+        self.th().host
+    }
+
+    fn hosts(&self) -> usize {
+        self.rt.threads.len()
+    }
+
+    fn read_range<T: Pod>(&mut self, sv: &SharedVec<T>, range: Range<usize>) -> Vec<T> {
+        if range.is_empty() {
+            return Vec::new();
+        }
+        let (addr, len) = sv.range_bytes(range.start, range.end);
+        let bytes = self.read_bytes(addr, len);
+        self.flush_ack();
+        decode_slice(&bytes)
+    }
+
+    fn write_range<T: Pod>(&mut self, sv: &SharedVec<T>, start: usize, vals: &[T]) {
+        if vals.is_empty() {
+            return;
+        }
+        let (addr, _) = sv.range_bytes(start, start + vals.len());
+        self.write_bytes(addr, &encode_slice(vals));
+        self.flush_ack();
+    }
+
+    fn barrier(&mut self) {
+        self.flush_ack();
+        let th = self.th();
+        let msg = Pmsg::new(MsgKind::BarrierEnter, th.host, th.event);
+        if self.rt.send_header(self.rt.manager, th.host, &msg).is_err() {
+            panic!("h{}: barrier send failed", th.host.index());
+        }
+        self.wait_for(MsgKind::BarrierRelease);
+    }
+
+    fn timer_reset(&mut self) {
+        self.compute_ns = 0;
+        self.timer_start = Instant::now();
+    }
+
+    fn compute(&mut self, ns: Ns) {
+        self.compute_ns += ns;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Assembly
+// ---------------------------------------------------------------------------
+
+/// Configuration of a real-memory run.
+#[derive(Clone, Debug)]
+pub struct HostRunConfig {
+    /// Hosts (one region + one server thread + one app thread each).
+    pub hosts: usize,
+    /// Application views per host.
+    pub views: usize,
+    /// Pages in the shared memory object.
+    pub pages: usize,
+}
+
+impl Default for HostRunConfig {
+    fn default() -> Self {
+        Self {
+            hosts: 2,
+            views: 4,
+            pages: 64,
+        }
+    }
+}
+
+/// What a real-memory run reports: real fault counts from the SIGSEGV
+/// handler, wall time, and any server-side errors (empty on a clean run).
+#[derive(Clone, Debug)]
+pub struct HostRunReport {
+    /// Read faults taken per host (SIGSEGV handler counters).
+    pub read_faults: Vec<u64>,
+    /// Write faults taken per host.
+    pub write_faults: Vec<u64>,
+    /// Invalidations applied per host.
+    pub invalidations: Vec<u64>,
+    /// Wall-clock duration of the application phase.
+    pub wall: std::time::Duration,
+    /// Virtual compute tallied by host 0's kernels (comparison aid).
+    pub compute_ns: Ns,
+    /// Server-side protocol/backend errors; non-empty means the run is
+    /// not trustworthy.
+    pub errors: Vec<String>,
+}
+
+impl HostRunReport {
+    /// Total faults (read + write) across all hosts.
+    pub fn total_faults(&self) -> u64 {
+        self.read_faults.iter().sum::<u64>() + self.write_faults.iter().sum::<u64>()
+    }
+}
+
+/// Runs `setup` then one application thread per host on real memory —
+/// the host-backend analogue of [`crate::run`].
+///
+/// The protocol layer (manager shards, serve/install/invalidate engine) is
+/// the same code the simulator runs; memory is per-host
+/// [`MultiViewRegion`]s, faults are real SIGSEGVs, and the wire is
+/// socketpairs between real OS threads.
+///
+/// # Errors
+///
+/// Setup failures (region mapping, sockets, handler registration) are
+/// returned; protocol errors during the run surface in
+/// [`HostRunReport::errors`]. An application panic propagates.
+pub fn run_host<T, F>(
+    cfg: HostRunConfig,
+    setup: impl FnOnce(&mut SetupCtx) -> T,
+    app: F,
+) -> Result<HostRunReport, ProtocolError>
+where
+    T: Send + Sync,
+    F: Fn(&mut HostDsmCtx, &T) + Send + Sync,
+{
+    assert!(cfg.hosts >= 1, "need at least one host");
+    let manager = HostId(0);
+    let mut regions = Vec::with_capacity(cfg.hosts);
+    for h in 0..cfg.hosts {
+        let region = MultiViewRegion::new(cfg.pages, cfg.views).map_err(|e| {
+            let _ = e;
+            backend_err(HostId(h as u16), "region mapping")
+        })?;
+        regions.push(Arc::new(region));
+    }
+    let page_size = regions[0].page_size();
+    let geo = Geometry::with_layout(DEFAULT_BASE, page_size, cfg.pages, cfg.views);
+    let home = Arc::new(HomeTable::new(
+        HomePolicyKind::Centralized,
+        cfg.hosts,
+        manager,
+        geo.clone(),
+    ));
+    let cluster: Arc<dyn ClusterMemory> = Arc::new(HostClusterMemory {
+        geo: geo.clone(),
+        regions: regions.clone(),
+    });
+    let cost = CostModel::default();
+    let tracer = Tracer::disabled();
+    let mut shards: Vec<Option<ManagerShard>> = (0..cfg.hosts)
+        .map(|h| {
+            let allocator = (h == manager.index())
+                .then(|| Allocator::new(geo.clone(), AllocMode::FineGrain { chunking: 1 }));
+            Some(ManagerShard::new(
+                HostId(h as u16),
+                cfg.hosts,
+                cfg.hosts, // one app thread per host = barrier quorum
+                cost.clone(),
+                Consistency::SequentialSwMr,
+                allocator,
+                Arc::clone(&home),
+                Arc::clone(&cluster),
+                tracer.recorder(HostId(h as u16), Track::Shard),
+            ))
+        })
+        .collect();
+    let shared = {
+        let mgr = shards[manager.index()].as_mut().expect("shard present");
+        let mut sctx = SetupCtx::new(mgr);
+        setup(&mut sctx)
+    };
+
+    // Wire: one server inbox + one completion channel per host. The fds
+    // (like the runtime below) are leaked — the SIGSEGV resolver may hold
+    // them in signal context at any point for the rest of the process.
+    let mut srv_tx = Vec::with_capacity(cfg.hosts);
+    let mut srv_rx = Vec::with_capacity(cfg.hosts);
+    let mut threads = Vec::with_capacity(cfg.hosts);
+    for h in 0..cfg.hosts {
+        let (a, b) = seqpacket_pair()?;
+        srv_tx.push(a);
+        srv_rx.push(b);
+        let (rtx, rrx) = seqpacket_pair()?;
+        threads.push(ThreadRt {
+            host: HostId(h as u16),
+            event: 1,
+            res_rx: rrx,
+            res_tx: rtx,
+            pending_ack: AtomicU64::new(0),
+        });
+    }
+    let srv_tx = Arc::new(srv_tx);
+    let rt: &'static HostRt = Box::leak(Box::new(HostRt {
+        geo: geo.clone(),
+        manager,
+        srv_tx: Arc::clone(&srv_tx),
+        threads,
+    }));
+    let token = rt as *const HostRt as usize;
+    let mut counters: Vec<FaultCounters> = Vec::with_capacity(cfg.hosts);
+    for region in &regions {
+        let c = install_dsm_handler(Arc::clone(region), dsm_resolver, token).map_err(|e| {
+            let _ = e;
+            backend_err(manager, "fault handler registration")
+        })?;
+        counters.push(c);
+    }
+
+    let start = Instant::now();
+    let shared_ref = &shared;
+    let app_ref = &app;
+    let (outcomes, wall, compute_ns) = std::thread::scope(|scope| {
+        let mut servers = Vec::with_capacity(cfg.hosts);
+        for h in 0..cfg.hosts {
+            let me = HostId(h as u16);
+            let mem = HostMemory {
+                geo: geo.clone(),
+                region: Arc::clone(&regions[h]),
+            };
+            let shard = shards[h].take().expect("shard present");
+            let ep = SocketTransport {
+                me,
+                srv_tx: Arc::clone(&srv_tx),
+            };
+            let clock = WallClock { start };
+            let cost = cost.clone();
+            let (rx, res_tx) = (srv_rx[h], rt.threads[h].res_tx);
+            servers.push(
+                scope.spawn(move || host_server_loop(me, rx, res_tx, mem, shard, ep, clock, cost)),
+            );
+        }
+        let mut apps = Vec::with_capacity(cfg.hosts);
+        for h in 0..cfg.hosts {
+            let region = Arc::clone(&regions[h]);
+            apps.push(scope.spawn(move || {
+                SLOT.with(|s| s.set(h));
+                let mut ctx = HostDsmCtx {
+                    rt,
+                    slot: h,
+                    region,
+                    compute_ns: 0,
+                    timer_start: Instant::now(),
+                };
+                app_ref(&mut ctx, shared_ref);
+                ctx.compute_ns
+            }));
+        }
+        let mut compute_ns = 0;
+        let mut app_panic = None;
+        for (h, a) in apps.into_iter().enumerate() {
+            match a.join() {
+                Ok(ns) => {
+                    if h == 0 {
+                        compute_ns = ns;
+                    }
+                }
+                Err(p) => app_panic = Some(p),
+            }
+        }
+        let wall = start.elapsed();
+        for h in 0..cfg.hosts {
+            let msg = Pmsg::new(MsgKind::Shutdown, manager, 0);
+            let mut head = [0u8; HEADER];
+            encode_header(&mut head, manager, &msg, 0);
+            let _ = send_fd(srv_tx[h], &head);
+        }
+        let outcomes: Vec<HostServerOutcome> = servers
+            .into_iter()
+            .map(|s| s.join().expect("server thread panicked"))
+            .collect();
+        if let Some(p) = app_panic {
+            std::panic::resume_unwind(p);
+        }
+        (outcomes, wall, compute_ns)
+    });
+
+    Ok(HostRunReport {
+        read_faults: counters.iter().map(|c| c.read_faults()).collect(),
+        write_faults: counters.iter().map(|c| c.write_faults()).collect(),
+        invalidations: outcomes.iter().map(|o| o.invalidations).collect(),
+        wall,
+        compute_ns,
+        errors: outcomes.into_iter().flat_map(|o| o.errors).collect(),
+    })
+}

@@ -24,26 +24,36 @@
 //! SC-vs-relaxed ablation.
 
 pub mod audit;
+mod backend;
 mod cluster;
 pub mod diff;
 mod directory;
+mod dsm;
 mod error;
 pub mod explore;
+mod faults;
 pub mod hlrc;
 mod home;
 mod host;
+#[cfg(target_os = "linux")]
+pub mod hostrun;
 mod manager;
 mod msg;
 mod server;
 mod shared;
 mod stats;
 
+pub use backend::{AccessKind, MemFault, MemoryBackend, PageProt, ProtoClock, Transport};
 pub use cluster::{run, ClusterConfig, SetupCtx};
 pub use directory::{Directory, DirectoryEntry};
+pub use dsm::Dsm;
 pub use error::ProtocolError;
+pub use faults::{WireFault, WireFaultKind, WireFaults};
 pub use hlrc::Consistency;
 pub use home::{Centralized, FirstTouch, HomePolicy, HomePolicyKind, HomeTable, Interleaved};
 pub use host::HostCtx;
+#[cfg(target_os = "linux")]
+pub use hostrun::{run_host, HostDsmCtx, HostRunConfig, HostRunReport};
 pub use manager::{ManagerShard, ManagerStats};
 pub use msg::{MsgKind, Pmsg};
 pub use shared::{Pod, SharedCell, SharedVec};
@@ -58,7 +68,5 @@ pub use sim_core::sched::{SchedMode, SchedPolicy};
 pub use multiview::{AllocMode, AllocStats};
 pub use sim_core::{
     Category, ChromeTrace, CostModel, HostId, LogHistogram, Ns, TimeBreakdown, TraceEvent,
-    TraceKind, TraceLog, Tracer, Track,
+    TraceKind, TraceLog, Tracer, Track, VAddr,
 };
-pub use sim_mem::VAddr;
-pub use sim_net::{FaultPlane, ScriptedFault, ScriptedKind};

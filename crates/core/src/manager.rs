@@ -20,19 +20,16 @@
 //! state. Under the `Centralized` policy every minipage is homed at the
 //! manager host and the protocol is bit-for-bit the paper's original.
 
+use crate::backend::{ClusterMemory, PageProt, ProtoClock, Transport};
 use crate::diff::Diff;
 use crate::directory::Directory;
 use crate::error::ProtocolError;
 use crate::hlrc::{Consistency, MpInfo};
 use crate::home::HomeTable;
-use crate::host::HostState;
 use crate::msg::{MsgKind, Pmsg};
-use crate::server::send_checked;
 use multiview::{AllocStats, Allocator, Minipage, MinipageId};
 use sim_core::trace::{TraceKind, TraceRecorder};
-use sim_core::{CostModel, HostId, LogHistogram, Ns};
-use sim_mem::{Prot, VAddr};
-use sim_net::{Endpoint, ServerTimeline};
+use sim_core::{CostModel, HostId, LogHistogram, Ns, VAddr};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -79,12 +76,12 @@ pub struct ManagerShard {
     locks: HashMap<u64, LockState>,
     barrier_waiters: Vec<Pmsg>,
     stats: ManagerStats,
-    /// Every host's memory. The allocating shard initializes freshly
-    /// allocated minipages directly in their home host's space — an
-    /// alloc-time setup step, not protocol traffic: the minipage is
-    /// unreachable by applications until the allocation reply delivers
-    /// its address.
-    states: Vec<Arc<HostState>>,
+    /// Every host's memory, behind the backend boundary. The allocating
+    /// shard initializes freshly allocated minipages directly in their
+    /// home host's space — an alloc-time setup step, not protocol
+    /// traffic: the minipage is unreachable by applications until the
+    /// allocation reply delivers its address.
+    cluster: Arc<dyn ClusterMemory>,
     /// Protocol tracer for shard-side events (inert unless tracing is on).
     trace: TraceRecorder,
     /// Invalidation round-trips observed at this shard: fan-out to last
@@ -103,7 +100,7 @@ impl ManagerShard {
         consistency: Consistency,
         allocator: Option<Allocator>,
         home: Arc<HomeTable>,
-        states: Vec<Arc<HostState>>,
+        cluster: Arc<dyn ClusterMemory>,
         trace: TraceRecorder,
     ) -> Self {
         Self {
@@ -118,7 +115,7 @@ impl ManagerShard {
             barrier_waiters: Vec::new(),
             stats: ManagerStats::default(),
             home,
-            states,
+            cluster,
             trace,
             inv_rt: LogHistogram::new(),
         }
@@ -164,11 +161,6 @@ impl ManagerShard {
         &self.dir
     }
 
-    /// This shard's host memory.
-    fn my_state(&self) -> &HostState {
-        &self.states[self.me.index()]
-    }
-
     /// Allocates shared memory and initializes its directory state: each
     /// new minipage is published to the home table and starts at its home
     /// host with a writable copy. Runs on the manager host only.
@@ -191,8 +183,8 @@ impl ManagerShard {
         // read-only so the home host's own writes twin and flush like
         // everyone else's.
         let home_prot = match self.consistency {
-            Consistency::SequentialSwMr => Prot::ReadWrite,
-            Consistency::HomeEagerRc => Prot::ReadOnly,
+            Consistency::SequentialSwMr => PageProt::ReadWrite,
+            Consistency::HomeEagerRc => PageProt::ReadOnly,
         };
         for mp in new_mps {
             let home = self.home.publish(mp, requester);
@@ -201,17 +193,16 @@ impl ManagerShard {
             self.trace.emit(now, TraceKind::AllocGrant, |e| {
                 e.with_mp(mp.id.0)
                     .with_peer(home)
-                    .with_aux(u32::from(home_prot == Prot::ReadWrite))
+                    .with_aux(u32::from(home_prot == PageProt::ReadWrite))
             });
-            let home_state = &self.states[home.index()];
             for vp in mp.vpages(&geo) {
-                home_state
-                    .space
-                    .set_prot(vp, home_prot)
+                self.cluster
+                    .set_prot(home, vp, home_prot)
                     .expect("application vpage");
             }
             if self.consistency == Consistency::HomeEagerRc {
-                home_state.rc.lock().learn(
+                self.cluster.learn_rc(
+                    home,
                     mp.vpages(&geo),
                     MpInfo {
                         id: mp.id,
@@ -255,9 +246,8 @@ impl ManagerShard {
                 .unwrap_or_else(|| panic!("init write at {cur} hits no minipage"));
             let take = ((mp.base.0 + mp.len as u64 - cur.0) as usize).min(data.len() - off);
             let home = self.home.home(mp.id);
-            self.states[home.index()]
-                .space
-                .priv_write(cur, &data[off..off + take])
+            self.cluster
+                .priv_write(home, cur, &data[off..off + take])
                 .expect("in range");
             off += take;
         }
@@ -267,11 +257,11 @@ impl ManagerShard {
     /// timeline (service-start already charged by the server loop); `ep`
     /// is its endpoint. A failed handler degrades the one request (the
     /// server loop records the error and nacks the requester).
-    pub(crate) fn handle(
+    pub(crate) fn handle<C: ProtoClock, T: Transport>(
         &mut self,
         m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         match m.kind {
             MsgKind::ReadRequest => self.handle_read_request(m, tl, ep),
@@ -293,10 +283,10 @@ impl ManagerShard {
 
     /// Figure 3 `Translate`: fills the translation fields from the MPT
     /// replica.
-    fn translate(
+    fn translate<C: ProtoClock>(
         &mut self,
         m: &mut Pmsg,
-        tl: &mut ServerTimeline,
+        tl: &mut C,
     ) -> Result<MinipageId, ProtocolError> {
         tl.charge(self.cost.mpt_lookup);
         let mp = self
@@ -349,11 +339,11 @@ impl ManagerShard {
         next
     }
 
-    fn handle_read_request(
+    fn handle_read_request<C: ProtoClock, T: Transport>(
         &mut self,
         mut m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         let id = self.translate(&mut m, tl)?;
         if self.consistency == Consistency::HomeEagerRc {
@@ -363,9 +353,8 @@ impl ManagerShard {
             let e = self.dir.entry(id.index());
             e.add(m.from);
             let data = self
-                .my_state()
-                .space
-                .priv_read(m.priv_base, m.len)
+                .cluster
+                .priv_read(self.me, m.priv_base, m.len)
                 .map_err(|_| ProtocolError::BadTranslation {
                     host: self.me,
                     addr: m.priv_base.0 as usize,
@@ -379,7 +368,7 @@ impl ManagerShard {
             self.trace.emit(tl.now(), TraceKind::Serve, |e| {
                 e.with_mp(id.0).with_peer(to).with_aux(0)
             });
-            send_checked(ep, to, reply, payload, tl.now(), "home read reply")?;
+            ep.send(to, reply, payload, tl.now(), "home read reply")?;
             return Ok(());
         }
         if !self.open_window(id, &m, tl.now(), 0) {
@@ -398,15 +387,15 @@ impl ManagerShard {
         self.trace.emit(tl.now(), TraceKind::Forward, |e| {
             e.with_mp(id.0).with_peer(src).with_aux(0)
         });
-        send_checked(ep, src, m, 0, tl.now(), "read forward")?;
+        ep.send(src, m, 0, tl.now(), "read forward")?;
         Ok(())
     }
 
-    fn handle_write_request(
+    fn handle_write_request<C: ProtoClock, T: Transport>(
         &mut self,
         mut m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         if self.consistency != Consistency::SequentialSwMr {
             return Err(ProtocolError::BadState {
@@ -447,17 +436,17 @@ impl ManagerShard {
                 self.trace.emit(tl.now(), TraceKind::InvSend, |e| {
                     e.with_mp(id.0).with_peer(t).with_event(inv.event)
                 });
-                send_checked(ep, t, inv, 0, tl.now(), "invalidate fan-out")?;
+                ep.send(t, inv, 0, tl.now(), "invalidate fan-out")?;
             }
         }
         Ok(())
     }
 
-    fn handle_invalidate_reply(
+    fn handle_invalidate_reply<C: ProtoClock, T: Transport>(
         &mut self,
         m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         let id = m.minipage;
         let from = m.from;
@@ -501,7 +490,7 @@ impl ManagerShard {
             self.trace.emit(tl.now(), TraceKind::RcDiffAckSend, |e| {
                 e.with_mp(id.0).with_peer(w.from).with_event(w.event)
             });
-            send_checked(ep, w.from, ack, 0, tl.now(), "rc diff ack")?;
+            ep.send(w.from, ack, 0, tl.now(), "rc diff ack")?;
             if let Some(next) = self.close_window(id, tl.now()) {
                 self.dispatch_queued(next, tl, ep)?;
             }
@@ -519,25 +508,25 @@ impl ManagerShard {
         Ok(())
     }
 
-    fn forward_write(
+    fn forward_write<C: ProtoClock, T: Transport>(
         e: &mut crate::directory::DirectoryEntry,
         src: HostId,
         mut m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         e.copyset = 1u64 << m.from.index();
         e.owner = Some(m.from);
         m.kind = MsgKind::ServeWrite;
-        send_checked(ep, src, m, 0, tl.now(), "write forward")?;
+        ep.send(src, m, 0, tl.now(), "write forward")?;
         Ok(())
     }
 
-    fn handle_ack(
+    fn handle_ack<C: ProtoClock, T: Transport>(
         &mut self,
         mut m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         let id = self.translate(&mut m, tl)?;
         let from = m.from;
@@ -551,11 +540,11 @@ impl ManagerShard {
         Ok(())
     }
 
-    fn dispatch_queued(
+    fn dispatch_queued<C: ProtoClock, T: Transport>(
         &mut self,
         m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         match m.kind {
             MsgKind::ReadRequest => self.handle_read_request(m, tl, ep),
@@ -569,25 +558,25 @@ impl ManagerShard {
         }
     }
 
-    fn handle_alloc(
+    fn handle_alloc<C: ProtoClock, T: Transport>(
         &mut self,
         m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         tl.charge(self.cost.mpt_lookup);
         let addr = self.do_alloc(m.aux as usize, m.from, tl.now());
         let mut reply = Pmsg::new(MsgKind::AllocReply, self.me, m.event);
         reply.addr = addr;
-        send_checked(ep, m.from, reply, 0, tl.now(), "alloc reply")?;
+        ep.send(m.from, reply, 0, tl.now(), "alloc reply")?;
         Ok(())
     }
 
-    fn handle_barrier_enter(
+    fn handle_barrier_enter<C: ProtoClock, T: Transport>(
         &mut self,
         m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         self.barrier_waiters.push(m);
         if self.barrier_waiters.len() == self.barrier_quorum {
@@ -601,18 +590,18 @@ impl ManagerShard {
                     .emit(tl.now(), TraceKind::BarrierReleaseSend, |e| {
                         e.with_peer(w.from).with_event(w.event)
                     });
-                send_checked(ep, w.from, rel, 0, tl.now(), "barrier release")?;
+                ep.send(w.from, rel, 0, tl.now(), "barrier release")?;
             }
             self.stats.barriers += 1;
         }
         Ok(())
     }
 
-    fn handle_lock_acquire(
+    fn handle_lock_acquire<C: ProtoClock, T: Transport>(
         &mut self,
         m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         let st = self.locks.entry(m.aux).or_default();
         if st.held_by.is_none() {
@@ -623,18 +612,18 @@ impl ManagerShard {
             self.trace.emit(tl.now(), TraceKind::LockGrantSend, |e| {
                 e.with_peer(m.from).with_event(m.aux)
             });
-            send_checked(ep, m.from, grant, 0, tl.now(), "lock grant")?;
+            ep.send(m.from, grant, 0, tl.now(), "lock grant")?;
         } else {
             st.queue.push_back(m);
         }
         Ok(())
     }
 
-    fn handle_lock_release(
+    fn handle_lock_release<C: ProtoClock, T: Transport>(
         &mut self,
         m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         tl.charge(self.cost.lock_service);
         let st = self.locks.get_mut(&m.aux).ok_or(ProtocolError::BadState {
@@ -655,16 +644,16 @@ impl ManagerShard {
             self.trace.emit(tl.now(), TraceKind::LockGrantSend, |e| {
                 e.with_peer(next.from).with_event(next.aux)
             });
-            send_checked(ep, next.from, grant, 0, tl.now(), "lock grant")?;
+            ep.send(next.from, grant, 0, tl.now(), "lock grant")?;
         }
         Ok(())
     }
 
-    fn handle_push(
+    fn handle_push<C: ProtoClock, T: Transport>(
         &mut self,
         mut m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         let id = self.translate(&mut m, tl)?;
         if !self.open_window(id, &m, tl.now(), 2) {
@@ -686,7 +675,7 @@ impl ManagerShard {
                     let mut push = m.clone();
                     push.kind = MsgKind::PushData;
                     let payload = push.payload_bytes();
-                    send_checked(ep, h, push, payload, tl.now(), "push data")?;
+                    ep.send(h, push, payload, tl.now(), "push data")?;
                 }
             } else {
                 // Ownership moved since the push was issued: stale, drop.
@@ -715,11 +704,11 @@ impl ManagerShard {
     /// only once every stale copy has confirmed its invalidation. The
     /// flusher blocks on that ack before entering the barrier or
     /// releasing the lock.
-    fn handle_rc_diff(
+    fn handle_rc_diff<C: ProtoClock, T: Transport>(
         &mut self,
         m: Pmsg,
-        tl: &mut ServerTimeline,
-        ep: &Endpoint<Pmsg>,
+        tl: &mut C,
+        ep: &T,
     ) -> Result<(), ProtocolError> {
         if self.consistency != Consistency::HomeEagerRc {
             return Err(ProtocolError::BadState {
@@ -745,9 +734,8 @@ impl ManagerShard {
         // Patch run by run: only changed bytes are written, so a racing
         // local write to *other* bytes of the page is never clobbered.
         for (off, bytes) in diff.iter_runs() {
-            self.my_state()
-                .space
-                .priv_write(m.priv_base.add(off), bytes)
+            self.cluster
+                .priv_write(self.me, m.priv_base.add(off), bytes)
                 .map_err(|_| ProtocolError::BadTranslation {
                     host: self.me,
                     addr: m.priv_base.add(off).0 as usize,
@@ -769,7 +757,7 @@ impl ManagerShard {
             self.trace.emit(tl.now(), TraceKind::InvSend, |e| {
                 e.with_mp(id.0).with_peer(t).with_event(inv.event)
             });
-            send_checked(ep, t, inv, 0, tl.now(), "rc invalidate fan-out")?;
+            ep.send(t, inv, 0, tl.now(), "rc invalidate fan-out")?;
         }
         e.copyset = 1u64 << me.index();
         e.owner = None;
@@ -779,7 +767,7 @@ impl ManagerShard {
                 self.trace.emit(tl.now(), TraceKind::RcDiffAckSend, |e| {
                     e.with_mp(id.0).with_peer(m.from).with_event(m.event)
                 });
-                send_checked(ep, m.from, ack, 0, tl.now(), "rc diff ack")?;
+                ep.send(m.from, ack, 0, tl.now(), "rc diff ack")?;
                 if let Some(next) = self.close_window(id, tl.now()) {
                     self.dispatch_queued(next, tl, ep)?;
                 }

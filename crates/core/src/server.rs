@@ -15,6 +15,10 @@
 //! server keeps serving — a lossy link degrades one request, not the
 //! whole host.
 
+use crate::backend::{
+    bad_priv, bad_vpage, protect_range, read_priv, vpage_range, write_priv, MemoryBackend,
+    PageProt, ProtoClock, Transport,
+};
 use crate::error::ProtocolError;
 use crate::hlrc::{Consistency, MpInfo};
 use crate::home::{HomePolicyKind, HomeTable};
@@ -25,8 +29,7 @@ use bytes::Bytes;
 use sim_core::clock::Ns;
 use sim_core::sched::{BlockOutcome, SchedThread};
 use sim_core::trace::{TraceKind, TraceRecorder};
-use sim_core::{CostModel, HostId, LogHistogram};
-use sim_mem::{Prot, VAddr};
+use sim_core::{CostModel, HostId, LogHistogram, VAddr};
 use sim_net::{Endpoint, RecvError, ServerTimeline};
 use std::sync::Arc;
 
@@ -200,8 +203,8 @@ fn dispatch(
     match m.kind {
         ReadRequest | WriteRequest | InvalidateReply | Ack | AllocRequest | BarrierEnter
         | LockAcquire | LockRelease | PushRequest | RcDiff => shard.handle(m, tl, ep),
-        ServeRead => serve_read(m, state, cost, tl, ep, rec),
-        ServeWrite => serve_write(m, state, cost, tl, ep, rec),
+        ServeRead => serve_read(m, &state.space, state.host, cost, tl, ep, rec),
+        ServeWrite => serve_write(m, &state.space, state.host, cost, tl, ep, rec),
         InvalidateRequest => handle_invalidate(m, state, cost, consistency, tl, home, ep, rec),
         ReadReply | WriteReply => handle_data_reply(
             m,
@@ -320,116 +323,143 @@ pub(crate) fn send_checked(
     }
 }
 
-/// The global vpages covered by the minipage named in a translated message.
-fn vpages_of(m: &Pmsg, state: &HostState) -> Result<std::ops::Range<usize>, ProtocolError> {
-    state
-        .space
-        .geometry()
-        .vpages_covering(m.base, m.len)
-        .map(|(_, r)| r)
-        .ok_or(ProtocolError::BadTranslation {
-            host: state.host,
-            addr: m.base.0 as usize,
-            what: "translated minipage range",
-        })
-}
-
-/// A vpage-protection change failed: the message named a page outside the
-/// application view.
-fn bad_vpage(state: &HostState, vp: usize) -> ProtocolError {
-    ProtocolError::BadTranslation {
-        host: state.host,
-        addr: vp,
-        what: "protection change",
-    }
-}
-
-/// A privileged-view access failed: the message's translation lied.
-fn bad_priv(state: &HostState, m: &Pmsg, what: &'static str) -> ProtocolError {
-    ProtocolError::BadTranslation {
-        host: state.host,
-        addr: m.priv_base.0 as usize,
-        what,
-    }
-}
-
 /// Figure 3 "Handle Read Request": downgrade a writable copy to read-only
-/// and send the minipage straight out of the privileged view.
-fn serve_read(
+/// and send the minipage straight out of the privileged view. Generic over
+/// the backend pair — both the simulator and the host runtime serve reads
+/// through this function.
+pub(crate) fn serve_read<M: MemoryBackend, C: ProtoClock, T: Transport>(
     m: Pmsg,
-    state: &Arc<HostState>,
+    mem: &M,
+    host: HostId,
     cost: &CostModel,
-    tl: &mut ServerTimeline,
-    ep: &Endpoint<Pmsg>,
+    tl: &mut C,
+    ep: &T,
     rec: &mut TraceRecorder,
 ) -> Result<(), ProtocolError> {
     tl.charge(cost.dsm_overhead);
     tl.charge(cost.get_protection);
-    let mut downgraded = false;
-    for vp in vpages_of(&m, state)? {
-        if state.space.prot(vp) == Prot::ReadWrite {
-            state
-                .space
-                .set_prot(vp, Prot::ReadOnly)
-                .map_err(|_| bad_vpage(state, vp))?;
-            tl.charge(cost.set_protection);
-            downgraded = true;
-        }
-    }
-    if downgraded {
+    let downgraded = crate::backend::downgrade_range(mem, host, m.base, m.len)?;
+    tl.charge(downgraded as Ns * cost.set_protection);
+    if downgraded > 0 {
         rec.emit(tl.now(), TraceKind::Downgrade, |e| e.with_mp(m.minipage.0));
     }
     rec.emit(tl.now(), TraceKind::Serve, |e| {
         e.with_mp(m.minipage.0).with_peer(m.from).with_aux(0)
     });
-    let data = state
-        .space
-        .priv_read(m.priv_base, m.len)
-        .map_err(|_| bad_priv(state, &m, "serve-read source"))?;
+    let data = read_priv(mem, host, m.priv_base, m.len, "serve-read source")?;
     let mut reply = m;
     reply.kind = MsgKind::ReadReply;
     reply.data = Bytes::from(data);
     let to = reply.from;
     let payload = reply.payload_bytes();
-    send_checked(ep, to, reply, payload, tl.now(), "read reply")?;
+    ep.send(to, reply, payload, tl.now(), "read reply")?;
     Ok(())
 }
 
 /// Figure 3 "Handle Write Request": invalidate the local copy, then send
-/// the minipage to the writer.
-fn serve_write(
+/// the minipage to the writer. Generic over the backend pair.
+pub(crate) fn serve_write<M: MemoryBackend, C: ProtoClock, T: Transport>(
     m: Pmsg,
-    state: &Arc<HostState>,
+    mem: &M,
+    host: HostId,
     cost: &CostModel,
-    tl: &mut ServerTimeline,
-    ep: &Endpoint<Pmsg>,
+    tl: &mut C,
+    ep: &T,
     rec: &mut TraceRecorder,
 ) -> Result<(), ProtocolError> {
     tl.charge(cost.dsm_overhead);
     // NoAccess first: once the bytes leave, local threads must fault.
-    for vp in vpages_of(&m, state)? {
-        state
-            .space
-            .set_prot(vp, Prot::NoAccess)
-            .map_err(|_| bad_vpage(state, vp))?;
-        tl.charge(cost.set_protection);
-    }
+    let n = protect_range(mem, host, m.base, m.len, PageProt::NoAccess)?;
+    tl.charge(n as Ns * cost.set_protection);
     rec.emit(tl.now(), TraceKind::InvalidateLocal, |e| {
         e.with_mp(m.minipage.0)
     });
     rec.emit(tl.now(), TraceKind::Serve, |e| {
         e.with_mp(m.minipage.0).with_peer(m.from).with_aux(1)
     });
-    let data = state
-        .space
-        .priv_read(m.priv_base, m.len)
-        .map_err(|_| bad_priv(state, &m, "serve-write source"))?;
+    let data = read_priv(mem, host, m.priv_base, m.len, "serve-write source")?;
     let mut reply = m;
     reply.kind = MsgKind::WriteReply;
     reply.data = Bytes::from(data);
     let to = reply.from;
     let payload = reply.payload_bytes();
-    send_checked(ep, to, reply, payload, tl.now(), "write reply")?;
+    ep.send(to, reply, payload, tl.now(), "write reply")?;
+    Ok(())
+}
+
+/// The backend-neutral core of Figure 3 "Handle Invalidate Request":
+/// record the local invalidation and revoke access to the minipage. The
+/// caller bumps its invalidation counter and sends the reply (the sim's
+/// HLRC path layers eviction diffs on top instead).
+pub(crate) fn invalidate_local<M: MemoryBackend, C: ProtoClock>(
+    m: &Pmsg,
+    mem: &M,
+    host: HostId,
+    cost: &CostModel,
+    tl: &mut C,
+    rec: &mut TraceRecorder,
+) -> Result<(), ProtocolError> {
+    rec.emit(tl.now(), TraceKind::InvalidateLocal, |e| {
+        e.with_mp(m.minipage.0).with_event(m.event)
+    });
+    let n = protect_range(mem, host, m.base, m.len, PageProt::NoAccess)?;
+    tl.charge(n as Ns * cost.set_protection);
+    Ok(())
+}
+
+/// The backend-neutral core of Figure 3 "Handle Read or Write Reply":
+/// install the minipage bytes through the privileged view (unless
+/// `skip_write` — a self-addressed reply would stale-revert the page),
+/// open the protection, and return the covered vpage range for the
+/// caller's wake-up bookkeeping.
+pub(crate) fn install_reply<M: MemoryBackend, C: ProtoClock>(
+    m: &Pmsg,
+    mem: &M,
+    host: HostId,
+    cost: &CostModel,
+    tl: &mut C,
+    rec: &mut TraceRecorder,
+    skip_write: bool,
+) -> Result<std::ops::Range<usize>, ProtocolError> {
+    tl.charge(cost.dsm_overhead);
+    if !skip_write {
+        write_priv(mem, host, m.priv_base, &m.data, "reply install")?;
+    }
+    // aux 1 = read-only copy installed, aux 2 = writable copy installed.
+    let aux = if m.kind == MsgKind::ReadReply { 1 } else { 2 };
+    rec.emit(tl.now(), TraceKind::Install, |e| {
+        e.with_mp(m.minipage.0).with_event(m.event).with_aux(aux)
+    });
+    let prot = if m.kind == MsgKind::ReadReply {
+        PageProt::ReadOnly
+    } else {
+        PageProt::ReadWrite
+    };
+    let range = vpage_range(mem, host, m.base, m.len)?;
+    for vp in range.clone() {
+        mem.set_prot(vp, prot).map_err(|_| bad_vpage(host, vp))?;
+    }
+    tl.charge(range.len() as Ns * cost.set_protection);
+    tl.charge(cost.event_signal);
+    Ok(range)
+}
+
+/// The backend-neutral core of the §4.3 push install: write the pushed
+/// bytes and grant read access.
+pub(crate) fn install_push<M: MemoryBackend, C: ProtoClock>(
+    m: &Pmsg,
+    mem: &M,
+    host: HostId,
+    cost: &CostModel,
+    tl: &mut C,
+    rec: &mut TraceRecorder,
+) -> Result<(), ProtocolError> {
+    write_priv(mem, host, m.priv_base, &m.data, "push install")?;
+    rec.emit(tl.now(), TraceKind::Install, |e| {
+        e.with_mp(m.minipage.0).with_aux(1)
+    });
+    let n = protect_range(mem, host, m.base, m.len, PageProt::ReadOnly)?;
+    tl.charge(n as Ns * cost.set_protection);
     Ok(())
 }
 
@@ -453,10 +483,10 @@ fn handle_invalidate(
     ep: &Endpoint<Pmsg>,
     rec: &mut TraceRecorder,
 ) -> Result<(), ProtocolError> {
-    rec.emit(tl.now(), TraceKind::InvalidateLocal, |e| {
-        e.with_mp(m.minipage.0).with_event(m.event)
-    });
     if consistency == Consistency::HomeEagerRc {
+        rec.emit(tl.now(), TraceKind::InvalidateLocal, |e| {
+            e.with_mp(m.minipage.0).with_event(m.event)
+        });
         // Hold the release-state lock from the dirty-set removal until the
         // eviction diff is on the wire. Released earlier, the owner's
         // in-progress release flush could observe the emptied dirty set,
@@ -467,10 +497,13 @@ fn handle_invalidate(
         let mut rc = state.rc.lock();
         let dirty = rc.dirty.remove(&m.minipage.0);
         if let Some(d) = dirty {
-            let data = state
-                .space
-                .snapshot_and_protect(d.info.base, d.info.len, Prot::NoAccess)
-                .map_err(|_| bad_priv(state, &m, "eviction snapshot"))?;
+            let data = MemoryBackend::snapshot_and_protect(
+                &state.space,
+                d.info.base,
+                d.info.len,
+                PageProt::NoAccess,
+            )
+            .map_err(|_| bad_priv(state.host, m.priv_base, "eviction snapshot"))?;
             let diff = d.twin.diff(&data);
             tl.charge(cost.diff_time(d.info.len));
             tl.charge(cost.set_protection);
@@ -499,13 +532,8 @@ fn handle_invalidate(
             drop(rc);
         } else {
             drop(rc);
-            for vp in vpages_of(&m, state)? {
-                state
-                    .space
-                    .set_prot(vp, Prot::NoAccess)
-                    .map_err(|_| bad_vpage(state, vp))?;
-                tl.charge(cost.set_protection);
-            }
+            let n = protect_range(&state.space, state.host, m.base, m.len, PageProt::NoAccess)?;
+            tl.charge(n as Ns * cost.set_protection);
         }
         state.counters.invalidations_received.bump();
         if home.kind() != HomePolicyKind::Centralized {
@@ -526,13 +554,7 @@ fn handle_invalidate(
         }
         return Ok(());
     }
-    for vp in vpages_of(&m, state)? {
-        state
-            .space
-            .set_prot(vp, Prot::NoAccess)
-            .map_err(|_| bad_vpage(state, vp))?;
-        tl.charge(cost.set_protection);
-    }
+    invalidate_local(&m, &state.space, state.host, cost, tl, rec)?;
     state.counters.invalidations_received.bump();
     let mut reply = Pmsg::new(MsgKind::InvalidateReply, ep.host(), m.event);
     reply.minipage = m.minipage;
@@ -565,31 +587,21 @@ fn handle_data_reply(
     rec: &mut TraceRecorder,
     bug_stale_reinstall: bool,
 ) -> Result<(), ProtocolError> {
-    tl.charge(cost.dsm_overhead);
     // A self-addressed reply (this host served its own request — it homes
     // the minipage) carries bytes read from the very page it would install
     // them into. Writing them back is not just redundant: the snapshot was
     // taken at serve time, and a diff applied to the home page between the
     // serve and this install (another host's release flush) would be
     // silently reverted by the stale write-back, losing that host's
-    // release for good. The protection change below is still required.
+    // release for good. The protection change is still required.
     // `bug_stale_reinstall` re-introduces the fixed bug on purpose so the
     // schedule-exploration harness can prove it would catch it.
-    if wire_from != state.host || bug_stale_reinstall {
-        state
-            .space
-            .priv_write(m.priv_base, &m.data)
-            .map_err(|_| bad_priv(state, &m, "reply install"))?;
-    }
-    // aux 1 = read-only copy installed, aux 2 = writable copy installed.
-    let aux = if m.kind == MsgKind::ReadReply { 1 } else { 2 };
-    rec.emit(tl.now(), TraceKind::Install, |e| {
-        e.with_mp(m.minipage.0).with_event(m.event).with_aux(aux)
-    });
+    let skip_write = wire_from == state.host && !bug_stale_reinstall;
+    let range = install_reply(&m, &state.space, state.host, cost, tl, rec, skip_write)?;
     // Cache the manager's translation: the host-side minipage boundary
     // knowledge that the release-consistency write path relies on.
     state.rc.lock().learn(
-        vpages_of(&m, state)?,
+        range.clone(),
         MpInfo {
             id: m.minipage,
             base: m.base,
@@ -597,26 +609,13 @@ fn handle_data_reply(
             priv_base: m.priv_base,
         },
     );
-    let prot = if m.kind == MsgKind::ReadReply {
-        Prot::ReadOnly
-    } else {
-        Prot::ReadWrite
-    };
-    for vp in vpages_of(&m, state)? {
-        state
-            .space
-            .set_prot(vp, prot)
-            .map_err(|_| bad_vpage(state, vp))?;
-        tl.charge(cost.set_protection);
-    }
-    tl.charge(cost.event_signal);
     if m.prefetch {
         // Nobody blocks on a prefetch; wake opportunistic sleepers and
         // close the service window ourselves.
         let mut sleepers: Vec<Arc<Waiter>> = Vec::new();
         {
             let mut pf = state.prefetch_waiters.lock();
-            for vp in vpages_of(&m, state)? {
+            for vp in range {
                 if let Some(w) = pf.remove(&vp) {
                     if !sleepers.iter().any(|s| Arc::ptr_eq(s, &w)) {
                         sleepers.push(w);
@@ -683,20 +682,7 @@ fn handle_push_data(
     tl: &mut ServerTimeline,
     rec: &mut TraceRecorder,
 ) -> Result<(), ProtocolError> {
-    state
-        .space
-        .priv_write(m.priv_base, &m.data)
-        .map_err(|_| bad_priv(state, &m, "push install"))?;
-    rec.emit(tl.now(), TraceKind::Install, |e| {
-        e.with_mp(m.minipage.0).with_aux(1)
-    });
-    for vp in vpages_of(&m, state)? {
-        state
-            .space
-            .set_prot(vp, Prot::ReadOnly)
-            .map_err(|_| bad_vpage(state, vp))?;
-        tl.charge(cost.set_protection);
-    }
+    install_push(&m, &state.space, state.host, cost, tl, rec)?;
     state.counters.pushes_received.bump();
     Ok(())
 }

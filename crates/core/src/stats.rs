@@ -51,7 +51,7 @@ pub struct ShardStats {
 }
 
 /// Wire-fault activity of one run; present only when the cluster ran
-/// with an active [`FaultPlane`](sim_net::FaultPlane).
+/// with active [`WireFaults`](crate::WireFaults).
 #[derive(Clone, Debug, Serialize)]
 pub struct NetFaultStats {
     /// Transmissions the fault plane discarded (each costs one

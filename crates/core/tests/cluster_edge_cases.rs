@@ -1,8 +1,8 @@
 //! Edge-case integration tests of the cluster API surface.
 
 use millipage::{
-    run, AllocMode, Category, ClusterConfig, Consistency, CostModel, FaultPlane, HostId, SchedMode,
-    ScriptedFault,
+    run, AllocMode, Category, ClusterConfig, Consistency, CostModel, HostId, SchedMode, WireFault,
+    WireFaults,
 };
 use parking_lot::Mutex;
 
@@ -241,9 +241,9 @@ fn blackholed_request_surfaces_as_protocol_error() {
     // error reported on the run — no hang, no propagated panic.
     let report = run(
         ClusterConfig {
-            faults: FaultPlane {
-                scripted: vec![ScriptedFault::blackhole_nth(HostId(1), HostId(0), 1)],
-                ..FaultPlane::disabled()
+            faults: WireFaults {
+                scripted: vec![WireFault::blackhole_nth(HostId(1), HostId(0), 1)],
+                ..WireFaults::disabled()
             },
             request_timeout: Some(std::time::Duration::from_millis(500)),
             ..cfg(2)

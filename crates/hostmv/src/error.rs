@@ -1,0 +1,50 @@
+//! Typed errors for the real-memory MultiView layer.
+//!
+//! The mapping syscalls (`memfd_create`, `ftruncate`, `mmap`, `mprotect`,
+//! `sigaction`) used to surface as `io::Error` or panics; a DSM backend
+//! needs to route them into its protocol error channel instead, so every
+//! failure here carries what operation failed and why.
+
+use std::fmt;
+
+/// What went wrong while manipulating a [`MultiViewRegion`] or the
+/// process-wide fault handler.
+///
+/// [`MultiViewRegion`]: crate::MultiViewRegion
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostMvError {
+    /// A syscall failed; `op` names it and `errno` is the OS error code.
+    Sys { op: &'static str, errno: i32 },
+    /// The fixed-capacity fault-handler registry has no free slot.
+    RegistryFull { capacity: usize },
+    /// The caller named a view or page the operation cannot target
+    /// (privileged view, out-of-range page).
+    BadTarget { what: &'static str },
+}
+
+impl HostMvError {
+    /// Captures `errno` for a failed syscall named `op`.
+    pub(crate) fn last_os(op: &'static str) -> Self {
+        HostMvError::Sys {
+            op,
+            errno: std::io::Error::last_os_error().raw_os_error().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for HostMvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostMvError::Sys { op, errno } => {
+                let e = std::io::Error::from_raw_os_error(*errno);
+                write!(f, "{op} failed: {e}")
+            }
+            HostMvError::RegistryFull { capacity } => {
+                write!(f, "fault-handler registry full ({capacity} regions)")
+            }
+            HostMvError::BadTarget { what } => write!(f, "bad target: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HostMvError {}

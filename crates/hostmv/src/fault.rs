@@ -4,25 +4,82 @@
 //! the millipage exception handler" (§3.5.1). Here the handler implements
 //! the local half of that design: when an access faults inside a
 //! registered [`MultiViewRegion`], it decides between read and write
-//! intent from the page-fault error code, upgrades the vpage protection
-//! (`NoAccess → ReadOnly`, anything → `ReadWrite` on a write), bumps the
-//! fault counters, and returns so the instruction retries — exactly the
-//! protection-ladder a DSM uses to detect first-read and first-write.
+//! intent from the page-fault error code and either
 //!
-//! Everything in the handler is async-signal-safe: atomics, address
-//! arithmetic, and the `mprotect` syscall.
+//! * runs the built-in **upgrade ladder** (`NoAccess → ReadOnly`,
+//!   anything → `ReadWrite` on a write) — [`install_handler`], the
+//!   standalone mechanism demo — or
+//! * hands the decoded fault to a **DSM resolver** —
+//!   [`install_dsm_handler`] — which runs the coherence protocol (send a
+//!   request, block on the reply, let the server thread open the
+//!   protection) and reports whether the faulting instruction may retry.
+//!
+//! # Async-signal-safety
+//!
+//! The handler runs on the faulting thread with no guarantees about what
+//! locks the rest of the process holds, so everything on the handler path
+//! must be async-signal-safe (POSIX 2017, XSH 2.4.3):
+//!
+//! * registry scan: `AtomicPtr` loads and address arithmetic — safe;
+//! * fault decoding: pointer compares on leaked, immutable region metadata
+//!   — safe;
+//! * the upgrade ladder: one `mprotect` syscall + one atomic store
+//!   ([`MultiViewRegion::protect_raw`]) — both listed as signal-safe;
+//! * counters: relaxed atomic increments — safe;
+//! * a DSM resolver is a plain `fn` pointer the *embedder* promises keeps
+//!   the same discipline: syscalls (`send`/`recv` on a socketpair are
+//!   async-signal-safe), atomics, and thread-locals that were initialized
+//!   before the first fault (const-initialized TLS takes no lazy path).
+//!   No allocation, no mutexes, no `println!`.
+//!
+//! Nothing here allocates, takes a lock, or calls into libc beyond
+//! signal-safe entry points; registration (the only allocating step)
+//! happens in normal context before any fault can hit the slot.
 
+use crate::error::HostMvError;
 use crate::region::{HostProt, MultiViewRegion};
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Once};
 
 /// Fixed registry capacity: how many regions can be fault-managed at once.
-const MAX_REGIONS: usize = 16;
+/// Registrations are permanent (slots are never reclaimed), so this bounds
+/// the number of regions a process can ever create — a DSM run registers
+/// one region per simulated host, so dozens of runs fit in one process.
+const MAX_REGIONS: usize = 64;
+
+/// One access fault, decoded against its region: which application view
+/// and page faulted, where in the page, and whether the access was a
+/// write (x86-64 page-fault error-code bit 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawFault {
+    /// Application view index.
+    pub view: usize,
+    /// Page index within the view.
+    pub page: usize,
+    /// Byte offset within the page.
+    pub offset: usize,
+    /// Whether the faulting access was a write.
+    pub write: bool,
+}
+
+/// A DSM fault resolver: runs the coherence protocol for one decoded
+/// fault and returns whether the faulting instruction may retry (the
+/// protection has been opened). Returning `false` reinstates the default
+/// SIGSEGV action — the process crashes with a core, which is what an
+/// unresolvable fault deserves.
+///
+/// The resolver executes in signal context; it must stick to
+/// async-signal-safe operations (see the module docs). `token` is the
+/// opaque word passed to [`install_dsm_handler`] — typically a leaked
+/// runtime pointer, since the resolver is a plain `fn` and cannot capture.
+pub type FaultResolver = fn(region: &MultiViewRegion, fault: &RawFault, token: usize) -> bool;
 
 struct Registered {
     region: Arc<MultiViewRegion>,
     reads: AtomicU64,
     writes: AtomicU64,
+    /// DSM resolver + token, or `None` for the built-in upgrade ladder.
+    resolver: Option<(FaultResolver, usize)>,
 }
 
 static SLOTS: [AtomicPtr<Registered>; MAX_REGIONS] =
@@ -42,13 +99,15 @@ unsafe impl Send for FaultCounters {}
 unsafe impl Sync for FaultCounters {}
 
 impl FaultCounters {
-    /// Read faults taken (NoAccess → ReadOnly upgrades).
+    /// Read faults taken (NoAccess → ReadOnly upgrades, or read faults
+    /// handed to the DSM resolver).
     pub fn read_faults(&self) -> u64 {
         // SAFETY: `inner` points to a leaked, never-freed Registered.
         unsafe { (*self.inner).reads.load(Ordering::Relaxed) }
     }
 
-    /// Write faults taken (→ ReadWrite upgrades).
+    /// Write faults taken (→ ReadWrite upgrades, or write faults handed
+    /// to the DSM resolver).
     pub fn write_faults(&self) -> u64 {
         // SAFETY: as above.
         unsafe { (*self.inner).writes.load(Ordering::Relaxed) }
@@ -56,17 +115,36 @@ impl FaultCounters {
 }
 
 /// Installs the process-wide SIGSEGV handler (once) and registers
-/// `region` with it. Returns the region's fault counters.
+/// `region` with the built-in protection-upgrade ladder. Returns the
+/// region's fault counters.
 ///
 /// The registration is permanent: the region stays alive (and its slot
 /// occupied) for the rest of the process — fault handling and `Drop`
 /// cannot race that way. Suitable for tests and long-lived DSM processes;
 /// a production system would add epoch-based reclamation.
-///
-/// # Panics
-///
-/// Panics when the registry is full.
-pub fn install_handler(region: Arc<MultiViewRegion>) -> FaultCounters {
+pub fn install_handler(region: Arc<MultiViewRegion>) -> Result<FaultCounters, HostMvError> {
+    register(region, None)
+}
+
+/// Installs the process-wide SIGSEGV handler (once) and registers
+/// `region` with a DSM fault resolver: every access fault in the region
+/// is decoded into a [`RawFault`] and handed to `resolver` together with
+/// `token` instead of the built-in upgrade ladder. Faults on the
+/// privileged view still crash (it is always writable; such a fault means
+/// the mapping is gone).
+pub fn install_dsm_handler(
+    region: Arc<MultiViewRegion>,
+    resolver: FaultResolver,
+    token: usize,
+) -> Result<FaultCounters, HostMvError> {
+    register(region, Some((resolver, token)))
+}
+
+fn register(
+    region: Arc<MultiViewRegion>,
+    resolver: Option<(FaultResolver, usize)>,
+) -> Result<FaultCounters, HostMvError> {
+    let mut install_err = None;
     INSTALL.call_once(|| {
         // SAFETY: installing a SA_SIGINFO handler with an otherwise
         // zeroed sigaction; the handler only uses async-signal-safe
@@ -77,17 +155,19 @@ pub fn install_handler(region: Arc<MultiViewRegion>) -> FaultCounters {
             sa.sa_sigaction = f as usize;
             sa.sa_flags = libc::SA_SIGINFO;
             libc::sigemptyset(&mut sa.sa_mask);
-            assert_eq!(
-                libc::sigaction(libc::SIGSEGV, &sa, std::ptr::null_mut()),
-                0,
-                "sigaction(SIGSEGV) failed"
-            );
+            if libc::sigaction(libc::SIGSEGV, &sa, std::ptr::null_mut()) != 0 {
+                install_err = Some(HostMvError::last_os("sigaction"));
+            }
         }
     });
+    if let Some(e) = install_err {
+        return Err(e);
+    }
     let entry = Box::leak(Box::new(Registered {
         region,
         reads: AtomicU64::new(0),
         writes: AtomicU64::new(0),
+        resolver,
     }));
     for slot in &SLOTS {
         if slot
@@ -99,10 +179,12 @@ pub fn install_handler(region: Arc<MultiViewRegion>) -> FaultCounters {
             )
             .is_ok()
         {
-            return FaultCounters { inner: entry };
+            return Ok(FaultCounters { inner: entry });
         }
     }
-    panic!("fault-handler registry full ({MAX_REGIONS} regions)");
+    Err(HostMvError::RegistryFull {
+        capacity: MAX_REGIONS,
+    })
 }
 
 /// x86-64 page-fault error-code bit 1: set for writes.
@@ -130,18 +212,33 @@ extern "C" fn handler(_sig: libc::c_int, info: *mut libc::siginfo_t, ctx: *mut l
         }
         // SAFETY: non-null slots point to leaked Registered entries.
         let reg = unsafe { &*p };
-        let Some((view, page, _off)) = reg.region.decode(addr) else {
+        let Some((view, page, offset)) = reg.region.decode(addr) else {
             continue;
         };
         if view == reg.region.priv_view() {
             break; // Privileged view never faults legitimately: crash.
         }
         let write = is_write_fault(ctx);
-        let new = if write {
+        if write {
             reg.writes.fetch_add(1, Ordering::Relaxed);
-            HostProt::ReadWrite
         } else {
             reg.reads.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some((resolve, token)) = reg.resolver {
+            let fault = RawFault {
+                view,
+                page,
+                offset,
+                write,
+            };
+            if resolve(&reg.region, &fault, token) {
+                return; // Protocol opened the page: retry the instruction.
+            }
+            break;
+        }
+        let new = if write {
+            HostProt::ReadWrite
+        } else {
             HostProt::ReadOnly
         };
         if reg.region.protect_raw(view, page, new).is_ok() {

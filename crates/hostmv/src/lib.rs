@@ -22,11 +22,15 @@
 //! Non-Linux targets get an empty crate.
 
 #[cfg(target_os = "linux")]
+mod error;
+#[cfg(target_os = "linux")]
 mod fault;
 #[cfg(target_os = "linux")]
 mod region;
 
 #[cfg(target_os = "linux")]
-pub use fault::{install_handler, FaultCounters};
+pub use error::HostMvError;
+#[cfg(target_os = "linux")]
+pub use fault::{install_dsm_handler, install_handler, FaultCounters, FaultResolver, RawFault};
 #[cfg(target_os = "linux")]
 pub use region::{HostProt, MultiViewRegion};

@@ -1,6 +1,6 @@
 //! The multi-view mapping: one memfd, many views, per-vpage protection.
 
-use std::io;
+use crate::error::HostMvError;
 use std::ptr;
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -60,8 +60,12 @@ impl MultiViewRegion {
     ///
     /// Application views start `NoAccess`; the privileged view is
     /// read-write forever.
-    pub fn new(pages: usize, views: usize) -> io::Result<MultiViewRegion> {
-        assert!(pages > 0 && views > 0, "degenerate region");
+    pub fn new(pages: usize, views: usize) -> Result<MultiViewRegion, HostMvError> {
+        if pages == 0 || views == 0 {
+            return Err(HostMvError::BadTarget {
+                what: "degenerate region (zero pages or views)",
+            });
+        }
         // SAFETY: sysconf is always safe to call.
         let page_size = unsafe { libc::sysconf(libc::_SC_PAGESIZE) } as usize;
         let bytes = pages * page_size;
@@ -74,11 +78,11 @@ impl MultiViewRegion {
             )
         } as libc::c_int;
         if fd < 0 {
-            return Err(io::Error::last_os_error());
+            return Err(HostMvError::last_os("memfd_create"));
         }
         // SAFETY: freshly created fd, sized before any mapping exists.
         if unsafe { libc::ftruncate(fd, bytes as libc::off_t) } != 0 {
-            let e = io::Error::last_os_error();
+            let e = HostMvError::last_os("ftruncate");
             // SAFETY: fd was created above and is not yet shared.
             unsafe { libc::close(fd) };
             return Err(e);
@@ -95,7 +99,7 @@ impl MultiViewRegion {
             // same physical pages — the MultiView property.
             let p = unsafe { libc::mmap(ptr::null_mut(), bytes, prot, libc::MAP_SHARED, fd, 0) };
             if p == libc::MAP_FAILED {
-                let e = io::Error::last_os_error();
+                let e = HostMvError::last_os("mmap");
                 for &b in &bases {
                     // SAFETY: unmapping regions this constructor mapped.
                     unsafe { libc::munmap(b as *mut libc::c_void, bytes) };
@@ -179,12 +183,19 @@ impl MultiViewRegion {
 
     /// Sets the real protection of one vpage of one application view.
     ///
-    /// # Panics
-    ///
-    /// Panics when targeting the privileged view or out of range.
-    pub fn protect(&self, view: usize, page: usize, prot: HostProt) -> io::Result<()> {
-        assert!(view < self.views, "privileged view protection is fixed");
-        assert!(page < self.pages);
+    /// Targeting the privileged view (its protection is fixed) or an
+    /// out-of-range page is a [`HostMvError::BadTarget`].
+    pub fn protect(&self, view: usize, page: usize, prot: HostProt) -> Result<(), HostMvError> {
+        if view >= self.views {
+            return Err(HostMvError::BadTarget {
+                what: "privileged view protection is fixed",
+            });
+        }
+        if page >= self.pages {
+            return Err(HostMvError::BadTarget {
+                what: "page out of range",
+            });
+        }
         self.protect_raw(view, page, prot)
     }
 
@@ -192,7 +203,12 @@ impl MultiViewRegion {
     /// SIGSEGV handler (async-signal-safe: one syscall + one atomic).
     ///
     /// [`protect`]: MultiViewRegion::protect
-    pub(crate) fn protect_raw(&self, view: usize, page: usize, prot: HostProt) -> io::Result<()> {
+    pub(crate) fn protect_raw(
+        &self,
+        view: usize,
+        page: usize,
+        prot: HostProt,
+    ) -> Result<(), HostMvError> {
         let addr = self.bases[view] + page * self.page_size;
         // SAFETY: addr/page_size describe one page of a mapping this
         // region owns; changing its protection cannot create memory
@@ -205,7 +221,7 @@ impl MultiViewRegion {
             )
         };
         if rc != 0 {
-            return Err(io::Error::last_os_error());
+            return Err(HostMvError::last_os("mprotect"));
         }
         self.prots[view * self.pages + page].store(prot as u8, Ordering::Release);
         Ok(())
@@ -307,9 +323,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "privileged view")]
-    fn privileged_protection_panics() {
+    fn privileged_protection_is_a_typed_error() {
         let r = MultiViewRegion::new(1, 1).unwrap();
-        let _ = r.protect(1, 0, HostProt::NoAccess);
+        assert_eq!(
+            r.protect(1, 0, HostProt::NoAccess),
+            Err(HostMvError::BadTarget {
+                what: "privileged view protection is fixed"
+            })
+        );
+        assert!(matches!(
+            r.protect(0, 9, HostProt::NoAccess),
+            Err(HostMvError::BadTarget { .. })
+        ));
+        assert!(matches!(
+            MultiViewRegion::new(0, 1),
+            Err(HostMvError::BadTarget { .. })
+        ));
     }
 }

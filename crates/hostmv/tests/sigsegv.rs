@@ -16,7 +16,7 @@ fn fixture() -> (&'static Arc<MultiViewRegion>, &'static FaultCounters) {
     static FIX: OnceLock<(Arc<MultiViewRegion>, FaultCounters)> = OnceLock::new();
     let (r, c) = FIX.get_or_init(|| {
         let r = Arc::new(MultiViewRegion::new(8, 3).expect("mmap views"));
-        let c = install_handler(Arc::clone(&r));
+        let c = install_handler(Arc::clone(&r)).expect("install handler");
         (r, c)
     });
     (r, c)

@@ -9,6 +9,8 @@
 //!
 //! This crate holds the pieces shared by every other crate in the workspace:
 //!
+//! * [`addr`] — virtual addresses and the shared MultiView geometry (the
+//!   vocabulary every backend, simulated or real, speaks),
 //! * [`clock`] — virtual clocks and time algebra,
 //! * [`cost`] — the calibrated cost model (Table 1 and §3.5 of the paper),
 //! * [`rng`] — a small deterministic PRNG (SplitMix64),
@@ -20,6 +22,7 @@
 //!   interleaving) backing schedule exploration.
 
 pub mod account;
+pub mod addr;
 pub mod clock;
 pub mod cost;
 pub mod rng;
@@ -28,6 +31,7 @@ pub mod stats;
 pub mod trace;
 
 pub use account::{Category, TimeBreakdown};
+pub use addr::{Geometry, Loc, VAddr, DEFAULT_BASE, DEFAULT_PAGE_SIZE};
 pub use clock::{BusyWindow, Clock, Ns, SharedClock};
 pub use cost::{CostModel, ServiceDelayModel};
 pub use rng::SplitMix64;

@@ -1,6 +1,6 @@
 //! Protections, access kinds, and fault/error types.
 
-use crate::addr::VAddr;
+use sim_core::VAddr;
 use std::fmt;
 
 /// Per-vpage protection, exactly the three states §2.2 uses:

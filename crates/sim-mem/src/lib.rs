@@ -24,10 +24,11 @@
 //! The real-OS counterpart of this crate (actual `mmap`/`mprotect`/SIGSEGV)
 //! lives in the `hostmv` crate.
 
-mod addr;
 mod fault;
 mod space;
 
-pub use addr::{Geometry, Loc, VAddr, DEFAULT_BASE, DEFAULT_PAGE_SIZE};
+// The address vocabulary lives in `sim-core` (backends real and simulated
+// share it); re-exported here so memory-layer callers keep one import path.
 pub use fault::{Access, AccessFault, MemError, Prot};
+pub use sim_core::{Geometry, Loc, VAddr, DEFAULT_BASE, DEFAULT_PAGE_SIZE};
 pub use space::{AccessError, AccessTlb, AddressSpace, TlbEntry};

@@ -1,8 +1,8 @@
 //! Per-host address space: protections + page storage + checked access.
 
-use crate::addr::{Geometry, VAddr};
 use crate::fault::{Access, AccessFault, MemError, Prot};
 use parking_lot::RwLock;
+use sim_core::{Geometry, VAddr};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Why a checked access did not complete.

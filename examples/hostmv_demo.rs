@@ -20,7 +20,7 @@ fn main() {
     use std::time::Instant;
 
     let region = Arc::new(MultiViewRegion::new(16, 3).expect("mmap views"));
-    let counters = install_handler(Arc::clone(&region));
+    let counters = install_handler(Arc::clone(&region)).expect("install handler");
     println!(
         "memory object: {} pages of {} B, {} app views + privileged view",
         region.pages(),

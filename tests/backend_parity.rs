@@ -1,0 +1,168 @@
+//! Backend-parity goldens: the sim backend behind the backend trait pair
+//! must produce byte-identical deterministic output vs. the pre-refactor
+//! protocol core.
+//!
+//! The goldens under `tests/goldens/` were captured *before* the protocol
+//! core was made generic over `MemoryBackend`/`Transport`. Each golden pins
+//! one deterministic run three ways:
+//!
+//! * an FNV-64 hash of the full Chrome-trace export (every protocol event,
+//!   every virtual timestamp),
+//! * the trace event count (a readable first-divergence signal), and
+//! * the complete `RunReport` JSON (all counters, histograms, breakdowns).
+//!
+//! If any of these drift, the refactor changed observable behavior — the
+//! determinism contract of ISSUE 6 is broken. Regenerate (only when a
+//! behavior change is *intended* and reviewed) with
+//! `MILLIPAGE_REGEN_GOLDENS=1 cargo test --test backend_parity`.
+
+use millipage::{
+    run, AllocMode, ChromeTrace, ClusterConfig, Consistency, HomePolicyKind, HostId, SchedMode,
+    Tracer,
+};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// FNV-1a 64-bit over the trace bytes: no external hash crates in the
+/// workspace, and 64 bits is plenty to flag a byte-level divergence.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One deterministic run of the mixed protocol workload (reads, writes,
+/// barriers, locks, prefetch) rendered to (chrome trace, event count,
+/// report JSON).
+fn run_case(policy: HomePolicyKind, consistency: Consistency) -> (String, usize, String) {
+    let tracer = Tracer::enabled(1 << 14);
+    let cfg = ClusterConfig {
+        hosts: 4,
+        views: 8,
+        pages: 64,
+        alloc_mode: AllocMode::FINE,
+        consistency,
+        home_policy: policy,
+        tracer: tracer.clone(),
+        seed: 99,
+        sched: SchedMode::deterministic(),
+        ..ClusterConfig::default()
+    };
+    let report = run(
+        cfg,
+        |s| {
+            let cells = (0..8)
+                .map(|_| s.alloc_vec_init(&[0u64; 2]))
+                .collect::<Vec<_>>();
+            let counter = s.alloc_cell_init::<u64>(0);
+            (cells, counter)
+        },
+        |ctx, (cells, counter)| {
+            for phase in 0..3u64 {
+                if ctx.host() == HostId((phase as usize % ctx.hosts()) as u16) {
+                    for (i, c) in cells.iter().enumerate() {
+                        let v = ctx.get(c, 0);
+                        ctx.set(c, 0, v + phase + i as u64);
+                    }
+                }
+                ctx.barrier();
+            }
+            ctx.lock(1);
+            let v = ctx.cell_get(counter);
+            ctx.cell_set(counter, v + 1);
+            ctx.unlock(1);
+            ctx.barrier();
+            ctx.prefetch_vec(&cells[0]);
+            let _ = ctx.get(&cells[0], 1);
+            ctx.barrier();
+        },
+    );
+    assert!(
+        report.coherence_violations.is_empty() && report.protocol_errors.is_empty(),
+        "{policy:?}/{consistency:?}: {:?} {:?}",
+        report.coherence_violations,
+        report.protocol_errors
+    );
+    let log = tracer.drain();
+    assert_eq!(log.dropped, 0, "{policy:?}/{consistency:?}: ring overflow");
+    let mut chrome = ChromeTrace::new();
+    chrome.add_run("parity", 0, &log.events);
+    (chrome.finish(), log.events.len(), report.to_json())
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("parity_{name}.golden"))
+}
+
+/// Golden file format: `fnv64 <hex>\nevents <count>\n<report json>`.
+fn render_golden(trace: &str, events: usize, report: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "fnv64 {:#018x}", fnv64(trace.as_bytes())).unwrap();
+    writeln!(out, "events {events}").unwrap();
+    out.push_str(report);
+    out.push('\n');
+    out
+}
+
+fn check_case(name: &str, policy: HomePolicyKind, consistency: Consistency) {
+    let (trace, events, report) = run_case(policy, consistency);
+    let rendered = render_golden(&trace, events, &report);
+    let path = golden_path(name);
+    if std::env::var_os("MILLIPAGE_REGEN_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    if rendered != golden {
+        let at = rendered
+            .bytes()
+            .zip(golden.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(rendered.len().min(golden.len()));
+        let lo = at.saturating_sub(80);
+        panic!(
+            "{name}: sim backend diverged from pre-refactor golden at byte {at}:\n  \
+             now:    …{}\n  golden: …{}",
+            &rendered[lo..(at + 80).min(rendered.len())],
+            &golden[lo..(at + 80).min(golden.len())],
+        );
+    }
+}
+
+/// SW/MR through the centralized manager: the Figure 3 protocol.
+#[test]
+fn swmr_centralized_matches_pre_refactor_golden() {
+    check_case(
+        "swmr_centralized",
+        HomePolicyKind::Centralized,
+        Consistency::SequentialSwMr,
+    );
+}
+
+/// SW/MR with distributed management (interleaved homes): exercises the
+/// multi-shard request routing.
+#[test]
+fn swmr_interleaved_matches_pre_refactor_golden() {
+    check_case(
+        "swmr_interleaved",
+        HomePolicyKind::Interleaved,
+        Consistency::SequentialSwMr,
+    );
+}
+
+/// HLRC (home-based eager release consistency): twins, diffs, rc flushes.
+#[test]
+fn hlrc_centralized_matches_pre_refactor_golden() {
+    check_case(
+        "hlrc_centralized",
+        HomePolicyKind::Centralized,
+        Consistency::HomeEagerRc,
+    );
+}

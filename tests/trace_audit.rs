@@ -6,8 +6,8 @@
 //! reorder) — and (c) export to well-formed Chrome-trace/Perfetto JSON.
 
 use millipage::{
-    audit, run, AllocMode, AuditMode, ChromeTrace, ClusterConfig, Consistency, FaultPlane,
-    HomePolicyKind, HostId, RunReport, TraceLog, Tracer,
+    audit, run, AllocMode, AuditMode, ChromeTrace, ClusterConfig, Consistency, HomePolicyKind,
+    HostId, RunReport, TraceLog, Tracer, WireFaults,
 };
 
 /// A workload touching every traced protocol path: barrier-separated
@@ -17,7 +17,7 @@ use millipage::{
 fn traced_workload(
     policy: HomePolicyKind,
     consistency: Consistency,
-    faults: FaultPlane,
+    faults: WireFaults,
 ) -> (RunReport, TraceLog) {
     let tracer = Tracer::enabled(1 << 14);
     let cfg = ClusterConfig {
@@ -71,15 +71,15 @@ const POLICIES: [HomePolicyKind; 3] = [
 ];
 
 /// The acceptance fault mix: 1% drop, 0.5% duplicate, 2% reorder.
-fn lossy_plane() -> FaultPlane {
-    FaultPlane::lossy(13, 0.01, 0.005, 0.02)
+fn lossy_plane() -> WireFaults {
+    WireFaults::lossy(13, 0.01, 0.005, 0.02)
 }
 
 /// Runs the workload and holds its trace to the full invariant set; with
 /// the fault plane active additionally requires that no send exhausted
 /// its retransmit budget and no protocol error surfaced — the reliable
 /// channel hid every injected fault from the DSM protocol.
-fn assert_audits_clean(policy: HomePolicyKind, consistency: Consistency, faults: FaultPlane) {
+fn assert_audits_clean(policy: HomePolicyKind, consistency: Consistency, faults: WireFaults) {
     let fault_run = faults.is_active();
     let (report, log) = traced_workload(policy, consistency, faults);
     assert!(
@@ -121,7 +121,7 @@ fn assert_audits_clean(policy: HomePolicyKind, consistency: Consistency, faults:
 #[test]
 fn swmr_trace_audits_clean_under_every_home_policy() {
     for policy in POLICIES {
-        assert_audits_clean(policy, Consistency::SequentialSwMr, FaultPlane::disabled());
+        assert_audits_clean(policy, Consistency::SequentialSwMr, WireFaults::disabled());
     }
 }
 
@@ -130,7 +130,7 @@ fn swmr_trace_audits_clean_under_every_home_policy() {
 #[test]
 fn hlrc_trace_audits_clean_under_every_home_policy() {
     for policy in POLICIES {
-        assert_audits_clean(policy, Consistency::HomeEagerRc, FaultPlane::disabled());
+        assert_audits_clean(policy, Consistency::HomeEagerRc, WireFaults::disabled());
     }
 }
 
@@ -161,7 +161,7 @@ fn traced_run_populates_histograms() {
     let (traced, log) = traced_workload(
         HomePolicyKind::Centralized,
         Consistency::SequentialSwMr,
-        FaultPlane::disabled(),
+        WireFaults::disabled(),
     );
     let p50 = traced.fault_latency_p50().expect("faults were recorded");
     let p95 = traced.fault_latency_p95().expect("faults were recorded");
@@ -190,7 +190,7 @@ fn chrome_trace_export_is_well_formed_json() {
     let (_, log) = traced_workload(
         HomePolicyKind::Interleaved,
         Consistency::SequentialSwMr,
-        FaultPlane::disabled(),
+        WireFaults::disabled(),
     );
     let mut ct = ChromeTrace::new();
     ct.add_run("audit-test", 0, &log.events);
@@ -205,7 +205,7 @@ fn chrome_trace_export_is_well_formed_json() {
     let (report, _) = traced_workload(
         HomePolicyKind::Centralized,
         Consistency::SequentialSwMr,
-        FaultPlane::disabled(),
+        WireFaults::disabled(),
     );
     let rj = report.to_json();
     let rest = skip_json_value(rj.trim()).expect("valid report JSON");

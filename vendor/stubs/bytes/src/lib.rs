@@ -21,6 +21,11 @@ impl Bytes {
         Self(Arc::from(s))
     }
 
+    /// Copies `s` into a fresh buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Self(Arc::from(s))
+    }
+
     /// Length in bytes.
     pub fn len(&self) -> usize {
         self.0.len()

@@ -6,6 +6,7 @@
 
 #![allow(non_camel_case_types)]
 #![allow(non_upper_case_globals)]
+#![allow(non_snake_case)] // The W* status macros keep their POSIX names.
 #![cfg(all(target_os = "linux", target_arch = "x86_64"))]
 
 pub use std::ffi::c_void;
@@ -20,6 +21,8 @@ pub type ssize_t = isize;
 pub type off_t = i64;
 pub type greg_t = i64;
 pub type sighandler_t = size_t;
+pub type socklen_t = u32;
+pub type pid_t = i32;
 
 pub const PROT_NONE: c_int = 0;
 pub const PROT_READ: c_int = 1;
@@ -34,6 +37,13 @@ pub const SA_SIGINFO: c_int = 4;
 pub const SIG_DFL: sighandler_t = 0;
 /// Index of the page-fault error code in `mcontext_t::gregs` (x86-64).
 pub const REG_ERR: c_int = 19;
+
+pub const AF_UNIX: c_int = 1;
+pub const SOCK_SEQPACKET: c_int = 5;
+pub const SOL_SOCKET: c_int = 1;
+pub const SO_RCVBUF: c_int = 8;
+pub const MSG_NOSIGNAL: c_int = 0x4000;
+pub const EINTR: c_int = 4;
 
 /// glibc's 1024-bit signal set.
 #[repr(C)]
@@ -120,4 +130,27 @@ extern "C" {
     pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
     pub fn sigemptyset(set: *mut sigset_t) -> c_int;
     pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+    pub fn socketpair(domain: c_int, ty: c_int, protocol: c_int, sv: *mut c_int) -> c_int;
+    pub fn setsockopt(
+        socket: c_int,
+        level: c_int,
+        name: c_int,
+        value: *const c_void,
+        option_len: socklen_t,
+    ) -> c_int;
+    pub fn send(socket: c_int, buf: *const c_void, len: size_t, flags: c_int) -> ssize_t;
+    pub fn recv(socket: c_int, buf: *mut c_void, len: size_t, flags: c_int) -> ssize_t;
+    pub fn fork() -> pid_t;
+    pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+    pub fn _exit(code: c_int) -> !;
+}
+
+/// Whether `waitpid` status reports death by signal.
+pub fn WIFSIGNALED(status: c_int) -> bool {
+    ((status & 0x7f) + 1) >> 1 > 0
+}
+
+/// The signal that killed the child (valid when [`WIFSIGNALED`]).
+pub fn WTERMSIG(status: c_int) -> c_int {
+    status & 0x7f
 }
