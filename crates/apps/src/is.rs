@@ -186,6 +186,18 @@ pub fn run_is(mut cfg: ClusterConfig, p: IsParams) -> AppRun {
 /// checksum, real SIGSEGV faults.
 #[cfg(target_os = "linux")]
 pub fn run_is_host(hosts: usize, p: IsParams) -> Result<crate::HostAppRun, String> {
+    run_is_host_cfg(hosts, p, false)
+}
+
+/// [`run_is_host`] with per-minipage sharing diagnostics recorded (the
+/// counters `repro diagnose --backend host` cross-checks against the sim).
+#[cfg(target_os = "linux")]
+pub fn run_is_host_diag(hosts: usize, p: IsParams) -> Result<crate::HostAppRun, String> {
+    run_is_host_cfg(hosts, p, true)
+}
+
+#[cfg(target_os = "linux")]
+fn run_is_host_cfg(hosts: usize, p: IsParams, diag: bool) -> Result<crate::HostAppRun, String> {
     assert!(
         hosts <= p.regions,
         "the rotated merge needs at least as many regions as hosts"
@@ -194,6 +206,7 @@ pub fn run_is_host(hosts: usize, p: IsParams) -> Result<crate::HostAppRun, Strin
         hosts,
         views: p.regions.max(4),
         pages: 64,
+        diag,
     };
     let sum = parking_lot::Mutex::new(0.0f64);
     let report = millipage::run_host(

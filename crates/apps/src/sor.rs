@@ -180,6 +180,18 @@ pub fn run_sor(mut cfg: ClusterConfig, p: SorParams) -> AppRun {
 /// sizing with the real page size.
 #[cfg(target_os = "linux")]
 pub fn run_sor_host(hosts: usize, p: SorParams) -> Result<crate::HostAppRun, String> {
+    run_sor_host_cfg(hosts, p, false)
+}
+
+/// [`run_sor_host`] with per-minipage sharing diagnostics recorded (the
+/// counters `repro diagnose --backend host` cross-checks against the sim).
+#[cfg(target_os = "linux")]
+pub fn run_sor_host_diag(hosts: usize, p: SorParams) -> Result<crate::HostAppRun, String> {
+    run_sor_host_cfg(hosts, p, true)
+}
+
+#[cfg(target_os = "linux")]
+fn run_sor_host_cfg(hosts: usize, p: SorParams, diag: bool) -> Result<crate::HostAppRun, String> {
     let page_size = 4096; // MultiViewRegion uses the system page size.
     let pages = p.shared_bytes() / page_size * 2 + 64;
     let views = (page_size / (p.cols * 4)).clamp(1, 32);
@@ -187,6 +199,7 @@ pub fn run_sor_host(hosts: usize, p: SorParams) -> Result<crate::HostAppRun, Str
         hosts,
         views,
         pages,
+        diag,
     };
     let sum = parking_lot::Mutex::new(0.0f64);
     let report = millipage::run_host(

@@ -19,6 +19,10 @@
 //! repro manager-sweep [--quick]  §5 extension: home-policy hot-spot sweep
 //! repro trace [scenario] [--quick] [--out trace.json] [--json report.json]
 //!                         Traced run + invariant audit + Perfetto export
+//! repro diagnose [scenario] [--quick] [--backend sim|host] [--json diagnose.json]
+//!                         Sharing diagnostics: per-minipage heat stats,
+//!                         ping-pong / false-sharing / hot-home detectors,
+//!                         fault heatmap CSV + Perfetto counter tracks
 //! repro faults [scenario] [--quick] [--seed N] [--out faults-trace.json]
 //!                         Loss sweep under seeded wire faults + audit
 //! repro explore [--schedules N] [--seed N] [--quick] [--out repro.json]
@@ -38,7 +42,23 @@
 //! replays every trace through the SW/MR invariant auditor, and writes a
 //! combined Chrome-trace/Perfetto JSON (`--out`, default `trace.json`) —
 //! load it at <https://ui.perfetto.dev>. `--json <path>` additionally
-//! dumps the per-app [`RunReport`]s (histograms included) as JSON.
+//! dumps the per-app [`RunReport`]s (histograms included) as JSON. Exits
+//! nonzero on any audit violation or any dropped trace ring (a full ring
+//! means the analysis ran on an incomplete event stream).
+//!
+//! `repro diagnose` runs each application twice under the deterministic
+//! scheduler — once with the tracer on, once stats-only (the production
+//! configuration of the diagnostics plane) — and cross-checks the
+//! lock-free stats table against counts re-derived from the full trace,
+//! and the detector rankings between the two runs. It prints the ranked
+//! ping-pong / false-sharing / hot-home findings and the per-link wire
+//! traffic, writes the vpage×host fault heatmap to
+//! `diagnose-heatmap.csv` and per-host cumulative fault counter tracks to
+//! `diagnose-trace.json` (Perfetto), and exits nonzero on any
+//! counter/detector divergence or dropped trace ring. `--backend host`
+//! instead runs SOR and IS on the real-memory backend (Linux) and
+//! requires the per-minipage counters recorded by the SIGSEGV path to
+//! match the simulator's trace-derived counts exactly.
 //!
 //! `repro faults` sweeps packet-loss rates (0 / 0.1% / 1% / 5%; `--quick`
 //! keeps 0 and 1%) across the Table 2 applications and all three home
@@ -63,9 +83,9 @@
 
 use millipage::explore::{race_config, race_workload};
 use millipage::{
-    audit, explore, replay_repro, run, AllocMode, AuditMode, Category, ChromeTrace, ClusterConfig,
-    Consistency, CostModel, ExploreOpts, HomePolicyKind, MinimizedRepro, Ns, SharedCell, Tracer,
-    WireFaults,
+    audit, explore, replay_repro, run, trace_counts, AllocMode, AuditMode, Category, ChromeTrace,
+    ClusterConfig, Consistency, CostModel, ExploreOpts, Finding, HomePolicyKind, MinimizedRepro,
+    Ns, SchedMode, SharedCell, TraceKind, Tracer, WireFaults,
 };
 use millipage_apps::{close, is, lu, sor, tsp, water, AppRun};
 use millipage_bench::scenarios;
@@ -108,6 +128,16 @@ fn main() {
             let out = flag_value(&args, "--out").unwrap_or_else(|| "trace.json".into());
             let json = flag_value(&args, "--json");
             trace_cmd(&scenario, quick, &out, json.as_deref());
+        }
+        "diagnose" => {
+            let scenario = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "table2".into());
+            let backend = flag_value(&args, "--backend").unwrap_or_else(|| "sim".into());
+            let json = flag_value(&args, "--json");
+            diagnose_cmd(&scenario, quick, &backend, json.as_deref());
         }
         "faults" => {
             let scenario = args
@@ -173,7 +203,7 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: repro [table1|costs|fig5|table2|sor|is|fig6|fig7|ablate|manager-sweep|trace|faults|explore|bench|all] [--quick] [--backend sim|host]"
+                "usage: repro [table1|costs|fig5|table2|sor|is|fig6|fig7|ablate|manager-sweep|trace|diagnose|faults|explore|bench|all] [--quick] [--backend sim|host]"
             );
             std::process::exit(2);
         }
@@ -1135,6 +1165,7 @@ fn trace_cmd(scenario: &str, quick: bool, out_path: &str, json_path: Option<&str
     }
     let mut chrome = ChromeTrace::new();
     let mut total_violations = 0usize;
+    let mut total_dropped = 0u64;
     let mut json_apps: Vec<String> = Vec::new();
     let mut rows = vec![vec![
         "app".to_string(),
@@ -1166,6 +1197,7 @@ fn trace_cmd(scenario: &str, quick: bool, out_path: &str, json_path: Option<&str
             eprintln!("  {}: ... and {} more", spec.name, violations.len() - 5);
         }
         total_violations += violations.len();
+        total_dropped += log.dropped;
         rows.push(vec![
             spec.name.to_string(),
             log.events.len().to_string(),
@@ -1206,10 +1238,388 @@ fn trace_cmd(scenario: &str, quick: bool, out_path: &str, json_path: Option<&str
         eprintln!("audit FAILED: {total_violations} invariant violation(s)");
         std::process::exit(1);
     }
+    if total_dropped > 0 {
+        // A full ring silently truncates the event stream: the audit and
+        // the export above ran on incomplete data, so the run cannot be
+        // trusted as a golden.
+        eprintln!(
+            "trace FAILED: {total_dropped} event(s) dropped from full rings — \
+             raise TRACE_RING_CAPACITY"
+        );
+        std::process::exit(1);
+    }
     println!(
-        "audit passed: 0 invariant violations across {} app(s)",
+        "audit passed: 0 invariant violations, 0 dropped events across {} app(s)",
         specs.len()
     );
+}
+
+// ----------------------------------------------------------------------
+// Sharing diagnostics: `repro diagnose`.
+// ----------------------------------------------------------------------
+
+/// Output files of `repro diagnose` (see the module docs).
+const DIAG_HEATMAP_PATH: &str = "diagnose-heatmap.csv";
+const DIAG_TRACE_PATH: &str = "diagnose-trace.json";
+
+/// How many findings per detector the console table shows.
+const DIAG_TOP_N: usize = 5;
+
+/// Per-host cumulative fault counts as Perfetto counter points, sampled
+/// down to ~256 points per host (the final cumulative value always kept).
+fn fault_counter_points(events: &[millipage::TraceEvent], host: u16) -> Vec<(Ns, u64)> {
+    let mut vts: Vec<Ns> = events
+        .iter()
+        .filter(|e| {
+            e.host == host
+                && matches!(
+                    e.kind,
+                    TraceKind::ReadFaultBegin | TraceKind::WriteFaultBegin
+                )
+        })
+        .map(|e| e.vt)
+        .collect();
+    vts.sort_unstable();
+    let n = vts.len();
+    let stride = (n / 256).max(1);
+    vts.iter()
+        .enumerate()
+        .filter(|(j, _)| j % stride == 0 || j + 1 == n)
+        .map(|(j, &vt)| (vt, j as u64 + 1))
+        .collect()
+}
+
+fn diagnose_cmd(scenario: &str, quick: bool, backend: &str, json_path: Option<&str>) {
+    match backend {
+        "sim" => {}
+        "host" => {
+            diagnose_host(quick);
+            return;
+        }
+        other => {
+            eprintln!("unknown backend {other:?} (expected sim or host)");
+            std::process::exit(2);
+        }
+    }
+    header(&format!(
+        "Diagnose — per-minipage sharing stats + detectors ({scenario}, 4 hosts, deterministic)"
+    ));
+    let mut specs = app_specs(quick);
+    if !scenario.eq_ignore_ascii_case("table2") && !scenario.eq_ignore_ascii_case("all") {
+        specs.retain(|s| s.name.eq_ignore_ascii_case(scenario));
+        if specs.is_empty() {
+            eprintln!("unknown diagnose scenario {scenario:?}");
+            eprintln!(
+                "usage: repro diagnose [table2|sor|is|water|lu|tsp] [--quick] \
+                 [--backend sim|host] [--json f]"
+            );
+            std::process::exit(2);
+        }
+    }
+    let mut chrome = ChromeTrace::with_os_names();
+    let mut heatmap = String::from("app,mp,vpage,host,read_faults,write_faults\n");
+    let mut json_apps: Vec<String> = Vec::new();
+    let mut failures = 0usize;
+    let mut rows = vec![vec![
+        "app".to_string(),
+        "active mp".into(),
+        "faults".into(),
+        "inv recv".into(),
+        "ping-pong".into(),
+        "false-sharing".into(),
+        "hot-home".into(),
+        "dropped".into(),
+    ]];
+    let mut findings_out = String::new();
+    for (i, spec) in specs.iter().enumerate() {
+        // Traced run: stats table + full protocol trace, deterministic
+        // schedule so the stats-only run below replays the same execution.
+        let tracer = Tracer::enabled(TRACE_RING_CAPACITY);
+        let traced = (spec.run)(ClusterConfig {
+            tracer: tracer.clone(),
+            diag: true,
+            sched: SchedMode::deterministic(),
+            ..app_cfg(4)
+        });
+        let log = tracer.drain();
+        // Stats-only run: same schedule, tracer off — the production
+        // configuration of the diagnostics plane.
+        let stats = (spec.run)(ClusterConfig {
+            diag: true,
+            sched: SchedMode::deterministic(),
+            ..app_cfg(4)
+        });
+        let (Some(diag), Some(diag2)) = (traced.report.diag.as_ref(), stats.report.diag.as_ref())
+        else {
+            eprintln!("  {}: run produced no diagnostics", spec.name);
+            failures += 1;
+            continue;
+        };
+        // Self-check 1: the lock-free stats table must agree with the
+        // counts re-derived from the full trace stream.
+        let from_trace = trace_counts(&log.events);
+        let from_table = diag.counts();
+        if from_trace != from_table {
+            eprintln!(
+                "  {}: COUNTER MISMATCH between the stats table and the trace",
+                spec.name
+            );
+            let keys: std::collections::BTreeSet<_> =
+                from_trace.keys().chain(from_table.keys()).collect();
+            for &&(mp, h) in keys
+                .iter()
+                .filter(|k| from_trace.get(k) != from_table.get(k))
+                .take(5)
+            {
+                eprintln!(
+                    "    mp{mp} h{h}: trace {:?} vs table {:?}",
+                    from_trace.get(&(mp, h)),
+                    from_table.get(&(mp, h))
+                );
+            }
+            failures += 1;
+        }
+        // Self-check 2: detector output must not depend on whether the
+        // tracer ran alongside the stats table.
+        if diag.findings_fingerprint() != diag2.findings_fingerprint() {
+            eprintln!(
+                "  {}: DETECTOR MISMATCH between traced and stats-only runs",
+                spec.name
+            );
+            failures += 1;
+        }
+        // A full trace ring would invalidate both checks.
+        if log.dropped > 0 || !traced.report.trace_dropped.is_empty() {
+            eprintln!(
+                "  {}: {} trace event(s) dropped — raise TRACE_RING_CAPACITY",
+                spec.name, log.dropped
+            );
+            failures += 1;
+        }
+        let faults: u64 = from_table.values().map(|c| c[0] + c[1]).sum();
+        let inv: u64 = from_table.values().map(|c| c[2]).sum();
+        rows.push(vec![
+            spec.name.to_string(),
+            diag.minipages.len().to_string(),
+            faults.to_string(),
+            inv.to_string(),
+            diag.ping_pong.len().to_string(),
+            diag.false_sharing.len().to_string(),
+            diag.hot_home.len().to_string(),
+            log.dropped.to_string(),
+        ]);
+        {
+            use std::fmt::Write as _;
+            let mut push = |title: &str, fs: &[Finding]| {
+                for f in fs.iter().take(DIAG_TOP_N) {
+                    let _ = writeln!(
+                        findings_out,
+                        "  {} [{title}] mp{} h{} score={}: {}",
+                        spec.name, f.mp, f.host, f.score, f.evidence
+                    );
+                }
+                if fs.len() > DIAG_TOP_N {
+                    let _ = writeln!(
+                        findings_out,
+                        "  {} [{title}] ... and {} more",
+                        spec.name,
+                        fs.len() - DIAG_TOP_N
+                    );
+                }
+            };
+            push("ping-pong", &diag.ping_pong);
+            push("false-sharing", &diag.false_sharing);
+            push("hot-home", &diag.hot_home);
+            let wire: u64 = diag.links.iter().map(|l| l.bytes).sum();
+            let busiest = diag.links.iter().max_by_key(|l| l.bytes);
+            if let Some(l) = busiest {
+                let _ = writeln!(
+                    findings_out,
+                    "  {} [wire] {} links, {wire} payload bytes; busiest h{}->h{} \
+                     ({} msgs, {} bytes)",
+                    spec.name,
+                    diag.links.len(),
+                    l.from,
+                    l.to,
+                    l.messages,
+                    l.bytes
+                );
+            }
+        }
+        diag.heatmap_csv(spec.name, &mut heatmap);
+        // One Chrome "process" block of 64 pids per app, as `repro trace`
+        // lays runs out, plus one cumulative-fault counter track per host.
+        chrome.add_run(spec.name, (i as u32) * 64, &log.events);
+        for h in 0..4u16 {
+            let points = fault_counter_points(&log.events, h);
+            if !points.is_empty() {
+                chrome.add_counter(
+                    &format!("{} h{h} faults", spec.name),
+                    (i as u32) * 64 + h as u32,
+                    &points,
+                );
+            }
+        }
+        if json_path.is_some() {
+            json_apps.push(format!(
+                "{{\"app\":\"{}\",\"diag\":{}}}",
+                spec.name,
+                diag.to_json()
+            ));
+        }
+    }
+    print!("{}", render_table(&rows));
+    print!("{findings_out}");
+    if let Err(e) = std::fs::write(DIAG_HEATMAP_PATH, &heatmap) {
+        eprintln!("failed to write {DIAG_HEATMAP_PATH}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote vpage x host fault heatmap to {DIAG_HEATMAP_PATH}");
+    if let Err(e) = std::fs::write(DIAG_TRACE_PATH, chrome.finish()) {
+        eprintln!("failed to write {DIAG_TRACE_PATH}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote Perfetto trace + counter tracks to {DIAG_TRACE_PATH}");
+    if let Some(p) = json_path {
+        let body = format!("[{}]\n", json_apps.join(","));
+        if let Err(e) = std::fs::write(p, body) {
+            eprintln!("failed to write {p}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote per-app diagnostics JSON to {p}");
+    }
+    if failures > 0 {
+        eprintln!("diagnose FAILED: {failures} self-check failure(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "diagnose passed: stats table matches the trace and detectors agree \
+         across {} app(s)",
+        specs.len()
+    );
+}
+
+/// `repro diagnose --backend host`: SOR and IS on the real-memory backend
+/// with the diagnostics table recorded on the SIGSEGV path, cross-checked
+/// per minipage against the simulator's trace-derived counts. The two
+/// backends share the protocol core and the barrier-phased apps make the
+/// fault pattern structural, so the counters must match *exactly*.
+fn diagnose_host(quick: bool) {
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = quick;
+        host_unsupported();
+    }
+    #[cfg(target_os = "linux")]
+    {
+        let hosts = 4usize;
+        header(&format!(
+            "Diagnose (host backend) — per-minipage counter parity vs sim ({hosts} hosts)"
+        ));
+        let mut failures = 0usize;
+        let sp = sor_cmp_params(quick);
+        let h = sor::run_sor_host_diag(hosts, sp).unwrap_or_else(|e| {
+            eprintln!("SOR host run failed: {e}");
+            std::process::exit(1);
+        });
+        // views/pages 1 are maxed up to the same geometry formulas the
+        // host runner uses, so minipage ids align across the backends.
+        let tracer = Tracer::enabled(TRACE_RING_CAPACITY);
+        let sim = sor::run_sor(
+            ClusterConfig {
+                hosts,
+                views: 1,
+                pages: 1,
+                alloc_mode: AllocMode::FINE,
+                diag: true,
+                tracer: tracer.clone(),
+                sched: SchedMode::deterministic(),
+                ..ClusterConfig::default()
+            },
+            sp,
+        );
+        failures += host_parity("SOR", &h, &sim, &tracer.drain().events);
+
+        let ip = is_cmp_params(quick);
+        let h = is::run_is_host_diag(hosts, ip).unwrap_or_else(|e| {
+            eprintln!("IS host run failed: {e}");
+            std::process::exit(1);
+        });
+        let tracer = Tracer::enabled(TRACE_RING_CAPACITY);
+        let sim = is::run_is(
+            ClusterConfig {
+                hosts,
+                views: 1,
+                pages: 64,
+                diag: true,
+                tracer: tracer.clone(),
+                sched: SchedMode::deterministic(),
+                ..ClusterConfig::default()
+            },
+            ip,
+        );
+        failures += host_parity("IS", &h, &sim, &tracer.drain().events);
+        if failures > 0 {
+            eprintln!("diagnose FAILED: {failures} parity failure(s)");
+            std::process::exit(1);
+        }
+        println!("host/sim per-minipage counters and checksums match on SOR and IS");
+    }
+}
+
+/// Compares the host backend's per-`(minipage, host)` counters against the
+/// sim's stats table and the sim's trace-derived counts; returns the
+/// number of failed comparisons.
+#[cfg(target_os = "linux")]
+fn host_parity(
+    name: &str,
+    h: &millipage_apps::HostAppRun,
+    sim: &AppRun,
+    events: &[millipage::TraceEvent],
+) -> usize {
+    let mut failures = 0usize;
+    if !close(sim.checksum, h.checksum, 1e-9) {
+        eprintln!(
+            "{name}: CHECKSUM MISMATCH sim {} vs host {}",
+            sim.checksum, h.checksum
+        );
+        failures += 1;
+    }
+    let (Some(hd), Some(sd)) = (h.report.diag.as_ref(), sim.report.diag.as_ref()) else {
+        eprintln!("{name}: a backend produced no diagnostics");
+        return failures + 1;
+    };
+    let host_counts = hd.counts();
+    let sim_trace = trace_counts(events);
+    let sim_table = sd.counts();
+    for (label, lhs, rhs) in [
+        ("host table vs sim trace", &host_counts, &sim_trace),
+        ("sim table vs sim trace", &sim_table, &sim_trace),
+    ] {
+        if lhs == rhs {
+            continue;
+        }
+        eprintln!("{name}: COUNTER MISMATCH {label}");
+        let keys: std::collections::BTreeSet<_> = lhs.keys().chain(rhs.keys()).collect();
+        for &&(mp, hh) in keys.iter().filter(|k| lhs.get(k) != rhs.get(k)).take(8) {
+            eprintln!(
+                "  mp{mp} h{hh}: {:?} vs {:?}",
+                lhs.get(&(mp, hh)),
+                rhs.get(&(mp, hh))
+            );
+        }
+        failures += 1;
+    }
+    if failures == 0 {
+        let faults: u64 = host_counts.values().map(|c| c[0] + c[1]).sum();
+        let inv: u64 = host_counts.values().map(|c| c[2]).sum();
+        println!(
+            "{name}: {} active minipages, {faults} real faults, {inv} invalidations \
+             received — per-minipage counters match the sim exactly",
+            hd.minipages.len()
+        );
+    }
+    failures
 }
 
 // ----------------------------------------------------------------------

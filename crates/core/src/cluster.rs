@@ -8,6 +8,7 @@
 //! the computation starts), hands every application thread the same shared
 //! handle bundle, and assembles a [`RunReport`] when everything joins.
 
+use crate::diag::{build_report, DiagSink, DiagTable, LinkStat};
 use crate::error::ProtocolError;
 use crate::faults::WireFaults;
 use crate::hlrc::Consistency;
@@ -85,6 +86,12 @@ pub struct ClusterConfig {
     /// the canonical virtual-time schedule for every run (how CI runs the
     /// integration suite deterministically without touching each test).
     pub sched: SchedMode,
+    /// Per-minipage sharing diagnostics (see [`crate::diag`]): heat
+    /// counters on the fault and invalidation paths, merged into
+    /// [`RunReport::diag`] with ranked detector findings. Off by default —
+    /// a disabled sink costs one branch per instrumentation point and
+    /// leaves every existing report byte-for-byte unchanged.
+    pub diag: bool,
     /// Deliberately re-introduces the fixed PR-3 stale-reinstall bug (a
     /// home host installing its own serve-time snapshot over concurrently
     /// applied release diffs). Exists solely so the schedule-exploration
@@ -115,6 +122,7 @@ impl Default for ClusterConfig {
             } else {
                 SchedMode::off()
             },
+            diag: false,
             bug_stale_reinstall: false,
         }
     }
@@ -228,8 +236,23 @@ where
         cfg.manager
     );
     let geo = Geometry::new(cfg.pages, cfg.views);
+    // One slot per application-view vpage bounds the minipage ids any
+    // allocation order can produce, so the table never overflows.
+    let diag_table = cfg
+        .diag
+        .then(|| DiagTable::with_slots(cfg.hosts, geo.priv_view() * geo.pages()));
+    let diag_sink = diag_table
+        .as_ref()
+        .map(|t| DiagSink::new(Arc::clone(t)))
+        .unwrap_or_default();
     let states: Vec<Arc<HostState>> = (0..cfg.hosts)
-        .map(|h| HostState::new(HostId(h as u16), AddressSpace::new(geo.clone())))
+        .map(|h| {
+            HostState::new(
+                HostId(h as u16),
+                AddressSpace::new(geo.clone()),
+                diag_sink.clone(),
+            )
+        })
         .collect();
     let (net, endpoints) =
         Network::<Pmsg>::with_faults(cfg.hosts, cfg.cost.clone(), cfg.faults.to_plane());
@@ -286,6 +309,7 @@ where
                 Arc::clone(&home),
                 Arc::clone(&cluster_mem),
                 cfg.tracer.recorder(HostId(h as u16), Track::Shard),
+                diag_sink.clone(),
             ))
         })
         .collect();
@@ -317,12 +341,18 @@ where
             let rec = cfg.tracer.recorder(HostId(h as u16), Track::Server);
             let sched = sched.clone();
             let bug = cfg.bug_stale_reinstall;
-            server_handles.push(scope.spawn(move || {
-                // Attach on the spawned thread: it parks until the whole
-                // thread set is registered and the policy picks it.
-                let st = sched.attach(ThreadKey::server(HostId(h as u16)));
-                server_loop(ep, state, cost, consistency, timeline, shard, rec, st, bug)
-            }));
+            server_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mv-server-{h}"))
+                    .spawn_scoped(scope, move || {
+                        // Attach on the spawned thread: it parks until the
+                        // whole thread set is registered and the policy
+                        // picks it.
+                        let st = sched.attach(ThreadKey::server(HostId(h as u16)));
+                        server_loop(ep, state, cost, consistency, timeline, shard, rec, st, bug)
+                    })
+                    .expect("spawn server thread"),
+            );
         }
         let mut app_handles = Vec::with_capacity(cfg.hosts * cfg.threads_per_host);
         for h in 0..cfg.hosts {
@@ -349,41 +379,47 @@ where
                     tlb: sim_mem::AccessTlb::new(),
                 };
                 let sched = sched.clone();
-                app_handles.push(scope.spawn(move || {
-                    ctx.sched = sched.attach(ThreadKey::app(HostId(h as u16), t as u16));
-                    // Catch the unwind here so a failed thread can cancel
-                    // its siblings' pending waits *before* anyone tries to
-                    // join: joining a thread that is parked on a waiter
-                    // nobody will ever fulfill would hang the cluster (and
-                    // pre-fault-plane, did).
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        app_ref(&mut ctx, shared_ref);
-                    }));
-                    let failure = match result {
-                        Ok(()) => None,
-                        Err(payload) => {
-                            for st in states_ref {
-                                st.cancel_pending();
-                            }
-                            // Cancelled waiters are scheduler-visible state:
-                            // blocked siblings must re-check and unwind.
-                            ctx.sched_action();
-                            Some(payload)
-                        }
-                    };
-                    (
-                        HostReport {
-                            host: ctx.host,
-                            thread: t,
-                            end_vt: ctx.now(),
-                            breakdown: *ctx.breakdown(),
-                            read_faults: 0, // Filled from host counters below.
-                            write_faults: 0,
-                            fault_latency: std::mem::take(&mut ctx.fault_hist),
-                        },
-                        failure,
-                    )
-                }));
+                let builder = std::thread::Builder::new().name(format!("mv-host-{h}.{t}"));
+                app_handles.push(
+                    builder
+                        .spawn_scoped(scope, move || {
+                            ctx.sched = sched.attach(ThreadKey::app(HostId(h as u16), t as u16));
+                            // Catch the unwind here so a failed thread can cancel
+                            // its siblings' pending waits *before* anyone tries to
+                            // join: joining a thread that is parked on a waiter
+                            // nobody will ever fulfill would hang the cluster (and
+                            // pre-fault-plane, did).
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    app_ref(&mut ctx, shared_ref);
+                                }));
+                            let failure = match result {
+                                Ok(()) => None,
+                                Err(payload) => {
+                                    for st in states_ref {
+                                        st.cancel_pending();
+                                    }
+                                    // Cancelled waiters are scheduler-visible state:
+                                    // blocked siblings must re-check and unwind.
+                                    ctx.sched_action();
+                                    Some(payload)
+                                }
+                            };
+                            (
+                                HostReport {
+                                    host: ctx.host,
+                                    thread: t,
+                                    end_vt: ctx.now(),
+                                    breakdown: *ctx.breakdown(),
+                                    read_faults: 0, // Filled from host counters below.
+                                    write_faults: 0,
+                                    fault_latency: std::mem::take(&mut ctx.fault_hist),
+                                },
+                                failure,
+                            )
+                        })
+                        .expect("spawn app thread"),
+                );
             }
         }
         let mut app_failures: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
@@ -511,6 +547,25 @@ where
         Consistency::HomeEagerRc => check_rc_consistency(&minipages, &geo, &states, &home),
     };
     violations.extend(check_directories(&shards, cfg.consistency));
+    let alloc = shards[cfg.manager].alloc_stats();
+    // The shards carry the last live trace recorders; dropping them
+    // flushes their rings, so the per-host dropped-event counts read
+    // below are final.
+    drop(shards);
+    let trace_dropped = cfg.tracer.dropped_by_host();
+    let diag = diag_table.map(|t| {
+        let links = net
+            .link_traffic()
+            .into_iter()
+            .map(|(from, to, messages, bytes)| LinkStat {
+                from,
+                to,
+                messages,
+                bytes,
+            })
+            .collect();
+        build_report(&t, &minipages, &geo, &home, links)
+    });
     RunReport {
         hosts: cfg.hosts,
         virtual_time: per_host.iter().map(|r| r.end_vt).max().unwrap_or(0),
@@ -525,7 +580,7 @@ where
         pushes: mstats.pushes,
         messages: net.stats().messages.get(),
         payload_bytes: net.stats().payload_bytes.get(),
-        alloc: shards[cfg.manager].alloc_stats(),
+        alloc,
         rc_diffs: mstats.rc_diffs,
         policy: home.policy_name(),
         shards: shard_reports,
@@ -535,6 +590,8 @@ where
         inv_round_trip,
         protocol_errors,
         net_faults,
+        trace_dropped,
+        diag,
         per_host,
     }
 }

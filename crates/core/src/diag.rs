@@ -1,0 +1,1004 @@
+//! Sharing diagnostics: per-minipage heat statistics and pathology
+//! detectors, shared by both backends.
+//!
+//! The ROADMAP's adaptive-granularity item (split/merge minipages online,
+//! migrate homes to the dominant writer) needs per-minipage access
+//! accounting before any policy can act on it. This module provides that
+//! measurement layer:
+//!
+//! * [`DiagTable`] — a lock-free, pre-allocated, fixed-capacity table of
+//!   relaxed atomics. Every counter update is a single
+//!   `fetch_add`/`fetch_min`/`fetch_max` on a pre-allocated `AtomicU64`,
+//!   which keeps the host backend's SIGSEGV resolver path legal: the
+//!   resolver runs in signal context and may only touch async-signal-safe
+//!   state (see `hostmv::fault`'s module docs). Per minipage the table
+//!   keeps one *lane* per host (read/write faults, invalidations
+//!   received, write-extent min/max) plus shard-side counters
+//!   (invalidations fanned out, diff bytes, last writer, inter-host
+//!   write-ownership alternations).
+//! * [`DiagSink`] — the cheap handle threaded through the protocol, in
+//!   the same style as the tracer: a disabled sink costs one branch per
+//!   instrumentation point and leaves every report byte-for-byte what it
+//!   was.
+//! * [`DiagReport`] — the merged per-minipage statistics plus the ranked
+//!   findings of three detectors (ping-pong, false sharing, hot home) and
+//!   the per-link wire traffic.
+//! * [`trace_counts`] — the same per-minipage counters re-derived from a
+//!   PR-2 trace stream, so `repro diagnose` can self-check that the
+//!   lock-free counters and the trace plane agree event for event.
+//!
+//! # Detector definitions
+//!
+//! * **Ping-pong**: write ownership of one minipage alternated between
+//!   ≥ 2 hosts at least [`PING_PONG_MIN_ALTERNATIONS`] times. Under SW/MR
+//!   an alternation is recorded when the directory forwards the writable
+//!   copy to a different host than the previous writer; under HLRC, when
+//!   a release diff arrives from a different host than the previous
+//!   flusher. Ranked by alternation count.
+//! * **False sharing**: ≥ 2 hosts wrote *pairwise-disjoint* byte ranges
+//!   of one minipage (each with at least [`FALSE_SHARING_MIN_WRITES`]
+//!   write faults). Extents come from fault offsets (SW/MR) and diff-run
+//!   extents (HLRC); overlapping extents mean the hosts contend for the
+//!   same bytes — true sharing — and are deliberately excluded. Ranked by
+//!   write faults + invalidations fanned out (the traffic a split would
+//!   remove).
+//! * **Hot home**: one host's shard serves more than [`HOT_HOME_SKEW`] ×
+//!   the mean per-host fault load (summed over the minipages homed
+//!   there). Ranked by load.
+
+use crate::home::HomeTable;
+use multiview::Minipage;
+use serde::Serialize;
+use sim_core::trace::{esc, NO_MP};
+use sim_core::{TraceEvent, TraceKind, Track};
+use sim_mem::Geometry;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Default table capacity ([`DiagTable::new`]): minipages with ids at or
+/// above the capacity record into the overflow counter instead of a
+/// dedicated slot. The backends size their tables from the geometry
+/// instead ([`DiagTable::with_slots`] with one slot per application-view
+/// vpage — an upper bound on minipage ids, since every minipage occupies
+/// at least one vpage), so no shipped run overflows.
+pub const DIAG_SLOTS: usize = 4096;
+
+/// Ping-pong detector threshold: minimum inter-host write-ownership
+/// alternations (any alternation implies ≥ 2 distinct writers).
+pub const PING_PONG_MIN_ALTERNATIONS: u64 = 4;
+
+/// False-sharing detector threshold: minimum write faults per
+/// participating host.
+pub const FALSE_SHARING_MIN_WRITES: u64 = 2;
+
+/// Hot-home detector threshold: a home is hot when its fault load exceeds
+/// this multiple of the mean per-host load.
+pub const HOT_HOME_SKEW: f64 = 1.5;
+
+/// "No writer yet" marker in the last-writer cell.
+const NO_WRITER: u64 = u64::MAX;
+
+// Per-(slot, host) lane layout.
+const L_READ: usize = 0;
+const L_WRITE: usize = 1;
+const L_INV: usize = 2;
+const L_WMIN: usize = 3;
+const L_WMAX: usize = 4;
+const HOST_LANES: usize = 5;
+// Per-slot (shard-side) lane layout, after the host lanes.
+const S_INV_SENT: usize = 0;
+const S_DIFF_BYTES: usize = 1;
+const S_LAST_WRITER: usize = 2;
+const S_ALTERNATIONS: usize = 3;
+const SLOT_LANES: usize = 4;
+
+/// The lock-free statistics table. Pre-allocated at run start; every
+/// update is one relaxed atomic RMW, so both the simulator's threads and
+/// the host backend's signal-context resolver may record into it.
+pub struct DiagTable {
+    hosts: usize,
+    slots: usize,
+    /// `slots × (hosts · HOST_LANES + SLOT_LANES)` cells.
+    cells: Vec<AtomicU64>,
+    /// `hosts × hosts × 2` wire counters (messages, bytes), indexed
+    /// `(from · hosts + to) · 2`.
+    links: Vec<AtomicU64>,
+    /// Events on minipages beyond the table capacity.
+    overflow: AtomicU64,
+}
+
+impl DiagTable {
+    /// A zeroed table for a cluster of `hosts` hosts at the default
+    /// capacity ([`DIAG_SLOTS`]).
+    pub fn new(hosts: usize) -> Arc<Self> {
+        Self::with_slots(hosts, DIAG_SLOTS)
+    }
+
+    /// A zeroed table with room for minipage ids `0..slots`. The backends
+    /// pass the geometry's application-view vpage count, which bounds the
+    /// minipage ids any allocation order can produce.
+    pub fn with_slots(hosts: usize, slots: usize) -> Arc<Self> {
+        let stride = hosts * HOST_LANES + SLOT_LANES;
+        let cells: Vec<AtomicU64> = (0..slots * stride)
+            .map(|i| {
+                let lane = i % stride;
+                // Write-extent minima start at MAX so fetch_min works;
+                // the last-writer cell starts at the "none" marker.
+                let init = if lane < hosts * HOST_LANES {
+                    if lane % HOST_LANES == L_WMIN {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                } else if lane - hosts * HOST_LANES == S_LAST_WRITER {
+                    NO_WRITER
+                } else {
+                    0
+                };
+                AtomicU64::new(init)
+            })
+            .collect();
+        Arc::new(Self {
+            hosts,
+            slots,
+            cells,
+            links: (0..hosts * hosts * 2).map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of hosts the table was sized for.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    #[inline]
+    fn stride(&self) -> usize {
+        self.hosts * HOST_LANES + SLOT_LANES
+    }
+
+    /// Cell index of `lane` in host `host`'s lane group of slot `mp`, or
+    /// `None` (overflow counted) for out-of-range minipages.
+    #[inline]
+    fn host_cell(&self, mp: u32, host: u16, lane: usize) -> Option<usize> {
+        let slot = mp as usize;
+        if slot >= self.slots || (host as usize) >= self.hosts {
+            self.overflow.fetch_add(1, Relaxed);
+            return None;
+        }
+        Some(slot * self.stride() + host as usize * HOST_LANES + lane)
+    }
+
+    /// Cell index of the shard-side `lane` of slot `mp`.
+    #[inline]
+    fn slot_cell(&self, mp: u32, lane: usize) -> Option<usize> {
+        let slot = mp as usize;
+        if slot >= self.slots {
+            self.overflow.fetch_add(1, Relaxed);
+            return None;
+        }
+        Some(slot * self.stride() + self.hosts * HOST_LANES + lane)
+    }
+
+    /// Records a read fault taken by `host` on minipage `mp`.
+    #[inline]
+    pub fn read_fault(&self, mp: u32, host: u16) {
+        if let Some(i) = self.host_cell(mp, host, L_READ) {
+            self.cells[i].fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Records a write fault by `host` at byte `off` (extent `len`) of
+    /// minipage `mp`.
+    #[inline]
+    pub fn write_fault(&self, mp: u32, host: u16, off: u64, len: u64) {
+        if let Some(i) = self.host_cell(mp, host, L_WRITE) {
+            self.cells[i].fetch_add(1, Relaxed);
+        }
+        self.write_extent(mp, host, off, len);
+    }
+
+    /// Widens `host`'s write extent on `mp` to cover `[off, off + len)`.
+    #[inline]
+    pub fn write_extent(&self, mp: u32, host: u16, off: u64, len: u64) {
+        if let Some(i) = self.host_cell(mp, host, L_WMIN) {
+            self.cells[i].fetch_min(off, Relaxed);
+        }
+        if let Some(i) = self.host_cell(mp, host, L_WMAX) {
+            self.cells[i].fetch_max(off + len.max(1), Relaxed);
+        }
+    }
+
+    /// Records an invalidation received (and applied) by `host`.
+    #[inline]
+    pub fn inv_recv(&self, mp: u32, host: u16) {
+        if let Some(i) = self.host_cell(mp, host, L_INV) {
+            self.cells[i].fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Records `n` invalidations fanned out by `mp`'s home shard.
+    #[inline]
+    pub fn inv_sent(&self, mp: u32, n: u64) {
+        if let Some(i) = self.slot_cell(mp, S_INV_SENT) {
+            self.cells[i].fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Records `bytes` of encoded release-diff data applied at the home.
+    #[inline]
+    pub fn diff_bytes(&self, mp: u32, bytes: u64) {
+        if let Some(i) = self.slot_cell(mp, S_DIFF_BYTES) {
+            self.cells[i].fetch_add(bytes, Relaxed);
+        }
+    }
+
+    /// Records `host` becoming the current writer of `mp`, counting an
+    /// alternation when the previous writer was a different host. Only the
+    /// minipage's home shard calls this (one shard per minipage), so the
+    /// load/store pair cannot race with itself.
+    #[inline]
+    pub fn writer(&self, mp: u32, host: u16) {
+        let Some(last) = self.slot_cell(mp, S_LAST_WRITER) else {
+            return;
+        };
+        let prev = self.cells[last].load(Relaxed);
+        if prev == host as u64 {
+            return;
+        }
+        if prev != NO_WRITER {
+            if let Some(alt) = self.slot_cell(mp, S_ALTERNATIONS) {
+                self.cells[alt].fetch_add(1, Relaxed);
+            }
+        }
+        self.cells[last].store(host as u64, Relaxed);
+    }
+
+    /// Records one wire message of `bytes` payload on the `from → to`
+    /// link (used by the host backend's transport; the simulator reads
+    /// its fabric's per-link counters instead).
+    #[inline]
+    pub fn wire_send(&self, from: u16, to: u16, bytes: u64) {
+        let (f, t) = (from as usize, to as usize);
+        if f >= self.hosts || t >= self.hosts {
+            return;
+        }
+        let i = (f * self.hosts + t) * 2;
+        self.links[i].fetch_add(1, Relaxed);
+        self.links[i + 1].fetch_add(bytes, Relaxed);
+    }
+
+    /// The per-link wire traffic recorded through [`wire_send`], links
+    /// with no traffic omitted.
+    pub fn link_stats(&self) -> Vec<LinkStat> {
+        let mut out = Vec::new();
+        for from in 0..self.hosts {
+            for to in 0..self.hosts {
+                let i = (from * self.hosts + to) * 2;
+                let (m, b) = (self.links[i].load(Relaxed), self.links[i + 1].load(Relaxed));
+                if m > 0 {
+                    out.push(LinkStat {
+                        from: from as u16,
+                        to: to as u16,
+                        messages: m,
+                        bytes: b,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn host_lane(&self, mp: u32, host: usize, lane: usize) -> u64 {
+        self.cells[mp as usize * self.stride() + host * HOST_LANES + lane].load(Relaxed)
+    }
+
+    fn slot_lane(&self, mp: u32, lane: usize) -> u64 {
+        self.cells[mp as usize * self.stride() + self.hosts * HOST_LANES + lane].load(Relaxed)
+    }
+}
+
+/// The cheap diagnostics handle threaded through the protocol. Cloning
+/// shares the table; the default sink is disabled and every recording
+/// method is a single branch.
+#[derive(Clone, Default)]
+pub struct DiagSink(Option<Arc<DiagTable>>);
+
+impl std::fmt::Debug for DiagSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(t) => write!(f, "DiagSink(enabled, {} slots)", t.slots),
+            None => write!(f, "DiagSink(disabled)"),
+        }
+    }
+}
+
+impl DiagSink {
+    /// A disabled sink (the default): recording is a no-op.
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// A sink recording into `table`.
+    pub fn new(table: Arc<DiagTable>) -> Self {
+        Self(Some(table))
+    }
+
+    /// Whether recording does anything; instrumentation points use this to
+    /// skip computing minipage ids when diagnostics are off.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The underlying table, if enabled.
+    pub fn table(&self) -> Option<&Arc<DiagTable>> {
+        self.0.as_ref()
+    }
+
+    /// See [`DiagTable::read_fault`].
+    #[inline]
+    pub fn read_fault(&self, mp: u32, host: u16) {
+        if let Some(t) = &self.0 {
+            t.read_fault(mp, host);
+        }
+    }
+
+    /// See [`DiagTable::write_fault`].
+    #[inline]
+    pub fn write_fault(&self, mp: u32, host: u16, off: u64, len: u64) {
+        if let Some(t) = &self.0 {
+            t.write_fault(mp, host, off, len);
+        }
+    }
+
+    /// See [`DiagTable::write_extent`].
+    #[inline]
+    pub fn write_extent(&self, mp: u32, host: u16, off: u64, len: u64) {
+        if let Some(t) = &self.0 {
+            t.write_extent(mp, host, off, len);
+        }
+    }
+
+    /// See [`DiagTable::inv_recv`].
+    #[inline]
+    pub fn inv_recv(&self, mp: u32, host: u16) {
+        if let Some(t) = &self.0 {
+            t.inv_recv(mp, host);
+        }
+    }
+
+    /// See [`DiagTable::inv_sent`].
+    #[inline]
+    pub fn inv_sent(&self, mp: u32, n: u64) {
+        if let Some(t) = &self.0 {
+            t.inv_sent(mp, n);
+        }
+    }
+
+    /// See [`DiagTable::diff_bytes`].
+    #[inline]
+    pub fn diff_bytes(&self, mp: u32, bytes: u64) {
+        if let Some(t) = &self.0 {
+            t.diff_bytes(mp, bytes);
+        }
+    }
+
+    /// See [`DiagTable::writer`].
+    #[inline]
+    pub fn writer(&self, mp: u32, host: u16) {
+        if let Some(t) = &self.0 {
+            t.writer(mp, host);
+        }
+    }
+
+    /// See [`DiagTable::wire_send`].
+    #[inline]
+    pub fn wire_send(&self, from: u16, to: u16, bytes: u64) {
+        if let Some(t) = &self.0 {
+            t.wire_send(from, to, bytes);
+        }
+    }
+}
+
+/// One host's lane of a minipage's statistics.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct HostLane {
+    /// The host.
+    pub host: u16,
+    /// Read faults this host took on the minipage.
+    pub read_faults: u64,
+    /// Write faults this host took on the minipage.
+    pub write_faults: u64,
+    /// Invalidations this host received for the minipage.
+    pub inv_recv: u64,
+    /// Byte range `[start, end)` of the host's recorded writes, or `None`
+    /// if it never wrote.
+    pub write_extent: Option<(u64, u64)>,
+}
+
+/// Merged statistics of one minipage.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct MinipageDiag {
+    /// Minipage id.
+    pub mp: u32,
+    /// Length in bytes.
+    pub len: usize,
+    /// Home host.
+    pub home: u16,
+    /// First global vpage the minipage occupies (heatmap row).
+    pub first_vpage: usize,
+    /// Number of vpages spanned.
+    pub vpages: usize,
+    /// Invalidations the home shard fanned out for this minipage.
+    pub inv_sent: u64,
+    /// Encoded release-diff bytes applied at the home.
+    pub diff_bytes: u64,
+    /// Inter-host write-ownership alternations.
+    pub alternations: u64,
+    /// The most recent writer, if any.
+    pub last_writer: Option<u16>,
+    /// Per-host lanes (dense, one per host).
+    pub per_host: Vec<HostLane>,
+}
+
+impl MinipageDiag {
+    /// Total read faults across hosts.
+    pub fn read_faults(&self) -> u64 {
+        self.per_host.iter().map(|l| l.read_faults).sum()
+    }
+
+    /// Total write faults across hosts.
+    pub fn write_faults(&self) -> u64 {
+        self.per_host.iter().map(|l| l.write_faults).sum()
+    }
+
+    /// Total invalidations received across hosts.
+    pub fn inv_recv(&self) -> u64 {
+        self.per_host.iter().map(|l| l.inv_recv).sum()
+    }
+
+    /// Total faults (the heat metric).
+    pub fn faults(&self) -> u64 {
+        self.read_faults() + self.write_faults()
+    }
+
+    fn any_activity(&self) -> bool {
+        self.inv_sent > 0
+            || self.diff_bytes > 0
+            || self.alternations > 0
+            || self.last_writer.is_some()
+            || self.per_host.iter().any(|l| {
+                l.read_faults + l.write_faults + l.inv_recv > 0 || l.write_extent.is_some()
+            })
+    }
+}
+
+/// One ranked detector finding.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Finding {
+    /// Detector name (`"ping-pong"`, `"false-sharing"`, `"hot-home"`).
+    pub detector: &'static str,
+    /// The minipage the finding is about (for hot-home: the hottest
+    /// minipage homed at the hot host).
+    pub mp: u32,
+    /// The host the finding is about (hot-home: the hot home; others: the
+    /// last writer).
+    pub host: u16,
+    /// Ranking score (alternations / removable traffic / fault load).
+    pub score: u64,
+    /// Human-readable evidence: hosts, rates, byte ranges.
+    pub evidence: String,
+}
+
+/// Per-link wire traffic.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct LinkStat {
+    /// Sending host.
+    pub from: u16,
+    /// Receiving host.
+    pub to: u16,
+    /// Messages sent on the link.
+    pub messages: u64,
+    /// Payload bytes sent on the link.
+    pub bytes: u64,
+}
+
+/// The merged diagnostics of one run: per-minipage statistics, ranked
+/// detector findings, and per-link wire traffic.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct DiagReport {
+    /// Minipages with any recorded activity, in id order.
+    pub minipages: Vec<MinipageDiag>,
+    /// Ping-pong findings, worst first.
+    pub ping_pong: Vec<Finding>,
+    /// False-sharing findings, worst first.
+    pub false_sharing: Vec<Finding>,
+    /// Hot-home findings, worst first.
+    pub hot_home: Vec<Finding>,
+    /// Per-link wire traffic (links with no traffic omitted).
+    pub links: Vec<LinkStat>,
+    /// Events on minipages beyond the table capacity (0 in any run this
+    /// repository ships).
+    pub overflow: u64,
+}
+
+/// Builds the merged report: reads the table, attaches allocation
+/// metadata, and runs the detectors. `links` carries the per-link wire
+/// traffic from whichever transport the run used.
+pub(crate) fn build_report(
+    table: &DiagTable,
+    minipages: &[Minipage],
+    geo: &Geometry,
+    home: &HomeTable,
+    links: Vec<LinkStat>,
+) -> DiagReport {
+    let hosts = table.hosts;
+    let mut merged = Vec::new();
+    for mp in minipages {
+        let id = mp.id.0;
+        if id as usize >= table.slots {
+            continue; // Overflow slots carry no attribution.
+        }
+        let per_host = (0..hosts)
+            .map(|h| {
+                let (wmin, wmax) = (
+                    table.host_lane(id, h, L_WMIN),
+                    table.host_lane(id, h, L_WMAX),
+                );
+                HostLane {
+                    host: h as u16,
+                    read_faults: table.host_lane(id, h, L_READ),
+                    write_faults: table.host_lane(id, h, L_WRITE),
+                    inv_recv: table.host_lane(id, h, L_INV),
+                    write_extent: (wmax > 0).then_some((wmin, wmax)),
+                }
+            })
+            .collect();
+        let last = table.slot_lane(id, S_LAST_WRITER);
+        let vpages = mp.vpages(geo);
+        let d = MinipageDiag {
+            mp: id,
+            len: mp.len,
+            home: home.home(mp.id).0,
+            first_vpage: vpages.start,
+            vpages: vpages.len(),
+            inv_sent: table.slot_lane(id, S_INV_SENT),
+            diff_bytes: table.slot_lane(id, S_DIFF_BYTES),
+            alternations: table.slot_lane(id, S_ALTERNATIONS),
+            last_writer: (last != NO_WRITER).then_some(last as u16),
+            per_host,
+        };
+        if d.any_activity() {
+            merged.push(d);
+        }
+    }
+    merged.sort_by_key(|d| d.mp);
+    DiagReport {
+        ping_pong: detect_ping_pong(&merged),
+        false_sharing: detect_false_sharing(&merged),
+        hot_home: detect_hot_home(&merged, hosts),
+        minipages: merged,
+        links,
+        overflow: table.overflow.load(Relaxed),
+    }
+}
+
+fn writing_hosts(d: &MinipageDiag) -> Vec<u16> {
+    d.per_host
+        .iter()
+        .filter(|l| l.write_faults > 0 || l.write_extent.is_some())
+        .map(|l| l.host)
+        .collect()
+}
+
+/// Ping-pong detector: see the module docs for the definition.
+pub fn detect_ping_pong(minipages: &[MinipageDiag]) -> Vec<Finding> {
+    let mut out: Vec<Finding> = minipages
+        .iter()
+        .filter(|d| d.alternations >= PING_PONG_MIN_ALTERNATIONS)
+        .map(|d| {
+            let writers = writing_hosts(d);
+            let rate = d.alternations as f64 / d.write_faults().max(1) as f64;
+            Finding {
+                detector: "ping-pong",
+                mp: d.mp,
+                host: d.last_writer.unwrap_or(u16::MAX),
+                score: d.alternations,
+                evidence: format!(
+                    "ownership alternated {} times between hosts {:?} \
+                     ({:.2} alternations/write-fault, {} invalidations fanned out)",
+                    d.alternations, writers, rate, d.inv_sent
+                ),
+            }
+        })
+        .collect();
+    out.sort_by_key(|f| (std::cmp::Reverse(f.score), f.mp));
+    out
+}
+
+/// False-sharing detector: see the module docs for the definition.
+pub fn detect_false_sharing(minipages: &[MinipageDiag]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for d in minipages {
+        let lanes: Vec<&HostLane> = d
+            .per_host
+            .iter()
+            .filter(|l| l.write_extent.is_some() && l.write_faults >= FALSE_SHARING_MIN_WRITES)
+            .collect();
+        if lanes.len() < 2 {
+            continue;
+        }
+        let disjoint = lanes.iter().enumerate().all(|(i, a)| {
+            let (a0, a1) = a.write_extent.expect("filtered");
+            lanes.iter().skip(i + 1).all(|b| {
+                let (b0, b1) = b.write_extent.expect("filtered");
+                a1 <= b0 || b1 <= a0
+            })
+        });
+        if !disjoint {
+            continue;
+        }
+        let ranges: Vec<String> = lanes
+            .iter()
+            .map(|l| {
+                let (s, e) = l.write_extent.expect("filtered");
+                format!("h{}:[{s},{e})", l.host)
+            })
+            .collect();
+        let score = d.write_faults() + d.inv_sent;
+        out.push(Finding {
+            detector: "false-sharing",
+            mp: d.mp,
+            host: d.last_writer.unwrap_or(u16::MAX),
+            score,
+            evidence: format!(
+                "{} hosts wrote disjoint byte ranges {} of a {}-byte minipage \
+                 ({} write faults + {} invalidations a split would remove)",
+                lanes.len(),
+                ranges.join(" "),
+                d.len,
+                d.write_faults(),
+                d.inv_sent
+            ),
+        });
+    }
+    out.sort_by_key(|f| (std::cmp::Reverse(f.score), f.mp));
+    out
+}
+
+/// Hot-home detector: see the module docs for the definition.
+pub fn detect_hot_home(minipages: &[MinipageDiag], hosts: usize) -> Vec<Finding> {
+    let mut load = vec![0u64; hosts];
+    let mut homed = vec![0usize; hosts];
+    let mut hottest: Vec<Option<(u64, u32)>> = vec![None; hosts];
+    for d in minipages {
+        let h = d.home as usize;
+        if h >= hosts {
+            continue;
+        }
+        load[h] += d.faults();
+        homed[h] += 1;
+        if hottest[h].is_none_or(|(f, _)| d.faults() > f) {
+            hottest[h] = Some((d.faults(), d.mp));
+        }
+    }
+    let total: u64 = load.iter().sum();
+    let mean = total as f64 / hosts as f64;
+    let mut out: Vec<Finding> = (0..hosts)
+        .filter(|&h| load[h] > 0 && load[h] as f64 > HOT_HOME_SKEW * mean)
+        .map(|h| Finding {
+            detector: "hot-home",
+            mp: hottest[h].map_or(NO_MP, |(_, mp)| mp),
+            host: h as u16,
+            score: load[h],
+            evidence: format!(
+                "home h{h} serves {} of {total} total faults across {} minipages \
+                 ({:.1}x the mean per-host load); hottest minipage mp{}",
+                load[h],
+                homed[h],
+                load[h] as f64 / mean.max(1.0),
+                hottest[h].map_or(NO_MP, |(_, mp)| mp),
+            ),
+        })
+        .collect();
+    out.sort_by_key(|f| (std::cmp::Reverse(f.score), f.host));
+    out
+}
+
+impl DiagReport {
+    /// The per-`(minipage, host)` counters `[read_faults, write_faults,
+    /// inv_recv]`, for comparison against [`trace_counts`] or another
+    /// backend's report. Zero triples are omitted.
+    pub fn counts(&self) -> BTreeMap<(u32, u16), [u64; 3]> {
+        let mut m = BTreeMap::new();
+        for d in &self.minipages {
+            for l in &d.per_host {
+                let c = [l.read_faults, l.write_faults, l.inv_recv];
+                if c != [0, 0, 0] {
+                    m.insert((d.mp, l.host), c);
+                }
+            }
+        }
+        m
+    }
+
+    /// A canonical string of every ranked finding, for equality checks
+    /// between runs (the `repro diagnose` traced-vs-stats self-check).
+    pub fn findings_fingerprint(&self) -> String {
+        let mut s = String::new();
+        for f in self
+            .ping_pong
+            .iter()
+            .chain(&self.false_sharing)
+            .chain(&self.hot_home)
+        {
+            s.push_str(&format!(
+                "{}|mp{}|h{}|{}|{}\n",
+                f.detector, f.mp, f.host, f.score, f.evidence
+            ));
+        }
+        s
+    }
+
+    /// The vpage × host fault heatmap as CSV rows
+    /// (`app,mp,vpage,host,read_faults,write_faults`), appended to `out`.
+    /// Counts are attributed to the minipage's first vpage.
+    pub fn heatmap_csv(&self, app: &str, out: &mut String) {
+        for d in &self.minipages {
+            for l in &d.per_host {
+                if l.read_faults + l.write_faults == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{app},{},{},{},{},{}\n",
+                    d.mp, d.first_vpage, l.host, l.read_faults, l.write_faults
+                ));
+            }
+        }
+    }
+
+    /// The report as a JSON value (embedded under `"diag"` in
+    /// [`RunReport::to_json`](crate::RunReport::to_json)).
+    pub fn to_json(&self) -> String {
+        let mp_json = |d: &MinipageDiag| {
+            let lanes: Vec<String> = d
+                .per_host
+                .iter()
+                .filter(|l| {
+                    l.read_faults + l.write_faults + l.inv_recv > 0 || l.write_extent.is_some()
+                })
+                .map(|l| {
+                    let ext = l
+                        .write_extent
+                        .map_or("null".into(), |(s, e)| format!("[{s},{e}]"));
+                    format!(
+                        "{{\"host\":{},\"read_faults\":{},\"write_faults\":{},\
+                         \"inv_recv\":{},\"write_extent\":{ext}}}",
+                        l.host, l.read_faults, l.write_faults, l.inv_recv
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"mp\":{},\"len\":{},\"home\":{},\"first_vpage\":{},\"vpages\":{},\
+                 \"inv_sent\":{},\"diff_bytes\":{},\"alternations\":{},\"last_writer\":{},\
+                 \"per_host\":[{}]}}",
+                d.mp,
+                d.len,
+                d.home,
+                d.first_vpage,
+                d.vpages,
+                d.inv_sent,
+                d.diff_bytes,
+                d.alternations,
+                d.last_writer.map_or("null".into(), |w| w.to_string()),
+                lanes.join(",")
+            )
+        };
+        let findings_json = |fs: &[Finding]| {
+            let items: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{{\"detector\":\"{}\",\"mp\":{},\"host\":{},\"score\":{},\
+                         \"evidence\":\"{}\"}}",
+                        f.detector,
+                        f.mp,
+                        f.host,
+                        f.score,
+                        esc(&f.evidence)
+                    )
+                })
+                .collect();
+            format!("[{}]", items.join(","))
+        };
+        let links: Vec<String> = self
+            .links
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"from\":{},\"to\":{},\"messages\":{},\"bytes\":{}}}",
+                    l.from, l.to, l.messages, l.bytes
+                )
+            })
+            .collect();
+        let mps: Vec<String> = self.minipages.iter().map(mp_json).collect();
+        format!(
+            "{{\"minipages\":[{}],\"ping_pong\":{},\"false_sharing\":{},\"hot_home\":{},\
+             \"links\":[{}],\"overflow\":{}}}",
+            mps.join(","),
+            findings_json(&self.ping_pong),
+            findings_json(&self.false_sharing),
+            findings_json(&self.hot_home),
+            links.join(","),
+            self.overflow
+        )
+    }
+}
+
+/// Per-`(minipage, host)` counters re-derived from a trace stream:
+/// `[read_faults, write_faults, inv_recv]`, zero triples omitted — the
+/// same shape [`DiagReport::counts`] produces, so the two can be compared
+/// with `==`.
+///
+/// Fault counts come from the `ReadFaultBegin`/`WriteFaultBegin` events
+/// the application threads record; received invalidations from the
+/// `InvalidateLocal` events the *server* track records with `aux == 1`
+/// (the marker `handle_invalidate` attaches — the copy drops a server
+/// performs while *serving* a write and an application thread's own
+/// release-flush drops carry no marker, and neither counts as a received
+/// invalidation).
+pub fn trace_counts(events: &[TraceEvent]) -> BTreeMap<(u32, u16), [u64; 3]> {
+    let mut m: BTreeMap<(u32, u16), [u64; 3]> = BTreeMap::new();
+    for e in events {
+        if e.mp == NO_MP {
+            continue;
+        }
+        let lane = match e.kind {
+            TraceKind::ReadFaultBegin => 0,
+            TraceKind::WriteFaultBegin => 1,
+            TraceKind::InvalidateLocal if e.track == Track::Server && e.aux == 1 => 2,
+            _ => continue,
+        };
+        m.entry((e.mp, e.host)).or_default()[lane] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane(host: u16, reads: u64, writes: u64, ext: Option<(u64, u64)>) -> HostLane {
+        HostLane {
+            host,
+            read_faults: reads,
+            write_faults: writes,
+            inv_recv: 0,
+            write_extent: ext,
+        }
+    }
+
+    fn mp(id: u32, home: u16, alternations: u64, lanes: Vec<HostLane>) -> MinipageDiag {
+        MinipageDiag {
+            mp: id,
+            len: 64,
+            home,
+            first_vpage: id as usize,
+            vpages: 1,
+            inv_sent: 0,
+            diff_bytes: 0,
+            alternations,
+            last_writer: lanes.iter().find(|l| l.write_faults > 0).map(|l| l.host),
+            per_host: lanes,
+        }
+    }
+
+    #[test]
+    fn table_records_and_merges() {
+        let t = DiagTable::new(2);
+        t.read_fault(3, 0);
+        t.write_fault(3, 1, 8, 4);
+        t.inv_recv(3, 0);
+        t.inv_sent(3, 2);
+        t.writer(3, 0);
+        t.writer(3, 1);
+        t.writer(3, 1);
+        t.writer(3, 0);
+        assert_eq!(t.host_lane(3, 0, L_READ), 1);
+        assert_eq!(t.host_lane(3, 1, L_WRITE), 1);
+        assert_eq!(t.host_lane(3, 1, L_WMIN), 8);
+        assert_eq!(t.host_lane(3, 1, L_WMAX), 12);
+        assert_eq!(t.host_lane(3, 0, L_INV), 1);
+        assert_eq!(t.slot_lane(3, S_INV_SENT), 2);
+        assert_eq!(t.slot_lane(3, S_ALTERNATIONS), 2);
+    }
+
+    #[test]
+    fn out_of_range_minipages_count_as_overflow() {
+        let t = DiagTable::new(2);
+        t.read_fault(DIAG_SLOTS as u32, 0);
+        t.read_fault(NO_MP, 1);
+        assert_eq!(t.overflow.load(Relaxed), 2);
+    }
+
+    #[test]
+    fn ping_pong_requires_the_alternation_threshold() {
+        let quiet = mp(
+            0,
+            0,
+            PING_PONG_MIN_ALTERNATIONS - 1,
+            vec![lane(0, 0, 3, None)],
+        );
+        let noisy = mp(1, 0, 9, vec![lane(0, 0, 5, None), lane(1, 0, 5, None)]);
+        let noisier = mp(2, 0, 30, vec![lane(0, 0, 15, None), lane(1, 0, 15, None)]);
+        let f = detect_ping_pong(&[quiet, noisy, noisier]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].mp, 2);
+        assert_eq!(f[1].mp, 1);
+    }
+
+    #[test]
+    fn false_sharing_needs_disjoint_extents() {
+        // Disjoint halves: false sharing. Overlapping: true sharing.
+        let fs = mp(
+            0,
+            0,
+            8,
+            vec![lane(0, 0, 4, Some((0, 16))), lane(1, 0, 4, Some((32, 48)))],
+        );
+        let ts = mp(
+            1,
+            0,
+            8,
+            vec![lane(0, 0, 4, Some((0, 16))), lane(1, 0, 4, Some((8, 24)))],
+        );
+        let single = mp(2, 0, 0, vec![lane(0, 0, 9, Some((0, 64)))]);
+        let f = detect_false_sharing(&[fs, ts, single]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].mp, 0);
+    }
+
+    #[test]
+    fn hot_home_flags_the_skewed_host() {
+        let mps = vec![
+            mp(0, 1, 0, vec![lane(0, 100, 0, None)]),
+            mp(1, 0, 0, vec![lane(1, 5, 0, None)]),
+            mp(2, 2, 0, vec![lane(0, 5, 0, None)]),
+        ];
+        let f = detect_hot_home(&mps, 4);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].host, 1);
+        assert_eq!(f[0].mp, 0);
+    }
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let s = DiagSink::disabled();
+        assert!(!s.enabled());
+        s.read_fault(0, 0); // must not panic
+        assert!(s.table().is_none());
+    }
+
+    #[test]
+    fn trace_counts_filter_server_invalidations() {
+        use sim_core::HostId;
+        let mk = |kind, track, mp: u32, aux: u32| {
+            let mut e = TraceEvent::new(0, HostId(1), track, kind).with_mp(mp);
+            e.aux = aux;
+            e
+        };
+        let events = vec![
+            mk(TraceKind::ReadFaultBegin, Track::App(0), 7, 0),
+            mk(TraceKind::WriteFaultBegin, Track::App(0), 7, 0),
+            mk(TraceKind::InvalidateLocal, Track::Server, 7, 1),
+            // Serving-side copy drop (no aux marker) and an app-track
+            // release drop: neither is a received invalidation.
+            mk(TraceKind::InvalidateLocal, Track::Server, 7, 0),
+            mk(TraceKind::InvalidateLocal, Track::App(0), 7, 1),
+        ];
+        let m = trace_counts(&events);
+        assert_eq!(m.get(&(7, 1)), Some(&[1, 1, 1]));
+    }
+}

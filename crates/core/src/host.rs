@@ -8,6 +8,7 @@
 //! block, retry, ack), and every virtual nanosecond is attributed to a
 //! Figure 6 category.
 
+use crate::diag::DiagSink;
 use crate::diff::Twin;
 use crate::error::ProtocolError;
 use crate::hlrc::{Consistency, MpInfo, RcDirty, RcState};
@@ -132,6 +133,9 @@ pub(crate) struct HostState {
     /// the sequential-consistency protocol apart from boundary learning).
     pub rc: Mutex<RcState>,
     pub counters: HostCounters,
+    /// Sharing-diagnostics sink this host's threads record faults and
+    /// received invalidations into (inert unless diagnostics are on).
+    pub diag: DiagSink,
     /// Set when the run failed somewhere and the cluster is tearing down:
     /// no new wait may begin, and every outstanding wait has been (or is
     /// about to be) failed with [`ProtocolError::Cancelled`].
@@ -139,7 +143,7 @@ pub(crate) struct HostState {
 }
 
 impl HostState {
-    pub(crate) fn new(host: HostId, space: AddressSpace) -> Arc<Self> {
+    pub(crate) fn new(host: HostId, space: AddressSpace, diag: DiagSink) -> Arc<Self> {
         Arc::new(Self {
             host,
             space,
@@ -148,6 +152,7 @@ impl HostState {
             prefetch_waiters: Mutex::new(HashMap::new()),
             rc: Mutex::new(RcState::default()),
             counters: HostCounters::default(),
+            diag,
             aborted: AtomicBool::new(false),
         })
     }
@@ -423,6 +428,26 @@ impl HostCtx {
     /// `trace.enabled()`; the lookup is replica-local and free).
     fn trace_mp(&self, addr: VAddr) -> u32 {
         self.home.translate(addr).map_or(NO_MP, |mp| mp.id.0)
+    }
+
+    /// Records one serviced fault into the diagnostics table, attributed
+    /// to the minipage and (for writes) the faulting byte offset. The
+    /// replica-local translation runs only when diagnostics are on, so
+    /// the disabled cost stays one branch. Callers bump the matching
+    /// `HostCounters` fault counter at the same site, which is what keeps
+    /// diag counts and report counters equal by construction.
+    fn diag_fault(&self, addr: VAddr, write: bool) {
+        if !self.state.diag.enabled() {
+            return;
+        }
+        if let Some(mp) = self.home.translate(addr) {
+            let off = addr.0 - mp.base.0;
+            if write {
+                self.state.diag.write_fault(mp.id.0, self.host.0, off, 1);
+            } else {
+                self.state.diag.read_fault(mp.id.0, self.host.0);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -877,6 +902,7 @@ impl HostCtx {
                 )
             }
         };
+        self.diag_fault(f.addr, f.access == Access::Write);
         let traced_mp = if self.trace.enabled() {
             let mp = self.trace_mp(f.addr);
             self.trace.emit(t0, begin_kind, |e| e.with_mp(mp));
@@ -912,6 +938,7 @@ impl HostCtx {
     fn rc_write_fault(&mut self, f: AccessFault) {
         let t0 = self.clock.now();
         self.state.counters.write_faults.bump();
+        self.diag_fault(f.addr, true);
         let traced_mp = if self.trace.enabled() {
             let mp = self.trace_mp(f.addr);
             self.trace

@@ -36,6 +36,7 @@
 
 use crate::backend::{ClusterMemory, MemFault, MemoryBackend, PageProt, ProtoClock, Transport};
 use crate::cluster::SetupCtx;
+use crate::diag::{build_report, DiagReport, DiagSink, DiagTable};
 use crate::dsm::Dsm;
 use crate::error::ProtocolError;
 use crate::hlrc::{Consistency, MpInfo};
@@ -255,6 +256,8 @@ struct SocketTransport {
     me: HostId,
     /// Send-side fd of every host's server inbox, indexed by host.
     srv_tx: Arc<Vec<libc::c_int>>,
+    /// Sharing diagnostics (per-link wire counters); disabled by default.
+    diag: DiagSink,
 }
 
 impl Transport for SocketTransport {
@@ -270,6 +273,7 @@ impl Transport for SocketTransport {
         now: Ns,
         what: &'static str,
     ) -> Result<Ns, ProtocolError> {
+        self.diag.wire_send(self.me.0, to.0, msg.data.len() as u64);
         let mut head = [0u8; HEADER];
         if msg.data.is_empty() {
             encode_header(&mut head, self.me, &msg, 0);
@@ -472,6 +476,16 @@ struct HostRt {
     manager: HostId,
     srv_tx: Arc<Vec<libc::c_int>>,
     threads: Vec<ThreadRt>,
+    /// Sharing diagnostics. The table behind the sink is pre-allocated and
+    /// leaked with the runtime; recording is relaxed atomic adds, so the
+    /// SIGSEGV resolver may record from signal context.
+    diag: DiagSink,
+    /// `vpage → (minipage id, base address)`, built once after setup (the
+    /// host backend takes no runtime allocations), so the resolver can
+    /// attribute a raw fault to its minipage without translation machinery.
+    /// `(u32::MAX, 0)` marks an unallocated vpage. Empty when diagnostics
+    /// are off.
+    mp_map: Vec<(u32, u64)>,
 }
 
 thread_local! {
@@ -484,6 +498,7 @@ thread_local! {
 impl HostRt {
     /// Sends `msg` as a bare header to `to`'s server. Async-signal-safe.
     fn send_header(&self, to: HostId, wire_from: HostId, msg: &Pmsg) -> Result<(), i32> {
+        self.diag.wire_send(wire_from.0, to.0, 0);
         let mut head = [0u8; HEADER];
         encode_header(&mut head, wire_from, msg, 0);
         send_fd(self.srv_tx[to.index()], &head)
@@ -527,6 +542,20 @@ fn dsm_resolver(_region: &MultiViewRegion, fault: &RawFault, token: usize) -> bo
     } else {
         MsgKind::ReadRequest
     };
+    // Per-minipage heat, recorded at the same point the sim's
+    // `service_fault` records it: a table lookup plus relaxed atomic adds,
+    // all async-signal-safe. A fault on an unmapped vpage attributes to
+    // `u32::MAX`, which the table counts as overflow.
+    if rt.diag.enabled() {
+        let vpage = rt.geo.vpage_index(fault.view, fault.page);
+        let (mp, base) = rt.mp_map.get(vpage).copied().unwrap_or((u32::MAX, 0));
+        if fault.write {
+            rt.diag
+                .write_fault(mp, th.host.0, addr.0.saturating_sub(base), 1);
+        } else {
+            rt.diag.read_fault(mp, th.host.0);
+        }
+    }
     let req = Pmsg::new(kind, th.host, th.event).with_addr(addr);
     if rt.send_header(rt.manager, th.host, &req).is_err() {
         return false;
@@ -576,6 +605,7 @@ fn host_server_loop(
     ep: SocketTransport,
     mut clock: WallClock,
     cost: CostModel,
+    diag: DiagSink,
 ) -> HostServerOutcome {
     let home = Arc::clone(shard.home_table());
     let tracer = Tracer::disabled();
@@ -620,6 +650,7 @@ fn host_server_loop(
             MsgKind::InvalidateRequest => {
                 server::invalidate_local(&m, &mem, me, &cost, &mut clock, &mut rec).and_then(|()| {
                     invalidations += 1;
+                    diag.inv_recv(m.minipage.0, me.0);
                     let mut reply = Pmsg::new(MsgKind::InvalidateReply, me, m.event);
                     reply.minipage = m.minipage;
                     reply.addr = m.addr;
@@ -830,6 +861,10 @@ pub struct HostRunConfig {
     pub views: usize,
     /// Pages in the shared memory object.
     pub pages: usize,
+    /// Per-minipage sharing diagnostics (see [`crate::diag`]); the same
+    /// counters the simulator records, taken from the real fault and
+    /// invalidation paths. Off by default.
+    pub diag: bool,
 }
 
 impl Default for HostRunConfig {
@@ -838,6 +873,7 @@ impl Default for HostRunConfig {
             hosts: 2,
             views: 4,
             pages: 64,
+            diag: false,
         }
     }
 }
@@ -859,6 +895,8 @@ pub struct HostRunReport {
     /// Server-side protocol/backend errors; non-empty means the run is
     /// not trustworthy.
     pub errors: Vec<String>,
+    /// Sharing diagnostics; `None` unless [`HostRunConfig::diag`] was set.
+    pub diag: Option<DiagReport>,
 }
 
 impl HostRunReport {
@@ -914,6 +952,16 @@ where
     });
     let cost = CostModel::default();
     let tracer = Tracer::disabled();
+    // Sized like the sim backend's table: one slot per application-view
+    // vpage bounds the minipage ids, so the signal-context recording
+    // never hits the overflow path.
+    let diag_table = cfg
+        .diag
+        .then(|| DiagTable::with_slots(cfg.hosts, geo.priv_view() * geo.pages()));
+    let diag_sink = diag_table
+        .as_ref()
+        .map(|t| DiagSink::new(Arc::clone(t)))
+        .unwrap_or_default();
     let mut shards: Vec<Option<ManagerShard>> = (0..cfg.hosts)
         .map(|h| {
             let allocator = (h == manager.index())
@@ -928,6 +976,7 @@ where
                 Arc::clone(&home),
                 Arc::clone(&cluster),
                 tracer.recorder(HostId(h as u16), Track::Shard),
+                diag_sink.clone(),
             ))
         })
         .collect();
@@ -957,11 +1006,28 @@ where
         });
     }
     let srv_tx = Arc::new(srv_tx);
+    // Setup has run, so the minipage table is final: freeze the vpage →
+    // minipage attribution map the resolver uses from signal context.
+    let mp_map = if diag_sink.enabled() {
+        let mut map = vec![(u32::MAX, 0u64); geo.priv_view() * geo.pages()];
+        for mp in home.mpt().snapshot() {
+            for vp in mp.vpages(&geo) {
+                if let Some(slot) = map.get_mut(vp) {
+                    *slot = (mp.id.0, mp.base.0);
+                }
+            }
+        }
+        map
+    } else {
+        Vec::new()
+    };
     let rt: &'static HostRt = Box::leak(Box::new(HostRt {
         geo: geo.clone(),
         manager,
         srv_tx: Arc::clone(&srv_tx),
         threads,
+        diag: diag_sink.clone(),
+        mp_map,
     }));
     let token = rt as *const HostRt as usize;
     let mut counters: Vec<FaultCounters> = Vec::with_capacity(cfg.hosts);
@@ -988,29 +1054,41 @@ where
             let ep = SocketTransport {
                 me,
                 srv_tx: Arc::clone(&srv_tx),
+                diag: diag_sink.clone(),
             };
             let clock = WallClock { start };
             let cost = cost.clone();
+            let diag = diag_sink.clone();
             let (rx, res_tx) = (srv_rx[h], rt.threads[h].res_tx);
             servers.push(
-                scope.spawn(move || host_server_loop(me, rx, res_tx, mem, shard, ep, clock, cost)),
+                std::thread::Builder::new()
+                    .name(format!("mv-server-{h}"))
+                    .spawn_scoped(scope, move || {
+                        host_server_loop(me, rx, res_tx, mem, shard, ep, clock, cost, diag)
+                    })
+                    .expect("spawn server thread"),
             );
         }
         let mut apps = Vec::with_capacity(cfg.hosts);
         for h in 0..cfg.hosts {
             let region = Arc::clone(&regions[h]);
-            apps.push(scope.spawn(move || {
-                SLOT.with(|s| s.set(h));
-                let mut ctx = HostDsmCtx {
-                    rt,
-                    slot: h,
-                    region,
-                    compute_ns: 0,
-                    timer_start: Instant::now(),
-                };
-                app_ref(&mut ctx, shared_ref);
-                ctx.compute_ns
-            }));
+            let builder = std::thread::Builder::new().name(format!("mv-host-{h}"));
+            apps.push(
+                builder
+                    .spawn_scoped(scope, move || {
+                        SLOT.with(|s| s.set(h));
+                        let mut ctx = HostDsmCtx {
+                            rt,
+                            slot: h,
+                            region,
+                            compute_ns: 0,
+                            timer_start: Instant::now(),
+                        };
+                        app_ref(&mut ctx, shared_ref);
+                        ctx.compute_ns
+                    })
+                    .expect("spawn app thread"),
+            );
         }
         let mut compute_ns = 0;
         let mut app_panic = None;
@@ -1048,5 +1126,10 @@ where
         wall,
         compute_ns,
         errors: outcomes.into_iter().flat_map(|o| o.errors).collect(),
+        diag: diag_table.map(|t| {
+            let minipages = home.mpt().snapshot();
+            let links = t.link_stats();
+            build_report(&t, &minipages, &geo, &home, links)
+        }),
     })
 }

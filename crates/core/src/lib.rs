@@ -26,6 +26,7 @@
 pub mod audit;
 mod backend;
 mod cluster;
+pub mod diag;
 pub mod diff;
 mod directory;
 mod dsm;
@@ -45,6 +46,7 @@ mod stats;
 
 pub use backend::{AccessKind, MemFault, MemoryBackend, PageProt, ProtoClock, Transport};
 pub use cluster::{run, ClusterConfig, SetupCtx};
+pub use diag::{trace_counts, DiagReport, DiagSink, DiagTable, Finding, LinkStat, MinipageDiag};
 pub use directory::{Directory, DirectoryEntry};
 pub use dsm::Dsm;
 pub use error::ProtocolError;

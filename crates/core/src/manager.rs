@@ -21,6 +21,7 @@
 //! manager host and the protocol is bit-for-bit the paper's original.
 
 use crate::backend::{ClusterMemory, PageProt, ProtoClock, Transport};
+use crate::diag::DiagSink;
 use crate::diff::Diff;
 use crate::directory::Directory;
 use crate::error::ProtocolError;
@@ -84,6 +85,10 @@ pub struct ManagerShard {
     cluster: Arc<dyn ClusterMemory>,
     /// Protocol tracer for shard-side events (inert unless tracing is on).
     trace: TraceRecorder,
+    /// Sharing-diagnostics sink for home-side accounting: invalidation
+    /// fan-outs, write-ownership alternations, diff extents. Inert unless
+    /// diagnostics are on.
+    diag: DiagSink,
     /// Invalidation round-trips observed at this shard: fan-out to last
     /// reply, per completed round.
     inv_rt: LogHistogram,
@@ -102,6 +107,7 @@ impl ManagerShard {
         home: Arc<HomeTable>,
         cluster: Arc<dyn ClusterMemory>,
         trace: TraceRecorder,
+        diag: DiagSink,
     ) -> Self {
         Self {
             me,
@@ -117,6 +123,7 @@ impl ManagerShard {
             home,
             cluster,
             trace,
+            diag,
             inv_rt: LogHistogram::new(),
         }
     }
@@ -423,12 +430,14 @@ impl ManagerShard {
             self.trace.emit(tl.now(), TraceKind::Forward, |e| {
                 e.with_mp(id.0).with_peer(src).with_aux(1)
             });
+            self.diag.writer(id.0, m.from.0);
             Self::forward_write(e, src, m, tl, ep)?;
         } else {
             e.inv_pending = targets.len() as u32;
             e.inv_sent_vt = tl.now();
             e.pending_write = Some(m.clone());
             self.stats.invalidations_sent += targets.len() as u64;
+            self.diag.inv_sent(id.0, targets.len() as u64);
             for t in targets {
                 let mut inv = m.clone();
                 inv.kind = MsgKind::InvalidateRequest;
@@ -503,6 +512,7 @@ impl ManagerShard {
             self.trace.emit(tl.now(), TraceKind::Forward, |e| {
                 e.with_mp(id.0).with_peer(src).with_aux(1)
             });
+            self.diag.writer(id.0, w.from.0);
             Self::forward_write(e, src, w, tl, ep)?;
         }
         Ok(())
@@ -733,7 +743,11 @@ impl ManagerShard {
         });
         // Patch run by run: only changed bytes are written, so a racing
         // local write to *other* bytes of the page is never clobbered.
+        self.diag.writer(mp, m.from.0);
+        self.diag.diff_bytes(mp, diff_bytes as u64);
         for (off, bytes) in diff.iter_runs() {
+            self.diag
+                .write_extent(mp, m.from.0, off as u64, bytes.len() as u64);
             self.cluster
                 .priv_write(self.me, m.priv_base.add(off), bytes)
                 .map_err(|_| ProtocolError::BadTranslation {
@@ -749,6 +763,7 @@ impl ManagerShard {
         let e = self.dir.entry(id.index());
         let targets: Vec<HostId> = e.holders().filter(|&h| h != me).collect();
         self.stats.invalidations_sent += targets.len() as u64;
+        self.diag.inv_sent(id.0, targets.len() as u64);
         for t in &targets {
             let mut inv = m.clone();
             inv.kind = MsgKind::InvalidateRequest;

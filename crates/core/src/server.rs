@@ -399,8 +399,12 @@ pub(crate) fn invalidate_local<M: MemoryBackend, C: ProtoClock>(
     tl: &mut C,
     rec: &mut TraceRecorder,
 ) -> Result<(), ProtocolError> {
+    // aux 1 marks a *received* invalidation (an InvalidateRequest from a
+    // home shard), distinguishing it from the copy drops a server performs
+    // while serving a write and from release-flush drops. The diagnostics
+    // self-check counts exactly these against the stats table.
     rec.emit(tl.now(), TraceKind::InvalidateLocal, |e| {
-        e.with_mp(m.minipage.0).with_event(m.event)
+        e.with_mp(m.minipage.0).with_event(m.event).with_aux(1)
     });
     let n = protect_range(mem, host, m.base, m.len, PageProt::NoAccess)?;
     tl.charge(n as Ns * cost.set_protection);
@@ -484,8 +488,9 @@ fn handle_invalidate(
     rec: &mut TraceRecorder,
 ) -> Result<(), ProtocolError> {
     if consistency == Consistency::HomeEagerRc {
+        // aux 1: a received invalidation (see `invalidate_local`).
         rec.emit(tl.now(), TraceKind::InvalidateLocal, |e| {
-            e.with_mp(m.minipage.0).with_event(m.event)
+            e.with_mp(m.minipage.0).with_event(m.event).with_aux(1)
         });
         // Hold the release-state lock from the dirty-set removal until the
         // eviction diff is on the wire. Released earlier, the owner's
@@ -536,6 +541,7 @@ fn handle_invalidate(
             tl.charge(n as Ns * cost.set_protection);
         }
         state.counters.invalidations_received.bump();
+        state.diag.inv_recv(m.minipage.0, state.host.0);
         if home.kind() != HomePolicyKind::Centralized {
             // The home shard is counting confirmations before it releases
             // the flusher; FIFO on this channel puts the confirmation
@@ -556,6 +562,7 @@ fn handle_invalidate(
     }
     invalidate_local(&m, &state.space, state.host, cost, tl, rec)?;
     state.counters.invalidations_received.bump();
+    state.diag.inv_recv(m.minipage.0, state.host.0);
     let mut reply = Pmsg::new(MsgKind::InvalidateReply, ep.host(), m.event);
     reply.minipage = m.minipage;
     reply.addr = m.addr;

@@ -129,6 +129,14 @@ pub struct RunReport {
     pub protocol_errors: Vec<String>,
     /// Wire-fault counters; `None` unless the run injected faults.
     pub net_faults: Option<NetFaultStats>,
+    /// Trace events the per-thread rings could not hold, per host
+    /// (`(host, dropped)`, hosts without drops omitted; empty on any
+    /// untraced run). `repro trace` and `repro diagnose` refuse to trust
+    /// a log with a nonzero entry here.
+    pub trace_dropped: Vec<(u16, u64)>,
+    /// Sharing diagnostics; `None` unless the run enabled
+    /// [`ClusterConfig::diag`](crate::ClusterConfig).
+    pub diag: Option<crate::diag::DiagReport>,
 }
 
 impl RunReport {
@@ -272,6 +280,19 @@ impl RunReport {
                     hist_json(&nf.delay),
                 ),
             );
+        }
+        // Likewise, diagnostics fields appear only when the run recorded
+        // something, keeping the default report byte-for-byte stable.
+        if !self.trace_dropped.is_empty() {
+            let drops: Vec<String> = self
+                .trace_dropped
+                .iter()
+                .map(|(h, n)| format!("[{h},{n}]"))
+                .collect();
+            push_kv(&mut s, "trace_dropped", &format!("[{}]", drops.join(",")));
+        }
+        if let Some(d) = &self.diag {
+            push_kv(&mut s, "diag", &d.to_json());
         }
         s.push('}');
         s.push('\n');

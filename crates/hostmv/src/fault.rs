@@ -31,6 +31,12 @@
 //!   async-signal-safe), atomics, and thread-locals that were initialized
 //!   before the first fault (const-initialized TLS takes no lazy path).
 //!   No allocation, no mutexes, no `println!`.
+//! * resolver-side diagnostics (the embedder's sharing-stats table): the
+//!   same discipline holds because the table is pre-allocated and leaked
+//!   before the run, recording is relaxed atomic RMWs on fixed cells
+//!   (`fetch_add`/`fetch_min`/`fetch_max` are lock-free on x86-64), and
+//!   fault→minipage attribution is an index into a pre-built immutable
+//!   map — no hashing, no allocation, no locks.
 //!
 //! Nothing here allocates, takes a lock, or calls into libc beyond
 //! signal-safe entry points; registration (the only allocating step)

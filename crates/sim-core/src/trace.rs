@@ -74,7 +74,9 @@ pub enum TraceKind {
     Install,
     /// A host downgraded its writable copy to read-only.
     Downgrade,
-    /// A host dropped its copy (invalidation or release flush).
+    /// A host dropped its copy (invalidation or release flush; `aux` = 1
+    /// when the drop answers a received `InvalidateRequest`, 0 for a
+    /// serving-side or release-flush drop).
     InvalidateLocal,
     /// A shard fanned an invalidation out to `peer`.
     InvSend,
@@ -223,7 +225,8 @@ pub fn audit_rank(kind: TraceKind) -> u8 {
 struct Sink {
     capacity: usize,
     rings: Mutex<Vec<Vec<TraceEvent>>>,
-    dropped: Mutex<u64>,
+    /// Per-host overwrite tallies (hosts with no drops absent).
+    dropped: Mutex<std::collections::BTreeMap<u16, u64>>,
     /// Global record-order stamp ([`TraceEvent::seq`]).
     seq: AtomicU64,
 }
@@ -260,7 +263,7 @@ impl Tracer {
             sink: Some(Arc::new(Sink {
                 capacity,
                 rings: Mutex::new(Vec::new()),
-                dropped: Mutex::new(0),
+                dropped: Mutex::new(std::collections::BTreeMap::new()),
                 seq: AtomicU64::new(0),
             })),
         }
@@ -287,6 +290,22 @@ impl Tracer {
         }
     }
 
+    /// Per-host counts of events overwritten in full rings, flushed so
+    /// far (hosts with no drops omitted). Unlike [`drain`](Self::drain)
+    /// this does not consume the rings, so report assembly can surface
+    /// drop counts while the caller still owns the eventual drain.
+    pub fn dropped_by_host(&self) -> Vec<(u16, u64)> {
+        let Some(s) = &self.sink else {
+            return Vec::new();
+        };
+        s.dropped
+            .lock()
+            .expect("trace sink poisoned")
+            .iter()
+            .map(|(&h, &n)| (h, n))
+            .collect()
+    }
+
     /// Merges every flushed ring into one log ordered by
     /// `(vt, audit_rank)`. Call after the recording threads finished
     /// (dropped their recorders); rings still alive are not included.
@@ -295,13 +314,18 @@ impl Tracer {
             return TraceLog::default();
         };
         let rings = std::mem::take(&mut *s.rings.lock().expect("trace sink poisoned"));
-        let dropped = *s.dropped.lock().expect("trace sink poisoned");
+        let dropped_by_host = self.dropped_by_host();
+        let dropped = dropped_by_host.iter().map(|&(_, n)| n).sum();
         let mut events: Vec<TraceEvent> = rings.into_iter().flatten().collect();
         // The final `seq` tie-break makes the merged order independent of
         // ring flush order (recorders are flushed at drop, and drop order
         // races even under the deterministic scheduler).
         events.sort_by_key(|e| (e.vt, audit_rank(e.kind), e.host, e.seq));
-        TraceLog { events, dropped }
+        TraceLog {
+            events,
+            dropped,
+            dropped_by_host,
+        }
     }
 }
 
@@ -312,6 +336,8 @@ pub struct TraceLog {
     pub events: Vec<TraceEvent>,
     /// Events overwritten in full rings (0 means the log is complete).
     pub dropped: u64,
+    /// The same drops attributed per host (hosts with no drops omitted).
+    pub dropped_by_host: Vec<(u16, u64)>,
 }
 
 impl TraceLog {
@@ -391,7 +417,14 @@ impl Drop for TraceRecorder {
         }
         let sink = Arc::clone(&r.sink);
         sink.rings.lock().expect("trace sink poisoned").push(r.buf);
-        *sink.dropped.lock().expect("trace sink poisoned") += r.dropped;
+        if r.dropped > 0 {
+            *sink
+                .dropped
+                .lock()
+                .expect("trace sink poisoned")
+                .entry(r.host.0)
+                .or_insert(0) += r.dropped;
+        }
     }
 }
 
@@ -410,6 +443,10 @@ impl Drop for TraceRecorder {
 pub struct ChromeTrace {
     body: String,
     named: std::collections::HashSet<(u32, u32)>,
+    /// Name tracks after the host backend's OS threads (`mv-host-{h}`,
+    /// `mv-server-{h}`) instead of the classic labels, so sim and host
+    /// traces of the same workload render identically.
+    os_names: bool,
 }
 
 /// A `(host, track)`-keyed open-slice stack entry.
@@ -424,6 +461,18 @@ impl ChromeTrace {
     /// An empty trace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty trace whose tracks carry the host backend's OS thread
+    /// names (`mv-host-{h}.{t}` for application threads, `mv-server-{h}`
+    /// for the DSM server, `mv-shard-{h}` for the manager shard), so a
+    /// sim trace and a host trace of the same workload render with the
+    /// same track names in Perfetto.
+    pub fn with_os_names() -> Self {
+        Self {
+            os_names: true,
+            ..Self::default()
+        }
     }
 
     fn tid(track: Track) -> u32 {
@@ -451,10 +500,18 @@ impl ChromeTrace {
         }
         let tid = Self::tid(track);
         if self.named.insert((pid, tid)) {
-            let tname = match track {
-                Track::App(t) => format!("app t{t}"),
-                Track::Server => "dsm server".into(),
-                Track::Shard => "manager shard".into(),
+            let tname = if self.os_names {
+                match track {
+                    Track::App(t) => format!("mv-host-{host}.{t}"),
+                    Track::Server => format!("mv-server-{host}"),
+                    Track::Shard => format!("mv-shard-{host}"),
+                }
+            } else {
+                match track {
+                    Track::App(t) => format!("app t{t}"),
+                    Track::Server => "dsm server".into(),
+                    Track::Shard => "manager shard".into(),
+                }
             };
             self.push(&format!(
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
@@ -510,6 +567,21 @@ impl ChromeTrace {
             for o in stack {
                 self.push(&slice(&o, o.begin, pid, tid));
             }
+        }
+    }
+
+    /// Appends a counter track (`ph:"C"`): one sample per `(vt, value)`
+    /// point, rendered by Perfetto as a stepped area chart under process
+    /// `pid`. Used for the diagnose command's per-host cumulative-fault
+    /// counters.
+    pub fn add_counter(&mut self, name: &str, pid: u32, points: &[(Ns, u64)]) {
+        for &(vt, value) in points {
+            self.push(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"diag\",\"ph\":\"C\",\"ts\":{},\"pid\":{pid},\
+                 \"args\":{{\"value\":{value}}}}}",
+                esc(name),
+                us3(vt),
+            ));
         }
     }
 
@@ -649,10 +721,51 @@ mod tests {
             ));
         }
         drop(r);
+        assert_eq!(t.dropped_by_host(), vec![(2, 3)]);
         let log = t.drain();
         let vts: Vec<Ns> = log.events.iter().map(|e| e.vt).collect();
         assert_eq!(vts, vec![4, 5, 6, 7]);
         assert_eq!(log.dropped, 3);
+        assert_eq!(log.dropped_by_host, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn hosts_without_drops_are_omitted() {
+        let t = Tracer::enabled(4);
+        let mut full = t.recorder(HostId(0), Track::App(0));
+        let mut quiet = t.recorder(HostId(1), Track::App(0));
+        for vt in 1..=6 {
+            full.record(ev(vt, TraceKind::MsgSend));
+        }
+        quiet.record(TraceEvent::new(
+            1,
+            HostId(1),
+            Track::App(0),
+            TraceKind::MsgSend,
+        ));
+        drop(full);
+        drop(quiet);
+        assert_eq!(t.drain().dropped_by_host, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn os_names_rename_tracks_and_counters_emit() {
+        let mut ct = ChromeTrace::with_os_names();
+        ct.add_run(
+            "SOR",
+            0,
+            &[
+                ev(1_000, TraceKind::ReadFaultBegin).with_mp(3),
+                TraceEvent::new(2_000, HostId(0), Track::Server, TraceKind::MsgRecv),
+            ],
+        );
+        ct.add_counter("faults h0", 0, &[(1_000, 1), (2_000, 2)]);
+        let json = ct.finish();
+        assert!(json.contains("mv-host-0.0"));
+        assert!(json.contains("mv-server-0"));
+        assert!(!json.contains("dsm server"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"value\":2"));
     }
 
     #[test]

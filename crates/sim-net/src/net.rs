@@ -126,6 +126,10 @@ struct Fabric<M> {
     inboxes: Vec<Sender<Packet<M>>>,
     cost: CostModel,
     stats: NetStats,
+    /// Always-on per-link traffic counters: `hosts × hosts × 2` cells of
+    /// (messages, payload bytes), indexed `(from · hosts + to) · 2`. Two
+    /// relaxed bumps per send; feeds the diagnose command's wire summary.
+    link_traffic: Vec<AtomicU64>,
     faults: Option<FaultState<M>>,
     /// Deterministic scheduler to notify on every delivery (a delivery may
     /// unblock the destination's receive loop). Unset or disabled in the
@@ -208,6 +212,7 @@ impl<M: Send + Clone> Network<M> {
                 inboxes,
                 cost,
                 stats: NetStats::default(),
+                link_traffic: (0..hosts * hosts * 2).map(|_| AtomicU64::new(0)).collect(),
                 faults,
                 sched: OnceLock::new(),
             }),
@@ -302,6 +307,24 @@ impl<M: Send + Clone> Network<M> {
         from.index() * self.hosts() + to.index()
     }
 
+    /// Per-link traffic `(from, to, messages, payload_bytes)` recorded on
+    /// every send, links with no traffic omitted.
+    pub fn link_traffic(&self) -> Vec<(u16, u16, u64, u64)> {
+        let hosts = self.hosts();
+        let mut out = Vec::new();
+        for from in 0..hosts {
+            for to in 0..hosts {
+                let i = (from * hosts + to) * 2;
+                let msgs = self.fabric.link_traffic[i].load(Ordering::Relaxed);
+                if msgs > 0 {
+                    let bytes = self.fabric.link_traffic[i + 1].load(Ordering::Relaxed);
+                    out.push((from as u16, to as u16, msgs, bytes));
+                }
+            }
+        }
+        out
+    }
+
     /// Sends `msg` from `from` to `to` at virtual time `now`, with
     /// `payload_bytes` of data beyond the 32-byte header. Returns the
     /// arrival virtual time.
@@ -334,6 +357,9 @@ impl<M: Send + Clone> Network<M> {
         };
         self.fabric.stats.messages.bump();
         self.fabric.stats.payload_bytes.add(payload_bytes as u64);
+        let li = self.link_index(from, to) * 2;
+        self.fabric.link_traffic[li].fetch_add(1, Ordering::Relaxed);
+        self.fabric.link_traffic[li + 1].fetch_add(payload_bytes as u64, Ordering::Relaxed);
         let pkt = Packet {
             from,
             to,
@@ -788,6 +814,15 @@ mod tests {
         eps[0].send(HostId(1), (), 0, 0);
         assert_eq!(net.stats().messages.get(), 2);
         assert_eq!(net.stats().payload_bytes.get(), 128);
+    }
+
+    #[test]
+    fn link_traffic_attributes_per_link_and_omits_idle() {
+        let (net, eps) = Network::<()>::new(3, CostModel::default());
+        eps[0].send(HostId(1), (), 128, 0);
+        eps[0].send(HostId(1), (), 32, 0);
+        eps[2].send(HostId(0), (), 8, 0);
+        assert_eq!(net.link_traffic(), vec![(0, 1, 2, 160), (2, 0, 1, 8)],);
     }
 
     #[test]

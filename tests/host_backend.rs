@@ -92,6 +92,7 @@ fn two_hosts_round_trip_one_minipage_through_real_invalidations() {
             hosts: 2,
             views: 2,
             pages: 8,
+            ..Default::default()
         },
         |s| s.alloc_vec_init(&[0u32]),
         |ctx, cell| {
