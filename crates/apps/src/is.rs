@@ -207,6 +207,7 @@ fn run_is_host_cfg(hosts: usize, p: IsParams, diag: bool) -> Result<crate::HostA
         views: p.regions.max(4),
         pages: 64,
         diag,
+        adapt: millipage::AdaptConfig::default(),
     };
     let sum = parking_lot::Mutex::new(0.0f64);
     let report = millipage::run_host(

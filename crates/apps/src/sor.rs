@@ -190,8 +190,29 @@ pub fn run_sor_host_diag(hosts: usize, p: SorParams) -> Result<crate::HostAppRun
     run_sor_host_cfg(hosts, p, true)
 }
 
+/// [`run_sor_host_diag`] with the online adaptation engine armed (the
+/// run `repro adapt --backend host` compares against the sim's actions).
+#[cfg(target_os = "linux")]
+pub fn run_sor_host_adapt(
+    hosts: usize,
+    p: SorParams,
+    adapt: millipage::AdaptConfig,
+) -> Result<crate::HostAppRun, String> {
+    run_sor_host_full(hosts, p, true, adapt)
+}
+
 #[cfg(target_os = "linux")]
 fn run_sor_host_cfg(hosts: usize, p: SorParams, diag: bool) -> Result<crate::HostAppRun, String> {
+    run_sor_host_full(hosts, p, diag, millipage::AdaptConfig::default())
+}
+
+#[cfg(target_os = "linux")]
+fn run_sor_host_full(
+    hosts: usize,
+    p: SorParams,
+    diag: bool,
+    adapt: millipage::AdaptConfig,
+) -> Result<crate::HostAppRun, String> {
     let page_size = 4096; // MultiViewRegion uses the system page size.
     let pages = p.shared_bytes() / page_size * 2 + 64;
     let views = (page_size / (p.cols * 4)).clamp(1, 32);
@@ -200,6 +221,7 @@ fn run_sor_host_cfg(hosts: usize, p: SorParams, diag: bool) -> Result<crate::Hos
         views,
         pages,
         diag,
+        adapt,
     };
     let sum = parking_lot::Mutex::new(0.0f64);
     let report = millipage::run_host(

@@ -23,6 +23,10 @@
 //!                         Sharing diagnostics: per-minipage heat stats,
 //!                         ping-pong / false-sharing / hot-home detectors,
 //!                         fault heatmap CSV + Perfetto counter tracks
+//! repro adapt [scenario] [--quick] [--backend sim|host] [--json adapt.json]
+//!                         Online adaptation: planted pathologies answered
+//!                         by split/merge/home-migration, static-vs-adapted
+//!                         tables for the Table 2 apps
 //! repro faults [scenario] [--quick] [--seed N] [--out faults-trace.json]
 //!                         Loss sweep under seeded wire faults + audit
 //! repro explore [--schedules N] [--seed N] [--quick] [--out repro.json]
@@ -60,6 +64,23 @@
 //! requires the per-minipage counters recorded by the SIGSEGV path to
 //! match the simulator's trace-derived counts exactly.
 //!
+//! `repro adapt` drives the online adaptation engine. The three planted
+//! pathology workloads (a false-sharing pair, a ping-ponging sibling
+//! pair, a skewed-home hammer) run once statically and once with the
+//! engine armed, under the deterministic scheduler: the matching action
+//! (split / merge / home migration) must apply, the triggering detector
+//! finding must clear, faults+invalidations must drop ≥ 25% in aggregate
+//! (migration is judged on cross-host wire bytes — fault counts are
+//! placement-independent), the adapted runs must replay byte-identically
+//! and their traces must pass the invariant audit. The Table 2 apps (or
+//! one of them) then re-run with the engine armed and must keep their
+//! checksums. `--json <path>` dumps the per-workload before/after
+//! metrics and action logs. `--backend host` instead runs a planted
+//! remote hammer and SOR on the real-memory backend (Linux,
+//! migration-only — granularity rewrites are sim-only on raw
+//! application memory) and requires the host engine's action log to
+//! match the sim's fingerprint exactly.
+//!
 //! `repro faults` sweeps packet-loss rates (0 / 0.1% / 1% / 5%; `--quick`
 //! keeps 0 and 1%) across the Table 2 applications and all three home
 //! policies with the seeded fault plane active (duplicates at half the
@@ -83,9 +104,10 @@
 
 use millipage::explore::{race_config, race_workload};
 use millipage::{
-    audit, explore, replay_repro, run, trace_counts, AllocMode, AuditMode, Category, ChromeTrace,
-    ClusterConfig, Consistency, CostModel, ExploreOpts, Finding, HomePolicyKind, MinimizedRepro,
-    Ns, SchedMode, SharedCell, TraceKind, Tracer, WireFaults,
+    audit, explore, replay_repro, run, trace_counts, AdaptConfig, AdaptReport, AllocMode,
+    AuditMode, Category, ChromeTrace, ClusterConfig, Consistency, CostModel, DiagReport,
+    ExploreOpts, Finding, HomePolicyKind, MinimizedRepro, Ns, RunReport, SchedMode, SharedCell,
+    TraceKind, Tracer, WireFaults,
 };
 use millipage_apps::{close, is, lu, sor, tsp, water, AppRun};
 use millipage_bench::scenarios;
@@ -138,6 +160,16 @@ fn main() {
             let backend = flag_value(&args, "--backend").unwrap_or_else(|| "sim".into());
             let json = flag_value(&args, "--json");
             diagnose_cmd(&scenario, quick, &backend, json.as_deref());
+        }
+        "adapt" => {
+            let scenario = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "table2".into());
+            let backend = flag_value(&args, "--backend").unwrap_or_else(|| "sim".into());
+            let json = flag_value(&args, "--json");
+            adapt_cmd(&scenario, quick, &backend, json.as_deref());
         }
         "faults" => {
             let scenario = args
@@ -203,7 +235,7 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: repro [table1|costs|fig5|table2|sor|is|fig6|fig7|ablate|manager-sweep|trace|diagnose|faults|explore|bench|all] [--quick] [--backend sim|host]"
+                "usage: repro [table1|costs|fig5|table2|sor|is|fig6|fig7|ablate|manager-sweep|trace|diagnose|adapt|faults|explore|bench|all] [--quick] [--backend sim|host]"
             );
             std::process::exit(2);
         }
@@ -1620,6 +1652,635 @@ fn host_parity(
         );
     }
     failures
+}
+
+// ----------------------------------------------------------------------
+// Online adaptation: `repro adapt`.
+// ----------------------------------------------------------------------
+
+/// Baseline config for the planted adaptation workloads (mirrors
+/// tests/adapt.rs): small geometry, diagnostics on, deterministic
+/// scheduler so static and adapted runs are directly comparable.
+fn adapt_base(hosts: usize, adapt: bool) -> ClusterConfig {
+    ClusterConfig {
+        hosts,
+        views: 16,
+        pages: 64,
+        diag: true,
+        sched: SchedMode::deterministic(),
+        adapt: if adapt {
+            AdaptConfig::enabled()
+        } else {
+            AdaptConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+}
+
+/// Two hosts write pairwise-disjoint halves of one minipage — the
+/// canonical false-sharing pair the engine must split.
+fn adapt_false_sharing(cfg: ClusterConfig) -> RunReport {
+    run(
+        cfg,
+        |s| s.alloc_vec_init(&[0u32; 16]),
+        |ctx, v| {
+            let me = ctx.host().index();
+            for round in 0..16u32 {
+                ctx.write_range(v, me * 8, &[round; 8]);
+                ctx.barrier();
+            }
+        },
+    )
+}
+
+/// Two physically adjacent minipages always written together by the
+/// round-holding host — a ping-ponging pair the engine must merge.
+fn adapt_ping_pong(cfg: ClusterConfig) -> RunReport {
+    run(
+        cfg,
+        |s| (s.alloc_vec_init(&[0u32]), s.alloc_vec_init(&[0u32])),
+        |ctx, (a, b)| {
+            let me = ctx.host().index();
+            for round in 0..16u32 {
+                if round as usize % 2 == me {
+                    ctx.write_range(a, 0, &[round]);
+                    ctx.write_range(b, 0, &[round]);
+                }
+                ctx.barrier();
+            }
+        },
+    )
+}
+
+/// Host 1 hammers one remotely homed minipage under HLRC while the rest
+/// of the heap sees one cold touch per host — the home must migrate to
+/// the writer.
+fn adapt_skewed_home(cfg: ClusterConfig) -> RunReport {
+    run(
+        cfg,
+        |s| {
+            let hot = s.alloc_vec_init(&[0u32; 8]);
+            let cold: Vec<_> = (0..6).map(|_| s.alloc_vec_init(&[0u32])).collect();
+            (hot, cold)
+        },
+        |ctx, (hot, cold)| {
+            let me = ctx.host().index();
+            let _ = ctx.read_range(&cold[me % cold.len()], 0..1);
+            ctx.barrier();
+            for round in 0..24u32 {
+                if me == 1 {
+                    ctx.write_range(hot, 0, &[round; 8]);
+                }
+                ctx.barrier();
+            }
+        },
+    )
+}
+
+fn faults_plus_inv(r: &RunReport) -> u64 {
+    r.read_faults + r.write_faults + r.invalidations
+}
+
+/// Payload bytes that actually crossed the network. Loopback delivery to
+/// a host's own shard is a local handler call either way, so it is
+/// excluded — migration's win is exactly this number.
+fn cross_host_bytes(r: &RunReport) -> u64 {
+    r.diag
+        .as_ref()
+        .map(|d| {
+            d.links
+                .iter()
+                .filter(|l| l.from != l.to)
+                .map(|l| l.bytes)
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+fn run_is_clean(r: &RunReport, what: &str) -> usize {
+    let mut failures = 0;
+    if !r.coherence_violations.is_empty() {
+        eprintln!(
+            "  {what}: coherence violations: {:?}",
+            r.coherence_violations
+        );
+        failures += 1;
+    }
+    if !r.protocol_errors.is_empty() {
+        eprintln!("  {what}: protocol errors: {:?}", r.protocol_errors);
+        failures += 1;
+    }
+    failures
+}
+
+/// One planted pathology: the workload, the action that must answer it,
+/// and the check that its triggering finding cleared.
+struct PlantedAdapt {
+    name: &'static str,
+    action: &'static str,
+    hosts: usize,
+    /// The migration workload runs under HLRC (home-based diffs make the
+    /// skew visible on the wire); the granularity pair runs under SW/MR.
+    hlrc: bool,
+    audit_mode: AuditMode,
+    run: fn(ClusterConfig) -> RunReport,
+    applied: fn(&AdaptReport) -> u64,
+    cleared: fn(&DiagReport) -> Result<(), String>,
+}
+
+fn planted_adapt_specs() -> Vec<PlantedAdapt> {
+    vec![
+        PlantedAdapt {
+            name: "false-sharing pair",
+            action: "split",
+            hosts: 2,
+            hlrc: false,
+            audit_mode: AuditMode::SwMr,
+            run: adapt_false_sharing,
+            applied: |a| a.splits,
+            cleared: |d| {
+                if d.false_sharing.is_empty() {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{} false-sharing finding(s) survive the split",
+                        d.false_sharing.len()
+                    ))
+                }
+            },
+        },
+        PlantedAdapt {
+            name: "ping-pong pair",
+            action: "merge",
+            hosts: 2,
+            hlrc: false,
+            audit_mode: AuditMode::SwMr,
+            run: adapt_ping_pong,
+            applied: |a| a.merges,
+            cleared: |d| {
+                // The merged unit still ping-pongs by design (one fault
+                // per handoff instead of two); the retired siblings must
+                // not be flagged.
+                if d.ping_pong.iter().any(|f| f.mp <= 1) {
+                    Err("retired siblings still flagged as ping-pong".into())
+                } else {
+                    Ok(())
+                }
+            },
+        },
+        PlantedAdapt {
+            name: "skewed-home hammer",
+            action: "migrate",
+            hosts: 4,
+            hlrc: true,
+            audit_mode: AuditMode::Hlrc,
+            run: adapt_skewed_home,
+            applied: |a| a.migrations,
+            cleared: |d| {
+                if d.hot_home.is_empty() {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{} hot-home finding(s) survive the migration",
+                        d.hot_home.len()
+                    ))
+                }
+            },
+        },
+    ]
+}
+
+fn adapt_cmd(scenario: &str, quick: bool, backend: &str, json_path: Option<&str>) {
+    match backend {
+        "sim" => {}
+        "host" => {
+            adapt_host(quick);
+            return;
+        }
+        other => {
+            eprintln!("unknown backend {other:?} (expected sim or host)");
+            std::process::exit(2);
+        }
+    }
+    header("Adapt — online split/merge/home-migration vs static (deterministic)");
+    let mut failures = 0usize;
+    let mut json_out: Vec<String> = Vec::new();
+    let mut rows = vec![vec![
+        "workload".to_string(),
+        "action".into(),
+        "applied".into(),
+        "faults+inv".into(),
+        "adapted".into(),
+        "x-host B".into(),
+        "adapted".into(),
+        "finding".into(),
+    ]];
+    let (mut total_before, mut total_after) = (0u64, 0u64);
+    for spec in planted_adapt_specs() {
+        let base = |adapt: bool| {
+            let mut c = adapt_base(spec.hosts, adapt);
+            if spec.hlrc {
+                c.consistency = Consistency::HomeEagerRc;
+                c.home_policy = HomePolicyKind::Centralized;
+            }
+            c
+        };
+        let stat = (spec.run)(base(false));
+        // Adapted twice: once traced (for the audit), once stats-only —
+        // the pair must agree byte-for-byte, proving the engine neither
+        // depends on the tracer nor on wall-clock state.
+        let tracer = Tracer::enabled(TRACE_RING_CAPACITY);
+        let adapted = (spec.run)(ClusterConfig {
+            tracer: tracer.clone(),
+            ..base(true)
+        });
+        let replay = (spec.run)(base(true));
+        failures += run_is_clean(&stat, &format!("{} static", spec.name));
+        failures += run_is_clean(&adapted, &format!("{} adapted", spec.name));
+        let log = tracer.drain();
+        if log.dropped > 0 {
+            eprintln!(
+                "  {}: {} trace event(s) dropped — raise TRACE_RING_CAPACITY",
+                spec.name, log.dropped
+            );
+            failures += 1;
+        }
+        let violations = audit(&log.events, spec.audit_mode);
+        if !violations.is_empty() {
+            eprintln!("  {}: audit violations: {violations:?}", spec.name);
+            failures += 1;
+        }
+        let (Some(a), Some(a2)) = (adapted.adapt.as_ref(), replay.adapt.as_ref()) else {
+            eprintln!("  {}: adapted run produced no adapt report", spec.name);
+            failures += 1;
+            continue;
+        };
+        let (Some(diag), Some(diag2)) = (adapted.diag.as_ref(), replay.diag.as_ref()) else {
+            eprintln!("  {}: adapted run produced no diagnostics", spec.name);
+            failures += 1;
+            continue;
+        };
+        if (
+            a.fingerprint(),
+            diag.findings_fingerprint(),
+            faults_plus_inv(&adapted),
+        ) != (
+            a2.fingerprint(),
+            diag2.findings_fingerprint(),
+            faults_plus_inv(&replay),
+        ) {
+            eprintln!(
+                "  {}: NONDETERMINISTIC adaptation between replays",
+                spec.name
+            );
+            failures += 1;
+        }
+        let applied = (spec.applied)(a);
+        if applied == 0 {
+            eprintln!(
+                "  {}: no {} applied; actions: {:?}",
+                spec.name, spec.action, a.actions
+            );
+            failures += 1;
+        }
+        let finding = match (spec.cleared)(diag) {
+            Ok(()) => "cleared".to_string(),
+            Err(e) => {
+                eprintln!("  {}: {e}", spec.name);
+                failures += 1;
+                "SURVIVES".into()
+            }
+        };
+        let (fi_before, fi_after) = (faults_plus_inv(&stat), faults_plus_inv(&adapted));
+        let (wb, wa) = (cross_host_bytes(&stat), cross_host_bytes(&adapted));
+        total_before += fi_before;
+        total_after += fi_after;
+        // Migration leaves fault counts alone (they are placement
+        // independent) but must cut the wire; the granularity actions
+        // must cut faults+invalidations outright.
+        if spec.action == "migrate" {
+            if wa * 4 > wb * 3 {
+                eprintln!(
+                    "  {}: migration saved too little wire traffic: {wb} -> {wa} cross-host bytes",
+                    spec.name
+                );
+                failures += 1;
+            }
+            if fi_after > fi_before + fi_before / 20 {
+                eprintln!(
+                    "  {}: migration regressed faults: {fi_before} -> {fi_after}",
+                    spec.name
+                );
+                failures += 1;
+            }
+        } else if fi_after * 4 > fi_before * 3 {
+            eprintln!(
+                "  {}: {} saved too little: {fi_before} -> {fi_after} faults+invalidations",
+                spec.name, spec.action
+            );
+            failures += 1;
+        }
+        rows.push(vec![
+            spec.name.to_string(),
+            spec.action.into(),
+            applied.to_string(),
+            fi_before.to_string(),
+            fi_after.to_string(),
+            wb.to_string(),
+            wa.to_string(),
+            finding,
+        ]);
+        if json_path.is_some() {
+            json_out.push(format!(
+                "{{\"kind\":\"planted\",\"name\":\"{}\",\"static\":{{\"faults_plus_inv\":{fi_before},\"cross_host_bytes\":{wb}}},\"adapted\":{{\"faults_plus_inv\":{fi_after},\"cross_host_bytes\":{wa}}},\"adapt\":{}}}",
+                spec.name,
+                a.to_json()
+            ));
+        }
+    }
+    print!("{}", render_table(&rows));
+    if total_after * 4 > total_before * 3 {
+        eprintln!(
+            "planted workloads reduced faults+invalidations by < 25%: {total_before} -> {total_after}"
+        );
+        failures += 1;
+    } else {
+        println!(
+            "planted total faults+invalidations: {total_before} -> {total_after} \
+             (-{}%)",
+            (total_before - total_after) * 100 / total_before.max(1)
+        );
+    }
+
+    // The real applications, static vs adapted: the engine may or may not
+    // find something to do, but it must never change a checksum or
+    // surface a violation.
+    let mut specs = app_specs(quick);
+    if !scenario.eq_ignore_ascii_case("table2") && !scenario.eq_ignore_ascii_case("all") {
+        specs.retain(|s| s.name.eq_ignore_ascii_case(scenario));
+        if specs.is_empty() {
+            eprintln!("unknown adapt scenario {scenario:?}");
+            eprintln!(
+                "usage: repro adapt [table2|sor|is|water|lu|tsp] [--quick] \
+                 [--backend sim|host] [--json f]"
+            );
+            std::process::exit(2);
+        }
+    }
+    let mut rows = vec![vec![
+        "app".to_string(),
+        "split/merge/migrate".into(),
+        "deferred".into(),
+        "faults+inv".into(),
+        "adapted".into(),
+        "x-host B".into(),
+        "adapted".into(),
+        "checksum".into(),
+    ]];
+    for spec in &specs {
+        let stat = (spec.run)(ClusterConfig {
+            diag: true,
+            sched: SchedMode::deterministic(),
+            ..app_cfg(4)
+        });
+        let adapted = (spec.run)(ClusterConfig {
+            diag: true,
+            sched: SchedMode::deterministic(),
+            adapt: AdaptConfig::enabled(),
+            ..app_cfg(4)
+        });
+        failures += run_is_clean(&stat.report, &format!("{} static", spec.name));
+        failures += run_is_clean(&adapted.report, &format!("{} adapted", spec.name));
+        let checksum = if close(stat.checksum, adapted.checksum, 1e-9) {
+            "ok".to_string()
+        } else {
+            eprintln!(
+                "  {}: CHECKSUM CHANGED under adaptation: {} vs {}",
+                spec.name, stat.checksum, adapted.checksum
+            );
+            failures += 1;
+            "MISMATCH".into()
+        };
+        let Some(a) = adapted.report.adapt.as_ref() else {
+            eprintln!("  {}: adapted run produced no adapt report", spec.name);
+            failures += 1;
+            continue;
+        };
+        let (fi_before, fi_after) = (
+            faults_plus_inv(&stat.report),
+            faults_plus_inv(&adapted.report),
+        );
+        let (wb, wa) = (
+            cross_host_bytes(&stat.report),
+            cross_host_bytes(&adapted.report),
+        );
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{}/{}/{}", a.splits, a.merges, a.migrations),
+            a.deferred.to_string(),
+            fi_before.to_string(),
+            fi_after.to_string(),
+            wb.to_string(),
+            wa.to_string(),
+            checksum,
+        ]);
+        if json_path.is_some() {
+            json_out.push(format!(
+                "{{\"kind\":\"app\",\"name\":\"{}\",\"static\":{{\"faults_plus_inv\":{fi_before},\"cross_host_bytes\":{wb}}},\"adapted\":{{\"faults_plus_inv\":{fi_after},\"cross_host_bytes\":{wa}}},\"adapt\":{}}}",
+                spec.name,
+                a.to_json()
+            ));
+        }
+    }
+    print!("{}", render_table(&rows));
+    if let Some(p) = json_path {
+        let body = format!("[{}]\n", json_out.join(","));
+        if let Err(e) = std::fs::write(p, body) {
+            eprintln!("failed to write {p}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote adaptation report JSON to {p}");
+    }
+    if failures > 0 {
+        eprintln!("adapt FAILED: {failures} check failure(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "adapt passed: planted pathologies answered and cleared, {} app(s) \
+         unchanged under the engine",
+        specs.len()
+    );
+}
+
+/// Shared-handle shape of the planted host-backend migration workload.
+#[cfg(target_os = "linux")]
+type RemoteHammerShared = (millipage::SharedVec<u32>, Vec<millipage::SharedVec<u32>>);
+
+/// A hot minipage homed at the manager (host 0), written by host 1 on
+/// even rounds and read by host 2 on odd rounds: under SW/MR every round
+/// takes exactly one remote fault at the home, so the engine must move
+/// the home to the dominant writer. Runs unchanged on both backends.
+#[cfg(target_os = "linux")]
+fn remote_hammer_setup(s: &mut millipage::SetupCtx) -> RemoteHammerShared {
+    let hot = s.alloc_vec_init(&[0u32; 8]);
+    let cold = (0..6).map(|_| s.alloc_vec_init(&[0u32])).collect();
+    (hot, cold)
+}
+
+#[cfg(target_os = "linux")]
+fn remote_hammer_worker<D: millipage::Dsm>(ctx: &mut D, sh: &RemoteHammerShared) {
+    let (hot, cold) = sh;
+    let me = ctx.host().index();
+    let _ = ctx.read_range(&cold[me % cold.len()], 0..1);
+    ctx.barrier();
+    for round in 0..24u32 {
+        if round % 2 == 0 && me == 1 {
+            ctx.write_range(hot, 0, &[round; 8]);
+        }
+        if round % 2 == 1 && me == 2 {
+            let _ = ctx.read_range(hot, 0..8);
+        }
+        ctx.barrier();
+    }
+}
+
+/// `repro adapt --backend host`: the planted remote hammer and SOR with
+/// the engine armed on real memory. The host backend only migrates
+/// (granularity rewrites are sim-only on raw application memory), so the
+/// sim mirror runs with split/merge disabled and the two action logs
+/// must fingerprint identically — same actions, same barriers, same
+/// targets — while SOR's checksum must survive the armed engine.
+fn adapt_host(quick: bool) {
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = quick;
+        host_unsupported();
+    }
+    #[cfg(target_os = "linux")]
+    {
+        let hosts = 4usize;
+        header(&format!(
+            "Adapt (host backend) — home migration on real memory, action parity vs sim ({hosts} hosts)"
+        ));
+        let mut failures = 0usize;
+        let migrate_only = AdaptConfig {
+            allow_split: false,
+            allow_merge: false,
+            ..AdaptConfig::enabled()
+        };
+        let host_cfg = millipage::HostRunConfig {
+            hosts,
+            views: 16,
+            pages: 64,
+            diag: true,
+            adapt: AdaptConfig::enabled(), // the runner masks split/merge itself
+        };
+        let hammer = millipage::run_host(host_cfg, remote_hammer_setup, remote_hammer_worker)
+            .unwrap_or_else(|e| {
+                eprintln!("remote-hammer host run failed: {e}");
+                std::process::exit(1);
+            });
+        if !hammer.errors.is_empty() {
+            eprintln!("remote hammer: host errors: {:?}", hammer.errors);
+            failures += 1;
+        }
+        let sim = run(
+            ClusterConfig {
+                hosts,
+                views: 16,
+                pages: 64,
+                diag: true,
+                sched: SchedMode::deterministic(),
+                adapt: migrate_only.clone(),
+                ..ClusterConfig::default()
+            },
+            remote_hammer_setup,
+            remote_hammer_worker,
+        );
+        failures += run_is_clean(&sim, "remote hammer (sim)");
+        match (hammer.adapt.as_ref(), sim.adapt.as_ref()) {
+            (Some(h), Some(s)) => {
+                if h.migrations < 1 {
+                    eprintln!(
+                        "remote hammer: host engine applied no migration: {:?}",
+                        h.actions
+                    );
+                    failures += 1;
+                }
+                if h.fingerprint() != s.fingerprint() {
+                    eprintln!(
+                        "remote hammer: ACTION MISMATCH\n  host {:?}\n  sim  {:?}",
+                        h.fingerprint(),
+                        s.fingerprint()
+                    );
+                    failures += 1;
+                } else {
+                    println!(
+                        "remote hammer: {} migration(s), host/sim action logs identical",
+                        h.migrations
+                    );
+                }
+            }
+            _ => {
+                eprintln!("remote hammer: a backend produced no adapt report");
+                failures += 1;
+            }
+        }
+
+        let sp = sor_cmp_params(quick);
+        let h = sor::run_sor_host_adapt(hosts, sp, AdaptConfig::enabled()).unwrap_or_else(|e| {
+            eprintln!("SOR host run failed: {e}");
+            std::process::exit(1);
+        });
+        let s = sor::run_sor(
+            ClusterConfig {
+                hosts,
+                views: 1,
+                pages: 1,
+                alloc_mode: AllocMode::FINE,
+                diag: true,
+                sched: SchedMode::deterministic(),
+                adapt: migrate_only,
+                ..ClusterConfig::default()
+            },
+            sp,
+        );
+        failures += run_is_clean(&s.report, "SOR (sim, adapted)");
+        if !close(s.checksum, h.checksum, 1e-9) {
+            eprintln!(
+                "SOR: CHECKSUM MISMATCH under adaptation: sim {} vs host {}",
+                s.checksum, h.checksum
+            );
+            failures += 1;
+        }
+        match (h.report.adapt.as_ref(), s.report.adapt.as_ref()) {
+            (Some(ha), Some(sa)) => {
+                if ha.fingerprint() != sa.fingerprint() {
+                    eprintln!(
+                        "SOR: ACTION MISMATCH\n  host {:?}\n  sim  {:?}",
+                        ha.fingerprint(),
+                        sa.fingerprint()
+                    );
+                    failures += 1;
+                } else {
+                    println!(
+                        "SOR: checksum matches; host/sim action logs identical \
+                         ({} migration(s))",
+                        ha.migrations
+                    );
+                }
+            }
+            _ => {
+                eprintln!("SOR: a backend produced no adapt report");
+                failures += 1;
+            }
+        }
+        if failures > 0 {
+            eprintln!("adapt FAILED: {failures} parity failure(s)");
+            std::process::exit(1);
+        }
+        println!("host/sim adaptation actions and checksums match");
+    }
 }
 
 // ----------------------------------------------------------------------

@@ -14,6 +14,14 @@
 //! * **Both**: an invalidation confirmation never arrives without a
 //!   matching fan-out; at the end of the log every service window is
 //!   closed and no acknowledged diff is left pending.
+//! * **Adaptation**: a split/merge/migration applies only at a quiesced
+//!   barrier — the target's service window is closed and every
+//!   invalidation it fanned out has been confirmed; afterwards the
+//!   replay state resets exactly like a fresh allocation (master copy
+//!   at the acting home, writable under SW/MR). A request forwarded to
+//!   a migrated minipage's new home ([`TraceKind::AdaptForward`]) is
+//!   forwarded at most once per (shard, minipage, request) — a repeat
+//!   means requests are looping between stale home tables.
 //! * **Transport**: when the fault plane is active every delivered
 //!   message carries its link sequence number ([`TraceKind::MsgRecv`]
 //!   `aux`), and per (sender, receiver) link those numbers must be
@@ -62,6 +70,8 @@ pub fn audit(events: &[TraceEvent], mode: AuditMode) -> Vec<String> {
 
     let mut mps: HashMap<u32, MpState> = HashMap::new();
     let mut rc_out: HashMap<u16, i64> = HashMap::new();
+    // (shard host, minipage, request event) already forwarded once.
+    let mut forwarded: HashSet<(u16, u32, u64)> = HashSet::new();
     // (sender, receiver) -> highest wire sequence number seen so far.
     let mut link_seq: HashMap<(u16, u16), u32> = HashMap::new();
     let mut violations = Vec::new();
@@ -253,6 +263,82 @@ pub fn audit(events: &[TraceEvent], mode: AuditMode) -> Vec<String> {
                         format!("h{}: {what} with {n} release diffs unacknowledged", e.host),
                     );
                 }
+            }
+            // An adaptation action may only touch a quiesced minipage:
+            // window closed, no invalidation in flight. The action revokes
+            // every copy and re-seeds the master at the acting shard
+            // (split children / merge result, SW/MR only) or the new home
+            // (migration; aux carries writability), so the replay state
+            // restarts exactly like a fresh allocation.
+            TraceKind::AdaptSplit | TraceKind::AdaptMerge | TraceKind::AdaptMigrate => {
+                let what = match e.kind {
+                    TraceKind::AdaptSplit => "split",
+                    TraceKind::AdaptMerge => "merge",
+                    _ => "migration",
+                };
+                {
+                    let s = mps.entry(e.mp).or_default();
+                    if s.window_open {
+                        report(
+                            e.vt,
+                            format!("mp{}: {what} applied inside an open service window", e.mp),
+                        );
+                    }
+                    // Only SW/MR confirms invalidations individually;
+                    // HLRC invalidations are fire-and-forget behind the
+                    // FIFO channel and synchronized by the barrier the
+                    // action itself quiesces at, so the counter never
+                    // drains in an HLRC trace.
+                    if mode == AuditMode::SwMr && s.inv_outstanding != 0 {
+                        report(
+                            e.vt,
+                            format!(
+                                "mp{}: {what} applied with {} invalidations unconfirmed",
+                                e.mp, s.inv_outstanding
+                            ),
+                        );
+                    }
+                    *s = MpState::default();
+                }
+                match e.kind {
+                    // aux = child count, event = first (dense) child id.
+                    TraceKind::AdaptSplit => {
+                        for k in 0..u64::from(e.aux) {
+                            let child = mps.entry((e.event + k) as u32).or_default();
+                            *child = MpState::default();
+                            child.writers.insert(e.host);
+                        }
+                    }
+                    // event = merged minipage id.
+                    TraceKind::AdaptMerge => {
+                        let merged = mps.entry(e.event as u32).or_default();
+                        *merged = MpState::default();
+                        merged.writers.insert(e.host);
+                    }
+                    // peer = new home; aux 1 = writable master (SW/MR).
+                    _ => {
+                        let s = mps.entry(e.mp).or_default();
+                        if e.aux == 1 {
+                            s.writers.insert(e.peer);
+                        } else {
+                            s.readers.insert(e.peer);
+                        }
+                    }
+                }
+            }
+            // Exactly-once forwarding: a shard that no longer homes a
+            // minipage re-sends the request to the current home. Seeing
+            // the same request twice at the same shard means the request
+            // is looping between stale home tables.
+            TraceKind::AdaptForward if !forwarded.insert((e.host, e.mp, e.event)) => {
+                report(
+                    e.vt,
+                    format!(
+                        "mp{}: h{} forwarded request event {} twice \
+                         (home-table forwarding loop)",
+                        e.mp, e.host, e.event
+                    ),
+                );
             }
             _ => {}
         }
@@ -464,6 +550,131 @@ mod tests {
             recv(5, 0, 0, 0),
         ];
         assert_eq!(audit(&events, AuditMode::SwMr), Vec::<String>::new());
+    }
+
+    #[test]
+    fn quiesced_split_resets_state_and_seeds_children() {
+        // mp3 is quiesced (window closed, no invalidations in flight)
+        // when the split retires it into children 8 and 9, both writable
+        // at the acting home h0. A later writable install on h1 for
+        // child 8 after a proper invalidation round is clean.
+        let events = vec![
+            ev(0, 0, TraceKind::AllocGrant)
+                .with_mp(3)
+                .with_peer(HostId(0))
+                .with_aux(1),
+            ev(1, 0, TraceKind::AdaptSplit)
+                .with_mp(3)
+                .with_aux(2)
+                .with_event(8),
+            ev(2, 0, TraceKind::WindowOpen).with_mp(8),
+            ev(3, 0, TraceKind::Forward)
+                .with_mp(8)
+                .with_peer(HostId(0))
+                .with_aux(1),
+            ev(4, 0, TraceKind::InvalidateLocal).with_mp(8),
+            ev(5, 1, TraceKind::Install).with_mp(8).with_aux(2),
+            ev(6, 0, TraceKind::WindowClose).with_mp(8),
+        ];
+        assert_eq!(audit(&events, AuditMode::SwMr), Vec::<String>::new());
+    }
+
+    #[test]
+    fn split_inside_open_window_is_caught() {
+        let events = vec![
+            ev(0, 0, TraceKind::WindowOpen).with_mp(3),
+            ev(1, 0, TraceKind::AdaptSplit)
+                .with_mp(3)
+                .with_aux(2)
+                .with_event(8),
+        ];
+        let v = audit(&events, AuditMode::SwMr);
+        assert!(
+            v.iter()
+                .any(|s| s.contains("split applied inside an open service window")),
+            "expected an open-window violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn migration_with_unconfirmed_invalidations_is_caught() {
+        let events = vec![
+            ev(0, 0, TraceKind::InvSend).with_mp(5).with_peer(HostId(1)),
+            ev(1, 0, TraceKind::AdaptMigrate)
+                .with_mp(5)
+                .with_peer(HostId(2))
+                .with_aux(1),
+        ];
+        let v = audit(&events, AuditMode::SwMr);
+        assert!(
+            v.iter()
+                .any(|s| s.contains("migration applied with 1 invalidations unconfirmed")),
+            "expected an unconfirmed-invalidation violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn migration_reseeds_single_writable_copy_at_new_home() {
+        // After migration the master copy is writable at h2 only; an
+        // unrelated writable install elsewhere without invalidating it
+        // breaks single-writer and must be reported.
+        let events = vec![
+            ev(0, 0, TraceKind::AllocGrant)
+                .with_mp(5)
+                .with_peer(HostId(0))
+                .with_aux(1),
+            ev(1, 0, TraceKind::AdaptMigrate)
+                .with_mp(5)
+                .with_peer(HostId(2))
+                .with_aux(1),
+            ev(2, 1, TraceKind::Install).with_mp(5).with_aux(2),
+        ];
+        let v = audit(&events, AuditMode::SwMr);
+        assert!(
+            v.iter().any(|s| s.contains("writable copy installed")),
+            "expected a double-writer violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn repeated_forward_of_same_request_is_caught() {
+        let fwd = |seq: u64, host: u16| {
+            ev(seq, host, TraceKind::AdaptForward)
+                .with_mp(5)
+                .with_peer(HostId(2))
+                .with_event(77)
+                .with_aux(1)
+        };
+        // Distinct shards may each forward the request once (a chain of
+        // migrations); the same shard seeing it twice is a loop.
+        let clean = vec![fwd(0, 0), fwd(1, 1)];
+        assert_eq!(audit(&clean, AuditMode::SwMr), Vec::<String>::new());
+        let looping = vec![fwd(0, 0), fwd(1, 0)];
+        let v = audit(&looping, AuditMode::SwMr);
+        assert!(
+            v.iter().any(|s| s.contains("forwarding loop")),
+            "expected a forwarding-loop violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn merge_retires_first_sibling_and_seeds_result() {
+        let events = vec![
+            ev(0, 0, TraceKind::WindowOpen).with_mp(1),
+            ev(1, 0, TraceKind::WindowClose).with_mp(1),
+            ev(2, 0, TraceKind::AdaptMerge)
+                .with_mp(1)
+                .with_aux(2)
+                .with_event(6),
+            // The merge result is writable at h0; a conflicting writable
+            // install on h1 without invalidation is a violation.
+            ev(3, 1, TraceKind::Install).with_mp(6).with_aux(2),
+        ];
+        let v = audit(&events, AuditMode::SwMr);
+        assert!(
+            v.iter().any(|s| s.contains("writable copy installed")),
+            "expected a double-writer violation on the merge result, got {v:?}"
+        );
     }
 
     #[test]

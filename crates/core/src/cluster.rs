@@ -92,6 +92,12 @@ pub struct ClusterConfig {
     /// a disabled sink costs one branch per instrumentation point and
     /// leaves every existing report byte-for-byte unchanged.
     pub diag: bool,
+    /// Online adaptation (see [`crate::adapt`]): act on the diagnostics
+    /// at barrier quiesce points — split falsely shared minipages, merge
+    /// ping-ponging siblings, migrate homes to their dominant writer.
+    /// Disabled by default; most actions also need `diag: true` to have
+    /// anything to plan from.
+    pub adapt: crate::adapt::AdaptConfig,
     /// Deliberately re-introduces the fixed PR-3 stale-reinstall bug (a
     /// home host installing its own serve-time snapshot over concurrently
     /// applied release diffs). Exists solely so the schedule-exploration
@@ -123,6 +129,7 @@ impl Default for ClusterConfig {
                 SchedMode::off()
             },
             diag: false,
+            adapt: crate::adapt::AdaptConfig::default(),
             bug_stale_reinstall: false,
         }
     }
@@ -310,6 +317,7 @@ where
                 Arc::clone(&cluster_mem),
                 cfg.tracer.recorder(HostId(h as u16), Track::Shard),
                 diag_sink.clone(),
+                cfg.adapt.clone(),
             ))
         })
         .collect();
@@ -547,6 +555,17 @@ where
         Consistency::HomeEagerRc => check_rc_consistency(&minipages, &geo, &states, &home),
     };
     violations.extend(check_directories(&shards, cfg.consistency));
+    // Any adaptation action must leave the MPT geometry sound: active
+    // minipages disjoint, no physical byte orphaned, every retired vpage
+    // redirecting to the active owner of its bytes.
+    if home.mpt().adapt_gen() != 0 {
+        violations.extend(home.mpt().geometry_violations(&geo));
+    }
+    let mut adapt_report = crate::adapt::AdaptReport::default();
+    for s in &shards {
+        adapt_report.absorb(s.adapt_report().clone());
+    }
+    let adapt = cfg.adapt.enabled.then_some(adapt_report);
     let alloc = shards[cfg.manager].alloc_stats();
     // The shards carry the last live trace recorders; dropping them
     // flushes their rings, so the per-host dropped-event counts read
@@ -592,6 +611,7 @@ where
         net_faults,
         trace_dropped,
         diag,
+        adapt,
         per_host,
     }
 }

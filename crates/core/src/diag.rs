@@ -13,7 +13,7 @@
 //!   resolver runs in signal context and may only touch async-signal-safe
 //!   state (see `hostmv::fault`'s module docs). Per minipage the table
 //!   keeps one *lane* per host (read/write faults, invalidations
-//!   received, write-extent min/max) plus shard-side counters
+//!   received, two bounded packed write extents) plus shard-side counters
 //!   (invalidations fanned out, diff bytes, last writer, inter-host
 //!   write-ownership alternations).
 //! * [`DiagSink`] — the cheap handle threaded through the protocol, in
@@ -43,8 +43,12 @@
 //!   write faults + invalidations fanned out (the traffic a split would
 //!   remove).
 //! * **Hot home**: one host's shard serves more than [`HOT_HOME_SKEW`] ×
-//!   the mean per-host fault load (summed over the minipages homed
-//!   there). Ranked by load.
+//!   the mean fault load of the hosts that actually home active minipages
+//!   (summed over the minipages homed there). When a single host homes
+//!   everything (Centralized), the detector instead checks per-minipage
+//!   concentration at that host, and single-host clusters never produce
+//!   findings. Loads below [`HOT_HOME_MIN_LOAD`] are never flagged,
+//!   whatever the ratio. Ranked by load.
 
 use crate::home::HomeTable;
 use multiview::Minipage;
@@ -76,16 +80,49 @@ pub const FALSE_SHARING_MIN_WRITES: u64 = 2;
 /// this multiple of the mean per-host load.
 pub const HOT_HOME_SKEW: f64 = 1.5;
 
+/// Minimum remote-fault load before a home (or, at a sole home, a single
+/// minipage) can be flagged hot. Skew alone is not evidence: a handful of
+/// cold-start faults can exceed any ratio threshold, and a finding built
+/// on them would send the adaptation engine chasing noise.
+pub const HOT_HOME_MIN_LOAD: u64 = 8;
+
 /// "No writer yet" marker in the last-writer cell.
 const NO_WRITER: u64 = u64::MAX;
 
-// Per-(slot, host) lane layout.
+// Per-(slot, host) lane layout. The two extent lanes each hold one packed
+// byte range `(start << 32) | end` or [`EXT_EMPTY`]; keeping *two* bounded
+// slots (instead of a single min/max hull) is what lets one host record two
+// distant write ranges without manufacturing an artificial overlap that
+// would suppress the false-sharing detector.
 const L_READ: usize = 0;
 const L_WRITE: usize = 1;
 const L_INV: usize = 2;
-const L_WMIN: usize = 3;
-const L_WMAX: usize = 4;
+const L_EXT0: usize = 3;
+const L_EXT1: usize = 4;
 const HOST_LANES: usize = 5;
+
+/// "No extent recorded" marker in a packed extent cell. `u64::MAX` decodes
+/// as the empty range `[u32::MAX, u32::MAX)`, which no real write produces
+/// (extents always have `end > start`).
+const EXT_EMPTY: u64 = u64::MAX;
+
+/// Bound on CAS retries in [`DiagTable::write_extent`]: the updater must
+/// stay legal in signal context, so it cannot spin unboundedly; past the
+/// cap the update is dropped (a statistical loss, never a safety one).
+const EXT_CAS_CAP: usize = 64;
+
+#[inline]
+fn ext_pack(start: u64, end: u64) -> u64 {
+    (start.min(u32::MAX as u64) << 32) | end.min(u32::MAX as u64)
+}
+
+#[inline]
+fn ext_unpack(cell: u64) -> Option<(u64, u64)> {
+    if cell == EXT_EMPTY {
+        return None;
+    }
+    Some((cell >> 32, cell & u32::MAX as u64))
+}
 // Per-slot (shard-side) lane layout, after the host lanes.
 const S_INV_SENT: usize = 0;
 const S_DIFF_BYTES: usize = 1;
@@ -126,10 +163,9 @@ impl DiagTable {
                 // Write-extent minima start at MAX so fetch_min works;
                 // the last-writer cell starts at the "none" marker.
                 let init = if lane < hosts * HOST_LANES {
-                    if lane % HOST_LANES == L_WMIN {
-                        u64::MAX
-                    } else {
-                        0
+                    match lane % HOST_LANES {
+                        L_EXT0 | L_EXT1 => EXT_EMPTY,
+                        _ => 0,
                     }
                 } else if lane - hosts * HOST_LANES == S_LAST_WRITER {
                     NO_WRITER
@@ -199,14 +235,65 @@ impl DiagTable {
         self.write_extent(mp, host, off, len);
     }
 
-    /// Widens `host`'s write extent on `mp` to cover `[off, off + len)`.
-    #[inline]
+    /// Records `host`'s write of `[off, off + len)` on `mp` into one of
+    /// the two bounded extent slots: merge into an overlapping-or-touching
+    /// extent, else claim an empty slot, else widen the nearest extent.
+    /// Every path is a bounded sequence of relaxed CAS attempts on
+    /// pre-allocated cells, so the host backend's signal-context resolver
+    /// may call it; past [`EXT_CAS_CAP`] the update is dropped.
     pub fn write_extent(&self, mp: u32, host: u16, off: u64, len: u64) {
-        if let Some(i) = self.host_cell(mp, host, L_WMIN) {
-            self.cells[i].fetch_min(off, Relaxed);
-        }
-        if let Some(i) = self.host_cell(mp, host, L_WMAX) {
-            self.cells[i].fetch_max(off + len.max(1), Relaxed);
+        let (Some(i0), Some(i1)) = (
+            self.host_cell(mp, host, L_EXT0),
+            self.host_cell(mp, host, L_EXT1),
+        ) else {
+            return;
+        };
+        let (s, e) = (off, off + len.max(1));
+        for _ in 0..EXT_CAS_CAP {
+            let cur = [self.cells[i0].load(Relaxed), self.cells[i1].load(Relaxed)];
+            // Pick the slot to update: an extent the new range overlaps or
+            // touches, else an empty slot, else the nearest extent.
+            let mut pick: Option<(usize, u64)> = None;
+            for (k, &cell) in cur.iter().enumerate() {
+                if let Some((cs, ce)) = ext_unpack(cell) {
+                    if s <= ce && cs <= e {
+                        pick = Some((k, ext_pack(cs.min(s), ce.max(e))));
+                        break;
+                    }
+                }
+            }
+            if pick.is_none() {
+                pick = cur
+                    .iter()
+                    .position(|&c| c == EXT_EMPTY)
+                    .map(|k| (k, ext_pack(s, e)));
+            }
+            let (k, next) = pick.unwrap_or_else(|| {
+                // Both slots hold disjoint extents; widen whichever is
+                // closer to the new range.
+                let gap = |cell: u64| {
+                    let (cs, ce) = ext_unpack(cell).expect("slot full");
+                    if e < cs {
+                        cs - e
+                    } else {
+                        s.saturating_sub(ce)
+                    }
+                };
+                let k = usize::from(gap(cur[1]) < gap(cur[0]));
+                let (cs, ce) = ext_unpack(cur[k]).expect("slot full");
+                (k, ext_pack(cs.min(s), ce.max(e)))
+            });
+            let cell = if k == 0 {
+                &self.cells[i0]
+            } else {
+                &self.cells[i1]
+            };
+            if cell
+                .compare_exchange_weak(cur[k], next, Relaxed, Relaxed)
+                .is_ok()
+            {
+                return;
+            }
         }
     }
 
@@ -255,6 +342,33 @@ impl DiagTable {
         self.cells[last].store(host as u64, Relaxed);
     }
 
+    /// Resets every lane of minipage `mp` to its initial state. The adapt
+    /// engine calls this on each split/merge/home-migration so the first
+    /// post-action write does not record a phantom alternation against the
+    /// pre-action writer (which would re-flag a freshly fixed minipage and
+    /// oscillate the adapt loop). Callers must quiesce the minipage first
+    /// (no in-flight faults); adaptation actions run at barrier quorum,
+    /// which guarantees exactly that.
+    pub fn reset_slot(&self, mp: u32) {
+        let slot = mp as usize;
+        if slot >= self.slots {
+            return;
+        }
+        for host in 0..self.hosts {
+            for lane in 0..HOST_LANES {
+                let init = match lane {
+                    L_EXT0 | L_EXT1 => EXT_EMPTY,
+                    _ => 0,
+                };
+                self.cells[slot * self.stride() + host * HOST_LANES + lane].store(init, Relaxed);
+            }
+        }
+        for lane in 0..SLOT_LANES {
+            let init = if lane == S_LAST_WRITER { NO_WRITER } else { 0 };
+            self.cells[slot * self.stride() + self.hosts * HOST_LANES + lane].store(init, Relaxed);
+        }
+    }
+
     /// Records one wire message of `bytes` payload on the `from → to`
     /// link (used by the host backend's transport; the simulator reads
     /// its fabric's per-link counters instead).
@@ -292,6 +406,16 @@ impl DiagTable {
 
     fn host_lane(&self, mp: u32, host: usize, lane: usize) -> u64 {
         self.cells[mp as usize * self.stride() + host * HOST_LANES + lane].load(Relaxed)
+    }
+
+    /// The recorded write extents of `(mp, host)`, sorted by start.
+    fn host_extents(&self, mp: u32, host: usize) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = [L_EXT0, L_EXT1]
+            .iter()
+            .filter_map(|&lane| ext_unpack(self.host_lane(mp, host, lane)))
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     fn slot_lane(&self, mp: u32, lane: usize) -> u64 {
@@ -393,6 +517,14 @@ impl DiagSink {
         }
     }
 
+    /// See [`DiagTable::reset_slot`].
+    #[inline]
+    pub fn reset_slot(&self, mp: u32) {
+        if let Some(t) = &self.0 {
+            t.reset_slot(mp);
+        }
+    }
+
     /// See [`DiagTable::wire_send`].
     #[inline]
     pub fn wire_send(&self, from: u16, to: u16, bytes: u64) {
@@ -413,9 +545,21 @@ pub struct HostLane {
     pub write_faults: u64,
     /// Invalidations this host received for the minipage.
     pub inv_recv: u64,
-    /// Byte range `[start, end)` of the host's recorded writes, or `None`
-    /// if it never wrote.
-    pub write_extent: Option<(u64, u64)>,
+    /// Byte ranges `[start, end)` of the host's recorded writes, sorted,
+    /// empty if it never wrote. At most two bounded extents are kept (see
+    /// the lane layout), so two distant write ranges stay distinct instead
+    /// of collapsing into one hull that would fake an overlap.
+    pub write_extents: Vec<(u64, u64)>,
+}
+
+impl HostLane {
+    /// The convex hull of the recorded extents, or `None` if the host
+    /// never wrote (display/heatmap convenience).
+    pub fn write_hull(&self) -> Option<(u64, u64)> {
+        let first = self.write_extents.first()?;
+        let last = self.write_extents.last()?;
+        Some((first.0, last.1))
+    }
 }
 
 /// Merged statistics of one minipage.
@@ -470,7 +614,7 @@ impl MinipageDiag {
             || self.alternations > 0
             || self.last_writer.is_some()
             || self.per_host.iter().any(|l| {
-                l.read_faults + l.write_faults + l.inv_recv > 0 || l.write_extent.is_some()
+                l.read_faults + l.write_faults + l.inv_recv > 0 || !l.write_extents.is_empty()
             })
     }
 }
@@ -542,18 +686,12 @@ pub(crate) fn build_report(
             continue; // Overflow slots carry no attribution.
         }
         let per_host = (0..hosts)
-            .map(|h| {
-                let (wmin, wmax) = (
-                    table.host_lane(id, h, L_WMIN),
-                    table.host_lane(id, h, L_WMAX),
-                );
-                HostLane {
-                    host: h as u16,
-                    read_faults: table.host_lane(id, h, L_READ),
-                    write_faults: table.host_lane(id, h, L_WRITE),
-                    inv_recv: table.host_lane(id, h, L_INV),
-                    write_extent: (wmax > 0).then_some((wmin, wmax)),
-                }
+            .map(|h| HostLane {
+                host: h as u16,
+                read_faults: table.host_lane(id, h, L_READ),
+                write_faults: table.host_lane(id, h, L_WRITE),
+                inv_recv: table.host_lane(id, h, L_INV),
+                write_extents: table.host_extents(id, h),
             })
             .collect();
         let last = table.slot_lane(id, S_LAST_WRITER);
@@ -588,7 +726,7 @@ pub(crate) fn build_report(
 fn writing_hosts(d: &MinipageDiag) -> Vec<u16> {
     d.per_host
         .iter()
-        .filter(|l| l.write_faults > 0 || l.write_extent.is_some())
+        .filter(|l| l.write_faults > 0 || !l.write_extents.is_empty())
         .map(|l| l.host)
         .collect()
 }
@@ -625,16 +763,20 @@ pub fn detect_false_sharing(minipages: &[MinipageDiag]) -> Vec<Finding> {
         let lanes: Vec<&HostLane> = d
             .per_host
             .iter()
-            .filter(|l| l.write_extent.is_some() && l.write_faults >= FALSE_SHARING_MIN_WRITES)
+            .filter(|l| !l.write_extents.is_empty() && l.write_faults >= FALSE_SHARING_MIN_WRITES)
             .collect();
         if lanes.len() < 2 {
             continue;
         }
+        // Pairwise-disjoint across hosts: no extent of host A may overlap
+        // any extent of host B. A host's *own* extents being far apart is
+        // fine — that is exactly the case the bounded extent slots exist to
+        // preserve.
         let disjoint = lanes.iter().enumerate().all(|(i, a)| {
-            let (a0, a1) = a.write_extent.expect("filtered");
             lanes.iter().skip(i + 1).all(|b| {
-                let (b0, b1) = b.write_extent.expect("filtered");
-                a1 <= b0 || b1 <= a0
+                a.write_extents
+                    .iter()
+                    .all(|&(a0, a1)| b.write_extents.iter().all(|&(b0, b1)| a1 <= b0 || b1 <= a0))
             })
         });
         if !disjoint {
@@ -643,8 +785,12 @@ pub fn detect_false_sharing(minipages: &[MinipageDiag]) -> Vec<Finding> {
         let ranges: Vec<String> = lanes
             .iter()
             .map(|l| {
-                let (s, e) = l.write_extent.expect("filtered");
-                format!("h{}:[{s},{e})", l.host)
+                let exts: Vec<String> = l
+                    .write_extents
+                    .iter()
+                    .map(|&(s, e)| format!("[{s},{e})"))
+                    .collect();
+                format!("h{}:{}", l.host, exts.join("+"))
             })
             .collect();
         let score = d.write_faults() + d.inv_sent;
@@ -668,8 +814,38 @@ pub fn detect_false_sharing(minipages: &[MinipageDiag]) -> Vec<Finding> {
     out
 }
 
+/// Faults on `d` taken by hosts other than its home — the load the home
+/// shard serves over the wire. The home's own faults are local (served
+/// in place wherever the minipage lives), so counting them would re-flag
+/// a home that was just migrated to its dominant writer.
+fn remote_faults(d: &MinipageDiag) -> u64 {
+    d.per_host
+        .iter()
+        .filter(|l| l.host != d.home)
+        .map(|l| l.read_faults + l.write_faults)
+        .sum()
+}
+
 /// Hot-home detector: see the module docs for the definition.
+///
+/// Load is the *remote* fault load per home — faults taken by hosts other
+/// than the minipage's home, i.e. the service traffic that actually
+/// crosses the wire to that shard. The home's own faults are excluded:
+/// they are local no matter where the minipage is homed, so counting
+/// them would re-flag a minipage freshly migrated to its dominant
+/// writer. The skew baseline is the mean load over hosts that actually
+/// *home* active minipages, not over all hosts — idle hosts would dilute
+/// the denominator and make any centralized layout look hot even under
+/// perfectly uniform load. When exactly one host homes everything
+/// (Centralized), a host-level mean is meaningless, so the detector falls
+/// back to a per-minipage concentration check at that host: is one
+/// minipage drawing more than [`HOT_HOME_SKEW`] × the mean per-minipage
+/// load? Single-host clusters have no remote faults and produce no
+/// findings at all.
 pub fn detect_hot_home(minipages: &[MinipageDiag], hosts: usize) -> Vec<Finding> {
+    if hosts < 2 {
+        return Vec::new();
+    }
     let mut load = vec![0u64; hosts];
     let mut homed = vec![0usize; hosts];
     let mut hottest: Vec<Option<(u64, u32)>> = vec![None; hosts];
@@ -678,31 +854,65 @@ pub fn detect_hot_home(minipages: &[MinipageDiag], hosts: usize) -> Vec<Finding>
         if h >= hosts {
             continue;
         }
-        load[h] += d.faults();
+        let remote = remote_faults(d);
+        load[h] += remote;
         homed[h] += 1;
-        if hottest[h].is_none_or(|(f, _)| d.faults() > f) {
-            hottest[h] = Some((d.faults(), d.mp));
+        if hottest[h].is_none_or(|(f, _)| remote > f) {
+            hottest[h] = Some((remote, d.mp));
         }
     }
     let total: u64 = load.iter().sum();
-    let mean = total as f64 / hosts as f64;
-    let mut out: Vec<Finding> = (0..hosts)
-        .filter(|&h| load[h] > 0 && load[h] as f64 > HOT_HOME_SKEW * mean)
-        .map(|h| Finding {
+    let homing: Vec<usize> = (0..hosts).filter(|&h| homed[h] > 0).collect();
+    let mut out: Vec<Finding> = if homing.len() >= 2 {
+        let mean = total as f64 / homing.len() as f64;
+        homing
+            .iter()
+            .copied()
+            .filter(|&h| load[h] >= HOT_HOME_MIN_LOAD && load[h] as f64 > HOT_HOME_SKEW * mean)
+            .map(|h| Finding {
+                detector: "hot-home",
+                mp: hottest[h].map_or(NO_MP, |(_, mp)| mp),
+                host: h as u16,
+                score: load[h],
+                evidence: format!(
+                    "home h{h} serves {} of {total} remote faults across {} minipages \
+                     ({:.1}x the mean load of the {} homing hosts); hottest minipage mp{}",
+                    load[h],
+                    homed[h],
+                    load[h] as f64 / mean.max(1.0),
+                    homing.len(),
+                    hottest[h].map_or(NO_MP, |(_, mp)| mp),
+                ),
+            })
+            .collect()
+    } else if let Some(&h) = homing.first() {
+        // Single homing host: flag it only when one minipage concentrates
+        // the load (the thing home migration or a split could fix), never
+        // merely for being the only home.
+        let active = minipages
+            .iter()
+            .filter(|d| d.home as usize == h && remote_faults(d) > 0)
+            .count();
+        let mean_mp = total as f64 / active.max(1) as f64;
+        let hot = hottest[h].filter(|&(f, _)| {
+            active >= 2 && f >= HOT_HOME_MIN_LOAD && f as f64 > HOT_HOME_SKEW * mean_mp
+        });
+        hot.map(|(f, mp)| Finding {
             detector: "hot-home",
-            mp: hottest[h].map_or(NO_MP, |(_, mp)| mp),
+            mp,
             host: h as u16,
             score: load[h],
             evidence: format!(
-                "home h{h} serves {} of {total} total faults across {} minipages \
-                 ({:.1}x the mean per-host load); hottest minipage mp{}",
-                load[h],
-                homed[h],
-                load[h] as f64 / mean.max(1.0),
-                hottest[h].map_or(NO_MP, |(_, mp)| mp),
+                "sole home h{h} serves all {total} remote faults; minipage mp{mp} draws {f} \
+                 ({:.1}x the mean per-minipage load across {active} active minipages)",
+                f as f64 / mean_mp.max(1.0),
             ),
         })
-        .collect();
+        .into_iter()
+        .collect()
+    } else {
+        Vec::new()
+    };
     out.sort_by_key(|f| (std::cmp::Reverse(f.score), f.host));
     out
 }
@@ -767,16 +977,22 @@ impl DiagReport {
                 .per_host
                 .iter()
                 .filter(|l| {
-                    l.read_faults + l.write_faults + l.inv_recv > 0 || l.write_extent.is_some()
+                    l.read_faults + l.write_faults + l.inv_recv > 0 || !l.write_extents.is_empty()
                 })
                 .map(|l| {
-                    let ext = l
-                        .write_extent
-                        .map_or("null".into(), |(s, e)| format!("[{s},{e}]"));
+                    let exts: Vec<String> = l
+                        .write_extents
+                        .iter()
+                        .map(|&(s, e)| format!("[{s},{e}]"))
+                        .collect();
                     format!(
                         "{{\"host\":{},\"read_faults\":{},\"write_faults\":{},\
-                         \"inv_recv\":{},\"write_extent\":{ext}}}",
-                        l.host, l.read_faults, l.write_faults, l.inv_recv
+                         \"inv_recv\":{},\"write_extents\":[{}]}}",
+                        l.host,
+                        l.read_faults,
+                        l.write_faults,
+                        l.inv_recv,
+                        exts.join(",")
                     )
                 })
                 .collect();
@@ -876,7 +1092,7 @@ mod tests {
             read_faults: reads,
             write_faults: writes,
             inv_recv: 0,
-            write_extent: ext,
+            write_extents: ext.into_iter().collect(),
         }
     }
 
@@ -908,11 +1124,54 @@ mod tests {
         t.writer(3, 0);
         assert_eq!(t.host_lane(3, 0, L_READ), 1);
         assert_eq!(t.host_lane(3, 1, L_WRITE), 1);
-        assert_eq!(t.host_lane(3, 1, L_WMIN), 8);
-        assert_eq!(t.host_lane(3, 1, L_WMAX), 12);
+        assert_eq!(t.host_extents(3, 1), vec![(8, 12)]);
         assert_eq!(t.host_lane(3, 0, L_INV), 1);
         assert_eq!(t.slot_lane(3, S_INV_SENT), 2);
         assert_eq!(t.slot_lane(3, S_ALTERNATIONS), 2);
+    }
+
+    /// Two distant write ranges from one host must stay two extents, not
+    /// collapse into one hull; nearby writes merge into the existing
+    /// extent; a third disjoint range widens the nearest slot only.
+    #[test]
+    fn extent_slots_keep_disjoint_ranges_distinct() {
+        let t = DiagTable::new(2);
+        t.write_extent(0, 0, 0, 8);
+        t.write_extent(0, 0, 48, 8);
+        assert_eq!(t.host_extents(0, 0), vec![(0, 8), (48, 56)]);
+        // Touching range merges rather than widening across the gap.
+        t.write_extent(0, 0, 8, 4);
+        assert_eq!(t.host_extents(0, 0), vec![(0, 12), (48, 56)]);
+        // Both slots full: a third range widens the nearest extent.
+        t.write_extent(0, 0, 40, 2);
+        assert_eq!(t.host_extents(0, 0), vec![(0, 12), (40, 56)]);
+    }
+
+    #[test]
+    fn reset_slot_restores_initial_state() {
+        let t = DiagTable::new(2);
+        t.read_fault(5, 0);
+        t.write_fault(5, 1, 8, 4);
+        t.inv_recv(5, 0);
+        t.inv_sent(5, 3);
+        t.diff_bytes(5, 7);
+        t.writer(5, 0);
+        t.writer(5, 1);
+        t.reset_slot(5);
+        for h in 0..2 {
+            assert_eq!(t.host_lane(5, h, L_READ), 0);
+            assert_eq!(t.host_lane(5, h, L_WRITE), 0);
+            assert_eq!(t.host_lane(5, h, L_INV), 0);
+            assert!(t.host_extents(5, h).is_empty());
+        }
+        assert_eq!(t.slot_lane(5, S_INV_SENT), 0);
+        assert_eq!(t.slot_lane(5, S_DIFF_BYTES), 0);
+        assert_eq!(t.slot_lane(5, S_ALTERNATIONS), 0);
+        assert_eq!(t.slot_lane(5, S_LAST_WRITER), NO_WRITER);
+        // The first post-reset writer records no phantom alternation
+        // against the pre-reset writer.
+        t.writer(5, 0);
+        assert_eq!(t.slot_lane(5, S_ALTERNATIONS), 0);
     }
 
     #[test]
@@ -960,6 +1219,66 @@ mod tests {
         assert_eq!(f[0].mp, 0);
     }
 
+    /// A host writing two distant ranges whose *hull* would swallow the
+    /// other host's range is still false sharing when the actual extents
+    /// are disjoint — the case the old min/max widening suppressed.
+    #[test]
+    fn false_sharing_survives_a_two_range_writer() {
+        let mut straddled = mp(0, 0, 8, vec![lane(1, 0, 4, Some((24, 40)))]);
+        straddled.per_host.push(HostLane {
+            host: 0,
+            read_faults: 0,
+            write_faults: 4,
+            inv_recv: 0,
+            write_extents: vec![(0, 16), (48, 64)],
+        });
+        let f = detect_false_sharing(&[straddled]);
+        assert_eq!(f.len(), 1, "two-range writer suppressed the finding");
+        // But a genuine overlap with either range still disqualifies.
+        let mut overlapping = mp(1, 0, 8, vec![lane(1, 0, 4, Some((8, 40)))]);
+        overlapping.per_host.push(HostLane {
+            host: 0,
+            read_faults: 0,
+            write_faults: 4,
+            inv_recv: 0,
+            write_extents: vec![(0, 16), (48, 64)],
+        });
+        assert!(detect_false_sharing(&[overlapping]).is_empty());
+    }
+
+    /// Centralized layouts under uniform load must not be flagged merely
+    /// because one host homes everything (the old all-hosts mean let the
+    /// sole home trivially exceed the skew threshold).
+    #[test]
+    fn hot_home_ignores_uniform_centralized_load() {
+        for hosts in [1usize, 8] {
+            let mps: Vec<MinipageDiag> = (0..8)
+                .map(|i| {
+                    mp(
+                        i,
+                        0,
+                        0,
+                        vec![lane((i as usize % hosts) as u16, 10, 0, None)],
+                    )
+                })
+                .collect();
+            let f = detect_hot_home(&mps, hosts);
+            assert!(f.is_empty(), "{hosts} hosts, uniform load: {f:?}");
+        }
+    }
+
+    /// A sole home *is* flagged when one minipage concentrates the load —
+    /// the case migration or a split can actually fix.
+    #[test]
+    fn hot_home_flags_concentration_at_a_sole_home() {
+        let mut mps = vec![mp(0, 0, 0, vec![lane(1, 100, 0, None)])];
+        mps.extend((1..5).map(|i| mp(i, 0, 0, vec![lane(1, 5, 0, None)])));
+        let f = detect_hot_home(&mps, 4);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].host, 0);
+        assert_eq!(f[0].mp, 0);
+    }
+
     #[test]
     fn hot_home_flags_the_skewed_host() {
         let mps = vec![
@@ -971,6 +1290,26 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].host, 1);
         assert_eq!(f[0].mp, 0);
+    }
+
+    /// Noise-level traffic never makes a hot home, however skewed the
+    /// ratio: after a migration drains the planted load, the handful of
+    /// cold-start faults left at the old home must not become a fresh
+    /// finding for the adaptation engine to chase.
+    #[test]
+    fn hot_home_needs_minimum_load_not_just_skew() {
+        // Two homes, 3 faults vs 0: a 2x skew on 3 total faults.
+        let mps = vec![
+            mp(0, 0, 0, vec![lane(1, 3, 0, None)]),
+            mp(1, 1, 0, vec![lane(1, 0, 0, None)]),
+        ];
+        assert!(detect_hot_home(&mps, 4).is_empty());
+        // Same shape at real load is flagged.
+        let mps = vec![
+            mp(0, 0, 0, vec![lane(1, 30, 0, None)]),
+            mp(1, 1, 0, vec![lane(1, 0, 0, None)]),
+        ];
+        assert_eq!(detect_hot_home(&mps, 4).len(), 1);
     }
 
     #[test]

@@ -156,6 +156,14 @@ impl Directory {
         e.queue.pop_front()
     }
 
+    /// Drops the entry for `id` (adaptation: the minipage was retired or
+    /// re-homed, so this shard's slice no longer tracks it). The next
+    /// touch — here for a split child, at the new home after a migration
+    /// — rematerializes the fresh at-home state.
+    pub fn forget(&mut self, id: usize) -> Option<DirectoryEntry> {
+        self.entries.remove(&id)
+    }
+
     /// Competing requests observed at this shard (Figure 7's metric).
     pub fn competing_requests(&self) -> u64 {
         self.competing

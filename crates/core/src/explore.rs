@@ -231,6 +231,62 @@ fn explore_inner(
     }
 }
 
+/// Result of an adaptation-point sweep ([`explore_adapt_points`]).
+#[derive(Debug)]
+pub struct AdaptSweepOutcome {
+    /// Start barriers actually explored (the sweep stops at the first
+    /// violating point).
+    pub points_run: Vec<u64>,
+    /// The violating point and its shrunk reproducer, if any.
+    pub finding: Option<(u64, MinimizedRepro)>,
+}
+
+impl AdaptSweepOutcome {
+    /// True when every adaptation point passed every oracle.
+    pub fn is_clean(&self) -> bool {
+        self.finding.is_none()
+    }
+}
+
+/// Sweeps *adaptation points*: re-runs the exploration with the
+/// adaptation engine armed at each start barrier in `points`, splitting
+/// `opts.schedules` evenly across the points. Split/merge/migration then
+/// fire at a different moment of the execution in every arm, and each
+/// arm holds the full oracle stack — the protocol invariants must
+/// survive the actions no matter which barrier triggers them. `base`'s
+/// other adaptation knobs (action gates, budget) are explored as
+/// configured; only `enabled` and `start_barrier` are overridden.
+pub fn explore_adapt_points(
+    base: &ClusterConfig,
+    runner: impl Fn(ClusterConfig) -> RunReport,
+    opts: &ExploreOpts,
+    points: &[u64],
+) -> AdaptSweepOutcome {
+    let _quiet = QuietPanics::install();
+    let per_point = ExploreOpts {
+        schedules: opts.schedules.div_ceil(points.len().max(1)).max(1),
+        ..opts.clone()
+    };
+    let mut points_run = Vec::new();
+    for &p in points {
+        let mut cfg = base.clone();
+        cfg.adapt.enabled = true;
+        cfg.adapt.start_barrier = p;
+        let o = explore_inner(&cfg, &runner, &per_point);
+        points_run.push(p);
+        if let Some(f) = o.finding {
+            return AdaptSweepOutcome {
+                points_run,
+                finding: Some((p, f)),
+            };
+        }
+    }
+    AdaptSweepOutcome {
+        points_run,
+        finding: None,
+    }
+}
+
 /// Replays `repro.choices` against `base` and returns the violations the
 /// replay produces (empty = the reproducer no longer fails, e.g. on fixed
 /// code). Panic hook handling matches [`explore`].

@@ -19,6 +19,8 @@ use multiview::{Minipage, MinipageId, SharedMpt};
 use parking_lot::RwLock;
 use sim_core::HostId;
 use sim_mem::{Geometry, VAddr};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Chooses the home host of each freshly allocated minipage.
 ///
@@ -122,6 +124,15 @@ pub struct HomeTable {
     geo: Geometry,
     mpt: SharedMpt,
     homes: RwLock<Vec<HostId>>,
+    /// Migratory overrides layered over the policy assignment: minipages
+    /// whose home was moved (or pinned at publish time) by the adaptation
+    /// engine. Consulted only when `epoch != 0`, so un-adapted runs keep
+    /// the original lookup cost and the Centralized fast path.
+    overrides: RwLock<HashMap<u32, HostId>>,
+    /// Home-map version: 0 until the first migration/pin, bumped on each.
+    /// A request served under an older epoch may reach a stale home; the
+    /// stale shard forwards it to the current home rather than serving it.
+    epoch: AtomicU64,
 }
 
 impl HomeTable {
@@ -136,6 +147,8 @@ impl HomeTable {
             geo,
             mpt: SharedMpt::new(),
             homes: RwLock::new(Vec::new()),
+            overrides: RwLock::new(HashMap::new()),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -180,21 +193,69 @@ impl HomeTable {
         home
     }
 
-    /// The home host of a minipage.
+    /// The home host of a minipage. Migratory overrides win over the
+    /// policy assignment; the override map is only consulted once a
+    /// migration has actually happened (`epoch != 0`).
     pub fn home(&self, id: MinipageId) -> HostId {
+        if self.epoch.load(Ordering::Acquire) != 0 {
+            if let Some(&h) = self.overrides.read().get(&id.0) {
+                return h;
+            }
+        }
         if self.kind == HomePolicyKind::Centralized {
             return self.manager;
         }
         self.homes.read()[id.index()]
     }
 
+    /// The home-map version: 0 until the first migration, bumped on each.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Moves `id`'s home to `to`, bumping the epoch. Returns the new
+    /// epoch. The caller (the adaptation engine, at a quiesce point) is
+    /// responsible for moving the directory entry and master copy; the
+    /// table only redirects future routing. Requests already in flight to
+    /// the old home are *forwarded* by the stale shard under the new
+    /// epoch, so no window is served from stale directory state.
+    pub(crate) fn migrate(&self, id: MinipageId, to: HostId) -> u64 {
+        assert!(to.index() < self.hosts, "migrating to an absent host");
+        self.overrides.write().insert(id.0, to);
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Registers a minipage at an explicit, pre-decided home — how split
+    /// children and merged minipages inherit the retired entry's home
+    /// under *any* policy. Counts as a migration when the pinned home
+    /// differs from what the policy would have assigned.
+    pub(crate) fn publish_at(&self, mp: Minipage, home: HostId) {
+        assert!(home.index() < self.hosts, "pinning to an absent host");
+        {
+            let mut homes = self.homes.write();
+            assert_eq!(
+                homes.len(),
+                mp.id.index(),
+                "homes are assigned in dense id order"
+            );
+            homes.push(home);
+        }
+        if self.kind == HomePolicyKind::Centralized && home != self.manager {
+            // The Centralized fast path never reads `homes`; route the
+            // pinned minipage through the override layer instead.
+            self.overrides.write().insert(mp.id.0, home);
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
     /// Routes a faulting address to its home shard. Returns the home and
     /// whether a local MPT lookup was needed (callers charge the
     /// `mpt_lookup` cost for it); the centralized fast path routes
     /// straight to the manager with no lookup, exactly like the original
-    /// protocol.
+    /// protocol — until the first migration, after which even Centralized
+    /// must translate to consult the override layer.
     pub fn route(&self, addr: VAddr) -> (HostId, bool) {
-        if self.kind == HomePolicyKind::Centralized {
+        if self.kind == HomePolicyKind::Centralized && self.epoch.load(Ordering::Acquire) == 0 {
             return (self.manager, false);
         }
         let mp = self
@@ -269,5 +330,58 @@ mod tests {
         let (home, looked_up) = table.route(geo.addr_of(0, 0, 0));
         assert_eq!(home, HostId(0));
         assert!(!looked_up);
+    }
+
+    fn mp_at(geo: &Geometry, id: u32, view: usize, page: usize) -> Minipage {
+        Minipage {
+            id: MinipageId(id),
+            base: geo.addr_of(view, page, 0),
+            len: 64,
+            view,
+            first_page: page,
+            offset: 0,
+        }
+    }
+
+    /// Migration overrides win over every policy, bump the epoch, and —
+    /// under Centralized — force routing through the translate path so the
+    /// override layer is actually consulted.
+    #[test]
+    fn migration_overrides_every_policy() {
+        for kind in [
+            HomePolicyKind::Centralized,
+            HomePolicyKind::Interleaved,
+            HomePolicyKind::FirstTouch,
+        ] {
+            let geo = Geometry::new(8, 4);
+            let table = HomeTable::new(kind, 4, HostId(0), geo.clone());
+            table.publish(mp_at(&geo, 0, 0, 0), HostId(0));
+            assert_eq!(table.epoch(), 0);
+            let before = table.home(MinipageId(0));
+            let to = HostId((before.index() as u16 + 1) % 4);
+            assert_eq!(table.migrate(MinipageId(0), to), 1);
+            assert_eq!(table.home(MinipageId(0)), to, "{kind:?}");
+            assert_eq!(table.epoch(), 1);
+            let (routed, looked_up) = table.route(geo.addr_of(0, 0, 7));
+            assert_eq!(routed, to, "{kind:?}: route ignored the override");
+            assert!(looked_up, "{kind:?}: post-migration route must translate");
+        }
+    }
+
+    /// Pinned publication (split children inheriting the parent's home)
+    /// sticks under any policy, including the Centralized fast path.
+    #[test]
+    fn publish_at_pins_the_home() {
+        for kind in [
+            HomePolicyKind::Centralized,
+            HomePolicyKind::Interleaved,
+            HomePolicyKind::FirstTouch,
+        ] {
+            let geo = Geometry::new(8, 4);
+            let table = HomeTable::new(kind, 4, HostId(0), geo.clone());
+            table.publish(mp_at(&geo, 0, 0, 0), HostId(0));
+            table.publish_at(mp_at(&geo, 1, 1, 0), HostId(3));
+            assert_eq!(table.home(MinipageId(1)), HostId(3), "{kind:?}");
+        }
     }
 }

@@ -547,11 +547,18 @@ impl HostCtx {
             self.tlb.evict(e.vpage());
         }
         let page = self.state.space.geometry().page_size();
+        let remap = self.home.mpt().adapt_gen() != 0;
         let mut off = 0usize;
         while off < buf.len() {
-            let seg_addr = addr.add(off);
+            let mut seg_addr = addr.add(off);
             let into_page = (seg_addr.0 % page as u64) as usize;
-            let take = (page - into_page).min(buf.len() - off);
+            let mut take = (page - into_page).min(buf.len() - off);
+            if remap {
+                if let Some((a, cap)) = self.remap_segment(seg_addr) {
+                    seg_addr = a;
+                    take = take.min(cap);
+                }
+            }
             let dst = &mut buf[off..off + take];
             self.checked(seg_addr, take, Access::Read, |space| {
                 space.read(seg_addr, dst)
@@ -571,11 +578,18 @@ impl HostCtx {
             self.tlb.evict(e.vpage());
         }
         let page = self.state.space.geometry().page_size();
+        let remap = self.home.mpt().adapt_gen() != 0;
         let mut off = 0usize;
         while off < data.len() {
-            let seg_addr = addr.add(off);
+            let mut seg_addr = addr.add(off);
             let into_page = (seg_addr.0 % page as u64) as usize;
-            let take = (page - into_page).min(data.len() - off);
+            let mut take = (page - into_page).min(data.len() - off);
+            if remap {
+                if let Some((a, cap)) = self.remap_segment(seg_addr) {
+                    seg_addr = a;
+                    take = take.min(cap);
+                }
+            }
             let src = &data[off..off + take];
             self.checked(seg_addr, take, Access::Write, |space| {
                 space.write(seg_addr, src)
@@ -583,6 +597,23 @@ impl HostCtx {
             self.tlb_refill(seg_addr);
             off += take;
         }
+    }
+
+    /// After an adaptation action rewrote the MPT, application pointers
+    /// may still name a retired view (its vpages are permanently
+    /// NoAccess). Resolves `addr` through the redirect overlay to the
+    /// active minipage covering the same physical byte and returns the
+    /// rebased address in that minipage's view plus the bytes remaining
+    /// to its end. Offsets within a page are identical across views, so
+    /// the caller's page-boundary arithmetic stays valid; only the
+    /// minipage-end cap is new.
+    fn remap_segment(&self, addr: VAddr) -> Option<(VAddr, usize)> {
+        let mp = self.home.translate(addr)?;
+        let geo = self.state.space.geometry();
+        let loc = geo.decode(addr)?;
+        let byte = loc.page * geo.page_size() + loc.offset;
+        let into = byte - mp.phys_range(geo.page_size()).start;
+        Some((mp.base.add(into), mp.len - into))
     }
 
     /// Caches the vpage resolution of a segment that just completed on

@@ -93,6 +93,8 @@ fn kind_to_u8(k: MsgKind) -> u8 {
         RcDiffAck => 19,
         Nack => 20,
         Shutdown => 21,
+        AdaptApply => 22,
+        AdaptAck => 23,
     }
 }
 
@@ -121,6 +123,8 @@ fn kind_from_u8(b: u8) -> Option<MsgKind> {
         19 => RcDiffAck,
         20 => Nack,
         21 => Shutdown,
+        22 => AdaptApply,
+        23 => AdaptAck,
         _ => return None,
     })
 }
@@ -590,6 +594,8 @@ struct HostServerOutcome {
     /// Invalidations applied on this host (protocol counter, matches the
     /// sim's `invalidations_received`).
     invalidations: u64,
+    /// Adaptation actions this host's shard applied.
+    adapt: crate::adapt::AdaptReport,
 }
 
 /// One host's DSM server: the real-thread analogue of
@@ -642,7 +648,9 @@ fn host_server_loop(
             | MsgKind::LockAcquire
             | MsgKind::LockRelease
             | MsgKind::PushRequest
-            | MsgKind::RcDiff => shard.handle(m, &mut clock, &ep),
+            | MsgKind::RcDiff
+            | MsgKind::AdaptApply
+            | MsgKind::AdaptAck => shard.handle(m, &mut clock, &ep),
             MsgKind::ServeRead => server::serve_read(m, &mem, me, &cost, &mut clock, &ep, &mut rec),
             MsgKind::ServeWrite => {
                 server::serve_write(m, &mem, me, &cost, &mut clock, &ep, &mut rec)
@@ -714,6 +722,7 @@ fn host_server_loop(
     HostServerOutcome {
         errors,
         invalidations,
+        adapt: shard.adapt_report().clone(),
     }
 }
 
@@ -865,6 +874,12 @@ pub struct HostRunConfig {
     /// counters the simulator records, taken from the real fault and
     /// invalidation paths. Off by default.
     pub diag: bool,
+    /// Online adaptation (see [`crate::adapt`]). The real-memory backend
+    /// applies *home migration* only: applications hold raw pointers into
+    /// their view, so the granularity rewrites (split/merge, which move
+    /// minipages to fresh views) are force-disabled here regardless of
+    /// what this config allows.
+    pub adapt: crate::adapt::AdaptConfig,
 }
 
 impl Default for HostRunConfig {
@@ -874,6 +889,7 @@ impl Default for HostRunConfig {
             views: 4,
             pages: 64,
             diag: false,
+            adapt: crate::adapt::AdaptConfig::default(),
         }
     }
 }
@@ -897,6 +913,9 @@ pub struct HostRunReport {
     pub errors: Vec<String>,
     /// Sharing diagnostics; `None` unless [`HostRunConfig::diag`] was set.
     pub diag: Option<DiagReport>,
+    /// Adaptation actions (merged across shards); `None` unless
+    /// [`HostRunConfig::adapt`] was enabled.
+    pub adapt: Option<crate::adapt::AdaptReport>,
 }
 
 impl HostRunReport {
@@ -977,6 +996,13 @@ where
                 Arc::clone(&cluster),
                 tracer.recorder(HostId(h as u16), Track::Shard),
                 diag_sink.clone(),
+                crate::adapt::AdaptConfig {
+                    // Raw application pointers: granularity rewrites are
+                    // sim-only. Migration is safe — addresses are stable.
+                    allow_split: false,
+                    allow_merge: false,
+                    ..cfg.adapt.clone()
+                },
             ))
         })
         .collect();
@@ -1119,17 +1145,31 @@ where
         (outcomes, wall, compute_ns)
     });
 
+    let adapt = cfg.adapt.enabled.then(|| {
+        let mut merged = crate::adapt::AdaptReport::default();
+        for o in &outcomes {
+            merged.absorb(o.adapt.clone());
+        }
+        merged
+    });
+    let mut errors: Vec<String> = outcomes.iter().flat_map(|o| o.errors.clone()).collect();
+    // Same post-run geometry oracle the sim backend applies after any
+    // adaptation action.
+    if home.mpt().adapt_gen() != 0 {
+        errors.extend(home.mpt().geometry_violations(&geo));
+    }
     Ok(HostRunReport {
         read_faults: counters.iter().map(|c| c.read_faults()).collect(),
         write_faults: counters.iter().map(|c| c.write_faults()).collect(),
         invalidations: outcomes.iter().map(|o| o.invalidations).collect(),
         wall,
         compute_ns,
-        errors: outcomes.into_iter().flat_map(|o| o.errors).collect(),
+        errors,
         diag: diag_table.map(|t| {
             let minipages = home.mpt().snapshot();
             let links = t.link_stats();
             build_report(&t, &minipages, &geo, &home, links)
         }),
+        adapt,
     })
 }

@@ -23,6 +23,7 @@
 //! home-based eager release-consistency mode ([`hlrc`]) used for the
 //! SC-vs-relaxed ablation.
 
+pub mod adapt;
 pub mod audit;
 mod backend;
 mod cluster;
@@ -44,6 +45,7 @@ mod server;
 mod shared;
 mod stats;
 
+pub use adapt::{AdaptAction, AdaptConfig, AdaptEvent, AdaptReport};
 pub use backend::{AccessKind, MemFault, MemoryBackend, PageProt, ProtoClock, Transport};
 pub use cluster::{run, ClusterConfig, SetupCtx};
 pub use diag::{trace_counts, DiagReport, DiagSink, DiagTable, Finding, LinkStat, MinipageDiag};
@@ -63,7 +65,10 @@ pub use stats::{HostReport, NetFaultStats, RunReport, ShardStats};
 
 pub use audit::{audit, AuditMode};
 
-pub use explore::{explore, replay_repro, ExploreOpts, ExploreOutcome, MinimizedRepro};
+pub use explore::{
+    explore, explore_adapt_points, replay_repro, AdaptSweepOutcome, ExploreOpts, ExploreOutcome,
+    MinimizedRepro,
+};
 pub use sim_core::sched::{SchedMode, SchedPolicy};
 
 // Re-exports the applications and harnesses keep reaching for.

@@ -20,6 +20,7 @@
 //! state. Under the `Centralized` policy every minipage is homed at the
 //! manager host and the protocol is bit-for-bit the paper's original.
 
+use crate::adapt::{AdaptAction, AdaptConfig, AdaptEngine, AdaptReport};
 use crate::backend::{ClusterMemory, PageProt, ProtoClock, Transport};
 use crate::diag::DiagSink;
 use crate::diff::Diff;
@@ -92,6 +93,13 @@ pub struct ManagerShard {
     /// Invalidation round-trips observed at this shard: fan-out to last
     /// reply, per completed round.
     inv_rt: LogHistogram,
+    /// Online adaptation engine: plans at barrier quiesce points (on the
+    /// shard that collects the barrier quorum) and records every action
+    /// this shard applies.
+    adapt: AdaptEngine,
+    /// Barrier waiters parked while remotely homed adaptation actions are
+    /// outstanding: `(parked releases, acks still expected)`.
+    adapt_pending: Option<(Vec<Pmsg>, usize)>,
 }
 
 impl ManagerShard {
@@ -108,6 +116,7 @@ impl ManagerShard {
         cluster: Arc<dyn ClusterMemory>,
         trace: TraceRecorder,
         diag: DiagSink,
+        adapt: AdaptConfig,
     ) -> Self {
         Self {
             me,
@@ -125,6 +134,8 @@ impl ManagerShard {
             trace,
             diag,
             inv_rt: LogHistogram::new(),
+            adapt: AdaptEngine::new(adapt),
+            adapt_pending: None,
         }
     }
 
@@ -166,6 +177,12 @@ impl ManagerShard {
     /// Read-only directory access (tests, validation).
     pub fn directory(&self) -> &Directory {
         &self.dir
+    }
+
+    /// Adaptation actions this shard applied (merged cluster-wide into
+    /// [`RunReport::adapt`](crate::RunReport)).
+    pub fn adapt_report(&self) -> &AdaptReport {
+        self.adapt.report()
     }
 
     /// Allocates shared memory and initializes its directory state: each
@@ -281,6 +298,8 @@ impl ManagerShard {
             MsgKind::LockRelease => self.handle_lock_release(m, tl, ep),
             MsgKind::PushRequest => self.handle_push(m, tl, ep),
             MsgKind::RcDiff => self.handle_rc_diff(m, tl, ep),
+            MsgKind::AdaptApply => self.handle_adapt_apply(m, tl, ep),
+            MsgKind::AdaptAck => self.handle_adapt_ack(m, tl, ep),
             other => Err(ProtocolError::Unroutable {
                 host: self.me,
                 kind: other.name(),
@@ -289,12 +308,16 @@ impl ManagerShard {
     }
 
     /// Figure 3 `Translate`: fills the translation fields from the MPT
-    /// replica.
-    fn translate<C: ProtoClock>(
+    /// replica. Returns `None` after forwarding a stale-homed request:
+    /// the minipage migrated while the message was in flight (the sender
+    /// routed with an older epoch of the home table), so the request is
+    /// re-sent verbatim to the current home and local processing stops.
+    fn translate<C: ProtoClock, T: Transport>(
         &mut self,
         m: &mut Pmsg,
         tl: &mut C,
-    ) -> Result<MinipageId, ProtocolError> {
+        ep: &T,
+    ) -> Result<Option<MinipageId>, ProtocolError> {
         tl.charge(self.cost.mpt_lookup);
         let mp = self
             .home
@@ -308,13 +331,35 @@ impl ManagerShard {
         m.len = mp.len;
         m.priv_base = mp.priv_base(self.home.geometry());
         m.minipage = mp.id;
-        debug_assert_eq!(
-            self.home.home(mp.id),
-            self.me,
-            "{} routed to a shard that does not home it",
-            mp.id
-        );
-        Ok(mp.id)
+        let home = self.home.home(mp.id);
+        if home != self.me {
+            self.forward_stale(mp.id, m.clone(), home, tl, ep)?;
+            return Ok(None);
+        }
+        Ok(Some(mp.id))
+    }
+
+    /// Forwards a request that reached a shard no longer homing its
+    /// minipage. The `AdaptForward` record carries the request's event so
+    /// the auditor can check exactly-once forwarding per request.
+    fn forward_stale<C: ProtoClock, T: Transport>(
+        &mut self,
+        id: MinipageId,
+        m: Pmsg,
+        home: HostId,
+        tl: &mut C,
+        ep: &T,
+    ) -> Result<(), ProtocolError> {
+        let epoch = self.home.epoch();
+        self.trace.emit(tl.now(), TraceKind::AdaptForward, |e| {
+            e.with_mp(id.0)
+                .with_peer(home)
+                .with_event(m.event)
+                .with_aux(epoch.min(u32::MAX as u64) as u32)
+        });
+        let payload = m.payload_bytes();
+        ep.send(home, m, payload, tl.now(), "stale-home forward")?;
+        Ok(())
     }
 
     /// [`Directory::begin_service`] with tracing: `WindowOpen` when the
@@ -352,7 +397,9 @@ impl ManagerShard {
         tl: &mut C,
         ep: &T,
     ) -> Result<(), ProtocolError> {
-        let id = self.translate(&mut m, tl)?;
+        let Some(id) = self.translate(&mut m, tl, ep)? else {
+            return Ok(());
+        };
         if self.consistency == Consistency::HomeEagerRc {
             // The home copy is always current at synchronization points:
             // serve directly, one hop, no service window.
@@ -410,7 +457,9 @@ impl ManagerShard {
                 what: "write request under release consistency",
             });
         }
-        let id = self.translate(&mut m, tl)?;
+        let Some(id) = self.translate(&mut m, tl, ep)? else {
+            return Ok(());
+        };
         if !self.open_window(id, &m, tl.now(), 1) {
             return Ok(());
         }
@@ -538,7 +587,9 @@ impl ManagerShard {
         tl: &mut C,
         ep: &T,
     ) -> Result<(), ProtocolError> {
-        let id = self.translate(&mut m, tl)?;
+        let Some(id) = self.translate(&mut m, tl, ep)? else {
+            return Ok(());
+        };
         let from = m.from;
         self.trace.emit(tl.now(), TraceKind::AckRecv, |e| {
             e.with_mp(id.0).with_peer(from)
@@ -591,18 +642,38 @@ impl ManagerShard {
         self.barrier_waiters.push(m);
         if self.barrier_waiters.len() == self.barrier_quorum {
             tl.charge(self.cost.barrier_base);
-            let waiters = std::mem::take(&mut self.barrier_waiters);
-            for w in waiters {
-                tl.charge(self.cost.barrier_per_host);
-                let mut rel = Pmsg::new(MsgKind::BarrierRelease, self.me, w.event);
-                rel.addr = w.addr;
-                self.trace
-                    .emit(tl.now(), TraceKind::BarrierReleaseSend, |e| {
-                        e.with_peer(w.from).with_event(w.event)
-                    });
-                ep.send(w.from, rel, 0, tl.now(), "barrier release")?;
-            }
             self.stats.barriers += 1;
+            let waiters = std::mem::take(&mut self.barrier_waiters);
+            // The quiesce point: every application thread is parked here,
+            // so the adaptation engine may rewrite granularity and homing
+            // before the releases go out. Remotely homed actions park the
+            // releases until their acks arrive.
+            let outstanding = self.run_adaptation(tl, ep)?;
+            if outstanding > 0 {
+                self.adapt_pending = Some((waiters, outstanding));
+            } else {
+                self.release_barrier(waiters, tl, ep)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends the parked barrier releases.
+    fn release_barrier<C: ProtoClock, T: Transport>(
+        &mut self,
+        waiters: Vec<Pmsg>,
+        tl: &mut C,
+        ep: &T,
+    ) -> Result<(), ProtocolError> {
+        for w in waiters {
+            tl.charge(self.cost.barrier_per_host);
+            let mut rel = Pmsg::new(MsgKind::BarrierRelease, self.me, w.event);
+            rel.addr = w.addr;
+            self.trace
+                .emit(tl.now(), TraceKind::BarrierReleaseSend, |e| {
+                    e.with_peer(w.from).with_event(w.event)
+                });
+            ep.send(w.from, rel, 0, tl.now(), "barrier release")?;
         }
         Ok(())
     }
@@ -665,7 +736,9 @@ impl ManagerShard {
         tl: &mut C,
         ep: &T,
     ) -> Result<(), ProtocolError> {
-        let id = self.translate(&mut m, tl)?;
+        let Some(id) = self.translate(&mut m, tl, ep)? else {
+            return Ok(());
+        };
         if !self.open_window(id, &m, tl.now(), 2) {
             return Ok(()); // Queued behind an in-flight transfer.
         }
@@ -725,6 +798,13 @@ impl ManagerShard {
                 host: self.me,
                 what: "RcDiff under the SW/MR protocol",
             });
+        }
+        // A diff routed with a pre-migration home table lands at the old
+        // home; forward it to the current one.
+        let home = self.home.home(m.minipage);
+        if home != self.me {
+            let id = m.minipage;
+            return self.forward_stale(id, m, home, tl, ep);
         }
         let acked = m.event != 0;
         if acked && !self.open_window(m.minipage, &m, tl.now(), 3) {
@@ -794,6 +874,351 @@ impl ManagerShard {
             }
         }
         Ok(())
+    }
+}
+
+impl ManagerShard {
+    /// The barrier-quiesce adaptation hook. Plans from a fresh
+    /// diagnostics snapshot; applies locally homed actions directly and
+    /// ships remotely homed ones as [`MsgKind::AdaptApply`]. Returns the
+    /// number of remote applications whose acks the caller must await
+    /// before releasing the barrier.
+    fn run_adaptation<C: ProtoClock, T: Transport>(
+        &mut self,
+        tl: &mut C,
+        ep: &T,
+    ) -> Result<usize, ProtocolError> {
+        let barrier = self.adapt.note_barrier();
+        if !self.adapt.should_act(barrier) {
+            return Ok(0);
+        }
+        let Some(table) = self.diag.table().cloned() else {
+            return Ok(0); // No diagnostics, nothing to plan from.
+        };
+        let geo = self.home.geometry().clone();
+        let active = self.home.mpt().snapshot_active();
+        let report = crate::diag::build_report(&table, &active, &geo, &self.home, Vec::new());
+        let actions = self.adapt.plan(&report, &active, geo.page_size());
+        let mut outstanding = 0usize;
+        for a in actions {
+            let target = self.home.home(a.target());
+            if target == self.me {
+                self.apply_action(&a, barrier, tl)?;
+            } else {
+                let mut msg = Pmsg::new(MsgKind::AdaptApply, self.me, self.adapt.next_event());
+                msg.minipage = a.target();
+                msg.aux = barrier;
+                msg.data = bytes::Bytes::from(a.encode());
+                let payload = msg.payload_bytes();
+                ep.send(target, msg, payload, tl.now(), "adapt apply")?;
+                outstanding += 1;
+            }
+        }
+        Ok(outstanding)
+    }
+
+    /// A remotely planned action arriving at the shard homing its target.
+    /// Any apply failure defers the action (`aux = 0` in the ack) rather
+    /// than stranding the sender's parked barrier.
+    fn handle_adapt_apply<C: ProtoClock, T: Transport>(
+        &mut self,
+        m: Pmsg,
+        tl: &mut C,
+        ep: &T,
+    ) -> Result<(), ProtocolError> {
+        let action = AdaptAction::decode(&m.data).ok_or(ProtocolError::Malformed {
+            host: self.me,
+            what: "undecodable adaptation action",
+        })?;
+        let applied = self.apply_action(&action, m.aux, tl).unwrap_or(false);
+        let ack = Pmsg::new(MsgKind::AdaptAck, self.me, m.event).with_aux(u64::from(applied));
+        ep.send(m.from, ack, 0, tl.now(), "adapt ack")?;
+        Ok(())
+    }
+
+    /// One remote application finished; the last ack releases the parked
+    /// barrier.
+    fn handle_adapt_ack<C: ProtoClock, T: Transport>(
+        &mut self,
+        m: Pmsg,
+        tl: &mut C,
+        ep: &T,
+    ) -> Result<(), ProtocolError> {
+        if m.aux == 0 {
+            self.adapt.record_deferred();
+        }
+        let Some((waiters, left)) = self.adapt_pending.take() else {
+            return Err(ProtocolError::BadState {
+                host: self.me,
+                what: "adapt ack with no parked barrier",
+            });
+        };
+        if left > 1 {
+            self.adapt_pending = Some((waiters, left - 1));
+            Ok(())
+        } else {
+            self.release_barrier(waiters, tl, ep)
+        }
+    }
+
+    /// Whether `id`'s directory entry has protocol state in flight that
+    /// an adaptation action must not race (the quiesce makes this rare,
+    /// but a prefetch issued just before the barrier can still be
+    /// mid-window).
+    fn adapt_busy(&self, id: MinipageId) -> bool {
+        self.dir.entry_ref(id.index()).is_some_and(|e| {
+            e.in_service || e.inv_pending > 0 || e.pending_write.is_some() || !e.queue.is_empty()
+        })
+    }
+
+    /// Ensures this home's physical copy of `mp` is current: under SW/MR
+    /// the latest bytes may live at a remote owner. Control-plane copy —
+    /// no protocol messages, the cluster is quiesced.
+    fn pull_master_copy(&mut self, mp: &Minipage) -> Result<(), ProtocolError> {
+        let pb = mp.priv_base(self.home.geometry());
+        let src = {
+            let e = self.dir.entry(mp.id.index());
+            e.owner.or_else(|| e.find_replica()).unwrap_or(self.me)
+        };
+        if src == self.me {
+            return Ok(());
+        }
+        let data = self
+            .cluster
+            .priv_read(src, pb, mp.len)
+            .map_err(|_| crate::backend::bad_priv(self.me, pb, "adaptation master read"))?;
+        self.cluster
+            .priv_write(self.me, pb, &data)
+            .map_err(|_| crate::backend::bad_priv(self.me, pb, "adaptation master write"))?;
+        Ok(())
+    }
+
+    /// Revokes every host's application-view access to `mp`.
+    fn revoke_everywhere(&self, mp: &Minipage) -> Result<(), ProtocolError> {
+        let geo = self.home.geometry();
+        for h in 0..self.hosts {
+            for vp in mp.vpages(geo) {
+                self.cluster
+                    .set_prot(HostId(h as u16), vp, PageProt::NoAccess)
+                    .map_err(|_| crate::backend::bad_vpage(HostId(h as u16), vp))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one action at the shard homing its target. Returns `false`
+    /// (and records a deferral) when the action cannot apply safely:
+    /// busy directory state, a retired target, exhausted views, or a
+    /// consistency/backend gate. The caller treats errors like deferrals
+    /// where a hang would otherwise result.
+    fn apply_action<C: ProtoClock>(
+        &mut self,
+        a: &AdaptAction,
+        barrier: u64,
+        tl: &mut C,
+    ) -> Result<bool, ProtocolError> {
+        tl.charge(self.cost.mpt_lookup);
+        let geo = self.home.geometry().clone();
+        let ps = geo.page_size();
+        match a {
+            AdaptAction::Split { mp, cuts } => {
+                // Splitting rewrites protections per new vpage; only the
+                // SW/MR protocol's directory state survives that rewrite
+                // as "one writable copy at home".
+                if self.consistency != Consistency::SequentialSwMr
+                    || self.home.mpt().is_retired(*mp)
+                    || self.adapt_busy(*mp)
+                {
+                    self.adapt.record_deferred();
+                    return Ok(false);
+                }
+                let parent = self.home.mpt().get(*mp);
+                let mut bounds = vec![0usize];
+                bounds.extend(cuts.iter().map(|&c| c as usize));
+                bounds.push(parent.len);
+                if bounds.windows(2).any(|w| w[0] >= w[1]) {
+                    self.adapt.record_deferred();
+                    return Ok(false);
+                }
+                // Place each child in a fresh view over the parent's
+                // physical bytes: the data never moves.
+                let phys = parent.phys_range(ps);
+                let next = self.home.mpt().next_id().0;
+                let mut children = Vec::new();
+                let mut used_views = Vec::new();
+                for (k, w) in bounds.windows(2).enumerate() {
+                    let start = phys.start + w[0];
+                    let len = w[1] - w[0];
+                    let (first_page, offset) = (start / ps, start % ps);
+                    let pages = (offset + len).div_ceil(ps);
+                    let view = self
+                        .home
+                        .mpt()
+                        .free_view_for(&geo, first_page, pages, &used_views);
+                    let Some(view) = view else {
+                        self.adapt.record_deferred();
+                        return Ok(false); // View space exhausted: skip.
+                    };
+                    used_views.push(view);
+                    children.push(Minipage {
+                        id: MinipageId(next + k as u32),
+                        base: geo.addr_of(view, first_page, offset),
+                        len,
+                        view,
+                        first_page,
+                        offset,
+                    });
+                }
+                self.pull_master_copy(&parent)?;
+                self.revoke_everywhere(&parent)?;
+                let n = children.len() as u32;
+                let first_child = children[0].id.0;
+                self.home
+                    .mpt()
+                    .retire_and_insert(&geo, &[parent.id], children.clone());
+                for child in &children {
+                    self.home.publish_at(*child, self.me);
+                    for vp in child.vpages(&geo) {
+                        self.cluster
+                            .set_prot(self.me, vp, PageProt::ReadWrite)
+                            .map_err(|_| crate::backend::bad_vpage(self.me, vp))?;
+                    }
+                    self.diag.reset_slot(child.id.0);
+                }
+                self.dir.forget(parent.id.index());
+                self.diag.reset_slot(parent.id.0);
+                self.trace.emit(tl.now(), TraceKind::AdaptSplit, |e| {
+                    e.with_mp(parent.id.0)
+                        .with_aux(n)
+                        .with_event(first_child as u64)
+                });
+                self.adapt.record_split(barrier, parent.id.0, cuts);
+                Ok(true)
+            }
+            AdaptAction::Merge { group } => {
+                if self.consistency != Consistency::SequentialSwMr
+                    || group.len() < 2
+                    || group.iter().any(|&id| self.home.mpt().is_retired(id))
+                    || group.iter().any(|&id| self.adapt_busy(id))
+                {
+                    self.adapt.record_deferred();
+                    return Ok(false);
+                }
+                let mut members: Vec<Minipage> =
+                    group.iter().map(|&id| self.home.mpt().get(id)).collect();
+                members.sort_by_key(|m| m.phys_range(ps).start);
+                let contiguous = members
+                    .windows(2)
+                    .all(|w| w[0].phys_range(ps).end == w[1].phys_range(ps).start);
+                let start = members[0].phys_range(ps).start;
+                let len: usize = members.iter().map(|m| m.len).sum();
+                let (first_page, offset) = (start / ps, start % ps);
+                let pages = (offset + len).div_ceil(ps);
+                let view = self
+                    .home
+                    .mpt()
+                    .free_view_for(&geo, first_page, pages, &[])
+                    .filter(|_| contiguous && first_page + pages <= geo.pages());
+                let Some(view) = view else {
+                    self.adapt.record_deferred();
+                    return Ok(false);
+                };
+                for m in &members {
+                    self.pull_master_copy(m)?;
+                }
+                for m in &members {
+                    self.revoke_everywhere(m)?;
+                }
+                let merged = Minipage {
+                    id: self.home.mpt().next_id(),
+                    base: geo.addr_of(view, first_page, offset),
+                    len,
+                    view,
+                    first_page,
+                    offset,
+                };
+                let old: Vec<MinipageId> = members.iter().map(|m| m.id).collect();
+                self.home.mpt().retire_and_insert(&geo, &old, vec![merged]);
+                self.home.publish_at(merged, self.me);
+                for vp in merged.vpages(&geo) {
+                    self.cluster
+                        .set_prot(self.me, vp, PageProt::ReadWrite)
+                        .map_err(|_| crate::backend::bad_vpage(self.me, vp))?;
+                }
+                for id in &old {
+                    self.dir.forget(id.index());
+                    self.diag.reset_slot(id.0);
+                }
+                self.diag.reset_slot(merged.id.0);
+                // Anti-oscillation: never split the merge result again.
+                self.adapt.forbid_split(merged.id.0);
+                self.trace.emit(tl.now(), TraceKind::AdaptMerge, |e| {
+                    e.with_mp(old[0].0)
+                        .with_aux(old.len() as u32)
+                        .with_event(merged.id.0 as u64)
+                });
+                self.adapt.record_merge(barrier, &old, merged.id.0);
+                Ok(true)
+            }
+            AdaptAction::Migrate { mp, to } => {
+                if *to == self.me
+                    || to.index() >= self.hosts
+                    || self.home.mpt().is_retired(*mp)
+                    || self.adapt_busy(*mp)
+                {
+                    self.adapt.record_deferred();
+                    return Ok(false);
+                }
+                let desc = self.home.mpt().get(*mp);
+                self.pull_master_copy(&desc)?;
+                let pb = desc.priv_base(&geo);
+                let data = self
+                    .cluster
+                    .priv_read(self.me, pb, desc.len)
+                    .map_err(|_| crate::backend::bad_priv(self.me, pb, "migration read"))?;
+                self.revoke_everywhere(&desc)?;
+                self.cluster
+                    .priv_write(*to, pb, &data)
+                    .map_err(|_| crate::backend::bad_priv(*to, pb, "migration write"))?;
+                // The new home starts exactly like a fresh allocation:
+                // writable under SW/MR, read-only (twin-on-write) under
+                // HLRC.
+                let writable = self.consistency == Consistency::SequentialSwMr;
+                let prot = if writable {
+                    PageProt::ReadWrite
+                } else {
+                    PageProt::ReadOnly
+                };
+                for vp in desc.vpages(&geo) {
+                    self.cluster
+                        .set_prot(*to, vp, prot)
+                        .map_err(|_| crate::backend::bad_vpage(*to, vp))?;
+                }
+                if !writable {
+                    self.cluster.learn_rc(
+                        *to,
+                        desc.vpages(&geo),
+                        MpInfo {
+                            id: desc.id,
+                            base: desc.base,
+                            len: desc.len,
+                            priv_base: pb,
+                        },
+                    );
+                }
+                self.dir.forget(mp.index());
+                self.home.migrate(*mp, *to);
+                self.diag.reset_slot(mp.0);
+                let peer = *to;
+                self.trace.emit(tl.now(), TraceKind::AdaptMigrate, |e| {
+                    e.with_mp(mp.0)
+                        .with_peer(peer)
+                        .with_aux(u32::from(writable))
+                });
+                self.adapt.record_migrate(barrier, mp.0, to.0);
+                Ok(true)
+            }
+        }
     }
 }
 

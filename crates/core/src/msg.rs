@@ -64,6 +64,16 @@ pub enum MsgKind {
     /// single manager and must block until its release is globally
     /// visible.
     RcDiffAck,
+    /// Adapting shard → remote home shard: apply an encoded adaptation
+    /// action (home migration of a minipage whose directory entry lives at
+    /// the receiver) at the barrier quiesce point. `minipage` names the
+    /// target, `aux` packs the action (see `core::adapt`), `data` carries
+    /// the master copy when ownership moves.
+    AdaptApply,
+    /// Remote home shard → adapting shard: the action was applied (or
+    /// deferred; `aux` = 1 applied, 0 deferred). The adapting shard holds
+    /// the barrier release until every ack arrived.
+    AdaptAck,
     /// Server → requesting host: the request naming `event` could not be
     /// served (translation failure, lost forward, directory corruption).
     /// The receiving server fails the registered waiter with a typed
@@ -99,6 +109,8 @@ impl MsgKind {
             PushData => "PushData",
             RcDiff => "RcDiff",
             RcDiffAck => "RcDiffAck",
+            AdaptApply => "AdaptApply",
+            AdaptAck => "AdaptAck",
             Nack => "Nack",
             Shutdown => "Shutdown",
         }

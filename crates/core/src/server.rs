@@ -202,7 +202,9 @@ fn dispatch(
     use MsgKind::*;
     match m.kind {
         ReadRequest | WriteRequest | InvalidateReply | Ack | AllocRequest | BarrierEnter
-        | LockAcquire | LockRelease | PushRequest | RcDiff => shard.handle(m, tl, ep),
+        | LockAcquire | LockRelease | PushRequest | RcDiff | AdaptApply | AdaptAck => {
+            shard.handle(m, tl, ep)
+        }
         ServeRead => serve_read(m, &state.space, state.host, cost, tl, ep, rec),
         ServeWrite => serve_write(m, &state.space, state.host, cost, tl, ep, rec),
         InvalidateRequest => handle_invalidate(m, state, cost, consistency, tl, home, ep, rec),

@@ -137,6 +137,9 @@ pub struct RunReport {
     /// Sharing diagnostics; `None` unless the run enabled
     /// [`ClusterConfig::diag`](crate::ClusterConfig).
     pub diag: Option<crate::diag::DiagReport>,
+    /// Online adaptation actions; `None` unless the run enabled
+    /// [`ClusterConfig::adapt`](crate::ClusterConfig).
+    pub adapt: Option<crate::adapt::AdaptReport>,
 }
 
 impl RunReport {
@@ -293,6 +296,9 @@ impl RunReport {
         }
         if let Some(d) = &self.diag {
             push_kv(&mut s, "diag", &d.to_json());
+        }
+        if let Some(a) = &self.adapt {
+            push_kv(&mut s, "adapt", &a.to_json());
         }
         s.push('}');
         s.push('\n');

@@ -61,6 +61,14 @@ impl Minipage {
         geo.addr_of(geo.priv_view(), self.first_page, self.offset)
     }
 
+    /// The physical byte range `[first_page·ps + offset ..+ len)` the
+    /// minipage occupies — its view-independent identity. Two minipages
+    /// alias the same data exactly when their physical ranges intersect.
+    pub fn phys_range(&self, page_size: usize) -> std::ops::Range<usize> {
+        let start = self.first_page * page_size + self.offset;
+        start..start + self.len
+    }
+
     /// Whether `addr` lies inside the minipage (in the minipage's view).
     pub fn contains(&self, geo: &Geometry, addr: VAddr) -> bool {
         match geo.decode(addr) {

@@ -126,6 +126,21 @@ pub enum TraceKind {
     /// virtual-clock inversion the `saturating_sub` would otherwise hide
     /// (`aux` = clamped magnitude in ns, saturated to `u32::MAX`).
     DelayClamped,
+    /// The adaptation engine split minipage `mp` (`aux` = number of
+    /// children; each child follows as its own `AllocGrant`). The retired
+    /// minipage's window must be closed and its copies dropped.
+    AdaptSplit,
+    /// The adaptation engine merged minipage `mp` into a successor
+    /// (`event` = successor id; the merged entry follows as `AllocGrant`).
+    AdaptMerge,
+    /// The adaptation engine migrated minipage `mp`'s home to `peer`
+    /// (`aux` = 1 when the new home holds the copy writable, 0
+    /// read-only).
+    AdaptMigrate,
+    /// A stale home forwarded a request for `mp` to the current home
+    /// `peer` (`event` = the forwarded rendezvous id, `aux` = home-map
+    /// epoch at forward time). Each rendezvous is forwarded at most once.
+    AdaptForward,
 }
 
 /// One virtual-time-stamped protocol event.
@@ -214,7 +229,7 @@ impl TraceEvent {
 pub fn audit_rank(kind: TraceKind) -> u8 {
     use TraceKind::*;
     match kind {
-        AllocGrant => 0,
+        AllocGrant | AdaptSplit | AdaptMerge | AdaptMigrate => 0,
         WindowClose | Downgrade | InvalidateLocal | InvReplyRecv | AckRecv | RcDiffAckSend
         | RcDiffAckRecv | BarrierReleaseSend | LockRelease | ReadFaultEnd | WriteFaultEnd
         | MsgRecv => 1,

@@ -172,6 +172,85 @@ fn planted_home_skew_is_ranked_first() {
     }
 }
 
+/// One host writes two *distant* ranges of a minipage that straddle the
+/// other host's range. The old min/max extent widening collapsed the two
+/// ranges into one hull that swallowed the other host's extent, so the
+/// false-sharing detector saw "overlap" and stayed silent. With bounded
+/// per-range extents the planted pattern must be flagged. The three write
+/// phases are separated by the other host's invalidating write so each
+/// range actually faults (under SW/MR a host only faults on bytes it does
+/// not already own).
+#[test]
+fn planted_two_range_writer_is_still_false_sharing() {
+    for policy in POLICIES {
+        let report = run(
+            cfg(2, policy),
+            |s| s.alloc_vec_init(&[0u32; 16]),
+            |ctx, v| {
+                let me = ctx.host().index();
+                for round in 0..4u32 {
+                    // Phase 1: host 0 writes the low range (bytes 0..8).
+                    if me == 0 {
+                        ctx.write_range(v, 0, &[round; 2]);
+                    }
+                    ctx.barrier();
+                    // Phase 2: host 1 writes the middle (bytes 28..36),
+                    // invalidating host 0's copy.
+                    if me == 1 {
+                        ctx.write_range(v, 7, &[round; 2]);
+                    }
+                    ctx.barrier();
+                    // Phase 3: host 0 writes the high range (bytes 56..64),
+                    // faulting again at a distant offset.
+                    if me == 0 {
+                        ctx.write_range(v, 14, &[round; 2]);
+                    }
+                    ctx.barrier();
+                }
+            },
+        );
+        let diag = report.diag.as_ref().expect("diagnostics enabled");
+        assert!(
+            diag.false_sharing.iter().any(|f| f.mp == 0),
+            "{policy:?}: two-range writer suppressed the false-sharing finding: {:?}",
+            diag.minipages
+        );
+    }
+}
+
+/// Uniform load on a Centralized layout must not produce a hot-home
+/// finding: the old detector averaged the fault load over *all* hosts, so
+/// the sole homing shard trivially exceeded the skew threshold even when
+/// every minipage was equally warm.
+#[test]
+fn uniform_centralized_load_is_not_a_hot_home() {
+    for hosts in [1usize, 8] {
+        let report = run(
+            cfg(hosts, HomePolicyKind::Centralized),
+            |s| {
+                (0..8)
+                    .map(|_| s.alloc_vec_init(&[0u32; 4]))
+                    .collect::<Vec<_>>()
+            },
+            |ctx, mps| {
+                let me = ctx.host().index();
+                for round in 0..4u32 {
+                    // Each host works its own minipage: perfectly uniform,
+                    // nothing for migration or splitting to fix.
+                    ctx.write_range(&mps[me % mps.len()], 0, &[round]);
+                    ctx.barrier();
+                }
+            },
+        );
+        let diag = report.diag.as_ref().expect("diagnostics enabled");
+        assert!(
+            diag.hot_home.is_empty(),
+            "{hosts} hosts: uniform load flagged as hot home: {:?}",
+            diag.hot_home
+        );
+    }
+}
+
 /// The rankings themselves are deterministic: two runs under the same
 /// policy produce identical findings fingerprints (the property `repro
 /// diagnose` relies on to compare its traced and stats-only runs).
