@@ -106,12 +106,12 @@ use millipage::explore::{race_config, race_workload};
 use millipage::{
     audit, explore, replay_repro, run, trace_counts, AdaptConfig, AdaptReport, AllocMode,
     AuditMode, Category, ChromeTrace, ClusterConfig, Consistency, CostModel, DiagReport,
-    ExploreOpts, Finding, HomePolicyKind, MinimizedRepro, Ns, RunReport, SchedMode, SharedCell,
-    TraceKind, Tracer, WireFaults,
+    ExploreOpts, Finding, HomePolicyKind, MinimizedRepro, Ns, ParallelConfig, RunReport, SchedMode,
+    SharedCell, TraceKind, Tracer, WireFaults,
 };
 use millipage_apps::{close, is, lu, sor, tsp, water, AppRun};
 use millipage_bench::scenarios;
-use millipage_bench::{render_table, us, wall};
+use millipage_bench::{render_table, simthru, us, wall};
 use sim_cache::fig5::{point, predicted_break_views, Fig5Config};
 
 fn main() {
@@ -122,14 +122,21 @@ fn main() {
         "table1" => table1(),
         "costs" => costs(),
         "fig5" => fig5(quick),
-        "table2" => match flag_value(&args, "--backend").as_deref() {
-            None | Some("sim") => table2(quick),
-            Some("host") => table2_host(quick),
-            Some(other) => {
-                eprintln!("unknown backend {other:?} (expected sim or host)");
-                std::process::exit(2);
+        "table2" => {
+            let hosts = flag_value(&args, "--hosts")
+                .map(|s| s.parse().unwrap_or_else(|_| panic!("bad --hosts {s:?}")))
+                .unwrap_or(8);
+            let workers = flag_value(&args, "--workers")
+                .map(|s| s.parse().unwrap_or_else(|_| panic!("bad --workers {s:?}")));
+            match flag_value(&args, "--backend").as_deref() {
+                None | Some("sim") => table2(quick, hosts, workers),
+                Some("host") => table2_host(quick),
+                Some(other) => {
+                    eprintln!("unknown backend {other:?} (expected sim or host)");
+                    std::process::exit(2);
+                }
             }
-        },
+        }
         "sor" | "is" => {
             let hosts = flag_value(&args, "--hosts")
                 .and_then(|s| s.parse().ok())
@@ -208,25 +215,27 @@ fn main() {
             let json = flag_value(&args, "--json");
             let baseline = flag_value(&args, "--baseline");
             // `--check` takes an optional file; bare `--check` (or one
-            // followed by another flag) compares against BENCH_5.json.
+            // followed by another flag) compares against BENCH_10.json.
             let check = args.iter().position(|a| a == "--check").map(|i| {
                 args.get(i + 1)
                     .filter(|v| !v.starts_with("--"))
                     .cloned()
-                    .unwrap_or_else(|| "BENCH_5.json".into())
+                    .unwrap_or_else(|| "BENCH_10.json".into())
             });
+            let allow_new = args.iter().any(|a| a == "--allow-new");
             bench_cmd(
                 quick,
                 json.as_deref(),
                 baseline.as_deref(),
                 check.as_deref(),
+                allow_new,
             );
         }
         "all" => {
             table1();
             costs();
             fig5(quick);
-            table2(quick);
+            table2(quick, 8, None);
             fig6(quick);
             fig7(quick);
             ablate(quick);
@@ -417,12 +426,15 @@ struct AppSpec {
 }
 
 fn app_specs(quick: bool) -> Vec<AppSpec> {
-    app_specs_inner(quick, true)
+    app_specs_inner(quick, true, 8)
 }
 
 /// `chunk_water`: Figure 6 runs WATER at the paper's preferred chunking
 /// level 5 (§4.3); Table 2 reports the fine-grain per-molecule layout.
-fn app_specs_inner(quick: bool, chunk_water: bool) -> Vec<AppSpec> {
+/// `hosts`: the largest host count the specs will run at — inputs whose
+/// decomposition has a per-host floor (IS needs one histogram region per
+/// host) scale up to it.
+fn app_specs_inner(quick: bool, chunk_water: bool, hosts: usize) -> Vec<AppSpec> {
     let (sp, ip, wp, lp, tp) = if quick {
         (
             sor::SorParams {
@@ -458,6 +470,12 @@ fn app_specs_inner(quick: bool, chunk_water: bool) -> Vec<AppSpec> {
             lu::LuParams::paper(),
             tsp::TspParams::paper(),
         )
+    };
+    // IS decomposes its histogram into per-host regions; large clusters
+    // need at least one region per host.
+    let ip = is::IsParams {
+        regions: ip.regions.max(hosts),
+        ..ip
     };
     vec![
         AppSpec {
@@ -793,8 +811,13 @@ fn table2_host(quick: bool) {
 // Table 2: application suite.
 // ----------------------------------------------------------------------
 
-fn table2(quick: bool) {
-    header("Table 2 — Application suite (measured on 8 hosts)");
+/// `workers`: run the simulation itself in conservative-parallel mode on
+/// that many OS threads (requires the deterministic scheduler; see
+/// DESIGN.md §14). The output is byte-identical to `workers = None`.
+fn table2(quick: bool, hosts: usize, workers: Option<usize>) {
+    header(&format!(
+        "Table 2 — Application suite (measured on {hosts} hosts)"
+    ));
     let mut rows = vec![vec![
         "app".into(),
         "input set".into(),
@@ -804,8 +827,15 @@ fn table2(quick: bool) {
         "barriers".into(),
         "locks".into(),
     ]];
-    for spec in app_specs_inner(quick, false) {
-        let r = (spec.run)(app_cfg(8));
+    for spec in app_specs_inner(quick, false, hosts) {
+        let mut cfg = app_cfg(hosts);
+        if let Some(w) = workers {
+            // Parallel simulation needs the canonical deterministic
+            // schedule (that is the contract it preserves).
+            cfg.sched = SchedMode::deterministic();
+            cfg.parallel = Some(ParallelConfig::workers(w));
+        }
+        let r = (spec.run)(cfg);
         let a = &r.report.alloc;
         rows.push(vec![
             spec.name.into(),
@@ -2521,11 +2551,20 @@ fn faults_cmd(scenario: &str, quick: bool, seed: u64, out_path: &str) {
 // ----------------------------------------------------------------------
 
 /// Runs the wall-clock benchmark suite (diff micro-benchmarks, per-access
-/// fast path, end-to-end Table 2 apps at 4 hosts). `--json` writes the
-/// results; with `--baseline FILE` the output is a before/after
-/// comparison (the committed `BENCH_5.json` shape). `--check [FILE]`
-/// exits nonzero if any benchmark regressed > 20% vs. the baseline.
-fn bench_cmd(quick: bool, json: Option<&str>, baseline: Option<&str>, check: Option<&str>) {
+/// fast path, end-to-end Table 2 apps at 4 hosts, sim-throughput rows at
+/// 64 hosts sequential vs parallel). `--json` writes the results; with
+/// `--baseline FILE` the output is a before/after comparison (the
+/// committed `BENCH_5.json`/`BENCH_10.json` shape). `--check [FILE]`
+/// exits nonzero if any benchmark regressed > 20% vs. the baseline, or if
+/// the run produced benchmark names the baseline does not gate
+/// (`--allow-new` downgrades the latter to a loud warning).
+fn bench_cmd(
+    quick: bool,
+    json: Option<&str>,
+    baseline: Option<&str>,
+    check: Option<&str>,
+    allow_new: bool,
+) {
     header("Wall-clock benchmarks (simulator hot paths)");
     let mut results = wall::diff_results(quick);
     results.extend(wall::fastpath_results(quick));
@@ -2550,6 +2589,7 @@ fn bench_cmd(quick: bool, json: Option<&str>, baseline: Option<&str>, check: Opt
             bytes_per_op: 0,
         });
     }
+    results.extend(simthru::sim_throughput_results(quick));
     let mut rows = vec![vec!["benchmark".to_string(), "ns/op".into(), "MB/s".into()]];
     for r in &results {
         rows.push(vec![
@@ -2605,7 +2645,28 @@ fn bench_cmd(quick: bool, json: Option<&str>, baseline: Option<&str>, check: Opt
             std::process::exit(1);
         }
         let bad = wall::regressions(&results, &base, 0.2);
-        if bad.is_empty() {
+        for (name, base_ns, now_ns) in &bad {
+            eprintln!(
+                "REGRESSION {name}: {base_ns:.1} ns/op -> {now_ns:.1} ns/op \
+                 ({:+.0}%)",
+                (now_ns / base_ns - 1.0) * 100.0
+            );
+        }
+        // A name the baseline has never seen is ungated: without this,
+        // a new benchmark (say the sim/ rows) rides along unchecked until
+        // someone remembers to re-record.
+        let missing = wall::missing_from_baseline(&results, &base);
+        for name in &missing {
+            eprintln!("NEW BENCHMARK not in baseline {cpath}: {name}");
+        }
+        if !missing.is_empty() && allow_new {
+            eprintln!(
+                "--allow-new: {} ungated benchmark(s); re-record {cpath} to gate them",
+                missing.len()
+            );
+        }
+        let fail_new = !missing.is_empty() && !allow_new;
+        if bad.is_empty() && !fail_new {
             println!(
                 "check passed: no benchmark regressed > 20% vs {cpath} \
                  ({} compared)",
@@ -2615,17 +2676,19 @@ fn bench_cmd(quick: bool, json: Option<&str>, baseline: Option<&str>, check: Opt
                     .count()
             );
         } else {
-            for (name, base_ns, now_ns) in &bad {
+            if !bad.is_empty() {
                 eprintln!(
-                    "REGRESSION {name}: {base_ns:.1} ns/op -> {now_ns:.1} ns/op \
-                     ({:+.0}%)",
-                    (now_ns / base_ns - 1.0) * 100.0
+                    "check FAILED: {} benchmark(s) regressed > 20% vs {cpath}",
+                    bad.len()
                 );
             }
-            eprintln!(
-                "check FAILED: {} benchmark(s) regressed > 20% vs {cpath}",
-                bad.len()
-            );
+            if fail_new {
+                eprintln!(
+                    "check FAILED: {} benchmark name(s) absent from {cpath} \
+                     (re-record the baseline, or pass --allow-new to warn only)",
+                    missing.len()
+                );
+            }
             std::process::exit(1);
         }
     }

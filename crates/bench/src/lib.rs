@@ -7,6 +7,7 @@
 //! measured its Table 1 / §4.2 numbers on the real system.
 
 pub mod scenarios;
+pub mod simthru;
 pub mod wall;
 
 use std::fmt::Write as _;

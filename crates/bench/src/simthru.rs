@@ -1,0 +1,117 @@
+//! Simulator-throughput benchmarks: how fast the simulator itself runs
+//! (`repro bench`'s `sim/...` rows).
+//!
+//! The diff/fastpath rows in [`crate::wall`] time protocol primitives;
+//! these rows time the *scheduler* — wall-clock nanoseconds per simulated
+//! message event and per simulated second, for the sequential canonical
+//! schedule and for the conservative parallel mode at several worker
+//! counts. The parallel rows are the regression gate for the PDES
+//! machinery: if a change serializes the partitions (a stray global lock,
+//! an over-eager horizon sync), `w8` collapses toward `seq` and
+//! `repro bench --check` fails. Because parallel wall clock is noisy
+//! (±30% run-to-run with OS thread scheduling), these rows are checked
+//! at 5× the base tolerance — see [`crate::wall::regressions`]; the
+//! collapse under guard is ~10×, far outside even the wide band.
+//!
+//! The workload is SOR at 64 hosts under the deterministic virtual-time
+//! schedule — the largest-cluster, most message-dense Table 2 app, and
+//! the configuration the parallel mode exists for. Every point runs the
+//! *same* seed and produces the byte-identical canonical schedule; only
+//! the wall clock differs.
+
+use crate::wall::BenchResult;
+use millipage::{ClusterConfig, ParallelConfig, SchedMode};
+use millipage_apps::sor::{self, SorParams};
+use std::time::Instant;
+
+/// Worker counts the sim-throughput rows sweep; 0 means the sequential
+/// scheduler (no `ParallelConfig` at all, not a 1-worker partition).
+pub const SIM_WORKER_POINTS: &[usize] = &[0, 2, 4, 8];
+
+/// Host counts the sim-throughput rows sweep — the hosts × workers
+/// scaling matrix. 64 is the acceptance-scale cluster (`MAX_HOSTS`); 16
+/// shows how the parallel win scales down.
+pub const SIM_HOST_POINTS: &[usize] = &[16, 64];
+
+/// Runs the sim-throughput sweep: SOR at each host count in
+/// [`SIM_HOST_POINTS`], sequential plus each parallel point in
+/// [`SIM_WORKER_POINTS`]. Each cell yields two rows:
+///
+/// * `sim/sor@{hosts}h/<point>/event_ns` — wall nanoseconds per
+///   simulated message ([`ops_per_sec`](BenchResult::ops_per_sec) =
+///   events/sec);
+/// * `sim/sor@{hosts}h/<point>/wall_ns_per_sim_sec` — wall nanoseconds
+///   per simulated second (1e9 / ns_per_op = sim-sec per wall-sec).
+pub fn sim_throughput_results(quick: bool) -> Vec<BenchResult> {
+    // Quick shrinks the workload, not the cluster: the scheduler cost
+    // under test scales with hosts and messages, so keep the host counts
+    // and trim rows and iterations.
+    let params = if quick {
+        SorParams {
+            rows: 2048,
+            cols: 64,
+            iters: 4,
+        }
+    } else {
+        SorParams {
+            rows: 8192,
+            cols: 64,
+            iters: 10,
+        }
+    };
+    let mut out = Vec::new();
+    for &hosts in SIM_HOST_POINTS {
+        out.extend(sim_point(hosts, params));
+    }
+    out
+}
+
+/// The two rows of every (hosts, workers) cell.
+fn sim_point(hosts: usize, params: SorParams) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    for &w in SIM_WORKER_POINTS {
+        let cfg = ClusterConfig {
+            hosts,
+            sched: SchedMode::deterministic(),
+            // Explicitly None for the sequential point: the default reads
+            // MILLIPAGE_SIM_WORKERS, which must not skew the baseline.
+            parallel: (w > 0).then(|| ParallelConfig::workers(w)),
+            ..ClusterConfig::default()
+        };
+        let t = Instant::now();
+        let r = sor::run_sor(cfg, params);
+        let wall_ns = t.elapsed().as_nanos() as f64;
+        assert!(
+            r.report.coherence_violations.is_empty(),
+            "sim-throughput SOR run had coherence violations: {:?}",
+            r.report.coherence_violations
+        );
+        let point = if w == 0 {
+            "seq".to_string()
+        } else {
+            format!("w{w}")
+        };
+        out.push(BenchResult {
+            name: format!("sim/sor@{hosts}h/{point}/event_ns"),
+            ns_per_op: wall_ns / r.report.messages.max(1) as f64,
+            bytes_per_op: 0,
+        });
+        out.push(BenchResult {
+            name: format!("sim/sor@{hosts}h/{point}/wall_ns_per_sim_sec"),
+            ns_per_op: wall_ns / (r.report.virtual_time as f64 / 1e9).max(1e-9),
+            bytes_per_op: 0,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_points_start_sequential() {
+        assert_eq!(SIM_WORKER_POINTS[0], 0);
+        assert!(SIM_WORKER_POINTS[1..].iter().all(|&w| w >= 2));
+    }
+}

@@ -86,8 +86,9 @@ pub fn bench_ns<F: FnMut()>(mut f: F, target_ns: u128, passes: usize) -> f64 {
 /// word-scanning diff must refine byte by byte).
 pub const DIFF_PATTERNS: &[&str] = &["sparse", "dense", "straddle"];
 
-/// Page sizes the diff benches sweep (64 B minipage to the 4 KB page).
-pub const DIFF_SIZES: &[usize] = &[64, 256, 1024, 4096];
+/// Page sizes the diff benches sweep (16 B cell-sized minipage — the
+/// byte-scan fast path — to the 4 KB page).
+pub const DIFF_SIZES: &[usize] = &[16, 64, 256, 1024, 4096];
 
 /// Builds a (twin, current) pair of `size` bytes under `pattern`.
 pub fn diff_pair(size: usize, pattern: &str) -> (Vec<u8>, Vec<u8>) {
@@ -125,7 +126,10 @@ pub fn diff_pair(size: usize, pattern: &str) -> (Vec<u8>, Vec<u8>) {
 /// matrix; `apply`/`encode`/`decode` on the 4 KB sparse and dense pairs.
 pub fn diff_results(quick: bool) -> Vec<BenchResult> {
     let target: u128 = if quick { 2_000_000 } else { 20_000_000 };
-    let passes = if quick { 2 } else { 3 };
+    // Even quick mode takes several spread-out passes: on a virtualized
+    // single core, one pass can eat a 50%+ steal-time burst, and the
+    // regression gate compares single recordings at 20%.
+    let passes = if quick { 4 } else { 5 };
     let mut out = Vec::new();
     for &size in DIFF_SIZES {
         for &pattern in DIFF_PATTERNS {
@@ -197,6 +201,18 @@ pub fn diff_results(quick: bool) -> Vec<BenchResult> {
 // Per-access fast path.
 // ----------------------------------------------------------------------
 
+/// Best-of-N over a closure that times one measurement pass and returns
+/// its ns/op. A single pass is one scheduling quantum wide, so one burst
+/// of hypervisor steal time can inflate it 50%+; the fastest of a few
+/// spread-out passes is what the code actually costs.
+fn best_of(passes: usize, mut pass: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..passes.max(1) {
+        best = best.min(pass());
+    }
+    best
+}
+
 /// Measures checked `ctx` access throughput on an installed page: one
 /// host, one 4 KB vector faulted in writable once, then tight read/write
 /// loops — the non-faulting common case every DSM access pays.
@@ -218,30 +234,39 @@ pub fn fastpath_results(quick: bool) -> Vec<BenchResult> {
             for i in 0..512 {
                 ctx.set(sv, i, i as f64);
             }
-            let t = Instant::now();
-            let mut acc = 0.0f64;
-            for k in 0..ops {
-                acc += ctx.get(sv, k & 511);
-            }
-            let read_ns = t.elapsed().as_nanos() as f64 / ops as f64;
-            std::hint::black_box(acc);
-            let t = Instant::now();
-            for k in 0..ops {
-                ctx.set(sv, k & 511, k as f64);
-            }
-            let write_ns = t.elapsed().as_nanos() as f64 / ops as f64;
-            let t = Instant::now();
-            for k in 0..range_ops {
-                std::hint::black_box(ctx.read_range(sv, 0..512));
-                std::hint::black_box(k);
-            }
-            let rr_ns = t.elapsed().as_nanos() as f64 / range_ops as f64;
+            let passes = 3;
+            let read_ns = best_of(passes, || {
+                let t = Instant::now();
+                let mut acc = 0.0f64;
+                for k in 0..ops {
+                    acc += ctx.get(sv, k & 511);
+                }
+                std::hint::black_box(acc);
+                t.elapsed().as_nanos() as f64 / ops as f64
+            });
+            let write_ns = best_of(passes, || {
+                let t = Instant::now();
+                for k in 0..ops {
+                    ctx.set(sv, k & 511, k as f64);
+                }
+                t.elapsed().as_nanos() as f64 / ops as f64
+            });
+            let rr_ns = best_of(passes, || {
+                let t = Instant::now();
+                for k in 0..range_ops {
+                    std::hint::black_box(ctx.read_range(sv, 0..512));
+                    std::hint::black_box(k);
+                }
+                t.elapsed().as_nanos() as f64 / range_ops as f64
+            });
             let vals = vec![1.5f64; 512];
-            let t = Instant::now();
-            for _ in 0..range_ops {
-                ctx.write_range(sv, 0, &vals);
-            }
-            let wr_ns = t.elapsed().as_nanos() as f64 / range_ops as f64;
+            let wr_ns = best_of(passes, || {
+                let t = Instant::now();
+                for _ in 0..range_ops {
+                    ctx.write_range(sv, 0, &vals);
+                }
+                t.elapsed().as_nanos() as f64 / range_ops as f64
+            });
             *sink.lock() = [read_ns, write_ns, rr_ns, wr_ns];
         },
     );
@@ -366,7 +391,12 @@ pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
 }
 
 /// Compares `current` against a parsed baseline: returns the benchmarks
-/// that regressed by more than `tolerance` (0.2 = 20% slower).
+/// that regressed by more than their tolerance. `tolerance` (0.2 = 20%
+/// slower) applies to the micro/e2e rows; `sim/` rows time the parallel
+/// scheduler's wall clock, which swings ±30%+ with OS thread scheduling
+/// on a busy box, so they get 5× the base tolerance (20% → 100%: only
+/// slowdowns beyond 2× fail, and the failure mode under guard — a
+/// serialized parallel scheduler — shows up as ~10×).
 pub fn regressions(
     current: &[BenchResult],
     baseline: &[(String, f64)],
@@ -375,12 +405,29 @@ pub fn regressions(
     let mut out = Vec::new();
     for r in current {
         if let Some((_, base)) = baseline.iter().find(|(n, _)| *n == r.name) {
-            if r.ns_per_op > base * (1.0 + tolerance) {
+            let tol = if r.name.starts_with("sim/") {
+                tolerance * 5.0
+            } else {
+                tolerance
+            };
+            if r.ns_per_op > base * (1.0 + tol) {
                 out.push((r.name.clone(), *base, r.ns_per_op));
             }
         }
     }
     out
+}
+
+/// Benchmark names present in `current` but absent from `baseline`:
+/// benchmarks the baseline file does not gate yet. `repro bench --check`
+/// fails on these (or warns with `--allow-new`) so a new benchmark cannot
+/// silently ride ungated until someone remembers to re-record.
+pub fn missing_from_baseline(current: &[BenchResult], baseline: &[(String, f64)]) -> Vec<String> {
+    current
+        .iter()
+        .filter(|r| !baseline.iter().any(|(n, _)| *n == r.name))
+        .map(|r| r.name.clone())
+        .collect()
 }
 
 #[cfg(test)]
@@ -444,6 +491,25 @@ mod tests {
     }
 
     #[test]
+    fn missing_from_baseline_lists_ungated_names() {
+        let base = vec![("a".to_string(), 100.0)];
+        let current = vec![
+            BenchResult {
+                name: "a".into(),
+                ns_per_op: 90.0,
+                bytes_per_op: 0,
+            },
+            BenchResult {
+                name: "sim/new_row".into(),
+                ns_per_op: 10.0,
+                bytes_per_op: 0,
+            },
+        ];
+        assert_eq!(missing_from_baseline(&current, &base), vec!["sim/new_row"]);
+        assert!(missing_from_baseline(&current[..1], &base).is_empty());
+    }
+
+    #[test]
     fn regressions_flag_only_slower_results() {
         let base = vec![("a".to_string(), 100.0), ("b".to_string(), 100.0)];
         let current = vec![
@@ -461,5 +527,30 @@ mod tests {
         let bad = regressions(&current, &base, 0.2);
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].0, "b");
+    }
+
+    #[test]
+    fn sim_rows_get_the_wider_tolerance() {
+        let base = vec![
+            ("sim/sor@16h/w4/event_ns".to_string(), 100.0),
+            ("sim/sor@16h/w8/event_ns".to_string(), 100.0),
+        ];
+        let current = vec![
+            // +80%: trips a 20% gate but sits inside the 100% sim band.
+            BenchResult {
+                name: "sim/sor@16h/w4/event_ns".into(),
+                ns_per_op: 180.0,
+                bytes_per_op: 0,
+            },
+            // +150%: a real serialization-style collapse still fails.
+            BenchResult {
+                name: "sim/sor@16h/w8/event_ns".into(),
+                ns_per_op: 250.0,
+                bytes_per_op: 0,
+            },
+        ];
+        let bad = regressions(&current, &base, 0.2);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "sim/sor@16h/w8/event_ns");
     }
 }

@@ -24,7 +24,7 @@ use crate::stats::{
 };
 use multiview::{AllocMode, Allocator};
 use sim_core::clock::Clock;
-use sim_core::sched::{SchedMode, SchedThread, Scheduler, ThreadKey};
+use sim_core::sched::{ParallelConfig, SchedMode, SchedThread, Scheduler, ThreadKey};
 use sim_core::trace::{Tracer, Track};
 use sim_core::{CostModel, HostId, LogHistogram, SplitMix64, TimeBreakdown};
 use sim_mem::{AddressSpace, Geometry, VAddr};
@@ -86,6 +86,17 @@ pub struct ClusterConfig {
     /// the canonical virtual-time schedule for every run (how CI runs the
     /// integration suite deterministically without touching each test).
     pub sched: SchedMode,
+    /// Conservative parallel simulation: partition the hosts across N OS
+    /// worker threads, each running ahead to a safety horizon derived from
+    /// the cost model's latency floor (see `sim_core::sched` and DESIGN.md
+    /// §14). Requires the canonical virtual-time schedule (`sched` on with
+    /// the default policy); the exploration policies (Random/PCT/Replay)
+    /// reject it at scheduler construction, and with `sched` off it is
+    /// ignored (free-threaded runs are already multi-core). The observable
+    /// schedule is byte-identical to the sequential one at the same seed.
+    /// Defaults to `None`, or to `MILLIPAGE_SIM_WORKERS` workers when that
+    /// environment variable is set to an integer ≥ 2.
+    pub parallel: Option<ParallelConfig>,
     /// Per-minipage sharing diagnostics (see [`crate::diag`]): heat
     /// counters on the fault and invalidation paths, merged into
     /// [`RunReport::diag`] with ranked detector findings. Off by default —
@@ -128,6 +139,11 @@ impl Default for ClusterConfig {
             } else {
                 SchedMode::off()
             },
+            parallel: std::env::var("MILLIPAGE_SIM_WORKERS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&w| w >= 2)
+                .map(ParallelConfig::workers),
             diag: false,
             adapt: crate::adapt::AdaptConfig::default(),
             bug_stale_reinstall: false,
@@ -289,7 +305,23 @@ where
                 keys.push(ThreadKey::app(HostId(h as u16), t as u16));
             }
         }
-        Scheduler::new(&cfg.sched, keys)
+        match &cfg.parallel {
+            // The exploration policies (Random/PCT/Replay) are inherently
+            // sequential — their whole point is to own the global
+            // interleaving — so a parallel request (e.g. the
+            // MILLIPAGE_SIM_WORKERS environment default) quietly falls
+            // back to the sequential scheduler for them rather than
+            // poisoning every exploration run.
+            Some(p) if cfg.sched.is_on() && cfg.sched.is_virtual_time() => {
+                let map = p
+                    .partition_map
+                    .clone()
+                    .unwrap_or_else(|| ParallelConfig::default_map(cfg.hosts, p.workers));
+                let lookahead = p.lookahead.unwrap_or_else(|| cfg.cost.min_remote_latency());
+                Scheduler::new_parallel(&cfg.sched, keys, map, p.workers, lookahead)
+            }
+            _ => Scheduler::new(&cfg.sched, keys),
+        }
     };
     net.attach_scheduler(&sched);
     let home = Arc::new(HomeTable::new(
@@ -329,7 +361,6 @@ where
     };
 
     let mut rng = SplitMix64::new(cfg.seed);
-    let events = Arc::new(AtomicU64::new(1));
     let shared_ref = &shared;
     let app_ref = &app;
 
@@ -365,6 +396,15 @@ where
         let mut app_handles = Vec::with_capacity(cfg.hosts * cfg.threads_per_host);
         for h in 0..cfg.hosts {
             for t in 0..cfg.threads_per_host {
+                // Event ids are correlation keys, not a global order: give
+                // every application thread its own disjoint range (2^40
+                // ids each) so allocation never crosses threads. A shared
+                // counter would interleave differently under partitioned
+                // execution and leak the partitioning into message and
+                // trace bytes.
+                let events = Arc::new(AtomicU64::new(
+                    ((h * cfg.threads_per_host + t + 1) as u64) << 40,
+                ));
                 let mut ctx = HostCtx {
                     host: HostId(h as u16),
                     hosts: cfg.hosts,
@@ -375,7 +415,7 @@ where
                     cost: cfg.cost.clone(),
                     clock: Clock::new(),
                     breakdown: TimeBreakdown::new(),
-                    events: Arc::clone(&events),
+                    events,
                     pending_acks: Vec::new(),
                     consistency: cfg.consistency,
                     timed_from: 0,

@@ -69,7 +69,7 @@ pub use explore::{
     explore, explore_adapt_points, replay_repro, AdaptSweepOutcome, ExploreOpts, ExploreOutcome,
     MinimizedRepro,
 };
-pub use sim_core::sched::{SchedMode, SchedPolicy};
+pub use sim_core::sched::{ParallelConfig, SchedMode, SchedPolicy};
 
 // Re-exports the applications and harnesses keep reaching for.
 pub use multiview::{AllocMode, AllocStats};

@@ -103,12 +103,18 @@ pub(crate) fn server_loop(
             }
             break;
         }
+        // Under the conservative delivery gate a packet only becomes
+        // visible at its release stamp (the link-FIFO cumulative maximum
+        // of arrivals); service must not start before it. `release_vt` is
+        // 0 whenever the gate is inactive, so this is the plain arrival
+        // stamp in free-threaded and exploration modes.
+        let seen_vt = pkt.arrival_vt.max(pkt.release_vt);
         // §3.5.1: if the application threads were computing at the
         // message's (virtual) arrival, only the (jittery) sweeper sees
         // it. Hosts parked in barriers/locks/faults record no busy burst
         // and read as idle; self-addressed messages (a shard forwarding
         // to its own server) find the server already running.
-        let busy = pkt.from != ep.host() && state.busy.busy_at(pkt.arrival_vt);
+        let busy = pkt.from != ep.host() && state.busy.busy_at(seen_vt);
         if trace_enabled() {
             eprintln!(
                 "[trace h{} <- {}] {:?} ev={} mp={} addr={} len={}",
@@ -138,7 +144,7 @@ pub(crate) fn server_loop(
             });
         }
         let clamps_before = timeline.clamp_events();
-        timeline.begin_service(pkt.arrival_vt, busy);
+        timeline.begin_service(seen_vt, busy);
         // A clamp means the virtual-time model produced a negative queue
         // delay (arrival after service start); it is silently floored to
         // zero but no longer silently *uncounted*.

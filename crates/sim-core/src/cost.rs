@@ -131,6 +131,18 @@ impl CostModel {
     pub fn copy_time(&self, bytes: usize) -> Ns {
         (self.copy_per_byte_ns * bytes as f64) as Ns
     }
+
+    /// The minimum latency of any cross-host message: the header-only
+    /// send/receive cost, [`CostModel::msg_base`]. Every wire message
+    /// costs at least this much — payload bytes, fault jitter and
+    /// retransmission backoff only *add* delay — so it is a sound
+    /// conservative **lookahead** for parallel simulation: an event at
+    /// virtual time `t` on one host cannot affect another host before
+    /// `t + min_remote_latency()`.
+    #[inline]
+    pub fn min_remote_latency(&self) -> Ns {
+        self.msg_base
+    }
 }
 
 /// Receive-side service-delay model (§3.5.1 of the paper).
@@ -233,6 +245,16 @@ mod tests {
         assert!((230_000..=270_000).contains(&d), "4 KB diff = {d} ns");
         // Linear in the page size.
         assert_eq!(c.diff_time(2048) * 2, c.diff_time(4096));
+    }
+
+    #[test]
+    fn lookahead_is_the_header_only_message_cost() {
+        let c = CostModel::default();
+        assert_eq!(c.min_remote_latency(), c.msg_base);
+        // Lookahead must lower-bound every possible message time.
+        for bytes in [0usize, 1, 32, 512, 4096] {
+            assert!(c.msg_time(bytes) >= c.min_remote_latency());
+        }
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub use clock::{BusyWindow, Clock, Ns, SharedClock};
 pub use cost::{CostModel, ServiceDelayModel};
 pub use rng::SplitMix64;
 pub use sched::{
-    BlockOutcome, SchedMode, SchedPolicy, SchedThread, Scheduler, ThreadClass, ThreadKey,
+    BlockOutcome, DeliveryGate, ParallelConfig, SchedMode, SchedPolicy, SchedThread, Scheduler,
+    ThreadClass, ThreadKey,
 };
 pub use stats::{Counter, Histogram, LogHistogram, Summary};
 pub use trace::{ChromeTrace, TraceEvent, TraceKind, TraceLog, TraceRecorder, Tracer, Track};

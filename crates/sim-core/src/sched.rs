@@ -1,4 +1,5 @@
-//! Cooperative deterministic scheduling of simulated threads.
+//! Cooperative deterministic scheduling of simulated threads — sequential
+//! and conservative-parallel (PDES).
 //!
 //! The simulation runs every simulated host as real OS threads (one DSM
 //! server plus the application threads), which makes the default execution
@@ -6,13 +7,38 @@
 //! interleaving — and therefore message arrival order, directory state
 //! transitions, and the recorded trace — is whatever the OS scheduler
 //! produced. This module adds a **deterministic mode**: when a
-//! [`Scheduler`] is enabled, exactly one simulated thread runs at a time,
-//! every thread hands control back at explicit *yield points* (message
-//! send/receive, fault entry, blocking rendezvous), and the next runnable
-//! thread is picked by a deterministic [`SchedPolicy`]. A seed then maps
-//! to exactly one interleaving and one trace, which is what makes
-//! schedule *exploration* (random-walk / PCT search over interleavings,
-//! with replayable minimal reproducers) possible at all.
+//! [`Scheduler`] is enabled, every thread hands control back at explicit
+//! *yield points* (message send/receive, fault entry, blocking
+//! rendezvous), and the next runnable thread is picked by a deterministic
+//! [`SchedPolicy`]. A seed then maps to exactly one interleaving and one
+//! trace, which is what makes schedule *exploration* (random-walk / PCT
+//! search over interleavings, with replayable minimal reproducers)
+//! possible at all.
+//!
+//! # Partitioned execution
+//!
+//! Deterministic mode is built as a **conservative parallel discrete-event
+//! simulation** (PDES). The host set is split into partitions, each driven
+//! by the OS threads of its hosts; within a partition exactly one
+//! simulated thread runs at a time. Partitions advance independently
+//! through a window `[W0, W0 + L)` of virtual time, where `W0` is the
+//! globally-minimal next event and `L` is the *lookahead*: the minimum
+//! cross-host message latency ([`crate::cost::CostModel::min_remote_latency`]).
+//! No event executed inside the window can affect another partition
+//! before the window ends, so partitions cannot observe each other's
+//! in-window progress. At the window boundary every partition arrives at
+//! a barrier; the last arriver derives the next window and releases the
+//! others.
+//!
+//! Cross-host message delivery is **gated** (see [`DeliveryGate`]): a
+//! send enqueues the packet keyed by its release time, and the
+//! *destination* partition's dispatch loop delivers it exactly when the
+//! canonical virtual-time order reaches it — before any runnable thread
+//! with a later (or equal) virtual time. Sequential execution is the
+//! one-partition, infinite-lookahead special case of the same machinery,
+//! which is what makes the parallel schedule **byte-identical** to the
+//! sequential one: both run the identical per-partition decision
+//! procedure; only the wall-clock concurrency differs.
 //!
 //! Design notes:
 //!
@@ -22,29 +48,39 @@
 //! * **Wake-ups are action-counted, not wired.** Blocking conditions
 //!   (a waiter slot filling, a packet landing in an inbox) live in the
 //!   protocol layer and are not told about the scheduler. Instead a
-//!   global *action counter* is bumped after anything that could unblock
-//!   a peer (every network delivery, every handler dispatch); a blocked
-//!   thread is schedulable again exactly when the counter moved past the
-//!   value it recorded when its condition last failed, and it simply
-//!   re-checks. A finite number of re-checks per action means no
-//!   livelock, and a thread whose condition was already met never parks.
+//!   per-partition *action counter* is bumped after anything that could
+//!   unblock a peer (every delivery into the partition, every handler
+//!   dispatch); a blocked thread is schedulable again exactly when the
+//!   counter moved past the value it recorded when its condition last
+//!   failed, and it simply re-checks. A finite number of re-checks per
+//!   action means no livelock, and a thread whose condition was already
+//!   met never parks. Cross-partition wake-ups must travel through the
+//!   gate (a delivery), never through a bare action bump — that is what
+//!   keeps the counters partition-local and the schedule reproducible.
 //! * **Handler atomicity.** A DSM server handles one message per
 //!   scheduling step: the dispatch boundary *is* the yield point, and
 //!   everything inside a handler (window open/close, directory updates,
 //!   reply sends) is atomic with respect to other simulated threads —
 //!   exactly as in the real system, where a handler runs to completion
 //!   inside the message layer.
-//! * **Deadlock is a verdict, not a hang.** If no thread is runnable and
-//!   an application thread is still blocked, the schedule deadlocked:
-//!   the scheduler poisons itself, every blocked thread returns
-//!   [`BlockOutcome::Poisoned`], and the run terminates with typed
-//!   errors instead of hanging — a deadlocking schedule is a *finding*
-//!   for the exploration harness.
+//! * **Deadlock is a verdict, not a hang.** If no thread is runnable
+//!   anywhere, no gated packet is pending, and an application thread is
+//!   still blocked, the schedule deadlocked: the scheduler poisons
+//!   itself, every blocked thread returns [`BlockOutcome::Poisoned`], and
+//!   the run terminates with typed errors instead of hanging — a
+//!   deadlocking schedule is a *finding* for the exploration harness.
+//! * **Exploration stays sequential.** [`SchedPolicy::Random`],
+//!   [`SchedPolicy::Pct`] and [`SchedPolicy::Replay`] perturb the global
+//!   interleaving, which only exists totally-ordered in the
+//!   one-partition case; [`Scheduler::new_parallel`] therefore rejects
+//!   them and parallel mode applies to the canonical
+//!   [`SchedPolicy::VirtualTime`] policy only.
 
 use crate::clock::Ns;
 use crate::rng::SplitMix64;
 use crate::HostId;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// How many scheduling steps a PCT priority-change schedule spreads its
 /// change points over. PCT samples `depth - 1` change points uniformly
@@ -110,7 +146,8 @@ impl std::fmt::Display for ThreadKey {
 pub enum SchedPolicy {
     /// Smallest `(virtual time, thread key)` first — the canonical
     /// deterministic schedule, closest to what the virtual-time model
-    /// "means".
+    /// "means". The only policy that admits partitioned (parallel)
+    /// execution.
     VirtualTime,
     /// Seeded uniform random walk over the runnable set.
     Random {
@@ -201,6 +238,18 @@ impl SchedMode {
         }
     }
 
+    /// Whether the mode's policy is the canonical virtual-time order (the
+    /// only policy that admits partitioned execution and delivery gating).
+    pub fn is_virtual_time(&self) -> bool {
+        matches!(
+            &self.inner,
+            Some(ModeInner {
+                policy: SchedPolicy::VirtualTime,
+                ..
+            })
+        )
+    }
+
     /// Short policy name for reports.
     pub fn policy_name(&self) -> &'static str {
         match &self.inner {
@@ -215,13 +264,76 @@ impl SchedMode {
     }
 
     /// The decision sequence the last run recorded under this mode (the
-    /// slot picked at each scheduling step). Empty before any run or when
-    /// off. Feed it to [`SchedMode::replay`] to reproduce the run.
+    /// slot picked at each scheduling step). Empty before any run, when
+    /// off, or under partitioned execution (a total decision order only
+    /// exists with one partition). Feed it to [`SchedMode::replay`] to
+    /// reproduce the run.
     pub fn decisions(&self) -> Vec<u32> {
         match &self.inner {
             None => Vec::new(),
             Some(m) => m.log.lock().unwrap_or_else(|e| e.into_inner()).clone(),
         }
+    }
+}
+
+/// How gated cross-host deliveries are exposed to the scheduler. The
+/// network fabric implements this: a cross-host send is *enqueued* keyed
+/// by its release time (arrival time floored by the per-link FIFO
+/// cumulative maximum), and the destination partition's dispatch loop
+/// *releases* packets in `(release, source)` order exactly when the
+/// canonical virtual-time order reaches them.
+pub trait DeliveryGate: Send + Sync {
+    /// Minimum release virtual time pending for `host`, or [`Ns::MAX`]
+    /// when nothing is pending. Called from the destination partition's
+    /// dispatch loop and from the window barrier; must be cheap.
+    fn min_pending(&self, host: HostId) -> Ns;
+
+    /// Delivers the minimum pending packet for `host` into its inbox.
+    /// Must not re-enter the scheduler (the caller accounts the delivery
+    /// as a partition-local action itself).
+    fn release_next(&self, host: HostId);
+
+    /// Delivers every fault-held (reorder-in-flight) packet, returning
+    /// the destination host of each delivered packet. Called only at the
+    /// global-idle decision point, when every partition is quiescent —
+    /// the gated replacement for the receiver-driven rescue poll.
+    fn flush_held(&self) -> Vec<HostId>;
+}
+
+/// Parallel-execution request carried on a cluster configuration: how
+/// many worker partitions to run, how hosts map onto them, and an
+/// optional lookahead override.
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Number of partitions (OS-concurrency units). 1 is valid and runs
+    /// the identical window machinery on a single partition.
+    pub workers: usize,
+    /// Host → worker map (`partition_map[h]` is host `h`'s worker). When
+    /// `None`, hosts are split into contiguous balanced chunks.
+    pub partition_map: Option<Vec<usize>>,
+    /// Safety-horizon override in virtual nanoseconds. When `None`, the
+    /// cluster derives it from the cost model's minimum cross-host
+    /// message latency. Must never exceed that latency floor, or the
+    /// schedule is no longer conservative.
+    pub lookahead: Option<Ns>,
+}
+
+impl ParallelConfig {
+    /// A parallel config with `workers` partitions, the default
+    /// contiguous partition map and the cost-model-derived lookahead.
+    pub fn workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            partition_map: None,
+            lookahead: None,
+        }
+    }
+
+    /// The default host → worker map: contiguous balanced chunks
+    /// (`host * workers / hosts`), which keeps neighbouring hosts — the
+    /// likeliest sharers — in one partition.
+    pub fn default_map(hosts: usize, workers: usize) -> Vec<usize> {
+        (0..hosts).map(|h| h * workers / hosts).collect()
     }
 }
 
@@ -239,8 +351,9 @@ pub enum BlockOutcome<T> {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Status {
     Runnable,
-    /// Blocked since the action counter read `seen`; schedulable again
-    /// (to re-check its condition) once the counter moves past it.
+    /// Blocked since the partition's action counter read `seen`;
+    /// schedulable again (to re-check its condition) once the counter
+    /// moves past it.
     Blocked {
         seen: u64,
     },
@@ -270,41 +383,75 @@ enum PolicyState {
     },
 }
 
-struct State {
+/// Per-partition mutable state: the slots of the partition's threads and
+/// the one-running-thread-at-a-time discipline, all under one mutex.
+struct PartState {
     slots: Vec<Slot>,
-    attached: usize,
-    started: bool,
-    poisoned: bool,
-    /// Index of the one thread currently allowed to run, if any.
+    /// Index (within the partition) of the one thread currently allowed
+    /// to run, if any.
     running: Option<usize>,
-    /// Set while an unregistered external actor (the cluster's main
-    /// thread, delivering shutdowns) runs inside a quiesced window;
-    /// suppresses dispatches from its action bumps.
-    external: bool,
-    /// Global potentially-unblocking-action counter (see module docs).
+    /// Whether the partition has arrived at the window barrier.
+    at_barrier: bool,
+    /// Partition-local potentially-unblocking-action counter (see module
+    /// docs).
     actions: u64,
     steps: u64,
     policy: PolicyState,
 }
 
-struct Inner {
-    state: Mutex<State>,
+struct Part {
+    state: Mutex<PartState>,
     /// One condvar per slot: a dispatch wakes exactly the picked thread
     /// instead of broadcasting to every parked one (the broadcast storm
     /// dominates runtime on million-step schedules).
     cvs: Vec<Condvar>,
-    /// Signalled when the scheduler goes idle or poisons; what
-    /// [`Scheduler::quiesce_then`] waits on.
-    main_cv: Condvar,
-    log: Arc<Mutex<Vec<u32>>>,
+    /// The partition's hosts, ascending. Immutable after construction;
+    /// the dispatch loop scans these for pending gated deliveries.
+    hosts: Vec<HostId>,
 }
 
-/// Wakes every parked thread (poison teardown) and the quiesce waiter.
-fn wake_everyone(inner: &Inner) {
-    for cv in &inner.cvs {
-        cv.notify_all();
-    }
-    inner.main_cv.notify_all();
+/// Cross-partition control state: attach/start bookkeeping and the
+/// window barrier. Locked after a partition's state is released, never
+/// while holding one (lock order: ctl → part → gate).
+struct Ctl {
+    attached: usize,
+    started: bool,
+    /// Number of partitions currently at the window barrier.
+    arrived: usize,
+    /// Set when the whole simulation is quiescent (every partition at
+    /// the barrier with no event anywhere); what
+    /// [`Scheduler::quiesce_then`] waits for.
+    idle: bool,
+}
+
+struct Inner {
+    parts: Vec<Part>,
+    ctl: Mutex<Ctl>,
+    /// Signalled when the scheduler goes idle or poisons; what
+    /// [`Scheduler::quiesce_then`] waits on (holding the ctl lock).
+    main_cv: Condvar,
+    poisoned: AtomicBool,
+    /// Set while an unregistered external actor (the cluster's main
+    /// thread, delivering shutdowns) runs inside a quiesced window;
+    /// suppresses dispatches from its action bumps and bypasses the
+    /// delivery gate.
+    external: AtomicBool,
+    /// Exclusive upper bound of the current window. Stored by the
+    /// barrier while every partition is quiescent; read by dispatch
+    /// loops. `Ns::MAX` in the sequential (infinite-lookahead) case.
+    window_end: AtomicU64,
+    lookahead: Ns,
+    /// Whether cross-host deliveries are gated (virtual-time policy).
+    gating: bool,
+    gate: OnceLock<Arc<dyn DeliveryGate>>,
+    /// Host index → partition index (for action bumps and held-packet
+    /// rescue).
+    host_part: Vec<usize>,
+    total_slots: usize,
+    /// Whether dispatch decisions are recorded into the decision log
+    /// (one partition only: a total order does not exist otherwise).
+    record: bool,
+    log: Arc<Mutex<Vec<u32>>>,
 }
 
 /// The run-wide deterministic scheduler handle. Cloning shares the
@@ -316,15 +463,10 @@ pub struct Scheduler {
 
 impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Scheduler({})",
-            if self.inner.is_some() {
-                "deterministic"
-            } else {
-                "off"
-            }
-        )
+        match &self.inner {
+            None => write!(f, "Scheduler(off)"),
+            Some(inner) => write!(f, "Scheduler(deterministic, {} parts)", inner.parts.len()),
+        }
     }
 }
 
@@ -334,68 +476,171 @@ impl Scheduler {
         Self { inner: None }
     }
 
-    /// Builds a scheduler for the thread set named by `keys` under
-    /// `mode`'s policy (inert when the mode is off). The slot order of
-    /// `keys` defines the decision-log numbering, so callers must build
-    /// it deterministically (the cluster enumerates servers then
-    /// application threads in host order).
+    /// Builds a sequential scheduler for the thread set named by `keys`
+    /// under `mode`'s policy (inert when the mode is off): one partition,
+    /// infinite lookahead. The slot order of `keys` defines the
+    /// decision-log numbering, so callers must build it deterministically
+    /// (the cluster enumerates servers then application threads in host
+    /// order).
     pub fn new(mode: &SchedMode, keys: Vec<ThreadKey>) -> Self {
+        let hosts = keys.iter().map(|k| k.host.index() + 1).max().unwrap_or(1);
+        Self::build(mode, keys, vec![0; hosts], 1, Ns::MAX)
+    }
+
+    /// Builds a partitioned (conservative-parallel) scheduler:
+    /// `host_part[h]` names host `h`'s worker partition and `lookahead`
+    /// is the safety horizon in virtual nanoseconds (the minimum
+    /// cross-host message latency). Empty partitions are compacted away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode's policy is not [`SchedPolicy::VirtualTime`]
+    /// (exploration policies perturb a total order that only exists
+    /// sequentially), if the map is shorter than the host set, or if an
+    /// entry names a worker ≥ `workers`.
+    pub fn new_parallel(
+        mode: &SchedMode,
+        keys: Vec<ThreadKey>,
+        host_part: Vec<usize>,
+        workers: usize,
+        lookahead: Ns,
+    ) -> Self {
+        if mode.is_on() {
+            assert!(
+                mode.is_virtual_time(),
+                "parallel execution requires the virtual-time policy; \
+                 {} schedules are sequential-only",
+                mode.policy_name()
+            );
+        }
+        assert!(workers >= 1, "parallel execution with zero workers");
+        assert!(lookahead >= 1, "zero lookahead would never make progress");
+        Self::build(mode, keys, host_part, workers, lookahead)
+    }
+
+    fn build(
+        mode: &SchedMode,
+        keys: Vec<ThreadKey>,
+        host_part_in: Vec<usize>,
+        workers: usize,
+        lookahead: Ns,
+    ) -> Self {
         let Some(m) = &mode.inner else {
             return Self::disabled();
         };
         assert!(!keys.is_empty(), "deterministic mode with no threads");
-        let policy = match &m.policy {
-            SchedPolicy::VirtualTime => PolicyState::VirtualTime,
-            SchedPolicy::Random { seed } => PolicyState::Random {
-                rng: SplitMix64::new(*seed),
-            },
-            SchedPolicy::Pct { seed, depth } => {
-                let mut rng = SplitMix64::new(*seed);
-                // High bit set: every initial priority sits above every
-                // demotion value, and demotions stay mutually distinct.
-                let prios = keys.iter().map(|_| rng.next_u64() | (1 << 63)).collect();
-                let mut change_at: Vec<u64> = (1..*depth)
-                    .map(|_| 1 + rng.next_range(PCT_STEP_HINT))
-                    .collect();
-                change_at.sort_unstable();
-                PolicyState::Pct {
-                    prios,
-                    change_at,
-                    demote_next: 1 << 62,
-                }
+        let max_host = keys.iter().map(|k| k.host.index()).max().unwrap_or(0);
+        assert!(
+            host_part_in.len() > max_host,
+            "partition map covers {} hosts but thread keys name host {}",
+            host_part_in.len(),
+            max_host
+        );
+        for (h, &w) in host_part_in.iter().enumerate() {
+            assert!(w < workers, "host {h} mapped to worker {w} of {workers}");
+        }
+        // Compact away workers that own no thread: an empty partition
+        // would never arrive at the window barrier.
+        let mut used = vec![false; workers];
+        for k in &keys {
+            used[host_part_in[k.host.index()]] = true;
+        }
+        let mut remap = vec![0usize; workers];
+        let mut nparts = 0;
+        for w in 0..workers {
+            if used[w] {
+                remap[w] = nparts;
+                nparts += 1;
             }
-            SchedPolicy::Replay { choices } => PolicyState::Replay {
-                choices: Arc::clone(choices),
-                pos: 0,
-            },
-        };
+        }
+        let host_part: Vec<usize> = host_part_in.iter().map(|&w| remap[w]).collect();
+        assert!(
+            nparts == 1 || matches!(m.policy, SchedPolicy::VirtualTime),
+            "exploration policies are sequential-only"
+        );
+        let gating = matches!(m.policy, SchedPolicy::VirtualTime);
+        let total_slots = keys.len();
         m.log.lock().unwrap_or_else(|e| e.into_inner()).clear();
-        let slots: Vec<Slot> = keys
+        let mut part_keys: Vec<Vec<ThreadKey>> = vec![Vec::new(); nparts];
+        for k in &keys {
+            part_keys[host_part[k.host.index()]].push(*k);
+        }
+        let parts: Vec<Part> = part_keys
             .into_iter()
-            .map(|key| Slot {
-                key,
-                vt: 0,
-                status: Status::Runnable,
-                attached: false,
+            .map(|pkeys| {
+                let policy = match &m.policy {
+                    SchedPolicy::VirtualTime => PolicyState::VirtualTime,
+                    SchedPolicy::Random { seed } => PolicyState::Random {
+                        rng: SplitMix64::new(*seed),
+                    },
+                    SchedPolicy::Pct { seed, depth } => {
+                        let mut rng = SplitMix64::new(*seed);
+                        // High bit set: every initial priority sits above
+                        // every demotion value, and demotions stay
+                        // mutually distinct.
+                        let prios = pkeys.iter().map(|_| rng.next_u64() | (1 << 63)).collect();
+                        let mut change_at: Vec<u64> = (1..*depth)
+                            .map(|_| 1 + rng.next_range(PCT_STEP_HINT))
+                            .collect();
+                        change_at.sort_unstable();
+                        PolicyState::Pct {
+                            prios,
+                            change_at,
+                            demote_next: 1 << 62,
+                        }
+                    }
+                    SchedPolicy::Replay { choices } => PolicyState::Replay {
+                        choices: Arc::clone(choices),
+                        pos: 0,
+                    },
+                };
+                let mut hosts: Vec<HostId> = pkeys.iter().map(|k| k.host).collect();
+                hosts.sort_unstable();
+                hosts.dedup();
+                let slots: Vec<Slot> = pkeys
+                    .into_iter()
+                    .map(|key| Slot {
+                        key,
+                        vt: 0,
+                        status: Status::Runnable,
+                        attached: false,
+                    })
+                    .collect();
+                let cvs = (0..slots.len()).map(|_| Condvar::new()).collect();
+                Part {
+                    state: Mutex::new(PartState {
+                        slots,
+                        running: None,
+                        at_barrier: true,
+                        actions: 0,
+                        steps: 0,
+                        policy,
+                    }),
+                    cvs,
+                    hosts,
+                }
             })
             .collect();
-        let cvs = (0..slots.len()).map(|_| Condvar::new()).collect();
         Self {
             inner: Some(Arc::new(Inner {
-                state: Mutex::new(State {
-                    slots,
+                ctl: Mutex::new(Ctl {
                     attached: 0,
                     started: false,
-                    poisoned: false,
-                    running: None,
-                    external: false,
-                    actions: 0,
-                    steps: 0,
-                    policy,
+                    arrived: parts.len(),
+                    idle: false,
                 }),
-                cvs,
                 main_cv: Condvar::new(),
+                poisoned: AtomicBool::new(false),
+                external: AtomicBool::new(false),
+                window_end: AtomicU64::new(0),
+                lookahead,
+                gating,
+                gate: OnceLock::new(),
+                host_part,
+                total_slots,
+                record: parts.len() == 1,
                 log: Arc::clone(&m.log),
+                parts,
             })),
         }
     }
@@ -403,6 +648,35 @@ impl Scheduler {
     /// Whether deterministic scheduling is active.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Number of worker partitions (0 when disabled).
+    pub fn partitions(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.parts.len())
+    }
+
+    /// Whether cross-host deliveries must be gated: deterministic mode
+    /// under the canonical virtual-time policy. The network fabric keys
+    /// its delivery path off this.
+    pub fn gating(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.gating)
+    }
+
+    /// Whether an external (unscheduled) actor currently runs inside a
+    /// quiesced window; the fabric then delivers directly instead of
+    /// enqueueing into the gate.
+    pub fn external_active(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.external.load(Ordering::Acquire))
+    }
+
+    /// Installs the delivery gate (the fabric's gated-packet store).
+    /// One-shot; later calls are ignored.
+    pub fn set_gate(&self, gate: Arc<dyn DeliveryGate>) {
+        if let Some(inner) = &self.inner {
+            let _ = inner.gate.set(gate);
+        }
     }
 
     /// Registers the calling OS thread as the simulated thread `key` and
@@ -415,73 +689,110 @@ impl Scheduler {
     /// Panics if `key` names no slot or was already attached.
     pub fn attach(&self, key: ThreadKey) -> SchedThread {
         let Some(inner) = &self.inner else {
-            return SchedThread { inner: None, id: 0 };
+            return SchedThread {
+                inner: None,
+                part: 0,
+                id: 0,
+            };
         };
-        let mut st = lock(&inner.state);
-        let id = st
-            .slots
-            .iter()
-            .position(|s| s.key == key)
-            .unwrap_or_else(|| panic!("no scheduler slot for thread {key}"));
-        assert!(!st.slots[id].attached, "thread {key} attached twice");
-        st.slots[id].attached = true;
-        st.attached += 1;
-        if st.attached == st.slots.len() {
-            st.started = true;
-            dispatch(inner, &mut st);
+        let mut ctl = lock(&inner.ctl);
+        let mut found = None;
+        for (pi, part) in inner.parts.iter().enumerate() {
+            let mut ps = lock(&part.state);
+            if let Some(id) = ps.slots.iter().position(|s| s.key == key) {
+                assert!(!ps.slots[id].attached, "thread {key} attached twice");
+                ps.slots[id].attached = true;
+                found = Some((pi, id));
+                break;
+            }
         }
+        let (pi, id) = found.unwrap_or_else(|| panic!("no scheduler slot for thread {key}"));
+        ctl.attached += 1;
+        if ctl.attached == inner.total_slots {
+            // Attach doubles as the first window barrier: every
+            // partition is "arrived" until the full thread set exists.
+            ctl.started = true;
+            barrier_complete(inner, &mut ctl);
+        }
+        drop(ctl);
         let t = SchedThread {
             inner: Some(Arc::clone(inner)),
+            part: pi,
             id,
         };
-        drop(park_until_running(inner, st, id));
+        let part = &inner.parts[pi];
+        let ps = lock(&part.state);
+        drop(park_until_running(inner, part, ps, id));
         t
     }
 
-    /// Bumps the action counter from *any* thread (registered or not):
-    /// called by the network fabric on every delivery, so a blocked
-    /// receiver always becomes schedulable again. Dispatches if the
-    /// scheduler was idle (an external actor made progress possible).
+    /// Bumps every partition's action counter from *any* thread
+    /// (registered or not) and re-examines a quiescent simulation:
+    /// called on deliveries in ungated (exploration-policy) mode and by
+    /// external actors that made progress possible.
     pub fn bump_action(&self) {
         let Some(inner) = &self.inner else {
             return;
         };
-        let mut st = lock(&inner.state);
-        st.actions += 1;
-        if st.started && !st.external && !st.poisoned && st.running.is_none() {
-            dispatch(inner, &mut st);
+        let mut ctl = lock(&inner.ctl);
+        for part in &inner.parts {
+            lock(&part.state).actions += 1;
+        }
+        if ctl.started
+            && !inner.external.load(Ordering::Acquire)
+            && !inner.poisoned.load(Ordering::Acquire)
+            && ctl.arrived == inner.parts.len()
+        {
+            barrier_complete(inner, &mut ctl);
         }
     }
 
-    /// Waits until every scheduled thread is either done or blocked with
-    /// nothing runnable (the cluster has quiesced), then runs `f` with
-    /// dispatching suppressed, then dispatches whatever `f`'s actions
-    /// made runnable. This is how the cluster's (unscheduled) main thread
-    /// injects its shutdown messages without racing the scheduled world.
+    /// Bumps the action counter of `host`'s partition only: a delivery
+    /// or handler effect whose observers all live on that host. The
+    /// partition-local form avoids the cross-partition control lock on
+    /// the hot path; it never needs to re-dispatch because the caller is
+    /// a currently-running scheduled thread of the same partition (or an
+    /// external actor inside a quiesced window, whose re-examination
+    /// happens when the window closes).
+    pub fn bump_action_host(&self, host: HostId) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let pi = inner.host_part.get(host.index()).copied().unwrap_or(0);
+        lock(&inner.parts[pi].state).actions += 1;
+    }
+
+    /// Waits until the whole simulation is quiescent (every thread done
+    /// or blocked with nothing runnable and nothing in flight), then runs
+    /// `f` with dispatching suppressed, then re-examines whatever `f`'s
+    /// actions made runnable. This is how the cluster's (unscheduled)
+    /// main thread injects its shutdown messages without racing the
+    /// scheduled world.
     pub fn quiesce_then(&self, f: impl FnOnce()) {
         let Some(inner) = &self.inner else {
             f();
             return;
         };
-        let mut st = lock(&inner.state);
-        while !(st.poisoned || (st.started && st.running.is_none())) {
-            st = wait(&inner.main_cv, st);
+        let mut ctl = lock(&inner.ctl);
+        while !(inner.poisoned.load(Ordering::Acquire) || (ctl.started && ctl.idle)) {
+            ctl = wait(&inner.main_cv, ctl);
         }
-        st.external = true;
-        drop(st);
+        inner.external.store(true, Ordering::Release);
+        drop(ctl);
         f();
-        let mut st = lock(&inner.state);
-        st.external = false;
-        if !st.poisoned && st.running.is_none() {
-            dispatch(inner, &mut st);
+        let mut ctl = lock(&inner.ctl);
+        inner.external.store(false, Ordering::Release);
+        if !inner.poisoned.load(Ordering::Acquire) && ctl.arrived == inner.parts.len() {
+            barrier_complete(inner, &mut ctl);
         }
     }
 
-    /// Number of scheduling decisions taken so far.
+    /// Number of scheduling decisions taken so far, summed over
+    /// partitions.
     pub fn steps(&self) -> u64 {
         match &self.inner {
             None => 0,
-            Some(inner) => lock(&inner.state).steps,
+            Some(inner) => inner.parts.iter().map(|p| lock(&p.state).steps).sum(),
         }
     }
 }
@@ -491,13 +802,18 @@ impl Scheduler {
 /// Dropping the handle marks the thread done and hands control on.
 pub struct SchedThread {
     inner: Option<Arc<Inner>>,
+    part: usize,
     id: usize,
 }
 
 impl SchedThread {
     /// An inert handle (what a disabled scheduler hands out).
     pub fn disabled() -> Self {
-        Self { inner: None, id: 0 }
+        Self {
+            inner: None,
+            part: 0,
+            id: 0,
+        }
     }
 
     /// Whether this thread is cooperatively scheduled.
@@ -512,24 +828,32 @@ impl SchedThread {
         let Some(inner) = &self.inner else {
             return;
         };
-        let mut st = lock(&inner.state);
-        if st.poisoned {
+        let part = &inner.parts[self.part];
+        let mut ps = lock(&part.state);
+        if inner.poisoned.load(Ordering::Acquire) {
             return;
         }
-        debug_assert_eq!(st.running, Some(self.id), "yield from a paused thread");
-        st.slots[self.id].vt = vt;
-        dispatch(inner, &mut st);
-        drop(park_until_running(inner, st, self.id));
+        debug_assert_eq!(ps.running, Some(self.id), "yield from a paused thread");
+        ps.slots[self.id].vt = vt;
+        match dispatch_in(inner, part, &mut ps) {
+            Verdict::Dispatched => drop(park_until_running(inner, part, ps, self.id)),
+            Verdict::Barrier => {
+                arrive_at_barrier(inner, ps);
+                let ps = lock(&part.state);
+                drop(park_until_running(inner, part, ps, self.id));
+            }
+        }
     }
 
-    /// Bumps the action counter: the caller just did something that may
-    /// have unblocked a peer (fulfilled a waiter, mutated protocol state)
-    /// outside the network-delivery hook.
+    /// Bumps the partition's action counter: the caller just did
+    /// something that may have unblocked a peer on its own host
+    /// (fulfilled a waiter, mutated protocol state) outside the
+    /// network-delivery hook.
     pub fn action(&self) {
         let Some(inner) = &self.inner else {
             return;
         };
-        lock(&inner.state).actions += 1;
+        lock(&inner.parts[self.part].state).actions += 1;
     }
 
     /// Blocks until `check` produces a value, yielding to other threads
@@ -542,33 +866,40 @@ impl SchedThread {
         let Some(inner) = &self.inner else {
             unreachable!("block_until on a disabled scheduler handle");
         };
+        let part = &inner.parts[self.part];
         loop {
-            // Snapshot the counter *before* checking: an external action
-            // landing between a failed check and the park below leaves
-            // `seen` stale, so the thread stays schedulable and re-checks
-            // — no lost wake-up.
+            // Snapshot the counter *before* checking: an action landing
+            // between a failed check and the park below leaves `seen`
+            // stale, so the thread stays schedulable and re-checks —
+            // no lost wake-up.
             let seen = {
-                let st = lock(&inner.state);
-                if st.poisoned {
+                let ps = lock(&part.state);
+                if inner.poisoned.load(Ordering::Acquire) {
                     return BlockOutcome::Poisoned;
                 }
-                st.actions
+                ps.actions
             };
             if let Some(v) = check() {
                 return BlockOutcome::Ready(v);
             }
-            let mut st = lock(&inner.state);
-            if st.poisoned {
+            let mut ps = lock(&part.state);
+            if inner.poisoned.load(Ordering::Acquire) {
                 return BlockOutcome::Poisoned;
             }
-            st.slots[self.id].vt = vt;
-            st.slots[self.id].status = Status::Blocked { seen };
-            dispatch(inner, &mut st);
-            let mut st = park_until_running(inner, st, self.id);
-            if st.poisoned {
+            ps.slots[self.id].vt = vt;
+            ps.slots[self.id].status = Status::Blocked { seen };
+            let mut ps = match dispatch_in(inner, part, &mut ps) {
+                Verdict::Dispatched => park_until_running(inner, part, ps, self.id),
+                Verdict::Barrier => {
+                    arrive_at_barrier(inner, ps);
+                    let ps = lock(&part.state);
+                    park_until_running(inner, part, ps, self.id)
+                }
+            };
+            if inner.poisoned.load(Ordering::Acquire) {
                 return BlockOutcome::Poisoned;
             }
-            st.slots[self.id].status = Status::Runnable;
+            ps.slots[self.id].status = Status::Runnable;
         }
     }
 
@@ -578,16 +909,19 @@ impl SchedThread {
         let Some(inner) = self.inner.take() else {
             return;
         };
-        let mut st = lock(&inner.state);
-        st.slots[self.id].status = Status::Done;
+        let part = &inner.parts[self.part];
+        let mut ps = lock(&part.state);
+        ps.slots[self.id].status = Status::Done;
         // Finishing is an action: a sibling blocked on state this thread
         // just released (a cancelled waiter, a final message) must
         // re-check.
-        st.actions += 1;
-        if !st.poisoned {
-            dispatch(&inner, &mut st);
-        } else {
-            wake_everyone(&inner);
+        ps.actions += 1;
+        if inner.poisoned.load(Ordering::Acquire) {
+            return;
+        }
+        match dispatch_in(&inner, part, &mut ps) {
+            Verdict::Dispatched => {}
+            Verdict::Barrier => arrive_at_barrier(&inner, ps),
         }
     }
 }
@@ -598,26 +932,27 @@ impl Drop for SchedThread {
     }
 }
 
-fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn wait<'a>(cv: &Condvar, g: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(g).unwrap_or_else(|e| e.into_inner())
 }
 
 fn park_until_running<'a>(
-    inner: &'a Inner,
-    mut st: MutexGuard<'a, State>,
+    inner: &Inner,
+    part: &'a Part,
+    mut ps: MutexGuard<'a, PartState>,
     id: usize,
-) -> MutexGuard<'a, State> {
-    while !(st.poisoned || st.running == Some(id)) {
-        st = wait(&inner.cvs[id], st);
+) -> MutexGuard<'a, PartState> {
+    while !(inner.poisoned.load(Ordering::Acquire) || ps.running == Some(id)) {
+        ps = wait(&part.cvs[id], ps);
     }
-    st
+    ps
 }
 
-/// Whether slot `i` may be scheduled right now.
+/// Whether slot `s` may be scheduled right now.
 fn is_candidate(s: &Slot, actions: u64) -> bool {
     match s.status {
         Status::Runnable => true,
@@ -626,86 +961,236 @@ fn is_candidate(s: &Slot, actions: u64) -> bool {
     }
 }
 
-/// Picks and installs the next thread to run; idles (or poisons, on a
-/// genuine deadlock) when nothing is runnable. Call with the state lock
-/// held, from the thread relinquishing control.
-fn dispatch(inner: &Inner, st: &mut State) {
-    st.running = None;
-    if st.poisoned {
-        wake_everyone(inner);
-        return;
+enum Verdict {
+    /// A thread was picked and its condvar notified.
+    Dispatched,
+    /// Nothing dispatchable below the window end; the partition must
+    /// arrive at the window barrier.
+    Barrier,
+}
+
+/// Picks and installs the partition's next thread to run, releasing any
+/// gated deliveries the canonical virtual-time order reaches first. Call
+/// with the partition's state lock held, from the thread relinquishing
+/// control or from the window barrier.
+fn dispatch_in(inner: &Inner, part: &Part, ps: &mut PartState) -> Verdict {
+    ps.running = None;
+    if inner.poisoned.load(Ordering::Acquire) {
+        return Verdict::Barrier;
     }
-    let actions = st.actions;
-    // Candidate scans are allocation-free: a schedule takes millions of
-    // steps and a Vec per step would dominate the scheduler's cost.
-    let n_candidates = st.slots.iter().filter(|s| is_candidate(s, actions)).count();
-    if n_candidates == 0 {
-        let stuck_app = st
-            .slots
-            .iter()
-            .any(|s| s.key.class == ThreadClass::App && s.status != Status::Done);
-        if stuck_app {
-            // A blocked application thread nobody can ever wake: the
-            // schedule deadlocked. Poison so every thread unwinds with a
-            // typed error instead of hanging the run.
-            st.poisoned = true;
-            wake_everyone(inner);
-        } else {
-            // Only servers are parked on empty inboxes; idle until an
-            // external action (the cluster's shutdown) re-dispatches.
-            inner.main_cv.notify_all();
-        }
-        return;
-    }
-    let step = st.steps + 1;
-    let slots = &st.slots;
-    let chosen = match &mut st.policy {
-        PolicyState::VirtualTime => None,
-        PolicyState::Random { rng } => (0..slots.len())
-            .filter(|&i| is_candidate(&slots[i], actions))
-            .nth(rng.next_usize(n_candidates)),
-        PolicyState::Pct {
-            prios,
-            change_at,
-            demote_next,
-        } => {
-            let pick = (0..slots.len())
-                .filter(|&i| is_candidate(&slots[i], actions))
-                .max_by_key(|&i| prios[i])
-                .expect("non-empty candidate set");
-            while change_at.first() == Some(&step) {
-                change_at.remove(0);
-                prios[pick] = *demote_next;
-                *demote_next -= 1;
+    let window_end = inner.window_end.load(Ordering::Acquire);
+    loop {
+        let actions = ps.actions;
+        // Candidate scans are allocation-free: a schedule takes millions
+        // of steps and a Vec per step would dominate the scheduler's
+        // cost.
+        let min_cand = (0..ps.slots.len())
+            .filter(|&i| is_candidate(&ps.slots[i], actions))
+            .min_by_key(|&i| (ps.slots[i].vt, ps.slots[i].key));
+        // Gated cross-host deliveries: release the earliest pending
+        // packet for this partition's hosts when it precedes (or ties —
+        // the delivery enables the receiver) every candidate thread.
+        // Releasing before dispatching keeps the canonical virtual-time
+        // total order across the wire, identically at any partition
+        // count.
+        if inner.gating {
+            if let Some(gate) = inner.gate.get() {
+                let mut best: Option<(Ns, HostId)> = None;
+                for &h in &part.hosts {
+                    let r = gate.min_pending(h);
+                    if r != Ns::MAX && best.is_none_or(|b| (r, h) < b) {
+                        best = Some((r, h));
+                    }
+                }
+                if let Some((r, h)) = best {
+                    let cand_vt = min_cand.map(|i| ps.slots[i].vt);
+                    if r < window_end && cand_vt.is_none_or(|cv| r <= cv) {
+                        gate.release_next(h);
+                        // The delivery may unblock a receiver: count it
+                        // as a partition-local action and re-derive the
+                        // candidate set.
+                        ps.actions += 1;
+                        continue;
+                    }
+                }
             }
-            Some(pick)
         }
-        PolicyState::Replay { choices, pos } => {
-            let want = choices.get(*pos).map(|&c| c as usize);
-            *pos += 1;
-            // Exhausted or invalid choices fall back to virtual-time order.
-            want.filter(|&w| w < slots.len() && is_candidate(&slots[w], actions))
+        let Some(min_i) = min_cand else {
+            return Verdict::Barrier;
+        };
+        if ps.slots[min_i].vt >= window_end {
+            return Verdict::Barrier;
         }
-    };
-    let pick = chosen.unwrap_or_else(|| {
-        (0..st.slots.len())
-            .filter(|&i| is_candidate(&st.slots[i], actions))
-            .min_by_key(|&i| (st.slots[i].vt, st.slots[i].key))
-            .expect("non-empty candidate set")
-    });
-    st.steps += 1;
-    inner
-        .log
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .push(pick as u32);
-    st.running = Some(pick);
-    inner.cvs[pick].notify_one();
+        let step = ps.steps + 1;
+        let slots = &ps.slots;
+        let n_candidates = slots.iter().filter(|s| is_candidate(s, actions)).count();
+        let chosen = match &mut ps.policy {
+            PolicyState::VirtualTime => None,
+            PolicyState::Random { rng } => (0..slots.len())
+                .filter(|&i| is_candidate(&slots[i], actions))
+                .nth(rng.next_usize(n_candidates)),
+            PolicyState::Pct {
+                prios,
+                change_at,
+                demote_next,
+            } => {
+                let pick = (0..slots.len())
+                    .filter(|&i| is_candidate(&slots[i], actions))
+                    .max_by_key(|&i| prios[i])
+                    .expect("non-empty candidate set");
+                while change_at.first() == Some(&step) {
+                    change_at.remove(0);
+                    prios[pick] = *demote_next;
+                    *demote_next -= 1;
+                }
+                Some(pick)
+            }
+            PolicyState::Replay { choices, pos } => {
+                let want = choices.get(*pos).map(|&c| c as usize);
+                *pos += 1;
+                // Exhausted or invalid choices fall back to virtual-time
+                // order.
+                want.filter(|&w| w < slots.len() && is_candidate(&slots[w], actions))
+            }
+        };
+        let pick = chosen.unwrap_or(min_i);
+        ps.steps += 1;
+        if inner.record {
+            inner
+                .log
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(pick as u32);
+        }
+        ps.running = Some(pick);
+        part.cvs[pick].notify_one();
+        return Verdict::Dispatched;
+    }
+}
+
+/// Hands the caller's partition to the window barrier: everything below
+/// the window end is done. Consumes the partition guard (the barrier
+/// takes the control lock, which must never be acquired while holding a
+/// partition lock).
+fn arrive_at_barrier(inner: &Inner, mut ps: MutexGuard<'_, PartState>) {
+    ps.at_barrier = true;
+    drop(ps);
+    let mut ctl = lock(&inner.ctl);
+    if inner.poisoned.load(Ordering::Acquire) {
+        return;
+    }
+    ctl.arrived += 1;
+    if ctl.started && ctl.arrived == inner.parts.len() {
+        barrier_complete(inner, &mut ctl);
+    }
+}
+
+/// The window barrier: every partition has arrived. Derives the next
+/// window `[W0, W0 + lookahead)` from the globally-minimal next event
+/// (runnable candidate or pending gated delivery) and releases every
+/// partition with work below the window end. With nothing pending
+/// anywhere, rules the run idle — or deadlocked, if an application
+/// thread is still blocked. Runs with the ctl lock held; every scheduled
+/// thread is parked, so partition states and the gate are stable.
+fn barrier_complete(inner: &Inner, ctl: &mut Ctl) {
+    loop {
+        if inner.poisoned.load(Ordering::Acquire) {
+            return;
+        }
+        let mut w0 = Ns::MAX;
+        let mut stuck_app = false;
+        for part in &inner.parts {
+            let ps = lock(&part.state);
+            let actions = ps.actions;
+            for s in &ps.slots {
+                if is_candidate(s, actions) {
+                    w0 = w0.min(s.vt);
+                }
+                if s.key.class == ThreadClass::App && s.status != Status::Done {
+                    stuck_app = true;
+                }
+            }
+        }
+        let gate = if inner.gating { inner.gate.get() } else { None };
+        if let Some(g) = gate {
+            for part in &inner.parts {
+                for &h in &part.hosts {
+                    w0 = w0.min(g.min_pending(h));
+                }
+            }
+        }
+        if w0 == Ns::MAX {
+            // Nothing runnable and nothing in flight. Fault-held
+            // (reorder) packets are the last resort — the
+            // receiver-driven rescue poll is disabled under gating —
+            // flush them and re-examine.
+            if let Some(g) = gate {
+                let rescued = g.flush_held();
+                if !rescued.is_empty() {
+                    for h in rescued {
+                        let pi = inner.host_part.get(h.index()).copied().unwrap_or(0);
+                        lock(&inner.parts[pi].state).actions += 1;
+                    }
+                    continue;
+                }
+            }
+            if stuck_app {
+                // A blocked application thread nobody can ever wake: the
+                // schedule deadlocked. Poison so every thread unwinds
+                // with a typed error instead of hanging the run.
+                poison(inner);
+            } else {
+                // Only servers are parked on empty inboxes; idle until
+                // an external action (the cluster's shutdown)
+                // re-examines.
+                ctl.idle = true;
+                inner.main_cv.notify_all();
+            }
+            return;
+        }
+        ctl.idle = false;
+        inner
+            .window_end
+            .store(w0.saturating_add(inner.lookahead), Ordering::Release);
+        let mut dispatched_any = false;
+        for part in &inner.parts {
+            let mut ps = lock(&part.state);
+            match dispatch_in(inner, part, &mut ps) {
+                Verdict::Dispatched => {
+                    ps.at_barrier = false;
+                    ctl.arrived -= 1;
+                    dispatched_any = true;
+                }
+                Verdict::Barrier => {}
+            }
+        }
+        if dispatched_any {
+            return;
+        }
+        // The window's only events were packet releases to hosts with no
+        // waiting receiver (drained by dispatch_in above); re-derive the
+        // next window from what is left.
+    }
+}
+
+/// Marks the schedule poisoned and wakes every parked thread (under
+/// their partition locks, so nobody is between a predicate check and a
+/// wait) plus the quiesce waiter. Call with the ctl lock held.
+fn poison(inner: &Inner) {
+    inner.poisoned.store(true, Ordering::SeqCst);
+    for part in &inner.parts {
+        let _guard = lock(&part.state);
+        for cv in &part.cvs {
+            cv.notify_all();
+        }
+    }
+    inner.main_cv.notify_all();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn keys(apps: usize) -> Vec<ThreadKey> {
@@ -720,10 +1205,13 @@ mod tests {
     fn disabled_scheduler_is_inert() {
         let s = Scheduler::disabled();
         assert!(!s.is_enabled());
+        assert!(!s.gating());
+        assert_eq!(s.partitions(), 0);
         let t = s.attach(ThreadKey::app(HostId(0), 0));
         assert!(!t.enabled());
         t.yield_now(5);
         s.bump_action();
+        s.bump_action_host(HostId(0));
         s.quiesce_then(|| {});
         assert_eq!(s.steps(), 0);
         assert_eq!(SchedMode::off().decisions(), Vec::<u32>::new());
@@ -859,5 +1347,232 @@ mod tests {
             });
             sched.bump_action();
         });
+    }
+
+    fn two_host_keys() -> Vec<ThreadKey> {
+        vec![
+            ThreadKey::server(HostId(0)),
+            ThreadKey::server(HostId(1)),
+            ThreadKey::app(HostId(0), 0),
+            ThreadKey::app(HostId(1), 0),
+        ]
+    }
+
+    #[test]
+    fn partitioned_threads_run_to_completion() {
+        // Two partitions advancing through many short windows: every
+        // thread must make all of its yields despite barrier round trips.
+        let mode = SchedMode::deterministic();
+        let sched = Scheduler::new_parallel(&mode, two_host_keys(), vec![0, 1], 2, 10);
+        assert_eq!(sched.partitions(), 2);
+        let done = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for h in 0..2u16 {
+                let sched_srv = sched.clone();
+                scope.spawn(move || {
+                    let mut t = sched_srv.attach(ThreadKey::server(HostId(h)));
+                    t.finish();
+                });
+                let sched_app = sched.clone();
+                let done = Arc::clone(&done);
+                scope.spawn(move || {
+                    let t = sched_app.attach(ThreadKey::app(HostId(h), 0));
+                    for i in 0..50u64 {
+                        // Strides differ per host so the partitions hit
+                        // window edges at different times.
+                        t.yield_now(i * (3 + u64::from(h)));
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 2);
+        assert!(sched.steps() >= 100);
+        // No total order exists across partitions: nothing recorded.
+        assert!(mode.decisions().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential-only")]
+    fn parallel_rejects_exploration_policies() {
+        let _ = Scheduler::new_parallel(
+            &SchedMode::random(1),
+            two_host_keys(),
+            vec![0, 1],
+            2,
+            12_000,
+        );
+    }
+
+    #[test]
+    fn partitioned_deadlock_poisons_globally() {
+        let mode = SchedMode::deterministic();
+        let sched = Scheduler::new_parallel(&mode, two_host_keys(), vec![0, 1], 2, 10);
+        let poisoned = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for h in 0..2u16 {
+                let sched_srv = sched.clone();
+                scope.spawn(move || {
+                    let mut t = sched_srv.attach(ThreadKey::server(HostId(h)));
+                    t.finish();
+                });
+            }
+            let sched_done = sched.clone();
+            scope.spawn(move || {
+                let t = sched_done.attach(ThreadKey::app(HostId(0), 0));
+                t.yield_now(1);
+            });
+            let sched_stuck = sched.clone();
+            let poisoned = Arc::clone(&poisoned);
+            scope.spawn(move || {
+                let t = sched_stuck.attach(ThreadKey::app(HostId(1), 0));
+                if let BlockOutcome::Poisoned = t.block_until(0, || None::<()>) {
+                    poisoned.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert_eq!(poisoned.load(Ordering::Relaxed), 1);
+    }
+
+    /// One parked test message: destination host and the flag its
+    /// release bumps.
+    type TestPending = BTreeMap<(Ns, u64), (HostId, Arc<AtomicU64>)>;
+
+    /// A miniature delivery gate: messages carry a release time and a
+    /// destination flag to bump, standing in for the network fabric.
+    struct TestGate {
+        pending: Mutex<TestPending>,
+        seq: AtomicU64,
+    }
+
+    impl TestGate {
+        fn new() -> Self {
+            Self {
+                pending: Mutex::new(BTreeMap::new()),
+                seq: AtomicU64::new(0),
+            }
+        }
+
+        fn send(&self, release: Ns, to: HostId, flag: &Arc<AtomicU64>) {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            self.pending
+                .lock()
+                .unwrap()
+                .insert((release, seq), (to, Arc::clone(flag)));
+        }
+    }
+
+    impl DeliveryGate for TestGate {
+        fn min_pending(&self, host: HostId) -> Ns {
+            self.pending
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|(_, (to, _))| *to == host)
+                .map(|((r, _), _)| *r)
+                .next()
+                .unwrap_or(Ns::MAX)
+        }
+
+        fn release_next(&self, host: HostId) {
+            let mut p = self.pending.lock().unwrap();
+            let key = p
+                .iter()
+                .filter(|(_, (to, _))| *to == host)
+                .map(|(k, _)| *k)
+                .next()
+                .expect("release with nothing pending");
+            let (_, flag) = p.remove(&key).unwrap();
+            flag.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn flush_held(&self) -> Vec<HostId> {
+            Vec::new()
+        }
+    }
+
+    /// A cross-partition "message": host 0's app enqueues a gated
+    /// delivery for host 1, whose server blocks on the flag it bumps.
+    /// The delivery lands beyond the first window, so the server can
+    /// only wake if the window barrier advances time and releases it.
+    fn gated_handoff(workers: usize, map: Vec<usize>) {
+        let mode = SchedMode::deterministic();
+        let lookahead = 12;
+        let sched = Scheduler::new_parallel(&mode, two_host_keys(), map, workers, lookahead);
+        let gate = Arc::new(TestGate::new());
+        sched.set_gate(Arc::clone(&gate) as Arc<dyn DeliveryGate>);
+        let flag = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            let sched_srv0 = sched.clone();
+            scope.spawn(move || {
+                let mut t = sched_srv0.attach(ThreadKey::server(HostId(0)));
+                t.finish();
+            });
+            let sched_app1 = sched.clone();
+            scope.spawn(move || {
+                let mut t = sched_app1.attach(ThreadKey::app(HostId(1), 0));
+                t.finish();
+            });
+            let sched_send = sched.clone();
+            let gate_send = Arc::clone(&gate);
+            let flag_send = Arc::clone(&flag);
+            scope.spawn(move || {
+                let t = sched_send.attach(ThreadKey::app(HostId(0), 0));
+                t.yield_now(5);
+                // "Send" at vt 5: released no earlier than 5 + lookahead.
+                gate_send.send(5 + lookahead, HostId(1), &flag_send);
+                t.yield_now(6);
+            });
+            let sched_recv = sched.clone();
+            let flag_recv = Arc::clone(&flag);
+            scope.spawn(move || {
+                let t = sched_recv.attach(ThreadKey::server(HostId(1)));
+                match t.block_until(0, || {
+                    let v = flag_recv.load(Ordering::Relaxed);
+                    (v > 0).then_some(v)
+                }) {
+                    BlockOutcome::Ready(v) => assert_eq!(v, 1),
+                    BlockOutcome::Poisoned => panic!("gated delivery never released"),
+                }
+            });
+        });
+        assert_eq!(gate.min_pending(HostId(1)), Ns::MAX, "gate drained");
+    }
+
+    #[test]
+    fn gated_delivery_crosses_partitions() {
+        gated_handoff(2, vec![0, 1]);
+    }
+
+    #[test]
+    fn gated_delivery_works_single_partition() {
+        gated_handoff(1, vec![0, 0]);
+    }
+
+    #[test]
+    fn default_map_is_contiguous_and_balanced() {
+        let m = ParallelConfig::default_map(8, 4);
+        assert_eq!(m, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        let m = ParallelConfig::default_map(5, 2);
+        assert_eq!(m, vec![0, 0, 0, 1, 1]);
+        // Never names a worker out of range, even degenerate shapes.
+        for hosts in 1..20 {
+            for workers in 1..10 {
+                for (h, w) in ParallelConfig::default_map(hosts, workers)
+                    .iter()
+                    .enumerate()
+                {
+                    assert!(*w < workers, "hosts={hosts} workers={workers} h={h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_partitions_are_compacted() {
+        // Map everything to worker 3 of 4: one real partition.
+        let mode = SchedMode::deterministic();
+        let sched = Scheduler::new_parallel(&mode, two_host_keys(), vec![3, 3], 4, 10);
+        assert_eq!(sched.partitions(), 1);
     }
 }

@@ -22,13 +22,13 @@
 use crate::fault::{backoff_penalty, FaultPlane, ScriptedKind, SendReceipt};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use sim_core::clock::Ns;
-use sim_core::sched::Scheduler;
+use sim_core::sched::{DeliveryGate, Scheduler};
 use sim_core::trace::{TraceKind, TraceRecorder};
 use sim_core::{CostModel, Counter, HostId, LogHistogram, SplitMix64};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Duration;
 
 /// How long a fault-mode blocking receive parks before re-checking the
@@ -57,6 +57,12 @@ pub struct Packet<M> {
     /// reliable channel. 0 when the fault plane is inactive or for
     /// self-delivery (which bypasses the wire).
     pub wire_seq: u64,
+    /// Virtual time at which the delivery gate released this packet to the
+    /// destination (the link-FIFO cumulative maximum of arrival stamps).
+    /// 0 when the gate is inactive — i.e. in free-threaded mode, under the
+    /// exploration policies, and for self-delivery. Servers must not begin
+    /// service before `max(arrival_vt, release_vt)`.
+    pub release_vt: Ns,
 }
 
 /// Receive-side failure.
@@ -122,6 +128,38 @@ struct FaultState<M> {
     delay: Mutex<LogHistogram>,
 }
 
+/// Per-link delivery-gate state: the cumulative maximum of release stamps
+/// handed out on this link (enforcing FIFO release order per link even
+/// when fault backoff inverts raw arrival stamps) and a per-link tie-break
+/// sequence for packets released at the same virtual time.
+struct GateLink {
+    cummax: Ns,
+    next_seq: u64,
+}
+
+/// Release order of parked packets at one destination: release stamp,
+/// then sender, then per-link sequence number.
+type GateQueue<M> = BTreeMap<(Ns, HostId, u64), Packet<M>>;
+
+/// The conservative delivery gate, present only when the attached
+/// scheduler runs the canonical virtual-time policy.
+///
+/// Cross-host packets are parked here instead of going straight into the
+/// destination inbox; the scheduler's dispatch loop releases them in
+/// `(release_vt, from, seq)` order, interleaved with thread dispatches
+/// through the virtual-time total order. This is what makes partitioned
+/// execution byte-identical to the sequential schedule: delivery becomes
+/// an explicitly ordered event instead of a racy channel send.
+struct GateState<M> {
+    /// `hosts × hosts` link stamps, indexed `from * hosts + to`.
+    links: Vec<Mutex<GateLink>>,
+    /// Per-destination pending queue ordered by `(release_vt, from, seq)`.
+    queues: Vec<Mutex<GateQueue<M>>>,
+    /// Per-destination mirror of the minimum pending release stamp
+    /// (`Ns::MAX` when empty), readable without taking the queue lock.
+    mins: Vec<AtomicU64>,
+}
+
 struct Fabric<M> {
     inboxes: Vec<Sender<Packet<M>>>,
     cost: CostModel,
@@ -135,6 +173,9 @@ struct Fabric<M> {
     /// unblock the destination's receive loop). Unset or disabled in the
     /// default free-threaded mode.
     sched: OnceLock<Scheduler>,
+    /// Conservative delivery gate; installed by `attach_scheduler` when the
+    /// scheduler gates deliveries (canonical virtual-time policy).
+    gate: OnceLock<GateState<M>>,
 }
 
 /// A handle to the simulated interconnect.
@@ -215,6 +256,7 @@ impl<M: Send + Clone> Network<M> {
                 link_traffic: (0..hosts * hosts * 2).map(|_| AtomicU64::new(0)).collect(),
                 faults,
                 sched: OnceLock::new(),
+                gate: OnceLock::new(),
             }),
         };
         let endpoints = receivers
@@ -368,6 +410,7 @@ impl<M: Send + Clone> Network<M> {
             arrival_vt: arrival,
             payload_bytes,
             wire_seq: 0,
+            release_vt: 0,
         };
         match &self.fabric.faults {
             Some(faults) if from != to => self.send_through_faults(faults, pkt, arrival),
@@ -488,34 +531,120 @@ impl<M: Send + Clone> Network<M> {
     /// Physically enqueues a packet, tolerating a torn-down receiver: a
     /// host that exited early absorbs late protocol traffic into the
     /// `send_failures` counter instead of panicking the sender.
+    ///
+    /// Under a gating scheduler (canonical virtual-time policy) cross-host
+    /// packets are parked in the delivery gate instead, to be released by
+    /// the scheduler in `(release_vt, from, seq)` order; self-deliveries
+    /// (local handler calls, not wire traffic) and shutdown-era external
+    /// deliveries (issued under `Scheduler::quiesce_then`, when no
+    /// simulated thread runs) still go straight into the inbox.
     fn deliver(&self, pkt: Packet<M>) {
+        match self.fabric.sched.get() {
+            Some(sched) if sched.gating() => {
+                if pkt.from != pkt.to && !sched.external_active() {
+                    self.gate_enqueue(pkt);
+                } else {
+                    let to = pkt.to;
+                    self.deliver_raw(pkt);
+                    sched.bump_action_host(to);
+                }
+            }
+            Some(sched) => {
+                self.deliver_raw(pkt);
+                // Every successful delivery may unblock the destination's
+                // receive loop: tell the deterministic scheduler so the
+                // receiver becomes a candidate again.
+                sched.bump_action();
+            }
+            None => self.deliver_raw(pkt),
+        }
+    }
+
+    /// The raw physical enqueue: inbox send plus failure accounting, no
+    /// scheduler interaction. Gate release paths call this directly — the
+    /// scheduler's dispatch loop accounts the delivery itself, and
+    /// re-entering the scheduler from under its own locks would deadlock.
+    fn deliver_raw(&self, pkt: Packet<M>) {
         if self.fabric.inboxes[pkt.to.index()].send(pkt).is_err() {
             self.fabric.stats.send_failures.bump();
-        } else if let Some(sched) = self.fabric.sched.get() {
-            // Every successful delivery may unblock the destination's
-            // receive loop: tell the deterministic scheduler so the
-            // receiver becomes a candidate again.
-            sched.bump_action();
         }
+    }
+
+    /// Parks a cross-host packet in the delivery gate. The release stamp is
+    /// the cumulative maximum of arrival stamps on its link, so releases on
+    /// one link are FIFO even when fault backoff inverts raw arrivals.
+    fn gate_enqueue(&self, mut pkt: Packet<M>) {
+        let gate = self.fabric.gate.get().expect("delivery gate installed");
+        let li = self.link_index(pkt.from, pkt.to);
+        let (release, seq) = {
+            let mut link = gate.links[li].lock().expect("gate link lock");
+            let release = pkt.arrival_vt.max(link.cummax);
+            link.cummax = release;
+            let seq = link.next_seq;
+            link.next_seq += 1;
+            (release, seq)
+        };
+        pkt.release_vt = release;
+        let di = pkt.to.index();
+        let mut q = gate.queues[di].lock().expect("gate queue lock");
+        q.insert((release, pkt.from, seq), pkt);
+        let min = q.keys().next().map_or(Ns::MAX, |k| k.0);
+        gate.mins[di].store(min, Ordering::Release);
     }
 
     /// Attaches the deterministic scheduler so deliveries count as
     /// potentially-unblocking actions. No-op for a disabled scheduler;
     /// later attachments are ignored.
-    pub fn attach_scheduler(&self, sched: &Scheduler) {
+    pub fn attach_scheduler(&self, sched: &Scheduler)
+    where
+        M: 'static,
+    {
         if sched.is_enabled() {
-            let _ = self.fabric.sched.set(sched.clone());
+            if self.fabric.sched.set(sched.clone()).is_err() {
+                return;
+            }
+            if sched.gating() {
+                let hosts = self.hosts();
+                let _ = self.fabric.gate.set(GateState {
+                    links: (0..hosts * hosts)
+                        .map(|_| {
+                            Mutex::new(GateLink {
+                                cummax: 0,
+                                next_seq: 0,
+                            })
+                        })
+                        .collect(),
+                    queues: (0..hosts).map(|_| Mutex::new(BTreeMap::new())).collect(),
+                    mins: (0..hosts).map(|_| AtomicU64::new(Ns::MAX)).collect(),
+                });
+                sched.set_gate(Arc::new(GateHandle {
+                    fabric: Arc::downgrade(&self.fabric),
+                }));
+            }
         }
+    }
+
+    /// Whether the delivery gate is active (gating scheduler attached).
+    fn gated(&self) -> bool {
+        self.fabric.gate.get().is_some()
     }
 
     /// Flushes any reorder-holdback packets destined to `to` into its
     /// inbox. Called by the receiver before parking, so a stashed packet
     /// whose sender went quiet cannot deadlock the destination. Returns
     /// whether anything was flushed.
+    ///
+    /// Inert under a gating scheduler: receiver-driven flushes would race
+    /// the canonical schedule. There the scheduler itself flushes held
+    /// packets, at the deterministic global-idle point (see
+    /// [`DeliveryGate::flush_held`]).
     fn flush_held_to(&self, to: HostId) -> bool {
         let Some(faults) = &self.fabric.faults else {
             return false;
         };
+        if self.gated() {
+            return false;
+        }
         let hosts = self.hosts();
         let mut flushed = false;
         for from in 0..hosts {
@@ -534,6 +663,65 @@ impl<M: Send + Clone> Network<M> {
         if let Some(faults) = &self.fabric.faults {
             faults.acked[self.link_index(from, to)].fetch_max(seq, Ordering::AcqRel);
         }
+    }
+}
+
+/// The scheduler-facing view of the delivery gate.
+///
+/// Holds the fabric weakly: the scheduler outlives the run's network in
+/// some teardown orders, and a strong reference here would cycle
+/// (fabric → scheduler → gate → fabric) and leak every run. A dead fabric
+/// degrades to "nothing pending".
+struct GateHandle<M> {
+    fabric: Weak<Fabric<M>>,
+}
+
+impl<M: Send + Clone + 'static> DeliveryGate for GateHandle<M> {
+    fn min_pending(&self, host: HostId) -> Ns {
+        let Some(fabric) = self.fabric.upgrade() else {
+            return Ns::MAX;
+        };
+        let gate = fabric.gate.get().expect("delivery gate installed");
+        gate.mins[host.index()].load(Ordering::Acquire)
+    }
+
+    fn release_next(&self, host: HostId) {
+        let Some(fabric) = self.fabric.upgrade() else {
+            return;
+        };
+        let net = Network { fabric };
+        let gate = net.fabric.gate.get().expect("delivery gate installed");
+        let pkt = {
+            let mut q = gate.queues[host.index()].lock().expect("gate queue lock");
+            let key = *q.keys().next().expect("release_next on empty gate queue");
+            let pkt = q.remove(&key).expect("gate queue entry");
+            let min = q.keys().next().map_or(Ns::MAX, |k| k.0);
+            gate.mins[host.index()].store(min, Ordering::Release);
+            pkt
+        };
+        net.deliver_raw(pkt);
+    }
+
+    fn flush_held(&self) -> Vec<HostId> {
+        let Some(fabric) = self.fabric.upgrade() else {
+            return Vec::new();
+        };
+        let net = Network { fabric };
+        let Some(faults) = &net.fabric.faults else {
+            return Vec::new();
+        };
+        // Fixed link order keeps the flush deterministic; the caller is at
+        // the global-idle decision point, so no sender is concurrently
+        // stashing.
+        let mut dests = Vec::new();
+        for link in &faults.links {
+            let held = link.lock().expect("link lock").held.take();
+            if let Some(pkt) = held {
+                dests.push(pkt.to);
+                net.deliver_raw(pkt);
+            }
+        }
+        dests
     }
 }
 
